@@ -1,0 +1,97 @@
+// Ablation study over the design choices DESIGN.md §3 calls out, plus the
+// NPMI-vs-Jaccard comparison of Appendix H. Each row disables exactly one
+// ingredient of the distance function (or changes one algorithm knob) and
+// reports unsupervised F on the Web and Enterprise datasets.
+//
+// Expected shape:
+//   * Jaccard "also produces decent results" but trails NPMI (Appendix H).
+//   * Dropping the type-coherence rule or pricing null-null pairs at 0.5
+//     re-opens the column-merging / null-padding degeneracies of the
+//     per-column objective.
+//   * Anchor sampling trades little quality for large speedups.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+struct Variant {
+  const char* name;
+  TegraOptions options;
+};
+
+void Run() {
+  PrintBanner("Ablations: distance-function and search design choices");
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 4);
+  std::printf("tables per dataset: %zu\n\n", count);
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"TEGRA (full)", {}};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"semantic: Jaccard (App. H)", {}};
+    v.options.distance.measure = SemanticMeasure::kJaccard;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no type coherence", {}};
+    v.options.distance.type_coherence = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no known-value prior", {}};
+    v.options.distance.known_value_prior = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"d(null,null) = 0.5", {}};
+    v.options.distance.null_null_distance = 0.5;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"single-anchor sweep+final", {}};
+    v.options.sweep_anchor_sample = 1;
+    v.options.final_anchor_sample = 1;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"exhaustive anchor sweep", {}};
+    v.options.sweep_anchor_sample = 0;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"max_cell_tokens = 4", {}};
+    v.options.max_cell_tokens = 4;
+    variants.push_back(v);
+  }
+
+  TextTable table({"Variant", "Web F", "Enterprise F", "Web s/table"});
+  const auto web = BuildDataset(DatasetId::kWeb, count);
+  const auto ent = BuildDataset(DatasetId::kEnterprise, count);
+  const CorpusStats& web_stats = BackgroundStats(BackgroundId::kWeb);
+  const CorpusStats& ent_stats = BackgroundStats(BackgroundId::kEnterprise);
+
+  for (const Variant& v : variants) {
+    const AlgoEvaluation web_eval =
+        EvaluateAlgorithm(web, TegraFn(&web_stats, v.options));
+    const AlgoEvaluation ent_eval =
+        EvaluateAlgorithm(ent, TegraFn(&ent_stats, v.options));
+    table.AddRow({v.name, FormatDouble(web_eval.mean.f1),
+                  FormatDouble(ent_eval.mean.f1),
+                  FormatDouble(web_eval.mean_seconds, 3)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Reproduces Figures 8(c)-(h): F-measure sensitivity to table
+// characteristics on the Web and Enterprise datasets, for all three
+// algorithms. Each algorithm runs once per dataset; the same per-instance
+// scores are then bucketized three ways:
+//   (c,d) by average tokens per cell — the difficulty proxy. Expected:
+//         ListExtract degrades sharply with more tokens per cell, TEGRA
+//         stays nearly flat.
+//   (e,f) by number of columns — expected: mild sensitivity only.
+//   (g,h) by number of rows — expected: roughly flat for everyone.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "text/tokenizer.h"
+
+namespace tegra::eval {
+namespace {
+
+struct DatasetRun {
+  std::vector<EvalInstance> instances;
+  AlgoEvaluation tegra;
+  AlgoEvaluation listextract;
+  AlgoEvaluation judie;
+};
+
+void PrintBuckets(const char* title, const DatasetRun& run,
+                  const std::vector<double>& keys, const char* key_label) {
+  std::printf("\n%s\n", title);
+  const auto buckets = EqualBuckets(keys, 5);
+  TextTable table({key_label, "TEGRA F", "ListExtract F", "Judie F",
+                   "bucket size"});
+  for (const auto& bucket : buckets) {
+    if (bucket.empty()) continue;
+    double key_mean = 0;
+    for (size_t i : bucket) key_mean += keys[i];
+    key_mean /= static_cast<double>(bucket.size());
+    table.AddRow({FormatDouble(key_mean),
+                  FormatDouble(MeanF(run.tegra.scores, bucket)),
+                  FormatDouble(MeanF(run.listextract.scores, bucket)),
+                  FormatDouble(MeanF(run.judie.scores, bucket)),
+                  std::to_string(bucket.size())});
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintBanner("Figures 8(c)-(h): sensitivity to table characteristics");
+  std::printf("tables per generated dataset: %zu\n", BenchTablesPerDataset());
+
+  Tokenizer tokenizer;
+  const struct {
+    DatasetId id;
+    const char* cd;
+    const char* ef;
+    const char* gh;
+  } specs[] = {
+      {DatasetId::kWeb, "Figure 8(c): Web, by avg tokens per cell",
+       "Figure 8(e): Web, by number of columns",
+       "Figure 8(g): Web, by number of rows"},
+      {DatasetId::kEnterprise,
+       "Figure 8(d): Enterprise, by avg tokens per cell",
+       "Figure 8(f): Enterprise, by number of columns",
+       "Figure 8(h): Enterprise, by number of rows"},
+  };
+
+  for (const auto& spec : specs) {
+    const CorpusStats& stats = BackgroundStats(
+        spec.id == DatasetId::kEnterprise ? BackgroundId::kEnterprise
+                                          : BackgroundId::kWeb);
+    DatasetRun run;
+    run.instances = BuildDataset(spec.id, BenchTablesPerDataset());
+    run.tegra = EvaluateAlgorithm(run.instances, TegraFn(&stats));
+    run.listextract = EvaluateAlgorithm(run.instances, ListExtractFn(&stats));
+    run.judie = EvaluateAlgorithm(run.instances, JudieFn(&GeneralKb()));
+
+    std::vector<double> tokens_per_cell;
+    std::vector<double> num_cols;
+    std::vector<double> num_rows;
+    for (const EvalInstance& inst : run.instances) {
+      tokens_per_cell.push_back(inst.truth.AvgTokensPerCell(tokenizer));
+      num_cols.push_back(static_cast<double>(inst.truth.NumCols()));
+      num_rows.push_back(static_cast<double>(inst.truth.NumRows()));
+    }
+    PrintBuckets(spec.cd, run, tokens_per_cell, "avg tokens/cell");
+    PrintBuckets(spec.ef, run, num_cols, "avg #cols");
+    PrintBuckets(spec.gh, run, num_rows, "avg #rows");
+  }
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 8(b): sensitivity of TEGRA to the syntactic/semantic
+// mix alpha. Expected shape: Web/Wiki already decent at alpha = 0 (semantic
+// only) and degrade at alpha = 1; Enterprise is weak at alpha = 0 (its
+// proprietary values are missing from Background-Web) and needs syntax;
+// mid-range alpha is best everywhere.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 8(b): F-measure vs alpha (weight of syntactic distance)");
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 2);
+  std::printf("tables per generated dataset: %zu\n", count);
+  std::printf("background corpus: B-Web for all datasets (as in the paper)\n\n");
+
+  const double alphas[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  TextTable table({"alpha", "Web F", "Wiki F", "Enterprise F"});
+
+  const CorpusStats& stats = BackgroundStats(BackgroundId::kWeb);
+  std::vector<std::vector<EvalInstance>> datasets;
+  for (DatasetId id :
+       {DatasetId::kWeb, DatasetId::kWiki, DatasetId::kEnterprise}) {
+    datasets.push_back(BuildDataset(id, count));
+  }
+
+  for (double alpha : alphas) {
+    TegraOptions opts;
+    opts.distance.alpha = alpha;
+    std::vector<std::string> row = {FormatDouble(alpha)};
+    for (const auto& instances : datasets) {
+      const AlgoEvaluation eval =
+          EvaluateAlgorithm(instances, TegraFn(&stats, opts));
+      row.push_back(FormatDouble(eval.mean.f1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure H.1 (Appendix K): the Figure 8 sensitivity sweeps in the
+// *supervised* setting (two example rows). Expected: the same trends as
+// Figure 8, shifted up.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "text/tokenizer.h"
+
+namespace tegra::eval {
+namespace {
+
+constexpr int kExamples = 2;
+
+void AlphaSweep() {
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 2);
+  std::printf("\nFigure H.1 (alpha): supervised F vs alpha, B-Web\n");
+  const CorpusStats& stats = BackgroundStats(BackgroundId::kWeb);
+  std::vector<std::vector<EvalInstance>> datasets;
+  for (DatasetId id :
+       {DatasetId::kWeb, DatasetId::kWiki, DatasetId::kEnterprise}) {
+    datasets.push_back(BuildDataset(id, count));
+  }
+  TextTable table({"alpha", "Web F", "Wiki F", "Enterprise F"});
+  for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    TegraOptions opts;
+    opts.distance.alpha = alpha;
+    std::vector<std::string> row = {FormatDouble(alpha)};
+    for (const auto& instances : datasets) {
+      const AlgoEvaluation eval = EvaluateAlgorithm(
+          instances, TegraSupervisedFn(&stats, kExamples, opts));
+      row.push_back(FormatDouble(eval.mean.f1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+void TokensPerCellSweep() {
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 2);
+  std::printf("\nFigure H.1 (difficulty): supervised F vs avg tokens/cell\n");
+  Tokenizer tokenizer;
+  TextTable table({"dataset", "bucket avg tokens/cell", "TEGRA F",
+                   "ListExtract F", "Judie F"});
+  for (DatasetId id : {DatasetId::kWeb, DatasetId::kEnterprise}) {
+    const CorpusStats& stats = BackgroundStats(
+        id == DatasetId::kEnterprise ? BackgroundId::kEnterprise
+                                     : BackgroundId::kWeb);
+    const auto instances = BuildDataset(id, count);
+    const AlgoEvaluation tegra =
+        EvaluateAlgorithm(instances, TegraSupervisedFn(&stats, kExamples));
+    const AlgoEvaluation listextract = EvaluateAlgorithm(
+        instances, ListExtractSupervisedFn(&stats, kExamples));
+    const AlgoEvaluation judie = EvaluateAlgorithm(
+        instances, JudieSupervisedFn(&GeneralKb(), kExamples));
+    std::vector<double> keys;
+    for (const EvalInstance& inst : instances) {
+      keys.push_back(inst.truth.AvgTokensPerCell(tokenizer));
+    }
+    for (const auto& bucket : EqualBuckets(keys, 5)) {
+      if (bucket.empty()) continue;
+      double key_mean = 0;
+      for (size_t i : bucket) key_mean += keys[i];
+      key_mean /= static_cast<double>(bucket.size());
+      table.AddRow({DatasetName(id), FormatDouble(key_mean),
+                    FormatDouble(MeanF(tegra.scores, bucket)),
+                    FormatDouble(MeanF(listextract.scores, bucket)),
+                    FormatDouble(MeanF(judie.scores, bucket))});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::PrintBanner(
+      "Figure H.1: supervised sensitivity sweeps (k=2 examples)");
+  tegra::eval::AlphaSweep();
+  tegra::eval::TokensPerCellSweep();
+  return 0;
+}

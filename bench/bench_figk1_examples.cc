@@ -1,0 +1,56 @@
+// Reproduces Figure K.1: quality as a function of the amount of user
+// feedback on the Web dataset. x = -1 is fully unsupervised; x = 0 means the
+// correct column count is given; x >= 1 gives x fully segmented example
+// rows. Expected shape: TEGRA jumps with a single example and saturates
+// quickly; ListExtract gains less (and the paper observes that x = 0 can
+// even hurt it, since constraining m cannot fix its local split decisions).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+void Run() {
+  PrintBanner("Figure K.1: F-measure vs number of user examples (Web)");
+  std::printf("tables per generated dataset: %zu\n\n",
+              BenchTablesPerDataset());
+
+  const CorpusStats& stats = BackgroundStats(BackgroundId::kWeb);
+  const auto instances =
+      BuildDataset(DatasetId::kWeb, BenchTablesPerDataset());
+
+  TextTable table({"#examples", "TEGRA F", "ListExtract F", "Judie F"});
+  for (int x = -1; x <= 5; ++x) {
+    AlgoEvaluation tegra;
+    AlgoEvaluation listextract;
+    AlgoEvaluation judie;
+    if (x < 0) {
+      tegra = EvaluateAlgorithm(instances, TegraFn(&stats));
+      listextract = EvaluateAlgorithm(instances, ListExtractFn(&stats));
+      judie = EvaluateAlgorithm(instances, JudieFn(&GeneralKb()));
+    } else {
+      tegra = EvaluateAlgorithm(instances, TegraSupervisedFn(&stats, x));
+      listextract =
+          EvaluateAlgorithm(instances, ListExtractSupervisedFn(&stats, x));
+      judie =
+          EvaluateAlgorithm(instances, JudieSupervisedFn(&GeneralKb(), x));
+    }
+    table.AddRow({x < 0 ? "-1 (unsupervised)"
+                        : (x == 0 ? "0 (#cols given)" : std::to_string(x)),
+                  FormatDouble(tegra.mean.f1),
+                  FormatDouble(listextract.mean.f1),
+                  FormatDouble(judie.mean.f1)});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

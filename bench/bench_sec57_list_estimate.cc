@@ -1,0 +1,79 @@
+// Reproduces §5.7: estimating the number of useful relational lists "on the
+// Web". A simulated raw crawl of HTML lists (mostly navigation chrome, prose
+// bullets and fragments, with a small relational fraction) is passed through
+// the paper's funnel: a row/length pre-filter, then segmentation, keeping
+// only lists whose extracted table has a good per-pair objective score.
+// The funnel ratios are then extrapolated to web scale.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+#include "synth/list_gen.h"
+
+namespace tegra::eval {
+namespace {
+
+void Run() {
+  PrintBanner("Section 5.7: estimating useful relational lists");
+  const size_t crawl_size = std::max<size_t>(
+      500, BenchTablesPerDataset() * 15);  // Stand-in for the 770K crawl.
+  std::printf("simulated raw crawl: %zu HTML lists\n\n", crawl_size);
+
+  const auto crawl = synth::GenerateRawCrawl(crawl_size, /*seed=*/57);
+  size_t by_kind[4] = {0, 0, 0, 0};
+  for (const auto& list : crawl) ++by_kind[static_cast<int>(list.kind)];
+  std::printf("crawl mix: relational=%zu navigation=%zu sentences=%zu "
+              "degenerate=%zu\n",
+              by_kind[0], by_kind[1], by_kind[2], by_kind[3]);
+
+  // Stage 1: row-count / line-length pre-filter.
+  std::vector<const synth::RawList*> filtered;
+  for (const auto& list : crawl) {
+    if (synth::PassesCrawlFilter(list)) filtered.push_back(&list);
+  }
+  std::printf("after row/length filter: %zu lists (%.2f%%)\n", filtered.size(),
+              100.0 * static_cast<double>(filtered.size()) /
+                  static_cast<double>(crawl.size()));
+
+  // Stage 2: segment and keep lists with a good per-pair objective score.
+  // The threshold corresponds to the good-quality buckets of Figure 8(a).
+  const double kGoodScore = 0.45;
+  const CorpusStats& stats = BackgroundStats(BackgroundId::kWeb);
+  TegraExtractor tegra(&stats);
+  size_t good = 0;
+  size_t good_relational = 0;
+  for (const synth::RawList* list : filtered) {
+    auto result = tegra.Extract(list->lines);
+    if (!result.ok()) continue;
+    if (result->num_columns >= 2 &&
+        result->per_pair_objective <= kGoodScore) {
+      ++good;
+      if (list->kind == synth::RawListKind::kRelational) ++good_relational;
+    }
+  }
+  std::printf("good relational tables extracted: %zu (%.2f%% of crawl; "
+              "%zu truly relational)\n",
+              good, 100.0 * static_cast<double>(good) /
+                        static_cast<double>(crawl.size()),
+              good_relational);
+
+  // Extrapolation in the paper's style: the sampled chunk was 0.006% of the
+  // index; scale our good-list rate to a hypothetical full web of 500M
+  // lists.
+  const double rate =
+      static_cast<double>(good) / static_cast<double>(crawl.size());
+  std::printf("\nExtrapolating to a 500M-list web crawl: ~%.0fM useful "
+              "relational lists\n",
+              rate * 500.0);
+  std::printf("(paper: \"over 30 million lists with good relational "
+              "content\")\n");
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Table 4: unsupervised extraction quality (P/R/F) of TEGRA,
+// ListExtract and Judie on the Web, Wiki, Enterprise and Lists benchmarks.
+//
+// Expected shape (paper): TEGRA F ~0.87-0.91 everywhere; ListExtract recall
+// close to TEGRA but precision well behind (over-segmentation); Judie far
+// behind due to KB coverage. Scale with TEGRA_BENCH_TABLES (default 120).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+void Run() {
+  PrintBanner("Table 4: Quality comparison (unsupervised)");
+  std::printf("tables per generated dataset: %zu\n\n",
+              BenchTablesPerDataset());
+
+  TextTable table({"Dataset", "Metric", "TEGRA", "ListExtract", "Judie"});
+
+  const DatasetId datasets[] = {DatasetId::kWeb, DatasetId::kWiki,
+                                DatasetId::kEnterprise, DatasetId::kLists};
+  for (DatasetId id : datasets) {
+    // The paper pairs each test set with its matching background corpus
+    // (B-Web for public-web content, B-Enterprise for Enterprise).
+    const CorpusStats& stats = BackgroundStats(
+        id == DatasetId::kEnterprise ? BackgroundId::kEnterprise
+                                     : BackgroundId::kWeb);
+    const auto instances = BuildDataset(id, BenchTablesPerDataset());
+
+    const AlgoEvaluation tegra =
+        EvaluateAlgorithm(instances, TegraFn(&stats));
+    const AlgoEvaluation listextract =
+        EvaluateAlgorithm(instances, ListExtractFn(&stats));
+    const AlgoEvaluation judie =
+        EvaluateAlgorithm(instances, JudieFn(&GeneralKb()));
+
+    auto add = [&](const char* metric, double t, double l, double j) {
+      table.AddRow({DatasetName(id), metric, FormatDouble(t), FormatDouble(l),
+                    FormatDouble(j)});
+    };
+    add("P", tegra.mean.precision, listextract.mean.precision,
+        judie.mean.precision);
+    add("R", tegra.mean.recall, listextract.mean.recall, judie.mean.recall);
+    add("F", tegra.mean.f1, listextract.mean.f1, judie.mean.f1);
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

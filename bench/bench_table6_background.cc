@@ -1,0 +1,51 @@
+// Reproduces Table 6: F-measure (unsupervised) when the background corpus is
+// matched, mismatched, or combined. Expected shape: the matching corpus (or
+// B-Combined) wins; B-Enterprise collapses TEGRA on Web/Wiki; B-Web remains
+// reasonable on Enterprise. Judie does not consume the background corpus, so
+// its column is constant per test set (as in the paper).
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+void Run() {
+  PrintBanner("Table 6: F-measure by background corpus (unsupervised)");
+  // Half-size datasets keep the 3x3 grid affordable; scale with
+  // TEGRA_BENCH_TABLES as usual.
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 2);
+  std::printf("tables per generated dataset: %zu\n\n", count);
+
+  TextTable table(
+      {"Test-Dataset", "Background", "TEGRA", "ListExtract", "Judie"});
+  for (DatasetId id :
+       {DatasetId::kWeb, DatasetId::kWiki, DatasetId::kEnterprise}) {
+    const auto instances = BuildDataset(id, count);
+    const AlgoEvaluation judie =
+        EvaluateAlgorithm(instances, JudieFn(&GeneralKb()));
+    for (BackgroundId bg : {BackgroundId::kWeb, BackgroundId::kEnterprise,
+                            BackgroundId::kCombined}) {
+      const CorpusStats& stats = BackgroundStats(bg);
+      const AlgoEvaluation tegra =
+          EvaluateAlgorithm(instances, TegraFn(&stats));
+      const AlgoEvaluation listextract =
+          EvaluateAlgorithm(instances, ListExtractFn(&stats));
+      table.AddRow({DatasetName(id), BackgroundName(bg),
+                    FormatDouble(tegra.mean.f1),
+                    FormatDouble(listextract.mean.f1),
+                    FormatDouble(judie.mean.f1)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Table 7 (Appendix K): F-measure by background corpus in the
+// supervised setting (two example rows). Same shape as Table 6, shifted up
+// by supervision.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "eval/experiment.h"
+
+namespace tegra::eval {
+namespace {
+
+constexpr int kExamples = 2;
+
+void Run() {
+  PrintBanner("Table 7: F-measure by background corpus (supervised, k=2)");
+  const size_t count = std::max<size_t>(10, BenchTablesPerDataset() / 2);
+  std::printf("tables per generated dataset: %zu\n\n", count);
+
+  TextTable table(
+      {"Test-Dataset", "Background", "TEGRA", "ListExtract", "Judie"});
+  for (DatasetId id :
+       {DatasetId::kWeb, DatasetId::kWiki, DatasetId::kEnterprise}) {
+    const auto instances = BuildDataset(id, count);
+    const AlgoEvaluation judie = EvaluateAlgorithm(
+        instances, JudieSupervisedFn(&GeneralKb(), kExamples));
+    for (BackgroundId bg : {BackgroundId::kWeb, BackgroundId::kEnterprise,
+                            BackgroundId::kCombined}) {
+      const CorpusStats& stats = BackgroundStats(bg);
+      const AlgoEvaluation tegra =
+          EvaluateAlgorithm(instances, TegraSupervisedFn(&stats, kExamples));
+      const AlgoEvaluation listextract = EvaluateAlgorithm(
+          instances, ListExtractSupervisedFn(&stats, kExamples));
+      table.AddRow({DatasetName(id), BackgroundName(bg),
+                    FormatDouble(tegra.mean.f1),
+                    FormatDouble(listextract.mean.f1),
+                    FormatDouble(judie.mean.f1)});
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace tegra::eval
+
+int main() {
+  tegra::eval::Run();
+  return 0;
+}

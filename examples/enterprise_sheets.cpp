@@ -1,0 +1,75 @@
+// Enterprise spreadsheet extraction: proprietary customer names, project
+// codes and cost data that a *public* web corpus has never seen. This
+// example demonstrates (a) extraction against the matching enterprise
+// background corpus, and (b) the degradation when a mismatched public-web
+// corpus is used instead — the Table 6 effect — plus how raising alpha
+// (more syntactic weight) partially compensates, per Figure 8(b).
+
+#include <cstdio>
+
+#include "core/tegra.h"
+#include "corpus/corpus_stats.h"
+#include "eval/mapping_metric.h"
+#include "synth/corpus_gen.h"
+#include "synth/list_gen.h"
+
+int main() {
+  using namespace tegra;
+
+  // Background corpora: a public-web corpus and an intranet corpus.
+  std::printf("building background corpora...\n");
+  ColumnIndex web_index = synth::BuildBackgroundIndex(
+      synth::CorpusProfile::kWeb, /*num_tables=*/5000, /*seed=*/1);
+  ColumnIndex ent_index = synth::BuildBackgroundIndex(
+      synth::CorpusProfile::kEnterprise, /*num_tables=*/3000, /*seed=*/2);
+  CorpusStats web_stats(&web_index);
+  CorpusStats ent_stats(&ent_index);
+
+  // A flattened enterprise sheet: customer | project | owner | cost | status.
+  // (Generated from the enterprise profile so the ground truth is known.)
+  synth::TableGenOptions shape =
+      synth::DefaultTableGenOptions(synth::CorpusProfile::kEnterprise);
+  shape.min_cols = 5;
+  shape.max_cols = 5;
+  shape.min_rows = 10;
+  shape.max_rows = 10;
+  synth::TableGenerator gen(synth::CorpusProfile::kEnterprise, shape,
+                            /*seed=*/77);
+  auto instance = synth::MakeBenchmarkInstance(gen.Generate());
+
+  std::printf("\nflattened sheet rows:\n");
+  for (size_t i = 0; i < 3; ++i) {
+    std::printf("  %s\n", instance.lines[i].c_str());
+  }
+  std::printf("  ... (%zu rows total)\n", instance.lines.size());
+
+  auto report = [&](const char* label, const CorpusStats* stats,
+                    double alpha) {
+    TegraOptions opts;
+    opts.distance.alpha = alpha;
+    TegraExtractor tegra(stats, opts);
+    auto result = tegra.Extract(instance.lines);
+    if (!result.ok()) {
+      std::printf("%-34s extraction failed: %s\n", label,
+                  result.status().ToString().c_str());
+      return;
+    }
+    const eval::PrfScore score =
+        eval::ScoreTable(instance.ground_truth, result->table);
+    std::printf("%-34s m=%d  P=%.2f R=%.2f F=%.2f\n", label,
+                result->num_columns, score.precision, score.recall, score.f1);
+  };
+
+  std::printf("\nextraction quality vs background corpus and alpha:\n");
+  report("B-Enterprise, alpha=0.5 (matched)", &ent_stats, 0.5);
+  report("B-Web,        alpha=0.5 (mismatched)", &web_stats, 0.5);
+  report("B-Web,        alpha=0.0 (semantic only)", &web_stats, 0.0);
+  report("B-Web,        alpha=0.8 (mostly syntax)", &web_stats, 0.8);
+
+  // Show the matched-corpus extraction.
+  TegraExtractor tegra(&ent_stats);
+  auto result = tegra.Extract(instance.lines);
+  std::printf("\nextracted table (matched corpus):\n%s",
+              result->table.ToString().c_str());
+  return 0;
+}

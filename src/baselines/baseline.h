@@ -1,0 +1,19 @@
+// Shared result type for the baseline segmenters (ListExtract, Judie).
+
+#ifndef TEGRA_BASELINES_BASELINE_H_
+#define TEGRA_BASELINES_BASELINE_H_
+
+#include "corpus/table.h"
+
+namespace tegra {
+
+/// \brief Output of a baseline extraction.
+struct BaselineResult {
+  Table table;
+  int num_columns = 0;
+  double seconds = 0;  ///< Wall-clock extraction time.
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_BASELINES_BASELINE_H_

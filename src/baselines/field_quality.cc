@@ -1,0 +1,34 @@
+#include "baselines/field_quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tegra {
+
+double FieldQuality::Score(const CellInfo& cell) const {
+  if (cell.is_null() || cell.token_count == 0) return 0.0;
+
+  // Type support: a field that fully parses as a specific type is very
+  // likely a standalone cell.
+  const bool strongly_typed =
+      cell.type != ValueType::kText && cell.type != ValueType::kEmpty;
+  const double type_support = strongly_typed ? 1.0 : 0.0;
+
+  // Table-corpus support: log-scaled frequency of the exact string as a
+  // corpus cell. 1000+ occurrences saturate the signal.
+  double corpus_support = 0.0;
+  if (stats_ != nullptr && cell.corpus_id != kInvalidValueId) {
+    const double freq = stats_->index().ColumnCount(cell.corpus_id);
+    corpus_support = std::min(1.0, std::log1p(freq) / std::log1p(1000.0));
+  }
+
+  // Language-model support: an n-gram-style prior under which short strings
+  // are always more probable than their extensions. This floor makes every
+  // token subsequence a candidate field and biases ties toward short
+  // popular strings — ListExtract's documented over-segmentation cause.
+  const double lm_support = 0.25 / cell.token_count;
+
+  return std::max({type_support, corpus_support, lm_support});
+}
+
+}  // namespace tegra

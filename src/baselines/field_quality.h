@@ -1,0 +1,37 @@
+// Field Quality score FQ(f) of the ListExtract baseline (Appendix A).
+//
+// ListExtract's independent-splitting phase rates how likely a token
+// subsequence is to be a standalone cell, combining type support (does it
+// parse as a number/date/email/...), language-model support and table-corpus
+// support (how often the string occurs as a cell in the corpus). As the
+// TEGRA paper points out, these signals naturally favor short popular
+// strings ("New York" over "New York City"), which is the root cause of
+// ListExtract's over-segmentation; we keep that behaviour faithfully.
+
+#ifndef TEGRA_BASELINES_FIELD_QUALITY_H_
+#define TEGRA_BASELINES_FIELD_QUALITY_H_
+
+#include "corpus/corpus_stats.h"
+#include "distance/cell.h"
+
+namespace tegra {
+
+/// \brief FQ(f) scorer over interned cells.
+class FieldQuality {
+ public:
+  /// \param stats corpus statistics; may be null (type support only).
+  explicit FieldQuality(const CorpusStats* stats) : stats_(stats) {}
+
+  /// FQ(f) in [0, 1]. 0 for null cells. Every non-empty field has positive
+  /// quality: unknown text falls back to a language-model prior that decays
+  /// with length, reproducing the real system's bias toward short popular
+  /// strings (the root cause of its over-segmentation, per the TEGRA paper).
+  double Score(const CellInfo& cell) const;
+
+ private:
+  const CorpusStats* stats_;  // Not owned; may be null.
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_BASELINES_FIELD_QUALITY_H_

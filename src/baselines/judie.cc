@@ -1,0 +1,194 @@
+#include "baselines/judie.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "core/list_context.h"
+#include "text/value_type.h"
+
+namespace tegra {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Cost of one candidate field under the Judie model.
+double FieldCost(const CellInfo& cell, const synth::KnowledgeBase& kb,
+                 const JudieOptions& opts) {
+  if (cell.is_null()) return opts.null_cost;
+  if (kb.Contains(cell.text)) return opts.kb_entity_cost;
+  if (cell.type != ValueType::kText && cell.type != ValueType::kEmpty) {
+    return opts.typed_value_cost;
+  }
+  return opts.unknown_token_cost +
+         opts.unknown_extra_token_cost * (cell.token_count - 1);
+}
+
+/// Unconstrained min-cost segmentation of a line (first pass): determines
+/// each line's natural field count.
+size_t UnconstrainedFieldCount(const ListContext& ctx, size_t line,
+                               const synth::KnowledgeBase& kb,
+                               const JudieOptions& opts, uint32_t cap) {
+  const uint32_t len = ctx.line_length(line);
+  if (len == 0) return 0;
+  std::vector<double> dp(len + 1, kInf);
+  std::vector<uint32_t> fields(len + 1, 0);
+  dp[0] = 0;
+  for (uint32_t w = 1; w <= len; ++w) {
+    const uint32_t min_x = (cap > 0 && w > cap) ? w - cap : 0;
+    for (uint32_t x = min_x; x < w; ++x) {
+      if (dp[x] == kInf) continue;
+      const double cost = dp[x] +
+                          FieldCost(ctx.Cell(line, x, w - x), kb, opts) +
+                          opts.field_penalty;
+      if (cost < dp[w]) {
+        dp[w] = cost;
+        fields[w] = fields[x] + 1;
+      }
+    }
+  }
+  return fields[len];
+}
+
+/// Fixed-m min-cost segmentation (second pass).
+Bounds SegmentWithColumns(const ListContext& ctx, size_t line, int m,
+                          const synth::KnowledgeBase& kb,
+                          const JudieOptions& opts, uint32_t cap) {
+  const uint32_t len = ctx.line_length(line);
+  std::vector<std::vector<double>> dp(m + 1,
+                                      std::vector<double>(len + 1, kInf));
+  std::vector<std::vector<uint32_t>> back(m + 1,
+                                          std::vector<uint32_t>(len + 1, 0));
+  dp[0][0] = 0;
+  for (int p = 1; p <= m; ++p) {
+    for (uint32_t w = 0; w <= len; ++w) {
+      // Null field.
+      if (dp[p - 1][w] + opts.null_cost < dp[p][w]) {
+        dp[p][w] = dp[p - 1][w] + opts.null_cost;
+        back[p][w] = w;
+      }
+      const uint32_t min_x = (cap > 0 && w > cap) ? w - cap : 0;
+      for (uint32_t x = min_x; x < w; ++x) {
+        if (dp[p - 1][x] == kInf) continue;
+        const double cost =
+            dp[p - 1][x] + FieldCost(ctx.Cell(line, x, w - x), kb, opts);
+        if (cost < dp[p][w]) {
+          dp[p][w] = cost;
+          back[p][w] = x;
+        }
+      }
+    }
+  }
+  Bounds bounds(m + 1);
+  bounds[m] = len;
+  uint32_t w = len;
+  for (int p = m; p >= 1; --p) {
+    w = back[p][w];
+    bounds[p - 1] = w;
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Judie::Judie(const synth::KnowledgeBase* kb, JudieOptions options)
+    : kb_(kb), options_(std::move(options)) {}
+
+Result<BaselineResult> Judie::Run(
+    const std::vector<std::string>& lines, const synth::KnowledgeBase& kb,
+    const std::vector<SegmentationExample>& examples) const {
+  if (lines.empty()) {
+    return Status::InvalidArgument("input list has no lines");
+  }
+  Stopwatch watch;
+  Tokenizer tokenizer(options_.tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const auto& line : lines) {
+    token_lines.push_back(tokenizer.Tokenize(line));
+  }
+  ListContext ctx(std::move(token_lines), /*index=*/nullptr);
+  const size_t n = ctx.num_lines();
+
+  int example_cols = 0;
+  std::vector<std::optional<Bounds>> fixed(n);
+  for (const SegmentationExample& ex : examples) {
+    if (ex.line_index >= n) {
+      return Status::OutOfRange("example line index out of range");
+    }
+    Result<Bounds> bounds =
+        CellsToBounds(ctx.tokens(ex.line_index), ex.cells, tokenizer);
+    if (!bounds.ok()) return bounds.status();
+    example_cols = NumColumns(*bounds);
+    fixed[ex.line_index] = std::move(bounds).value();
+  }
+
+  const uint32_t cap = static_cast<uint32_t>(options_.max_cell_tokens);
+  for (size_t j = 0; j < n; ++j) {
+    ctx.EnsureWidth(j, cap == 0 ? ctx.line_length(j) : cap);
+  }
+
+  // Pass 1: per-line natural field counts -> majority column count.
+  int m = options_.fixed_columns;
+  if (example_cols > 0) m = example_cols;
+  if (m <= 0) {
+    std::map<size_t, size_t> counts;
+    for (size_t j = 0; j < n; ++j) {
+      const size_t k = UnconstrainedFieldCount(ctx, j, kb, options_, cap);
+      if (k > 0) ++counts[k];
+    }
+    size_t best = 0;
+    for (const auto& [cols, count] : counts) {
+      if (count > best) {
+        best = count;
+        m = static_cast<int>(cols);
+      }
+    }
+    if (m <= 0) m = 1;
+  }
+
+  // Make sure every line can actually be segmented into m columns.
+  for (size_t j = 0; j < n; ++j) {
+    ctx.EnsureWidth(j, ctx.EffectiveWidth(j, m, cap));
+  }
+
+  // Pass 2: fixed-m segmentation per line.
+  BaselineResult out;
+  out.num_columns = m;
+  Table table(static_cast<size_t>(m));
+  for (size_t j = 0; j < n; ++j) {
+    Bounds bounds;
+    if (fixed[j].has_value()) {
+      bounds = *fixed[j];
+    } else {
+      bounds = SegmentWithColumns(ctx, j, m, kb, options_,
+                                  ctx.EffectiveWidth(j, m, cap));
+    }
+    table.AddRow(BoundsToCells(ctx.tokens(j), bounds));
+  }
+  out.table = std::move(table);
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Result<BaselineResult> Judie::Extract(
+    const std::vector<std::string>& lines) const {
+  return Run(lines, *kb_, {});
+}
+
+Result<BaselineResult> Judie::ExtractWithExamples(
+    const std::vector<std::string>& lines,
+    const std::vector<SegmentationExample>& examples) const {
+  // User-segmented cells become first-class KB entities.
+  synth::KnowledgeBase kb = *kb_;
+  for (const SegmentationExample& ex : examples) {
+    for (const std::string& cell : ex.cells) {
+      if (!cell.empty()) kb.AddEntity(cell, "user_example");
+    }
+  }
+  return Run(lines, kb, examples);
+}
+
+}  // namespace tegra

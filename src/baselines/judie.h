@@ -1,0 +1,71 @@
+// Judie-style baseline (Cortez et al., SIGMOD 2011): unsupervised record
+// segmentation driven by a reference knowledge base.
+//
+// This class of techniques segments text by recognizing KB entities in the
+// token stream: subsequences matching KB entries become fields at low cost,
+// everything else is penalized. It works well when a *matching* domain KB is
+// available and degrades sharply on general web lists where even a large
+// general-purpose KB (Freebase in the paper, our synthetic KB here) covers
+// only a fraction of values — the effect Table 4 quantifies.
+
+#ifndef TEGRA_BASELINES_JUDIE_H_
+#define TEGRA_BASELINES_JUDIE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "common/status.h"
+#include "core/tegra.h"
+#include "synth/knowledge_base.h"
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+/// \brief Cost model and limits of the Judie baseline.
+struct JudieOptions {
+  int max_cell_tokens = 8;
+  /// Supervised: force this column count (0 = majority vote).
+  int fixed_columns = 0;
+  /// Field costs. KB entities are near-free; strongly-typed values cheap;
+  /// unknown text expensive and worse with every extra token.
+  double kb_entity_cost = 0.05;
+  double typed_value_cost = 0.55;
+  double unknown_token_cost = 0.60;
+  double unknown_extra_token_cost = 0.55;
+  double null_cost = 0.55;
+  /// Per-field penalty in the unconstrained first pass (bounds field count).
+  double field_penalty = 0.10;
+  TokenizerOptions tokenizer;
+};
+
+/// \brief The Judie segmenter.
+class Judie {
+ public:
+  /// \param kb reference knowledge base; not owned, must outlive this.
+  explicit Judie(const synth::KnowledgeBase* kb, JudieOptions options = {});
+
+  /// Unsupervised extraction.
+  Result<BaselineResult> Extract(const std::vector<std::string>& lines) const;
+
+  /// Supervised extraction: the examples fix the column count and their
+  /// cells are added to (a copy of) the KB.
+  Result<BaselineResult> ExtractWithExamples(
+      const std::vector<std::string>& lines,
+      const std::vector<SegmentationExample>& examples) const;
+
+  const JudieOptions& options() const { return options_; }
+
+ private:
+  Result<BaselineResult> Run(const std::vector<std::string>& lines,
+                             const synth::KnowledgeBase& kb,
+                             const std::vector<SegmentationExample>& examples)
+      const;
+
+  const synth::KnowledgeBase* kb_;  // Not owned.
+  JudieOptions options_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_BASELINES_JUDIE_H_

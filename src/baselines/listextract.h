@@ -1,0 +1,74 @@
+// ListExtract (Elmeleegy, Madhavan & Halevy, VLDB 2009) — the primary
+// baseline of the paper, reimplemented per Appendix A in three phases:
+//
+//  1. Independent splitting: each line is greedily split into fields by
+//     carving out the token subsequence with the best field quality score
+//     FQ(f), recursing on the leftovers. Decisions are local per line.
+//  2. Alignment: the majority field count m becomes the column count.
+//     Records with fewer fields are padded with nulls via a consistency-
+//     maximizing DP; records with more fields are merged and re-split into
+//     exactly m fields.
+//  3. Refinement: fields inconsistent with their column (streaks) are merged
+//     and re-split against column representatives.
+//
+// Because phase 1 commits to local decisions before any cross-line evidence
+// is seen, ListExtract over-segments popular prefixes ("New York" | "City")
+// — the behaviour the TEGRA evaluation quantifies.
+
+#ifndef TEGRA_BASELINES_LISTEXTRACT_H_
+#define TEGRA_BASELINES_LISTEXTRACT_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/baseline.h"
+#include "baselines/field_quality.h"
+#include "common/status.h"
+#include "core/tegra.h"
+#include "distance/distance.h"
+
+namespace tegra {
+
+/// \brief Configuration of the ListExtract baseline.
+struct ListExtractOptions {
+  DistanceOptions distance;
+  /// Candidate field width cap in tokens (same role as TEGRA's).
+  int max_cell_tokens = 8;
+  /// Minimum field-to-column consistency before refinement re-splits.
+  double refinement_threshold = 0.45;
+  /// Column representatives sampled per column for consistency scoring.
+  int representatives = 8;
+  /// Supervised: force this column count (0 = majority vote).
+  int fixed_columns = 0;
+  TokenizerOptions tokenizer;
+};
+
+/// \brief The ListExtract segmenter.
+class ListExtract {
+ public:
+  /// \param stats corpus statistics for FQ and field-to-field consistency;
+  /// may be null.
+  explicit ListExtract(const CorpusStats* stats,
+                       ListExtractOptions options = {});
+
+  /// Unsupervised extraction.
+  Result<BaselineResult> Extract(const std::vector<std::string>& lines) const;
+
+  /// Supervised extraction: example rows fix the column count and seed the
+  /// column representatives.
+  Result<BaselineResult> ExtractWithExamples(
+      const std::vector<std::string>& lines,
+      const std::vector<SegmentationExample>& examples) const;
+
+  const ListExtractOptions& options() const { return options_; }
+
+ private:
+  const CorpusStats* stats_;  // Not owned; may be null.
+  ListExtractOptions options_;
+  CellDistance distance_;
+  FieldQuality quality_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_BASELINES_LISTEXTRACT_H_

@@ -1,0 +1,48 @@
+// Hashing utilities: 64-bit FNV-1a for strings, hash combining, and a
+// pair-of-ids hasher used by distance caches and co-occurrence maps.
+
+#ifndef TEGRA_COMMON_HASH_H_
+#define TEGRA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+
+namespace tegra {
+
+/// \brief 64-bit FNV-1a hash of a byte string. Deterministic across runs and
+/// platforms (unlike std::hash), which matters for serialized corpora.
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// \brief Mixes a new 64-bit value into an existing hash (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // Constants from splitmix64's finalizer.
+  v += 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return seed ^ (v ^ (v >> 31));
+}
+
+/// \brief Hash functor for std::pair<uint32_t, uint32_t> keys, e.g. interned
+/// string-id pairs in the distance cache.
+struct PairHash {
+  size_t operator()(const std::pair<uint32_t, uint32_t>& p) const {
+    uint64_t key = (static_cast<uint64_t>(p.first) << 32) | p.second;
+    // splitmix64 finalizer: cheap and well distributed.
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_HASH_H_

@@ -1,0 +1,28 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tegra {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  // Normalize so the last entry is exactly 1.
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= acc;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace tegra

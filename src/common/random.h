@@ -1,0 +1,108 @@
+// Deterministic random number generation used by the synthetic corpus
+// generators and the property tests. We hand-roll xoshiro256** rather than
+// relying on std::mt19937 so that generated corpora are bit-identical across
+// standard library implementations.
+
+#ifndef TEGRA_COMMON_RANDOM_H_
+#define TEGRA_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tegra {
+
+/// \brief xoshiro256** PRNG with splitmix64 seeding.
+///
+/// Fast, high-quality, and fully deterministic given a seed. Not
+/// cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    // Bounded rejection sampling to avoid modulo bias.
+    uint64_t threshold = (~bound + 1) % bound;
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Creates an independent child generator (for parallel streams).
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// \brief Samples ranks from a Zipf(s) distribution over {0, ..., n-1} using
+/// precomputed cumulative weights. Rank 0 is the most popular item.
+///
+/// Used to give synthetic corpus values a realistic popularity skew, which is
+/// what makes PMI statistics informative ("Toronto" appears in thousands of
+/// columns, an obscure town in a handful).
+class ZipfSampler {
+ public:
+  /// \param n number of items; \param s skew exponent (1.0 is classic Zipf).
+  ZipfSampler(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_RANDOM_H_

@@ -1,0 +1,170 @@
+// Lightweight Status / Result error model, in the style of Arrow / RocksDB.
+//
+// Library code in tegra never throws across public API boundaries; fallible
+// operations return a Status (for void results) or a Result<T>. Both carry a
+// StatusCode and a human-readable message.
+
+#ifndef TEGRA_COMMON_STATUS_H_
+#define TEGRA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tegra {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation that produces no value.
+///
+/// The OK state is represented with no heap allocation; error states carry a
+/// heap-allocated code + message so that sizeof(Status) stays one pointer.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    assert(code != StatusCode::kOk);
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(msg)});
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+
+  /// Renders e.g. "InvalidArgument: number of columns must be positive".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;
+};
+
+/// \brief Outcome of a fallible operation that produces a T on success.
+///
+/// Holds either a value or a non-OK Status. Accessing the value of a failed
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TEGRA_RETURN_NOT_OK(expr)        \
+  do {                                   \
+    ::tegra::Status _st = (expr);        \
+    if (!_st.ok()) return _st;           \
+  } while (false)
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for the efficiency experiments (Figure 9).
+
+#ifndef TEGRA_COMMON_STOPWATCH_H_
+#define TEGRA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tegra {
+
+/// \brief Measures elapsed wall-clock time with steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Elapsed time in seconds since construction / last Restart.
+  double ElapsedSeconds() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_STOPWATCH_H_

@@ -1,0 +1,64 @@
+// Fixed-size worker pool used to parallelize per-anchor alignment work
+// (the "TEGRA+n" configuration in the paper's Figure 9).
+
+#ifndef TEGRA_COMMON_THREAD_POOL_H_
+#define TEGRA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tegra {
+
+/// \brief A minimal fixed-size thread pool.
+///
+/// Tasks are std::function<void()>; Submit returns a std::future for the
+/// callable's result. The pool joins all workers on destruction after
+/// draining the queue.
+class ThreadPool {
+ public:
+  /// \param num_threads number of worker threads; clamped to >= 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future for its result.
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// \brief Runs fn(i) for i in [0, n) across the pool and blocks until all
+  /// iterations complete. Exceptions propagate from the first failing task.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_THREAD_POOL_H_

@@ -1,0 +1,98 @@
+#include "core/active.h"
+
+#include <algorithm>
+
+#include "core/objective.h"
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+Result<std::vector<RowUncertainty>> RankRowsByUncertainty(
+    const TegraExtractor& extractor, const std::vector<std::string>& lines,
+    const ExtractionResult& result,
+    const std::vector<size_t>& already_labeled) {
+  if (result.bounds.size() != lines.size()) {
+    return Status::InvalidArgument(
+        "extraction result does not match the input list");
+  }
+  const size_t n = lines.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two rows to rank");
+  }
+
+  // Rebuild the working state the extraction used so cell features and the
+  // distance function match exactly.
+  Tokenizer tokenizer(extractor.options().tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(n);
+  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
+  // CellDistance is reconstructed from the extractor's options; the corpus
+  // is reachable through its stats pointer.
+  const CorpusStats* stats = extractor.stats();
+  const ColumnIndex* index = stats ? &stats->index() : nullptr;
+  ListContext ctx(std::move(token_lines), index);
+  for (size_t j = 0; j < n; ++j) {
+    uint32_t max_w = 0;
+    const Bounds& b = result.bounds[j];
+    for (size_t k = 0; k + 1 < b.size(); ++k) {
+      max_w = std::max(max_w, b[k + 1] - b[k]);
+    }
+    ctx.EnsureWidth(j, max_w);
+  }
+
+  CellDistance distance(stats, extractor.options().distance);
+  DistanceCache cache(&distance);
+  std::vector<std::vector<const CellInfo*>> records;
+  records.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    records.push_back(ctx.CellsFor(j, result.bounds[j]));
+  }
+
+  std::vector<RowUncertainty> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (std::find(already_labeled.begin(), already_labeled.end(), i) !=
+        already_labeled.end()) {
+      continue;
+    }
+    double total = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      total += RecordDistance(records[i], records[j], &cache);
+    }
+    RowUncertainty u;
+    u.line_index = i;
+    u.mean_distance = total / static_cast<double>(n - 1);
+    out.push_back(u);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RowUncertainty& a, const RowUncertainty& b) {
+                     return a.mean_distance > b.mean_distance;
+                   });
+  return out;
+}
+
+Result<size_t> SuggestNextExample(
+    const TegraExtractor& extractor, const std::vector<std::string>& lines,
+    const std::vector<SegmentationExample>& examples_so_far) {
+  Result<ExtractionResult> result =
+      examples_so_far.empty()
+          ? extractor.Extract(lines)
+          : extractor.ExtractWithExamples(lines, examples_so_far);
+  if (!result.ok()) return result.status();
+
+  std::vector<size_t> labeled;
+  labeled.reserve(examples_so_far.size());
+  for (const SegmentationExample& ex : examples_so_far) {
+    labeled.push_back(ex.line_index);
+  }
+  Result<std::vector<RowUncertainty>> ranked =
+      RankRowsByUncertainty(extractor, lines, *result, labeled);
+  if (!ranked.ok()) return ranked.status();
+  if (ranked->empty()) {
+    return Status::NotFound("every row is already labeled");
+  }
+  return ranked->front().line_index;
+}
+
+}  // namespace tegra

@@ -1,0 +1,50 @@
+// Active example selection — the paper's future-work direction (§7: the
+// supervised setting "warrants further investigations").
+//
+// In the online scenario a user hand-segments a few rows (§4). Which rows
+// should they label? Figure K.1 samples them randomly; this module instead
+// suggests the row the current extraction is least certain about, so each
+// label buys the most alignment information. Uncertainty of a row is
+// measured on the unsupervised extraction as the row's average distance to
+// the rest of the table (rows that align badly are the ones the optimizer
+// is guessing on).
+
+#ifndef TEGRA_CORE_ACTIVE_H_
+#define TEGRA_CORE_ACTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tegra.h"
+
+namespace tegra {
+
+/// \brief Per-row diagnostics of an extraction.
+struct RowUncertainty {
+  size_t line_index = 0;
+  /// Mean record distance between this row and every other row of the
+  /// extracted table (weighted like the objective). High = poorly aligned.
+  double mean_distance = 0;
+};
+
+/// \brief Scores every row of an extraction result by alignment
+/// uncertainty, most uncertain first. `already_labeled` rows are excluded.
+///
+/// The extractor must be the one that produced `result` (same options), and
+/// `lines` the original input.
+Result<std::vector<RowUncertainty>> RankRowsByUncertainty(
+    const TegraExtractor& extractor, const std::vector<std::string>& lines,
+    const ExtractionResult& result,
+    const std::vector<size_t>& already_labeled = {});
+
+/// \brief One step of the active loop: run (supervised) extraction with the
+/// examples gathered so far and return the next row the user should label.
+/// Returns NotFound when every row is already labeled.
+Result<size_t> SuggestNextExample(
+    const TegraExtractor& extractor, const std::vector<std::string>& lines,
+    const std::vector<SegmentationExample>& examples_so_far);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_ACTIVE_H_

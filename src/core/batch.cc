@@ -1,0 +1,61 @@
+#include "core/batch.h"
+
+#include <atomic>
+
+#include "common/thread_pool.h"
+
+namespace tegra {
+
+BatchExtractor::BatchExtractor(const TegraExtractor* extractor,
+                               BatchOptions options)
+    : extractor_(extractor), options_(options) {}
+
+std::vector<BatchItem> BatchExtractor::ExtractAll(
+    const std::vector<std::vector<std::string>>& lists,
+    const std::function<void(size_t done, size_t total)>& progress) const {
+  std::vector<BatchItem> items(lists.size());
+  std::atomic<size_t> done{0};
+
+  auto process = [&](size_t i) {
+    BatchItem& item = items[i];
+    item.list_index = i;
+    if (lists[i].size() < options_.min_rows) {
+      item.disposition = BatchItem::Disposition::kFiltered;
+    } else {
+      Result<ExtractionResult> result = extractor_->Extract(lists[i]);
+      if (!result.ok()) {
+        item.disposition = BatchItem::Disposition::kFailed;
+        item.status = result.status();
+      } else if (options_.max_per_pair_objective > 0 &&
+                 result->per_pair_objective >
+                     options_.max_per_pair_objective) {
+        item.disposition = BatchItem::Disposition::kFiltered;
+        item.result = std::move(result).value();
+      } else {
+        item.disposition = BatchItem::Disposition::kExtracted;
+        item.result = std::move(result).value();
+      }
+    }
+    const size_t completed = done.fetch_add(1) + 1;
+    if (progress) progress(completed, lists.size());
+  };
+
+  if (options_.num_threads > 1 && lists.size() > 1) {
+    ThreadPool pool(static_cast<size_t>(options_.num_threads));
+    pool.ParallelFor(lists.size(), process);
+  } else {
+    for (size_t i = 0; i < lists.size(); ++i) process(i);
+  }
+  return items;
+}
+
+size_t BatchExtractor::Count(const std::vector<BatchItem>& items,
+                             BatchItem::Disposition disposition) {
+  size_t count = 0;
+  for (const BatchItem& item : items) {
+    count += (item.disposition == disposition);
+  }
+  return count;
+}
+
+}  // namespace tegra

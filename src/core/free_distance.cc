@@ -1,0 +1,93 @@
+#include "core/free_distance.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tegra {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double AnchorHeuristic::ComputeFreeDistance(
+    const CellInfo& cell, const ListContext& ctx, size_t anchor,
+    const std::vector<uint32_t>& line_widths, DistanceCache* dist) const {
+  double total = 0;
+  const CellInfo& null_cell = ctx.NullCell();
+  for (size_t j = 0; j < ctx.num_lines(); ++j) {
+    if (j == anchor) continue;
+    double best;
+    const auto& fixed = ctx.fixed_bounds(j);
+    if (fixed.has_value()) {
+      // Pinned line: the column will align against one of its fixed cells
+      // (or consume none of them when the anchor column pairs with null).
+      best = (*dist)(cell, null_cell);
+      for (const CellInfo* c : ctx.CellsFor(j, *fixed)) {
+        best = std::min(best, (*dist)(cell, *c));
+      }
+    } else {
+      best = (*dist)(cell, null_cell);
+      const uint32_t len = ctx.line_length(j);
+      const uint32_t cap = std::min(line_widths[j], len);
+      for (uint32_t start = 0; start < len; ++start) {
+        const uint32_t max_w = std::min(cap, len - start);
+        for (uint32_t w = 1; w <= max_w; ++w) {
+          best = std::min(best, (*dist)(cell, ctx.Cell(j, start, w)));
+        }
+      }
+    }
+    total += ctx.LineWeight(anchor, j) * best;
+  }
+  return total;
+}
+
+AnchorHeuristic::AnchorHeuristic(const ListContext& ctx, size_t anchor, int m,
+                                 uint32_t anchor_width,
+                                 const std::vector<uint32_t>& line_widths,
+                                 DistanceCache* dist) {
+  const uint32_t len = ctx.line_length(anchor);
+
+  // Phase 1 (Algorithm 4, lines 1-8): free distances of every candidate
+  // column of the anchor line, plus the null column.
+  free_.assign(ctx.catalog().size(), -1.0);
+  free_[0] =
+      ComputeFreeDistance(ctx.NullCell(), ctx, anchor, line_widths, dist);
+  const uint32_t cap = std::min(anchor_width, len);
+  for (uint32_t start = 0; start < len; ++start) {
+    const uint32_t max_w = std::min(cap, len - start);
+    for (uint32_t w = 1; w <= max_w; ++w) {
+      const CellInfo& cell = ctx.Cell(anchor, start, w);
+      if (free_[cell.local_id] < 0) {
+        free_[cell.local_id] =
+            ComputeFreeDistance(cell, ctx, anchor, line_widths, dist);
+      }
+    }
+  }
+
+  // Phase 2 (Algorithm 4, lines 9-16): backward DP over h(p, w), the
+  // cheapest (m - p)-column split of the remaining tokens where every column
+  // pays only its free distance.
+  h_.assign(m + 1, std::vector<double>(len + 1, kInf));
+  for (uint32_t w = 0; w <= len; ++w) h_[m][w] = (w == len) ? 0.0 : kInf;
+  for (int p = m - 1; p >= 0; --p) {
+    for (uint32_t w = 0; w <= len; ++w) {
+      double best = h_[p + 1][w] + free_[0];  // Null column.
+      const uint32_t hi = std::min(len, w + cap);
+      for (uint32_t x = w + 1; x <= hi; ++x) {
+        if (h_[p + 1][x] == kInf) continue;
+        const CellInfo& cell = ctx.Cell(anchor, w, x - w);
+        best = std::min(best, h_[p + 1][x] + free_[cell.local_id]);
+      }
+      h_[p][w] = best;
+    }
+  }
+}
+
+double AnchorHeuristic::FreeDistanceOf(const CellInfo& cell) const {
+  if (cell.local_id < free_.size() && free_[cell.local_id] >= 0) {
+    return free_[cell.local_id];
+  }
+  return kInf;
+}
+
+}  // namespace tegra

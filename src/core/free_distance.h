@@ -1,0 +1,57 @@
+// The admissible A* heuristic of §3.2.2 (Definition 7, Equation 15,
+// Algorithm 4).
+//
+// For an anchor line l_i, the free distance of a candidate column c is the
+// sum over other lines of the minimum distance between c and *any* candidate
+// cell of that line (including null) — a lower bound on what aligning c can
+// ever cost. h(p, w) is then the cheapest way to split the remaining tokens
+// of l_i into the remaining m - p columns when each column only pays its
+// free distance; it underestimates (and never overestimates) the true future
+// cost, and is monotonic (Lemma 2), which makes the A* anchor search exact.
+
+#ifndef TEGRA_CORE_FREE_DISTANCE_H_
+#define TEGRA_CORE_FREE_DISTANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/list_context.h"
+#include "distance/distance.h"
+
+namespace tegra {
+
+/// \brief Precomputed h(p, w) table for one anchor line.
+class AnchorHeuristic {
+ public:
+  /// \param anchor index of the anchor line.
+  /// \param m number of columns.
+  /// \param anchor_width candidate column width cap for the anchor line.
+  /// \param line_widths width caps for every line (indexed by line id;
+  ///   entry `anchor` is unused).
+  /// \param dist shared memoizing distance.
+  AnchorHeuristic(const ListContext& ctx, size_t anchor, int m,
+                  uint32_t anchor_width,
+                  const std::vector<uint32_t>& line_widths,
+                  DistanceCache* dist);
+
+  /// h(p, w): lower bound on the cost of any suffix path from node [p, w]
+  /// to the target. +infinity for unreachable states.
+  double Get(int p, uint32_t w) const { return h_[p][w]; }
+
+  /// freeD(c) for a candidate column of the anchor (testing hook).
+  double FreeDistanceOf(const CellInfo& cell) const;
+
+ private:
+  double ComputeFreeDistance(const CellInfo& cell, const ListContext& ctx,
+                             size_t anchor,
+                             const std::vector<uint32_t>& line_widths,
+                             DistanceCache* dist) const;
+
+  // free_[local cell id of anchor substring or 0 for null] -> freeD.
+  std::vector<double> free_;
+  std::vector<std::vector<double>> h_;  // [p][w]
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_FREE_DISTANCE_H_

@@ -1,0 +1,107 @@
+#include "core/header.h"
+
+#include <algorithm>
+#include <set>
+
+#include "corpus/column_index.h"
+#include "text/value_type.h"
+
+namespace tegra {
+
+namespace {
+
+/// Fraction of a line's tokens that are strongly typed (numeric, date, ...).
+double TypedTokenFraction(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return 0;
+  size_t typed = 0;
+  for (const auto& tok : tokens) {
+    const ValueType t = DetectValueType(tok);
+    typed += (t != ValueType::kText && t != ValueType::kEmpty);
+  }
+  return static_cast<double>(typed) / static_cast<double>(tokens.size());
+}
+
+}  // namespace
+
+double HeaderScore(const std::vector<std::string>& lines,
+                   const HeaderDetectionOptions& options) {
+  if (lines.size() < options.min_body_rows + 1) return 0;
+  Tokenizer tokenizer(options.tokenizer);
+  const auto head = tokenizer.Tokenize(lines[0]);
+  if (head.empty()) return 0;
+
+  // Signal 1: the candidate header is text-only while the body is not.
+  const double head_typed = TypedTokenFraction(head);
+  double body_typed = 0;
+  size_t body_rows = 0;
+  std::set<std::string> body_tokens;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto tokens = tokenizer.Tokenize(lines[i]);
+    if (tokens.empty()) continue;
+    body_typed += TypedTokenFraction(tokens);
+    ++body_rows;
+    for (const auto& t : tokens) body_tokens.insert(NormalizeValue(t));
+  }
+  if (body_rows == 0) return 0;
+  body_typed /= static_cast<double>(body_rows);
+  // Text-only header above a numeric-bearing body.
+  const double type_signal =
+      (head_typed == 0.0) ? std::min(1.0, body_typed * 2.0) : 0.0;
+
+  // Signal 2: header tokens are vocabulary words that do not recur as body
+  // values ("Rank", "Population" never appear below). This only means
+  // something when body rows *do* share tokens with each other — otherwise
+  // every row is "novel" and the signal is vacuous — so it is weighted by
+  // the body's own token-overlap rate.
+  size_t novel = 0;
+  for (const auto& t : head) {
+    novel += (body_tokens.count(NormalizeValue(t)) == 0);
+  }
+  double novelty_signal =
+      static_cast<double>(novel) / static_cast<double>(head.size());
+  double body_overlap = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const auto tokens = tokenizer.Tokenize(lines[i]);
+    if (tokens.empty()) continue;
+    std::set<std::string> others;
+    for (size_t j = 1; j < lines.size(); ++j) {
+      if (j == i) continue;
+      for (const auto& t : tokenizer.Tokenize(lines[j])) {
+        others.insert(NormalizeValue(t));
+      }
+    }
+    size_t shared = 0;
+    for (const auto& t : tokens) shared += (others.count(NormalizeValue(t)) > 0);
+    body_overlap += static_cast<double>(shared) /
+                    static_cast<double>(tokens.size());
+  }
+  body_overlap /= static_cast<double>(body_rows);
+  novelty_signal *= std::min(1.0, body_overlap * 2.0);
+
+  // Signal 3: headers are short relative to body lines.
+  double mean_body_len = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    mean_body_len += static_cast<double>(tokenizer.CountTokens(lines[i]));
+  }
+  mean_body_len /= static_cast<double>(lines.size() - 1);
+  const double length_signal =
+      static_cast<double>(head.size()) <= mean_body_len ? 1.0 : 0.5;
+
+  return 0.5 * type_signal + 0.35 * novelty_signal + 0.15 * length_signal;
+}
+
+bool HasHeaderRow(const std::vector<std::string>& lines,
+                  const HeaderDetectionOptions& options) {
+  return HeaderScore(lines, options) >= options.threshold;
+}
+
+std::vector<std::string> StripHeaderRow(const std::vector<std::string>& lines,
+                                        std::string* header_out,
+                                        const HeaderDetectionOptions& options) {
+  if (header_out != nullptr) header_out->clear();
+  if (!HasHeaderRow(lines, options)) return lines;
+  if (header_out != nullptr) *header_out = lines[0];
+  return std::vector<std::string>(lines.begin() + 1, lines.end());
+}
+
+}  // namespace tegra

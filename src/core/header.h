@@ -1,0 +1,52 @@
+// Header-row detection.
+//
+// Real HTML lists (and pasted spreadsheet ranges) often lead with a header
+// line ("Rank City State Population") whose cells are column *names*, not
+// values. Headers poison global alignment — every header cell pairs badly
+// with its column's values — so production pipelines detect and set them
+// aside before segmentation. The paper's benchmark construction has no
+// headers (tables are sampled body-only), so this is an optional
+// preprocessing stage.
+//
+// Detection is type-based: a header row is all-text while the body beneath
+// it carries typed values (numbers, dates, ...) in at least one aligned
+// position, and its tokens rarely recur later in the list.
+
+#ifndef TEGRA_CORE_HEADER_H_
+#define TEGRA_CORE_HEADER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+/// \brief Options for header detection.
+struct HeaderDetectionOptions {
+  /// Minimum body rows required before row 0 can be judged a header.
+  size_t min_body_rows = 3;
+  /// Score threshold in [0, 1]; higher = more conservative.
+  double threshold = 0.5;
+  TokenizerOptions tokenizer;
+};
+
+/// \brief Evidence score in [0, 1] that `lines[0]` is a header row.
+/// Returns 0 when the list is too short to judge.
+double HeaderScore(const std::vector<std::string>& lines,
+                   const HeaderDetectionOptions& options = {});
+
+/// \brief True if `lines[0]` should be treated as a header.
+bool HasHeaderRow(const std::vector<std::string>& lines,
+                  const HeaderDetectionOptions& options = {});
+
+/// \brief Convenience: returns `lines` without a detected header (or
+/// unchanged when none is detected); `header_out`, when non-null, receives
+/// the removed line (empty string if none).
+std::vector<std::string> StripHeaderRow(
+    const std::vector<std::string>& lines, std::string* header_out = nullptr,
+    const HeaderDetectionOptions& options = {});
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_HEADER_H_

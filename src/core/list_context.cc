@@ -1,0 +1,94 @@
+#include "core/list_context.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace tegra {
+
+ListContext::ListContext(std::vector<std::vector<std::string>> token_lines,
+                         const ColumnIndex* index)
+    : lines_(std::move(token_lines)), catalog_(index) {
+  registered_width_.resize(lines_.size(), 0);
+  cell_ids_.resize(lines_.size());
+  fixed_bounds_.resize(lines_.size());
+  for (size_t j = 0; j < lines_.size(); ++j) {
+    max_line_length_ = std::max(max_line_length_, line_length(j));
+    cell_ids_[j].resize(lines_[j].size());
+  }
+}
+
+void ListContext::EnsureWidth(size_t line, uint32_t width) {
+  const uint32_t len = line_length(line);
+  width = std::min(width, len);
+  if (width <= registered_width_[line]) return;
+
+  for (uint32_t start = 0; start < len; ++start) {
+    auto& row = cell_ids_[line][start];
+    const uint32_t max_w = std::min(width, len - start);
+    for (uint32_t w = static_cast<uint32_t>(row.size()) + 1; w <= max_w; ++w) {
+      std::string text = JoinRange(lines_[line], start, start + w, " ");
+      const CellInfo& cell = catalog_.Register(std::move(text), w);
+      row.push_back(cell.local_id);
+    }
+  }
+  registered_width_[line] = width;
+}
+
+uint32_t ListContext::EffectiveWidth(size_t line, int m,
+                                     uint32_t base_cap) const {
+  const uint32_t len = line_length(line);
+  if (base_cap == 0) return len;
+  assert(m >= 1);
+  const uint32_t needed = (len + m - 1) / static_cast<uint32_t>(m);
+  return std::min(len, std::max(base_cap, needed));
+}
+
+const CellInfo& ListContext::Cell(size_t line, uint32_t start,
+                                  uint32_t len) const {
+  assert(len >= 1);
+  assert(start + len <= line_length(line));
+  const auto& row = cell_ids_[line][start];
+  assert(len <= row.size() && "EnsureWidth not called with sufficient width");
+  return catalog_.Get(row[len - 1]);
+}
+
+std::vector<const CellInfo*> ListContext::CellsFor(size_t line,
+                                                   const Bounds& bounds) const {
+  std::vector<const CellInfo*> cells;
+  cells.reserve(bounds.size() - 1);
+  for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const uint32_t start = bounds[k];
+    const uint32_t len = bounds[k + 1] - bounds[k];
+    cells.push_back(len == 0 ? &NullCell() : &Cell(line, start, len));
+  }
+  return cells;
+}
+
+const CellInfo& ListContext::RegisterExternalCell(const std::string& text,
+                                                  uint32_t token_count) {
+  return catalog_.Register(text, token_count);
+}
+
+void ListContext::SetFixedBounds(size_t line, Bounds bounds) {
+  assert(line < lines_.size());
+  if (!fixed_bounds_[line].has_value()) ++num_examples_;
+  // Candidate cells of the fixed segmentation must be materialized.
+  uint32_t max_w = 0;
+  for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+    max_w = std::max(max_w, bounds[k + 1] - bounds[k]);
+  }
+  EnsureWidth(line, max_w);
+  fixed_bounds_[line] = std::move(bounds);
+}
+
+double ListContext::PairWeight(size_t i, size_t j) const {
+  if (num_examples_ == 0) return 1.0;
+  const bool touches_example =
+      fixed_bounds_[i].has_value() || fixed_bounds_[j].has_value();
+  if (!touches_example) return 1.0;
+  return static_cast<double>(num_lines()) /
+         static_cast<double>(num_examples_);
+}
+
+}  // namespace tegra

@@ -1,0 +1,61 @@
+#include "core/objective.h"
+
+#include <cassert>
+
+namespace tegra {
+
+double RecordDistance(const std::vector<const CellInfo*>& a,
+                      const std::vector<const CellInfo*>& b,
+                      DistanceCache* dist) {
+  assert(a.size() == b.size());
+  double total = 0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    total += (*dist)(*a[k], *b[k]);
+  }
+  return total;
+}
+
+double SumOfPairsDistance(const ListContext& ctx,
+                          const std::vector<Bounds>& table_bounds,
+                          DistanceCache* dist) {
+  assert(table_bounds.size() == ctx.num_lines());
+  const size_t n = ctx.num_lines();
+  std::vector<std::vector<const CellInfo*>> records;
+  records.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    records.push_back(ctx.CellsFor(i, table_bounds[i]));
+  }
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      total += ctx.PairWeight(i, j) *
+               RecordDistance(records[i], records[j], dist);
+    }
+  }
+  return total;
+}
+
+double PerColumnObjective(double sp, int m) {
+  assert(m >= 1);
+  return sp / static_cast<double>(m);
+}
+
+double PerPairObjective(double sp, size_t num_rows, int m) {
+  assert(m >= 1);
+  const double pairs =
+      static_cast<double>(num_rows) * (static_cast<double>(num_rows) - 1) / 2;
+  if (pairs <= 0) return 0;
+  return sp / (pairs * static_cast<double>(m));
+}
+
+Table MaterializeTable(const ListContext& ctx,
+                       const std::vector<Bounds>& table_bounds) {
+  assert(!table_bounds.empty());
+  Table table(table_bounds[0].size() - 1);
+  for (size_t i = 0; i < table_bounds.size(); ++i) {
+    table.AddRow(BoundsToCells(ctx.tokens(i), table_bounds[i]));
+  }
+  return table;
+}
+
+}  // namespace tegra

@@ -1,0 +1,42 @@
+// The sum-of-pairs (SP) objective of §2.4 and helpers for evaluating a full
+// table segmentation.
+
+#ifndef TEGRA_CORE_OBJECTIVE_H_
+#define TEGRA_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/list_context.h"
+#include "corpus/table.h"
+#include "distance/distance.h"
+
+namespace tegra {
+
+/// \brief Record distance d(t_i, t_j) = sum over columns of cell distance
+/// (Equation 4). Records must have equal column counts.
+double RecordDistance(const std::vector<const CellInfo*>& a,
+                      const std::vector<const CellInfo*>& b,
+                      DistanceCache* dist);
+
+/// \brief SP_m(T): sum over all record pairs of record distance
+/// (Equation 2/5), with supervised pair weights w_ij applied when the
+/// context carries examples (§4).
+double SumOfPairsDistance(const ListContext& ctx,
+                          const std::vector<Bounds>& table_bounds,
+                          DistanceCache* dist);
+
+/// \brief The per-column objective SP_m(T) / m used to pick the column count
+/// in the unsupervised setting (Definition 3).
+double PerColumnObjective(double sp, int m);
+
+/// \brief SP normalized per tuple pair (and per column), the quality proxy
+/// bucketized in Figure 8(a) and the §5.7 list filter.
+double PerPairObjective(double sp, size_t num_rows, int m);
+
+/// \brief Materializes the segmented table T from per-line bounds.
+Table MaterializeTable(const ListContext& ctx,
+                       const std::vector<Bounds>& table_bounds);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_OBJECTIVE_H_

@@ -1,0 +1,89 @@
+#include "core/segmentation.h"
+
+#include "common/string_util.h"
+
+namespace tegra {
+
+bool IsValidBounds(const Bounds& bounds, uint32_t num_tokens, int m) {
+  if (static_cast<int>(bounds.size()) != m + 1) return false;
+  if (bounds.front() != 0 || bounds.back() != num_tokens) return false;
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    if (bounds[i] < bounds[i - 1]) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> BoundsToCells(const std::vector<std::string>& tokens,
+                                       const Bounds& bounds) {
+  std::vector<std::string> cells;
+  cells.reserve(bounds.size() - 1);
+  for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+    cells.push_back(JoinRange(tokens, bounds[k], bounds[k + 1], " "));
+  }
+  return cells;
+}
+
+Result<Bounds> CellsToBounds(const std::vector<std::string>& line_tokens,
+                             const std::vector<std::string>& cells,
+                             const Tokenizer& tokenizer) {
+  Bounds bounds;
+  bounds.push_back(0);
+  uint32_t pos = 0;
+  for (const std::string& cell : cells) {
+    for (const auto& tok : tokenizer.Tokenize(cell)) {
+      if (pos >= line_tokens.size() || line_tokens[pos] != tok) {
+        return Status::InvalidArgument(
+            "cells do not match line tokens at token " + std::to_string(pos) +
+            " (cell '" + cell + "')");
+      }
+      ++pos;
+    }
+    bounds.push_back(pos);
+  }
+  if (pos != line_tokens.size()) {
+    return Status::InvalidArgument("cells cover " + std::to_string(pos) +
+                                   " of " +
+                                   std::to_string(line_tokens.size()) +
+                                   " line tokens");
+  }
+  return bounds;
+}
+
+namespace {
+
+void EnumerateBoundsRec(uint32_t num_tokens, int m, uint32_t max_width,
+                        Bounds* current, std::vector<Bounds>* out) {
+  const int filled = static_cast<int>(current->size()) - 1;
+  const uint32_t pos = current->back();
+  if (filled == m) {
+    if (pos == num_tokens) out->push_back(*current);
+    return;
+  }
+  const int remaining_cols = m - filled;
+  // Width 0 (null column) up to max_width tokens; the final boundary must be
+  // reachable with the remaining columns.
+  uint32_t hi = num_tokens - pos;
+  if (max_width > 0 && remaining_cols > 1) {
+    hi = std::min(hi, max_width);
+  } else if (max_width > 0 && remaining_cols == 1) {
+    // Last column must take everything that is left; enforce the cap.
+    if (num_tokens - pos > max_width) return;
+  }
+  for (uint32_t width = 0; width <= hi; ++width) {
+    current->push_back(pos + width);
+    EnumerateBoundsRec(num_tokens, m, max_width, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Bounds> EnumerateBounds(uint32_t num_tokens, int m,
+                                    uint32_t max_width) {
+  std::vector<Bounds> out;
+  Bounds current{0};
+  EnumerateBoundsRec(num_tokens, m, max_width, &current, &out);
+  return out;
+}
+
+}  // namespace tegra

@@ -1,0 +1,57 @@
+// Segmentation model (§2.1, Definition 1).
+//
+// An m-column segmentation of a tokenized line is represented by a
+// non-decreasing boundary vector b of size m+1 with b[0] = 0 and
+// b[m] = |l|: column k holds tokens [b[k-1], b[k]) and is null when the
+// range is empty. (Definition 1 writes columns as non-empty token ranges,
+// but the paper's own running example and the SLGR recurrence allow null
+// columns, so boundaries may repeat.)
+
+#ifndef TEGRA_CORE_SEGMENTATION_H_
+#define TEGRA_CORE_SEGMENTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+/// \brief Boundary representation of one line's segmentation.
+/// bounds.size() == m + 1; bounds.front() == 0; bounds.back() == |l|.
+using Bounds = std::vector<uint32_t>;
+
+/// \brief Returns the number of columns encoded by a boundary vector.
+inline int NumColumns(const Bounds& bounds) {
+  return static_cast<int>(bounds.size()) - 1;
+}
+
+/// \brief True if `bounds` is a well-formed segmentation of a line with
+/// `num_tokens` tokens into `m` columns.
+bool IsValidBounds(const Bounds& bounds, uint32_t num_tokens, int m);
+
+/// \brief Materializes the cell strings of a segmentation: column k is the
+/// space-join of tokens [bounds[k], bounds[k+1]), empty for null columns.
+std::vector<std::string> BoundsToCells(const std::vector<std::string>& tokens,
+                                       const Bounds& bounds);
+
+/// \brief Converts a row of cell strings into a boundary vector by matching
+/// the cells' tokens against the line's tokens in order. Fails when the
+/// cells do not concatenate to exactly the line. Used to turn user example
+/// rows (and baseline ground truths) into segmentations.
+Result<Bounds> CellsToBounds(const std::vector<std::string>& line_tokens,
+                             const std::vector<std::string>& cells,
+                             const Tokenizer& tokenizer);
+
+/// \brief Enumerates every m-column boundary vector for a line of
+/// `num_tokens` tokens whose column widths do not exceed `max_width`
+/// (0 = unbounded). Used by TEGRA-naive and by exhaustive test oracles;
+/// the count grows combinatorially, so callers keep inputs small.
+std::vector<Bounds> EnumerateBounds(uint32_t num_tokens, int m,
+                                    uint32_t max_width = 0);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_SEGMENTATION_H_

@@ -1,0 +1,72 @@
+// SLGR — Segment a Line Given a Record (§3.2.1, Algorithm 3).
+//
+// Given an anchor record t_i (m interned cells) and an unsegmented line l_j,
+// finds the m-column segmentation of l_j minimizing d(t_i, t_j) via the
+// partial alignment cost dynamic program M[p][w] of Definition 5:
+//
+//   M[p][w] = min(  min_{x < w}  M[p-1][x] + d(l_j[x+1..w], t_i[p]),
+//                                M[p-1][w] + d(null, t_i[p]) )
+//
+// The incremental row form (AdvanceAlignmentRow) is what the A* anchor
+// search uses to extend per-line alignment state one anchor column at a
+// time; the backward matrix N supports partial-suffix path lengths
+// (Definition 6) and the super-additivity property tests.
+
+#ifndef TEGRA_CORE_SLGR_H_
+#define TEGRA_CORE_SLGR_H_
+
+#include <vector>
+
+#include "core/list_context.h"
+#include "distance/distance.h"
+
+namespace tegra {
+
+/// \brief Result of aligning one line against an anchor record.
+struct SlgrResult {
+  double cost = 0;  ///< min over segmentations of d(anchor, line).
+  Bounds bounds;    ///< The minimizing segmentation of the line.
+};
+
+/// \brief Full SLGR (Algorithm 3).
+///
+/// If the line carries fixed example bounds (supervised variant), the fixed
+/// segmentation is scored directly instead of optimized.
+///
+/// \param max_width candidate column width cap for this line (callers pass
+///   ListContext::EffectiveWidth; EnsureWidth must already cover it).
+SlgrResult SegmentLineGivenRecord(
+    const ListContext& ctx, size_t line,
+    const std::vector<const CellInfo*>& anchor_cells, DistanceCache* dist,
+    uint32_t max_width);
+
+/// \brief Computes one forward DP row transition.
+///
+/// prev is M[p-1][0..|l|]; next receives M[p][0..|l|] for the anchor column
+/// `anchor_cell`. prev and next may not alias.
+void AdvanceAlignmentRow(const ListContext& ctx, size_t line,
+                         const CellInfo& anchor_cell,
+                         const std::vector<double>& prev,
+                         std::vector<double>* next, DistanceCache* dist,
+                         uint32_t max_width);
+
+/// \brief The initial row M[0][*]: 0 at w = 0, +infinity elsewhere (the
+/// hypothetical 0th column consumes no tokens).
+std::vector<double> InitialAlignmentRow(uint32_t num_tokens);
+
+/// \brief Full forward matrix M[p][w] (for tests and diagnostics).
+std::vector<std::vector<double>> ForwardAlignmentMatrix(
+    const ListContext& ctx, size_t line,
+    const std::vector<const CellInfo*>& anchor_cells, DistanceCache* dist,
+    uint32_t max_width);
+
+/// \brief Backward matrix N[p][w]: minimal cost of aligning anchor columns
+/// p+1..m against tokens (w..|l|] of the line (Definition 6).
+std::vector<std::vector<double>> BackwardAlignmentMatrix(
+    const ListContext& ctx, size_t line,
+    const std::vector<const CellInfo*>& anchor_cells, DistanceCache* dist,
+    uint32_t max_width);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORE_SLGR_H_

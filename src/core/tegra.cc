@@ -1,0 +1,231 @@
+#include "core/tegra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "core/anchor_search.h"
+
+namespace tegra {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+TegraExtractor::TegraExtractor(const CorpusStats* stats, TegraOptions options)
+    : stats_(stats),
+      options_(std::move(options)),
+      distance_(stats, options_.distance) {}
+
+std::vector<size_t> TegraExtractor::SelectAnchors(const ListContext& ctx,
+                                                  int anchor_sample) const {
+  std::vector<size_t> anchors(ctx.num_lines());
+  std::iota(anchors.begin(), anchors.end(), 0);
+  if (anchor_sample <= 0 ||
+      anchors.size() <= static_cast<size_t>(anchor_sample)) {
+    return anchors;
+  }
+  // Prefer anchors whose token count is most typical (closest to the
+  // median): they align well with the bulk of the list.
+  std::vector<uint32_t> lengths;
+  lengths.reserve(ctx.num_lines());
+  for (size_t i = 0; i < ctx.num_lines(); ++i) {
+    lengths.push_back(ctx.line_length(i));
+  }
+  std::vector<uint32_t> sorted = lengths;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const int64_t median = sorted[sorted.size() / 2];
+  std::stable_sort(anchors.begin(), anchors.end(), [&](size_t a, size_t b) {
+    const int64_t da = std::abs(static_cast<int64_t>(lengths[a]) - median);
+    const int64_t db = std::abs(static_cast<int64_t>(lengths[b]) - median);
+    return da < db;
+  });
+  anchors.resize(anchor_sample);
+  std::sort(anchors.begin(), anchors.end());
+  return anchors;
+}
+
+TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
+    ListContext* ctx, int m, int anchor_sample,
+    DistanceCache* shared_cache) const {
+  const uint32_t base_cap = static_cast<uint32_t>(options_.max_cell_tokens);
+  // Materialize candidate cells for every line up front so the context is
+  // read-only during (possibly parallel) anchor evaluation.
+  for (size_t j = 0; j < ctx->num_lines(); ++j) {
+    ctx->EnsureWidth(j, ctx->EffectiveWidth(j, m, base_cap));
+  }
+
+  const std::vector<size_t> anchors = SelectAnchors(*ctx, anchor_sample);
+  std::vector<AnchorSearchResult> results(anchors.size());
+
+  auto run_anchor = [&](size_t idx, DistanceCache* cache) {
+    const size_t anchor = anchors[idx];
+    results[idx] =
+        options_.use_astar
+            ? MinimizeAnchorDistanceAStar(*ctx, anchor, m, cache, base_cap)
+            : MinimizeAnchorDistanceExhaustive(*ctx, anchor, m, cache,
+                                               base_cap);
+  };
+
+  if (options_.num_threads > 1 && anchors.size() > 1) {
+    ThreadPool pool(static_cast<size_t>(options_.num_threads));
+    pool.ParallelFor(anchors.size(), [&](size_t idx) {
+      // Each task owns a memo cache; corpus-level co-occurrence results are
+      // shared (and locked) inside CorpusStats.
+      DistanceCache local_cache(&distance_);
+      run_anchor(idx, &local_cache);
+    });
+  } else {
+    for (size_t idx = 0; idx < anchors.size(); ++idx) {
+      run_anchor(idx, shared_cache);
+    }
+  }
+
+  RunOutcome outcome;
+  outcome.anchor_distance = kInf;
+  for (size_t idx = 0; idx < anchors.size(); ++idx) {
+    outcome.nodes_expanded += results[idx].nodes_expanded;
+    if (results[idx].anchor_distance < outcome.anchor_distance) {
+      outcome.anchor_distance = results[idx].anchor_distance;
+      outcome.anchor_line = anchors[idx];
+    }
+  }
+  const AnchorSearchResult& best =
+      results[std::find(anchors.begin(), anchors.end(), outcome.anchor_line) -
+              anchors.begin()];
+  outcome.bounds = InduceTable(*ctx, outcome.anchor_line, best.anchor_bounds,
+                               shared_cache, base_cap);
+  outcome.sp = SumOfPairsDistance(*ctx, outcome.bounds, shared_cache);
+  return outcome;
+}
+
+Result<ExtractionResult> TegraExtractor::ExtractTokens(
+    std::vector<std::vector<std::string>> token_lines, int num_columns,
+    const std::vector<SegmentationExample>* examples) const {
+  if (token_lines.empty()) {
+    return Status::InvalidArgument("input list has no lines");
+  }
+  if (num_columns < 0) {
+    return Status::InvalidArgument("num_columns must be non-negative");
+  }
+
+  Stopwatch watch;
+  const ColumnIndex* index = stats_ ? &stats_->index() : nullptr;
+  ListContext ctx(std::move(token_lines), index);
+
+  // Pin user examples; they also determine the column count.
+  if (examples != nullptr && !examples->empty()) {
+    Tokenizer tokenizer(options_.tokenizer);
+    int example_cols = static_cast<int>((*examples)[0].cells.size());
+    for (const SegmentationExample& ex : *examples) {
+      if (ex.line_index >= ctx.num_lines()) {
+        return Status::OutOfRange("example line index out of range");
+      }
+      if (static_cast<int>(ex.cells.size()) != example_cols) {
+        return Status::InvalidArgument(
+            "examples disagree on the column count");
+      }
+      Result<Bounds> bounds =
+          CellsToBounds(ctx.tokens(ex.line_index), ex.cells, tokenizer);
+      if (!bounds.ok()) return bounds.status();
+      ctx.SetFixedBounds(ex.line_index, std::move(bounds).value());
+    }
+    if (num_columns != 0 && num_columns != example_cols) {
+      return Status::InvalidArgument(
+          "num_columns conflicts with example column count");
+    }
+    num_columns = example_cols;
+  }
+
+  DistanceCache cache(&distance_);
+  ExtractionResult out;
+
+  if (num_columns > 0) {
+    RunOutcome run = RunGivenColumns(&ctx, num_columns,
+                                     options_.final_anchor_sample, &cache);
+    out.num_columns = num_columns;
+    out.bounds = std::move(run.bounds);
+    out.sp = run.sp;
+    out.anchor_distance = run.anchor_distance;
+    out.anchor_line = run.anchor_line;
+    out.nodes_expanded = run.nodes_expanded;
+  } else {
+    // Unsupervised sweep (Definition 3): minimize SP_m(T) / m over m.
+    const int max_m = std::max(
+        1, std::min(options_.max_columns,
+                    static_cast<int>(ctx.max_line_length())));
+    double best_score = kInf;
+    int best_m = 1;
+    RunOutcome best_run;
+    for (int m = 1; m <= max_m; ++m) {
+      RunOutcome run =
+          RunGivenColumns(&ctx, m, options_.sweep_anchor_sample, &cache);
+      out.nodes_expanded += run.nodes_expanded;
+      const double score = PerColumnObjective(run.sp, m);
+      if (score < best_score) {
+        best_score = score;
+        best_m = m;
+        best_run = std::move(run);
+      }
+    }
+    // Final pass with the full anchor set (unless the sweep was already
+    // exhaustive).
+    if (options_.sweep_anchor_sample != options_.final_anchor_sample) {
+      best_run = RunGivenColumns(&ctx, best_m, options_.final_anchor_sample,
+                                 &cache);
+      out.nodes_expanded += best_run.nodes_expanded;
+    }
+    out.num_columns = best_m;
+    out.bounds = std::move(best_run.bounds);
+    out.sp = best_run.sp;
+    out.anchor_distance = best_run.anchor_distance;
+    out.anchor_line = best_run.anchor_line;
+  }
+
+  out.table = MaterializeTable(ctx, out.bounds);
+  out.per_column_objective = PerColumnObjective(out.sp, out.num_columns);
+  out.per_pair_objective =
+      PerPairObjective(out.sp, ctx.num_lines(), out.num_columns);
+  out.seconds = watch.ElapsedSeconds();
+  return out;
+}
+
+Result<ExtractionResult> TegraExtractor::Extract(
+    const std::vector<std::string>& lines) const {
+  Tokenizer tokenizer(options_.tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
+  return ExtractTokens(std::move(token_lines), 0, nullptr);
+}
+
+Result<ExtractionResult> TegraExtractor::ExtractWithColumns(
+    const std::vector<std::string>& lines, int num_columns) const {
+  if (num_columns < 1) {
+    return Status::InvalidArgument("num_columns must be >= 1");
+  }
+  Tokenizer tokenizer(options_.tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
+  return ExtractTokens(std::move(token_lines), num_columns, nullptr);
+}
+
+Result<ExtractionResult> TegraExtractor::ExtractWithExamples(
+    const std::vector<std::string>& lines,
+    const std::vector<SegmentationExample>& examples) const {
+  Tokenizer tokenizer(options_.tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
+  return ExtractTokens(std::move(token_lines), 0, &examples);
+}
+
+}  // namespace tegra

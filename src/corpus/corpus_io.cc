@@ -1,0 +1,150 @@
+#include "corpus/corpus_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace tegra {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'G', 'R', 'A', 'I', 'D', 'X', '1'};
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// Reads a varint from buf at *pos; returns false on truncation/overflow.
+bool GetVarint(const std::string& buf, size_t* pos, uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < buf.size() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>(buf[*pos]);
+    ++(*pos);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status SaveColumnIndex(const ColumnIndex& index, const std::string& path) {
+  if (!index.finalized()) {
+    return Status::InvalidArgument("index must be finalized before saving");
+  }
+  std::string buf;
+  buf.append(kMagic, sizeof(kMagic));
+  PutVarint(&buf, index.TotalColumns());
+  PutVarint(&buf, index.NumValues());
+  for (ValueId id = 0; id < index.NumValues(); ++id) {
+    const std::string& value = index.ValueString(id);
+    PutVarint(&buf, value.size());
+    buf.append(value);
+    const auto& plist = index.Postings(id);
+    PutVarint(&buf, plist.size());
+    uint32_t prev = 0;
+    for (uint32_t col : plist) {
+      PutVarint(&buf, col - prev);  // Delta encoding; lists are sorted.
+      prev = col;
+    }
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!out) {
+    return Status::IOError("short write to: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ColumnIndex> LoadColumnIndex(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::string buf(static_cast<size_t>(size), '\0');
+  if (!in.read(buf.data(), size)) {
+    return Status::IOError("short read from: " + path);
+  }
+
+  if (buf.size() < sizeof(kMagic) ||
+      buf.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic in: " + path);
+  }
+  size_t pos = sizeof(kMagic);
+
+  uint64_t total_columns = 0;
+  uint64_t num_values = 0;
+  if (!GetVarint(buf, &pos, &total_columns) ||
+      !GetVarint(buf, &pos, &num_values)) {
+    return Status::Corruption("truncated header in: " + path);
+  }
+  if (num_values > buf.size()) {
+    return Status::Corruption("implausible value count in: " + path);
+  }
+
+  std::vector<std::string> values;
+  std::vector<std::vector<uint32_t>> postings;
+  values.reserve(num_values);
+  postings.reserve(num_values);
+  for (uint64_t i = 0; i < num_values; ++i) {
+    uint64_t len = 0;
+    if (!GetVarint(buf, &pos, &len) || pos + len > buf.size()) {
+      return Status::Corruption("truncated value string in: " + path);
+    }
+    values.emplace_back(buf.substr(pos, len));
+    pos += len;
+
+    uint64_t count = 0;
+    if (!GetVarint(buf, &pos, &count) || count > total_columns) {
+      return Status::Corruption("bad postings count in: " + path);
+    }
+    std::vector<uint32_t> plist;
+    plist.reserve(count);
+    uint32_t prev = 0;
+    for (uint64_t k = 0; k < count; ++k) {
+      uint64_t delta = 0;
+      if (!GetVarint(buf, &pos, &delta)) {
+        return Status::Corruption("truncated postings in: " + path);
+      }
+      prev += static_cast<uint32_t>(delta);
+      if (prev >= total_columns) {
+        return Status::Corruption("posting out of range in: " + path);
+      }
+      plist.push_back(prev);
+    }
+    postings.push_back(std::move(plist));
+  }
+
+  ColumnIndex index;
+  index.RestoreFrom(total_columns, std::move(values), std::move(postings));
+  return index;
+}
+
+Result<ColumnIndex> LoadOrBuildColumnIndex(
+    const std::string& path, const std::function<ColumnIndex()>& builder) {
+  Result<ColumnIndex> loaded = LoadColumnIndex(path);
+  if (loaded.ok()) return loaded;
+  ColumnIndex built = builder();
+  if (!built.finalized()) built.Finalize();
+  // Best-effort save: a read-only filesystem should not fail the caller.
+  (void)SaveColumnIndex(built, path);
+  return built;
+}
+
+}  // namespace tegra

@@ -1,0 +1,39 @@
+// Binary (de)serialization of a ColumnIndex, plus a file cache helper.
+//
+// Building the synthetic background corpus and its inverted index takes a few
+// seconds at default scale; every benchmark binary needs the same index, so
+// we persist it once in a compact delta-varint format and reload it in
+// milliseconds. The format is deterministic and versioned.
+
+#ifndef TEGRA_CORPUS_CORPUS_IO_H_
+#define TEGRA_CORPUS_CORPUS_IO_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "corpus/column_index.h"
+
+namespace tegra {
+
+/// \brief Writes a finalized index to `path`. Overwrites existing files.
+///
+/// Layout: 8-byte magic "TGRAIDX1", then varint-encoded total column count,
+/// value count, and per value: string length + bytes, postings count, and
+/// delta-encoded varint postings.
+Status SaveColumnIndex(const ColumnIndex& index, const std::string& path);
+
+/// \brief Reads an index previously written by SaveColumnIndex.
+/// Returns Corruption on magic/bounds mismatches, IOError on filesystem
+/// failures.
+Result<ColumnIndex> LoadColumnIndex(const std::string& path);
+
+/// \brief Loads the index at `path` if present and valid; otherwise invokes
+/// `builder` to construct it, saves it to `path` (best-effort), and returns
+/// it. This is how benchmarks share one corpus build across binaries.
+Result<ColumnIndex> LoadOrBuildColumnIndex(
+    const std::string& path, const std::function<ColumnIndex()>& builder);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORPUS_CORPUS_IO_H_

@@ -1,0 +1,85 @@
+// Co-occurrence statistics over a finalized ColumnIndex: PMI, NPMI (§2.3.1)
+// and the Jaccard alternative (Appendix H), plus a thread-safe memo cache.
+// This is the sole interface through which semantic distance consumes the
+// background corpus.
+
+#ifndef TEGRA_CORPUS_CORPUS_STATS_H_
+#define TEGRA_CORPUS_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "common/hash.h"
+#include "corpus/column_index.h"
+
+namespace tegra {
+
+/// \brief Which co-occurrence measure drives semantic distance.
+enum class SemanticMeasure {
+  kNpmi,     ///< d_sem = 0.75 - 0.25 * NPMI  (paper default, §2.3.1)
+  kJaccard,  ///< d_sem = 1 - |C1 ∩ C2| / |C1 ∪ C2|  (Appendix H)
+  kAngular,  ///< d_sem = arccos(cosine) / (pi/2) over column sets — the
+             ///< metric version of cosine similarity (§2.3.1 Discussion).
+};
+
+/// \brief Probability / information measures over a background corpus.
+///
+/// All lookups are const and safe to call from multiple threads; pairwise
+/// results are memoized under a shared mutex since postings intersections of
+/// popular values are the single hottest operation in segmentation.
+class CorpusStats {
+ public:
+  /// \param index a *finalized* column index. Not owned; must outlive this.
+  explicit CorpusStats(const ColumnIndex* index);
+
+  const ColumnIndex& index() const { return *index_; }
+
+  /// p(s) = |C(s)| / N. Returns 0 for values absent from the corpus.
+  double Probability(ValueId id) const;
+
+  /// p(s1, s2) = |C(s1) ∩ C(s2)| / N.
+  double JointProbability(ValueId a, ValueId b) const;
+
+  /// Pointwise mutual information log( p(a,b) / (p(a) p(b)) ).
+  /// Returns -infinity when the pair never co-occurs.
+  double Pmi(ValueId a, ValueId b) const;
+
+  /// Normalized PMI in [-1, 1]: PMI / (-log p(a,b)); -1 when the pair never
+  /// co-occurs, +1 when the two values always appear together.
+  double Npmi(ValueId a, ValueId b) const;
+
+  /// Semantic distance per the selected measure. For kNpmi this is
+  /// 0.75 - 0.25*NPMI, bounded in [0.5, 1] (the transformation that makes
+  /// the triangle inequality hold, §2.3.1). Unknown values => 1.0.
+  double SemanticDistance(ValueId a, ValueId b,
+                          SemanticMeasure measure = SemanticMeasure::kNpmi) const;
+
+  /// String-keyed convenience overload (performs index lookups).
+  double SemanticDistance(std::string_view a, std::string_view b,
+                          SemanticMeasure measure = SemanticMeasure::kNpmi) const;
+
+  /// |C(s)| for a raw value; 0 if absent. Used by the ListExtract baseline's
+  /// field-quality score (table-corpus support).
+  uint32_t ColumnFrequency(std::string_view value) const;
+
+  /// Cache statistics (diagnostics).
+  size_t CacheSize() const;
+
+ private:
+  /// Memoized |C(a) ∩ C(b)|.
+  uint32_t CachedCoOccurrence(ValueId a, ValueId b) const;
+
+  const ColumnIndex* index_;
+  mutable std::shared_mutex cache_mu_;
+  mutable std::unordered_map<std::pair<uint32_t, uint32_t>, uint32_t, PairHash>
+      co_cache_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORPUS_CORPUS_STATS_H_

@@ -1,0 +1,83 @@
+#include "corpus/table.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "text/value_type.h"
+
+namespace tegra {
+
+Table::Table(std::vector<std::vector<std::string>> rows)
+    : rows_(std::move(rows)) {
+  if (!rows_.empty()) {
+    num_cols_ = rows_[0].size();
+    for (const auto& r : rows_) {
+      assert(r.size() == num_cols_);
+      (void)r;
+    }
+  }
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  if (rows_.empty() && num_cols_ == 0) {
+    num_cols_ = row.size();
+  }
+  assert(row.size() == num_cols_);
+  rows_.push_back(std::move(row));
+}
+
+std::vector<std::string> Table::Column(size_t col) const {
+  std::vector<std::string> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[col]);
+  return out;
+}
+
+double Table::AvgTokensPerCell(const Tokenizer& tokenizer) const {
+  size_t tokens = 0;
+  size_t cells = 0;
+  for (const auto& r : rows_) {
+    for (const auto& c : r) {
+      if (c.empty()) continue;
+      tokens += tokenizer.CountTokens(c);
+      ++cells;
+    }
+  }
+  return cells == 0 ? 0.0 : static_cast<double>(tokens) / cells;
+}
+
+double Table::NumericCellFraction() const {
+  size_t numeric = 0;
+  size_t cells = 0;
+  for (const auto& r : rows_) {
+    for (const auto& c : r) {
+      if (c.empty()) continue;
+      ++cells;
+      if (IsNumericType(DetectValueType(c))) ++numeric;
+    }
+  }
+  return cells == 0 ? 0.0 : static_cast<double>(numeric) / cells;
+}
+
+std::string Table::ToString() const {
+  // Compute column display widths.
+  std::vector<size_t> widths(num_cols_, 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < num_cols_; ++c) {
+      widths[c] = std::max(widths[c], r[c].size());
+    }
+  }
+  std::string out;
+  for (const auto& r : rows_) {
+    out += "|";
+    for (size_t c = 0; c < num_cols_; ++c) {
+      out += " ";
+      out += PadRight(r[c], widths[c]);
+      out += " |";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tegra

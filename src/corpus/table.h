@@ -1,0 +1,77 @@
+// In-memory relational table model. Tables serve two roles in this system:
+//  * as corpus content: millions of (synthetic) web tables whose columns feed
+//    the co-occurrence statistics behind semantic distance (§2.3.1), and
+//  * as benchmark ground truth: a sampled table is flattened into a list and
+//    the original is kept to score the reconstruction (§5.1.3).
+
+#ifndef TEGRA_CORPUS_TABLE_H_
+#define TEGRA_CORPUS_TABLE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+/// \brief A simple rectangular table of string cells.
+///
+/// Rows are stored row-major; all rows have the same number of columns
+/// (enforced by AddRow). Empty strings represent null cells.
+class Table {
+ public:
+  Table() = default;
+  /// Creates an empty table with `num_cols` columns.
+  explicit Table(size_t num_cols) : num_cols_(num_cols) {}
+  /// Creates a table from rows; all rows must have equal width.
+  explicit Table(std::vector<std::vector<std::string>> rows);
+
+  /// Appends a row. The first row fixes the column count; subsequent rows
+  /// must match it.
+  void AddRow(std::vector<std::string> row);
+
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumCols() const { return num_cols_; }
+  /// Total number of cells (rows x cols), the |T| of the evaluation metric.
+  size_t NumCells() const { return NumRows() * NumCols(); }
+
+  const std::string& Cell(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+  std::string& MutableCell(size_t row, size_t col) { return rows_[row][col]; }
+
+  const std::vector<std::string>& Row(size_t row) const { return rows_[row]; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Extracts column `col` as a vector of values.
+  std::vector<std::string> Column(size_t col) const;
+
+  /// Optional human-readable name (synthetic schema id, domain labels, ...).
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  bool operator==(const Table& other) const {
+    return num_cols_ == other.num_cols_ && rows_ == other.rows_;
+  }
+
+  /// \brief Average number of tokens per non-empty cell, the "difficulty"
+  /// proxy of Figure 8(c,d).
+  double AvgTokensPerCell(const Tokenizer& tokenizer) const;
+
+  /// \brief Fraction of non-empty cells whose value classifies as numeric
+  /// (integer/decimal/percent/currency/year); the Table 1 statistic.
+  double NumericCellFraction() const;
+
+  /// Renders the table for debugging / example programs.
+  std::string ToString() const;
+
+ private:
+  size_t num_cols_ = 0;
+  std::vector<std::vector<std::string>> rows_;
+  std::string name_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORPUS_TABLE_H_

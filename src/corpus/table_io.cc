@@ -1,0 +1,160 @@
+#include "corpus/table_io.h"
+
+#include <fstream>
+
+namespace tegra {
+
+namespace {
+
+bool NeedsCsvQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\r\n") != std::string::npos;
+}
+
+void AppendCsvCell(std::string* out, const std::string& cell) {
+  if (!NeedsCsvQuoting(cell)) {
+    out->append(cell);
+    return;
+  }
+  out->push_back('"');
+  for (char c : cell) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table) {
+  std::string out;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumCols(); ++c) {
+      if (c > 0) out.push_back(',');
+      AppendCsvCell(&out, table.Cell(r, c));
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TableToTsv(const Table& table) {
+  std::string out;
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    for (size_t c = 0; c < table.NumCols(); ++c) {
+      if (c > 0) out.push_back('\t');
+      for (char ch : table.Cell(r, c)) {
+        out.push_back((ch == '\t' || ch == '\n' || ch == '\r') ? ' ' : ch);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string TableToMarkdown(const Table& table,
+                            const std::vector<std::string>& header) {
+  std::string out;
+  const size_t cols = table.NumCols();
+  auto append_row = [&out, cols](auto&& cell_at) {
+    out.push_back('|');
+    for (size_t c = 0; c < cols; ++c) {
+      out.push_back(' ');
+      const std::string& cell = cell_at(c);
+      for (char ch : cell) {
+        if (ch == '|') out.push_back('\\');
+        out.push_back(ch);
+      }
+      out.append(" |");
+    }
+    out.push_back('\n');
+  };
+
+  std::vector<std::string> head = header;
+  if (head.size() != cols) {
+    head.clear();
+    for (size_t c = 0; c < cols; ++c) {
+      head.push_back("col" + std::to_string(c + 1));
+    }
+  }
+  append_row([&](size_t c) -> const std::string& { return head[c]; });
+  out.push_back('|');
+  for (size_t c = 0; c < cols; ++c) out.append(" --- |");
+  out.push_back('\n');
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    append_row(
+        [&](size_t c) -> const std::string& { return table.Cell(r, c); });
+  }
+  return out;
+}
+
+Result<Table> CsvToTable(std::string_view csv) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&]() -> Status {
+    end_field();
+    if (!rows.empty() && row.size() != rows[0].size()) {
+      return Status::InvalidArgument(
+          "ragged CSV: row " + std::to_string(rows.size() + 1) + " has " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(rows[0].size()));
+    }
+    rows.push_back(std::move(row));
+    row.clear();
+    return Status::OK();
+  };
+
+  size_t i = 0;
+  while (i < csv.size()) {
+    const char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && !field_started && field.empty()) {
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n' || c == '\r') {
+      if (c == '\r' && i + 1 < csv.size() && csv[i + 1] == '\n') ++i;
+      TEGRA_RETURN_NOT_OK(end_row());
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    TEGRA_RETURN_NOT_OK(end_row());  // Final record without trailing newline.
+  }
+  return Table(std::move(rows));
+}
+
+Status WriteFile(const std::string& path, std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("short write to: " + path);
+  return Status::OK();
+}
+
+}  // namespace tegra

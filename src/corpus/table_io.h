@@ -1,0 +1,40 @@
+// Table import/export: CSV (RFC-4180-style quoting), TSV and Markdown.
+// Extracted tables feed downstream applications (table search, integration),
+// which consume standard formats; the CSV reader also lets users bring
+// their own corpora and ground truths.
+
+#ifndef TEGRA_CORPUS_TABLE_IO_H_
+#define TEGRA_CORPUS_TABLE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "corpus/table.h"
+
+namespace tegra {
+
+/// \brief Serializes a table as CSV. Cells containing commas, quotes or
+/// newlines are quoted; embedded quotes are doubled.
+std::string TableToCsv(const Table& table);
+
+/// \brief Serializes a table as TSV (tabs and newlines in cells are replaced
+/// by spaces — TSV has no quoting).
+std::string TableToTsv(const Table& table);
+
+/// \brief Serializes a table as a GitHub-flavored Markdown table. When
+/// `header` is empty, generic "col1..colN" headers are emitted.
+std::string TableToMarkdown(const Table& table,
+                            const std::vector<std::string>& header = {});
+
+/// \brief Parses CSV text into a Table. All records must have the same
+/// field count; returns InvalidArgument otherwise. Handles quoted fields,
+/// doubled quotes and CRLF line endings. Empty input yields an empty table.
+Result<Table> CsvToTable(std::string_view csv);
+
+/// \brief Writes `content` to `path` (helper for export pipelines).
+Status WriteFile(const std::string& path, std::string_view content);
+
+}  // namespace tegra
+
+#endif  // TEGRA_CORPUS_TABLE_IO_H_

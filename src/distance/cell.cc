@@ -1,0 +1,30 @@
+#include "distance/cell.h"
+
+namespace tegra {
+
+CellCatalog::CellCatalog(const ColumnIndex* index) : index_(index) {
+  // Slot 0: the null cell.
+  CellInfo null_cell;
+  null_cell.local_id = 0;
+  null_cell.type = ValueType::kEmpty;
+  cells_.push_back(std::move(null_cell));
+  ids_.emplace("", 0);
+}
+
+const CellInfo& CellCatalog::Register(std::string text, uint32_t token_count) {
+  auto it = ids_.find(text);
+  if (it != ids_.end()) return cells_[it->second];
+
+  CellInfo cell;
+  cell.local_id = static_cast<uint32_t>(cells_.size());
+  cell.token_count = token_count;
+  cell.type = DetectValueType(text);
+  cell.profile = ComputeCharProfile(text);
+  cell.corpus_id = index_ ? index_->Lookup(text) : kInvalidValueId;
+  cell.text = std::move(text);
+  ids_.emplace(cell.text, cell.local_id);
+  cells_.push_back(std::move(cell));
+  return cells_.back();
+}
+
+}  // namespace tegra

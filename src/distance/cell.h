@@ -1,0 +1,69 @@
+// Cell interning for distance computation.
+//
+// Segmentation algorithms evaluate distances between candidate cells (token
+// subsequences) millions of times per list. A CellCatalog interns every
+// distinct candidate string once, precomputing the features every distance
+// component needs: token count (d_len), character profile (d_char), value
+// type (d_type) and the background-corpus value id (d_sem). Downstream code
+// passes small CellInfo references around instead of strings.
+
+#ifndef TEGRA_DISTANCE_CELL_H_
+#define TEGRA_DISTANCE_CELL_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "corpus/column_index.h"
+#include "text/char_profile.h"
+#include "text/value_type.h"
+
+namespace tegra {
+
+/// \brief An interned candidate cell with precomputed features.
+struct CellInfo {
+  uint32_t local_id = 0;       ///< Catalog-local id; 0 is the null cell.
+  std::string text;            ///< Joined tokens ("New York City").
+  uint32_t token_count = 0;    ///< Number of tokens.
+  ValueType type = ValueType::kEmpty;
+  CharProfile profile;
+  ValueId corpus_id = kInvalidValueId;  ///< Background corpus value id.
+
+  bool is_null() const { return local_id == 0; }
+};
+
+/// \brief Interns candidate cells and precomputes their features.
+///
+/// Not thread-safe during registration; immutable afterwards (algorithms
+/// register all candidate substrings up-front, then read concurrently).
+class CellCatalog {
+ public:
+  /// \param index background corpus for semantic lookups; may be null, in
+  /// which case every cell gets corpus_id = kInvalidValueId (pure-syntactic
+  /// configurations).
+  explicit CellCatalog(const ColumnIndex* index);
+
+  /// Interns `text` (with its known token count) and returns the cell.
+  /// Registering the same text twice returns the same CellInfo.
+  const CellInfo& Register(std::string text, uint32_t token_count);
+
+  /// The distinguished null cell (empty text, id 0).
+  const CellInfo& NullCell() const { return cells_.front(); }
+
+  const CellInfo& Get(uint32_t local_id) const { return cells_[local_id]; }
+
+  size_t size() const { return cells_.size(); }
+
+ private:
+  const ColumnIndex* index_;  // Not owned; may be null.
+  std::unordered_map<std::string, uint32_t> ids_;
+  // deque: stable addresses so returned references survive growth.
+  std::deque<CellInfo> cells_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_DISTANCE_CELL_H_

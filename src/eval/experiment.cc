@@ -1,0 +1,225 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace tegra::eval {
+
+AlgoEvaluation EvaluateAlgorithm(const std::vector<EvalInstance>& instances,
+                                 const SegmentFn& fn) {
+  AlgoEvaluation eval;
+  eval.scores.reserve(instances.size());
+  eval.seconds.reserve(instances.size());
+  std::vector<PrfScore> ok_scores;
+  for (const EvalInstance& instance : instances) {
+    Stopwatch watch;
+    Result<Table> result = fn(instance);
+    eval.seconds.push_back(watch.ElapsedSeconds());
+    if (!result.ok()) {
+      ++eval.failures;
+      eval.scores.push_back(PrfScore{});
+      continue;
+    }
+    PrfScore score = ScoreTable(instance.truth, result.value());
+    eval.scores.push_back(score);
+    ok_scores.push_back(score);
+  }
+  eval.mean = MacroAverage(eval.scores);
+  eval.mean_seconds =
+      eval.seconds.empty()
+          ? 0
+          : std::accumulate(eval.seconds.begin(), eval.seconds.end(), 0.0) /
+                static_cast<double>(eval.seconds.size());
+  return eval;
+}
+
+std::vector<SegmentationExample> PickExamples(const EvalInstance& instance,
+                                              int k, uint64_t seed) {
+  std::vector<SegmentationExample> examples;
+  const size_t n = instance.truth.NumRows();
+  if (k <= 0 || n == 0) return examples;
+  Rng rng(seed ^ (instance.index * 0x9e3779b97f4a7c15ULL + 1));
+  std::vector<size_t> rows(n);
+  std::iota(rows.begin(), rows.end(), 0);
+  // Partial Fisher-Yates for the first k picks.
+  const size_t picks = std::min(static_cast<size_t>(k), n);
+  for (size_t i = 0; i < picks; ++i) {
+    const size_t j = i + rng.Uniform(n - i);
+    std::swap(rows[i], rows[j]);
+  }
+  for (size_t i = 0; i < picks; ++i) {
+    SegmentationExample ex;
+    ex.line_index = rows[i];
+    ex.cells = instance.truth.Row(rows[i]);
+    examples.push_back(std::move(ex));
+  }
+  return examples;
+}
+
+SegmentFn TegraFn(const CorpusStats* stats, TegraOptions options) {
+  return [stats, options](const EvalInstance& instance) -> Result<Table> {
+    TegraOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    TegraExtractor tegra(stats, opts);
+    Result<ExtractionResult> result = tegra.Extract(instance.lines);
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+SegmentFn TegraSupervisedFn(const CorpusStats* stats, int k,
+                            TegraOptions options, uint64_t seed) {
+  return [stats, k, options,
+          seed](const EvalInstance& instance) -> Result<Table> {
+    TegraOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    TegraExtractor tegra(stats, opts);
+    // k == 0: column count given, no example rows (Figure K.1's x = 0).
+    Result<ExtractionResult> result =
+        (k == 0)
+            ? tegra.ExtractWithColumns(
+                  instance.lines, static_cast<int>(instance.truth.NumCols()))
+            : tegra.ExtractWithExamples(instance.lines,
+                                        PickExamples(instance, k, seed));
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+SegmentFn ListExtractFn(const CorpusStats* stats,
+                        ListExtractOptions options) {
+  return [stats, options](const EvalInstance& instance) -> Result<Table> {
+    ListExtractOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    ListExtract algo(stats, opts);
+    Result<BaselineResult> result = algo.Extract(instance.lines);
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+SegmentFn ListExtractSupervisedFn(const CorpusStats* stats, int k,
+                                  ListExtractOptions options, uint64_t seed) {
+  return [stats, k, options,
+          seed](const EvalInstance& instance) -> Result<Table> {
+    ListExtractOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    if (k == 0) {
+      opts.fixed_columns = static_cast<int>(instance.truth.NumCols());
+    }
+    ListExtract algo(stats, opts);
+    Result<BaselineResult> result =
+        k == 0 ? algo.Extract(instance.lines)
+               : algo.ExtractWithExamples(instance.lines,
+                                          PickExamples(instance, k, seed));
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+SegmentFn JudieFn(const synth::KnowledgeBase* kb, JudieOptions options) {
+  return [kb, options](const EvalInstance& instance) -> Result<Table> {
+    JudieOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    Judie algo(kb, opts);
+    Result<BaselineResult> result = algo.Extract(instance.lines);
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+SegmentFn JudieSupervisedFn(const synth::KnowledgeBase* kb, int k,
+                            JudieOptions options, uint64_t seed) {
+  return [kb, k, options,
+          seed](const EvalInstance& instance) -> Result<Table> {
+    JudieOptions opts = options;
+    opts.tokenizer = instance.tokenizer;
+    if (k == 0) {
+      opts.fixed_columns = static_cast<int>(instance.truth.NumCols());
+    }
+    Judie algo(kb, opts);
+    Result<BaselineResult> result =
+        k == 0 ? algo.Extract(instance.lines)
+               : algo.ExtractWithExamples(instance.lines,
+                                          PickExamples(instance, k, seed));
+    if (!result.ok()) return result.status();
+    return std::move(result).value().table;
+  };
+}
+
+std::vector<std::vector<size_t>> EqualBuckets(const std::vector<double>& keys,
+                                              int num_buckets) {
+  std::vector<size_t> order(keys.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  std::vector<std::vector<size_t>> buckets(num_buckets);
+  for (size_t i = 0; i < order.size(); ++i) {
+    const size_t b = std::min<size_t>(
+        num_buckets - 1, i * static_cast<size_t>(num_buckets) / order.size());
+    buckets[b].push_back(order[i]);
+  }
+  return buckets;
+}
+
+double MeanF(const std::vector<PrfScore>& scores,
+             const std::vector<size_t>& subset) {
+  if (subset.empty()) return 0;
+  double total = 0;
+  for (size_t i : subset) total += scores[i].f1;
+  return total / static_cast<double>(subset.size());
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      out += PadRight(rows_[r][c], widths[c]);
+      if (c + 1 < rows_[r].size()) out += "  ";
+    }
+    out += "\n";
+    if (r == 0) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        out += std::string(widths[c], '-');
+        if (c + 1 < widths.size()) out += "  ";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatPrf(const PrfScore& score) {
+  return FormatDouble(score.precision) + "/" + FormatDouble(score.recall) +
+         "/" + FormatDouble(score.f1);
+}
+
+void PrintBanner(const std::string& title) {
+  std::string bar(title.size() + 8, '=');
+  std::printf("\n%s\n==  %s  ==\n%s\n", bar.c_str(), title.c_str(),
+              bar.c_str());
+}
+
+}  // namespace tegra::eval

@@ -1,0 +1,102 @@
+// Experiment harness: uniform algorithm adapters, dataset evaluation,
+// bucketing helpers (Figure 8) and plain-text table/series printers shared
+// by all benchmark binaries.
+
+#ifndef TEGRA_EVAL_EXPERIMENT_H_
+#define TEGRA_EVAL_EXPERIMENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/judie.h"
+#include "baselines/listextract.h"
+#include "common/status.h"
+#include "core/tegra.h"
+#include "eval/benchmark_data.h"
+#include "eval/mapping_metric.h"
+
+namespace tegra::eval {
+
+/// \brief A segmentation algorithm under test: takes one benchmark instance,
+/// returns the extracted table.
+using SegmentFn = std::function<Result<Table>(const EvalInstance&)>;
+
+/// \brief Per-dataset evaluation output.
+struct AlgoEvaluation {
+  std::vector<PrfScore> scores;    ///< Per instance (failed runs score 0).
+  std::vector<double> seconds;     ///< Per instance wall time.
+  PrfScore mean;                   ///< Macro average.
+  double mean_seconds = 0;
+  size_t failures = 0;
+};
+
+/// \brief Runs `fn` over every instance and scores against ground truth.
+AlgoEvaluation EvaluateAlgorithm(const std::vector<EvalInstance>& instances,
+                                 const SegmentFn& fn);
+
+// ---- Algorithm adapters ---------------------------------------------------
+
+/// Unsupervised TEGRA.
+SegmentFn TegraFn(const CorpusStats* stats, TegraOptions options = {});
+
+/// Supervised TEGRA with `k` ground-truth rows as examples (the paper uses
+/// k = 2 by default); rows are chosen pseudo-randomly per instance.
+/// k = 0 means "column count given" (the x = 0 point of Figure K.1).
+SegmentFn TegraSupervisedFn(const CorpusStats* stats, int k,
+                            TegraOptions options = {}, uint64_t seed = 7);
+
+/// Unsupervised / supervised ListExtract.
+SegmentFn ListExtractFn(const CorpusStats* stats,
+                        ListExtractOptions options = {});
+SegmentFn ListExtractSupervisedFn(const CorpusStats* stats, int k,
+                                  ListExtractOptions options = {},
+                                  uint64_t seed = 7);
+
+/// Unsupervised / supervised Judie.
+SegmentFn JudieFn(const synth::KnowledgeBase* kb, JudieOptions options = {});
+SegmentFn JudieSupervisedFn(const synth::KnowledgeBase* kb, int k,
+                            JudieOptions options = {}, uint64_t seed = 7);
+
+/// \brief Picks `k` pseudo-random example rows from an instance's ground
+/// truth (shared by all supervised adapters so algorithms see the same
+/// examples).
+std::vector<SegmentationExample> PickExamples(const EvalInstance& instance,
+                                              int k, uint64_t seed);
+
+// ---- Bucketing (Figure 8) ---------------------------------------------
+
+/// \brief Sorts instance indices by `keys` ascending and splits them into
+/// `num_buckets` equal-size buckets (the paper's percentile buckets).
+std::vector<std::vector<size_t>> EqualBuckets(const std::vector<double>& keys,
+                                              int num_buckets);
+
+/// \brief Mean F-measure of a subset of per-instance scores.
+double MeanF(const std::vector<PrfScore>& scores,
+             const std::vector<size_t>& subset);
+
+// ---- Output -----------------------------------------------------------
+
+/// \brief Fixed-width console table writer used by every bench binary.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+  /// Renders with aligned columns and a header rule.
+  std::string ToString() const;
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a PrfScore as "P/R/F" with 2 decimals.
+std::string FormatPrf(const PrfScore& score);
+
+/// \brief Prints a section banner for bench output.
+void PrintBanner(const std::string& title);
+
+}  // namespace tegra::eval
+
+#endif  // TEGRA_EVAL_EXPERIMENT_H_

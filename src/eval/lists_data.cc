@@ -1,0 +1,562 @@
+#include "eval/lists_data.h"
+
+namespace tegra::eval {
+
+namespace {
+
+using Rows = std::vector<std::vector<std::string>>;
+
+std::vector<ManualList> BuildManualLists() {
+  std::vector<ManualList> lists;
+
+  // 1. Numbered city/population list in the style of Figure 1.
+  lists.push_back(ManualList{
+      "new_england_cities",
+      ".,:",
+      {
+          "1. Boston, Massachusetts: 645,966",
+          "2. Worcester, Massachusetts: 182,544",
+          "3. Providence, Rhode Island: 178,042",
+          "4. Springfield, Massachusetts: 153,060",
+          "5. Bridgeport, Connecticut: 144,229",
+          "6. New Haven, Connecticut: 129,779",
+          "7. Hartford, Connecticut: 124,775",
+          "8. Stamford, Connecticut: 122,643",
+          "9. Waterbury, Connecticut: 110,366",
+          "10. Manchester, New Hampshire: 109,565",
+      },
+      Rows{
+          {"1", "Boston", "Massachusetts", "645 966"},
+          {"2", "Worcester", "Massachusetts", "182 544"},
+          {"3", "Providence", "Rhode Island", "178 042"},
+          {"4", "Springfield", "Massachusetts", "153 060"},
+          {"5", "Bridgeport", "Connecticut", "144 229"},
+          {"6", "New Haven", "Connecticut", "129 779"},
+          {"7", "Hartford", "Connecticut", "124 775"},
+          {"8", "Stamford", "Connecticut", "122 643"},
+          {"9", "Waterbury", "Connecticut", "110 366"},
+          {"10", "Manchester", "New Hampshire", "109 565"},
+      }});
+
+  // 2. Airports, dash-delimited.
+  lists.push_back(ManualList{
+      "airports",
+      "-",
+      {
+          "Hartsfield Jackson Atlanta - United States - 96",
+          "Beijing Capital - China - 86",
+          "London Heathrow - United Kingdom - 73",
+          "Tokyo Haneda - Japan - 69",
+          "Dubai International - United Arab Emirates - 66",
+          "Chicago O'Hare - United States - 67",
+          "Paris Charles de Gaulle - France - 62",
+          "Dallas Fort Worth - United States - 61",
+          "Hong Kong International - China - 60",
+          "Frankfurt am Main - Germany - 58",
+      },
+      Rows{
+          {"Hartsfield Jackson Atlanta", "United States", "96"},
+          {"Beijing Capital", "China", "86"},
+          {"London Heathrow", "United Kingdom", "73"},
+          {"Tokyo Haneda", "Japan", "69"},
+          {"Dubai International", "United Arab Emirates", "66"},
+          {"Chicago O'Hare", "United States", "67"},
+          {"Paris Charles de Gaulle", "France", "62"},
+          {"Dallas Fort Worth", "United States", "61"},
+          {"Hong Kong International", "China", "60"},
+          {"Frankfurt am Main", "Germany", "58"},
+      }});
+
+  // 3. Movies with year and genre, semicolon-delimited.
+  lists.push_back(ManualList{
+      "movies",
+      ";",
+      {
+          "The Godfather; 1972; Crime",
+          "Citizen Kane; 1941; Drama",
+          "Casablanca; 1942; Romance",
+          "Star Wars; 1977; Science Fiction",
+          "Jurassic Park; 1993; Adventure",
+          "Pulp Fiction; 1994; Crime",
+          "Forrest Gump; 1994; Drama",
+          "The Matrix; 1999; Science Fiction",
+          "Gladiator; 2000; Action",
+          "Inception; 2010; Thriller",
+      },
+      Rows{
+          {"The Godfather", "1972", "Crime"},
+          {"Citizen Kane", "1941", "Drama"},
+          {"Casablanca", "1942", "Romance"},
+          {"Star Wars", "1977", "Science Fiction"},
+          {"Jurassic Park", "1993", "Adventure"},
+          {"Pulp Fiction", "1994", "Crime"},
+          {"Forrest Gump", "1994", "Drama"},
+          {"The Matrix", "1999", "Science Fiction"},
+          {"Gladiator", "2000", "Action"},
+          {"Inception", "2010", "Thriller"},
+      }});
+
+  // 4. Notable people with terms, pipe-delimited.
+  lists.push_back(ManualList{
+      "people_terms",
+      "|",
+      {
+          "James Wilson | 1789 | 1797",
+          "John Adams | 1797 | 1801",
+          "Thomas Jackson | 1801 | 1809",
+          "William Harris | 1809 | 1817",
+          "Mary Johnson | 1817 | 1825",
+          "Robert Taylor | 1825 | 1829",
+          "David Carter | 1829 | 1837",
+          "Sarah Morgan | 1837 | 1841",
+      },
+      Rows{
+          {"James Wilson", "1789", "1797"},
+          {"John Adams", "1797", "1801"},
+          {"Thomas Jackson", "1801", "1809"},
+          {"William Harris", "1809", "1817"},
+          {"Mary Johnson", "1817", "1825"},
+          {"Robert Taylor", "1825", "1829"},
+          {"David Carter", "1829", "1837"},
+          {"Sarah Morgan", "1837", "1841"},
+      }});
+
+  // 5. World city populations, whitespace only (commas are NOT delimiters).
+  lists.push_back(ManualList{
+      "world_city_population",
+      "",
+      {
+          "Tokyo Japan 37,400,068",
+          "New Delhi India 28,514,000",
+          "Shanghai China 25,582,000",
+          "Sao Paulo Brazil 21,650,000",
+          "Mexico City Mexico 21,581,000",
+          "Cairo Egypt 20,076,000",
+          "Mumbai India 19,980,000",
+          "Beijing China 19,618,000",
+          "Dhaka Bangladesh 19,578,000",
+          "Osaka Japan 19,281,000",
+      },
+      Rows{
+          {"Tokyo", "Japan", "37,400,068"},
+          {"New Delhi", "India", "28,514,000"},
+          {"Shanghai", "China", "25,582,000"},
+          {"Sao Paulo", "Brazil", "21,650,000"},
+          {"Mexico City", "Mexico", "21,581,000"},
+          {"Cairo", "Egypt", "20,076,000"},
+          {"Mumbai", "India", "19,980,000"},
+          {"Beijing", "China", "19,618,000"},
+          {"Dhaka", "Bangladesh", "19,578,000"},
+          {"Osaka", "Japan", "19,281,000"},
+      }});
+
+  // 6. Sports teams, colon-delimited.
+  lists.push_back(ManualList{
+      "sports_teams",
+      ":",
+      {
+          "Boston Red Sox : Baseball : Boston",
+          "New York Yankees : Baseball : New York",
+          "Los Angeles Lakers : Basketball : Los Angeles",
+          "Chicago Bulls : Basketball : Chicago",
+          "Green Bay Packers : Football : Green Bay",
+          "Dallas Cowboys : Football : Dallas",
+          "Montreal Canadiens : Hockey : Montreal",
+          "Toronto Maple Leafs : Hockey : Toronto",
+          "Manchester United : Soccer : Manchester",
+          "Real Madrid : Soccer : Madrid",
+      },
+      Rows{
+          {"Boston Red Sox", "Baseball", "Boston"},
+          {"New York Yankees", "Baseball", "New York"},
+          {"Los Angeles Lakers", "Basketball", "Los Angeles"},
+          {"Chicago Bulls", "Basketball", "Chicago"},
+          {"Green Bay Packers", "Football", "Green Bay"},
+          {"Dallas Cowboys", "Football", "Dallas"},
+          {"Montreal Canadiens", "Hockey", "Montreal"},
+          {"Toronto Maple Leafs", "Hockey", "Toronto"},
+          {"Manchester United", "Soccer", "Manchester"},
+          {"Real Madrid", "Soccer", "Madrid"},
+      }});
+
+  // 7. Chemical elements, comma-delimited.
+  lists.push_back(ManualList{
+      "elements",
+      ",",
+      {
+          "Hydrogen, H, 1",
+          "Helium, He, 2",
+          "Lithium, Li, 3",
+          "Carbon, C, 6",
+          "Nitrogen, N, 7",
+          "Oxygen, O, 8",
+          "Sodium, Na, 11",
+          "Iron, Fe, 26",
+          "Copper, Cu, 29",
+          "Silver, Ag, 47",
+      },
+      Rows{
+          {"Hydrogen", "H", "1"},
+          {"Helium", "He", "2"},
+          {"Lithium", "Li", "3"},
+          {"Carbon", "C", "6"},
+          {"Nitrogen", "N", "7"},
+          {"Oxygen", "O", "8"},
+          {"Sodium", "Na", "11"},
+          {"Iron", "Fe", "26"},
+          {"Copper", "Cu", "29"},
+          {"Silver", "Ag", "47"},
+      }});
+
+  // 8. Universities, dash-delimited.
+  lists.push_back(ManualList{
+      "universities",
+      "-",
+      {
+          "Harvard University - Massachusetts - 1636",
+          "Yale University - Connecticut - 1701",
+          "Princeton University - New Jersey - 1746",
+          "Columbia University - New York - 1754",
+          "Brown University - Rhode Island - 1764",
+          "Dartmouth College - New Hampshire - 1769",
+          "Cornell University - New York - 1865",
+          "Stanford University - California - 1885",
+      },
+      Rows{
+          {"Harvard University", "Massachusetts", "1636"},
+          {"Yale University", "Connecticut", "1701"},
+          {"Princeton University", "New Jersey", "1746"},
+          {"Columbia University", "New York", "1754"},
+          {"Brown University", "Rhode Island", "1764"},
+          {"Dartmouth College", "New Hampshire", "1769"},
+          {"Cornell University", "New York", "1865"},
+          {"Stanford University", "California", "1885"},
+      }});
+
+  // 9. Languages and speaker counts, semicolon-delimited.
+  lists.push_back(ManualList{
+      "languages",
+      ";",
+      {
+          "Mandarin Chinese; China; 920",
+          "Spanish; Spain; 480",
+          "English; United Kingdom; 379",
+          "Hindi; India; 341",
+          "Bengali; Bangladesh; 228",
+          "Portuguese; Portugal; 221",
+          "Russian; Russia; 154",
+          "Japanese; Japan; 128",
+      },
+      Rows{
+          {"Mandarin Chinese", "China", "920"},
+          {"Spanish", "Spain", "480"},
+          {"English", "United Kingdom", "379"},
+          {"Hindi", "India", "341"},
+          {"Bengali", "Bangladesh", "228"},
+          {"Portuguese", "Portugal", "221"},
+          {"Russian", "Russia", "154"},
+          {"Japanese", "Japan", "128"},
+      }});
+
+  // 10. Colors and hex codes, whitespace only.
+  lists.push_back(ManualList{
+      "colors",
+      "",
+      {
+          "Red FF0000 255",
+          "Green 00FF00 128",
+          "Blue 0000FF 240",
+          "Yellow FFFF00 60",
+          "Orange FFA500 39",
+          "Purple 800080 300",
+          "Navy Blue 000080 240",
+          "Sky Blue 87CEEB 197",
+          "Forest Green 228B22 120",
+          "Dark Green 006400 120",
+      },
+      Rows{
+          {"Red", "FF0000", "255"},
+          {"Green", "00FF00", "128"},
+          {"Blue", "0000FF", "240"},
+          {"Yellow", "FFFF00", "60"},
+          {"Orange", "FFA500", "39"},
+          {"Purple", "800080", "300"},
+          {"Navy Blue", "000080", "240"},
+          {"Sky Blue", "87CEEB", "197"},
+          {"Forest Green", "228B22", "120"},
+          {"Dark Green", "006400", "120"},
+      }});
+
+  // 11. Animals, whitespace only.
+  lists.push_back(ManualList{
+      "animals",
+      "",
+      {
+          "Lion Africa Carnivore",
+          "Tiger Asia Carnivore",
+          "Elephant Africa Herbivore",
+          "Giraffe Africa Herbivore",
+          "Polar Bear Arctic Carnivore",
+          "Grizzly Bear America Carnivore",
+          "Panda Asia Herbivore",
+          "Kangaroo Australia Herbivore",
+          "Blue Whale Ocean Carnivore",
+          "Sea Lion Ocean Carnivore",
+      },
+      Rows{
+          {"Lion", "Africa", "Carnivore"},
+          {"Tiger", "Asia", "Carnivore"},
+          {"Elephant", "Africa", "Herbivore"},
+          {"Giraffe", "Africa", "Herbivore"},
+          {"Polar Bear", "Arctic", "Carnivore"},
+          {"Grizzly Bear", "America", "Carnivore"},
+          {"Panda", "Asia", "Herbivore"},
+          {"Kangaroo", "Australia", "Herbivore"},
+          {"Blue Whale", "Ocean", "Carnivore"},
+          {"Sea Lion", "Ocean", "Carnivore"},
+      }});
+
+  // 12. Companies with headquarters and founding year, comma-delimited.
+  lists.push_back(ManualList{
+      "companies",
+      ",",
+      {
+          "Microsoft, Redmond, 1975",
+          "Apple, Cupertino, 1976",
+          "Google, Mountain View, 1998",
+          "Amazon, Seattle, 1994",
+          "IBM, Armonk, 1911",
+          "Intel, Santa Clara, 1968",
+          "Oracle, Austin, 1977",
+          "Adobe, San Jose, 1982",
+          "Netflix, Los Gatos, 1997",
+          "Salesforce, San Francisco, 1999",
+      },
+      Rows{
+          {"Microsoft", "Redmond", "1975"},
+          {"Apple", "Cupertino", "1976"},
+          {"Google", "Mountain View", "1998"},
+          {"Amazon", "Seattle", "1994"},
+          {"IBM", "Armonk", "1911"},
+          {"Intel", "Santa Clara", "1968"},
+          {"Oracle", "Austin", "1977"},
+          {"Adobe", "San Jose", "1982"},
+          {"Netflix", "Los Gatos", "1997"},
+          {"Salesforce", "San Francisco", "1999"},
+      }});
+
+  // 13. Countries, capitals and currencies, colon-delimited.
+  lists.push_back(ManualList{
+      "countries_capitals",
+      ":",
+      {
+          "France : Paris : Euro",
+          "Germany : Berlin : Euro",
+          "Japan : Tokyo : Yen",
+          "Canada : Ottawa : Dollar",
+          "Brazil : Brasilia : Real",
+          "Russia : Moscow : Ruble",
+          "India : New Delhi : Rupee",
+          "United Kingdom : London : Pound",
+          "South Korea : Seoul : Won",
+          "Mexico : Mexico City : Peso",
+      },
+      Rows{
+          {"France", "Paris", "Euro"},
+          {"Germany", "Berlin", "Euro"},
+          {"Japan", "Tokyo", "Yen"},
+          {"Canada", "Ottawa", "Dollar"},
+          {"Brazil", "Brasilia", "Real"},
+          {"Russia", "Moscow", "Ruble"},
+          {"India", "New Delhi", "Rupee"},
+          {"United Kingdom", "London", "Pound"},
+          {"South Korea", "Seoul", "Won"},
+          {"Mexico", "Mexico City", "Peso"},
+      }});
+
+  // 14. Olympic host cities, whitespace only.
+  lists.push_back(ManualList{
+      "olympics",
+      "",
+      {
+          "1996 Atlanta United States",
+          "2000 Sydney Australia",
+          "2004 Athens Greece",
+          "2008 Beijing China",
+          "2012 London United Kingdom",
+          "2016 Rio de Janeiro Brazil",
+          "1988 Seoul South Korea",
+          "1992 Barcelona Spain",
+      },
+      Rows{
+          {"1996", "Atlanta", "United States"},
+          {"2000", "Sydney", "Australia"},
+          {"2004", "Athens", "Greece"},
+          {"2008", "Beijing", "China"},
+          {"2012", "London", "United Kingdom"},
+          {"2016", "Rio de Janeiro", "Brazil"},
+          {"1988", "Seoul", "South Korea"},
+          {"1992", "Barcelona", "Spain"},
+      }});
+
+  // 15. Music genres with labels and years, pipe-delimited.
+  lists.push_back(ManualList{
+      "genres",
+      "|",
+      {
+          "Jazz | New Orleans | 1910",
+          "Blues | Mississippi | 1900",
+          "Rock | Memphis | 1950",
+          "Hip Hop | New York | 1973",
+          "Country | Nashville | 1920",
+          "Electronic | Detroit | 1980",
+          "Reggae | Kingston | 1960",
+          "Folk | Appalachia | 1900",
+      },
+      Rows{
+          {"Jazz", "New Orleans", "1910"},
+          {"Blues", "Mississippi", "1900"},
+          {"Rock", "Memphis", "1950"},
+          {"Hip Hop", "New York", "1973"},
+          {"Country", "Nashville", "1920"},
+          {"Electronic", "Detroit", "1980"},
+          {"Reggae", "Kingston", "1960"},
+          {"Folk", "Appalachia", "1900"},
+      }});
+
+  // 16. Contact list with phone numbers, comma-delimited.
+  lists.push_back(ManualList{
+      "contacts",
+      ",",
+      {
+          "John Smith, 425-880-1200, Seattle",
+          "Mary Johnson, 206-443-9810, Tacoma",
+          "Robert Brown, 360-115-2233, Olympia",
+          "Patricia Davis, 509-662-4411, Spokane",
+          "Michael Miller, 425-392-8585, Bellevue",
+          "Linda Wilson, 253-874-1122, Federal Way",
+          "David Moore, 206-781-3344, Seattle",
+          "Susan Taylor, 425-255-6677, Renton",
+      },
+      Rows{
+          {"John Smith", "425-880-1200", "Seattle"},
+          {"Mary Johnson", "206-443-9810", "Tacoma"},
+          {"Robert Brown", "360-115-2233", "Olympia"},
+          {"Patricia Davis", "509-662-4411", "Spokane"},
+          {"Michael Miller", "425-392-8585", "Bellevue"},
+          {"Linda Wilson", "253-874-1122", "Federal Way"},
+          {"David Moore", "206-781-3344", "Seattle"},
+          {"Susan Taylor", "425-255-6677", "Renton"},
+      }});
+
+  // 17. Staff directory with emails, whitespace only.
+  lists.push_back(ManualList{
+      "staff_emails",
+      "",
+      {
+          "Mary Johnson mary.johnson@example.com Marketing",
+          "James Smith james.smith@example.com Engineering",
+          "Patricia Williams patricia.williams@example.com Finance",
+          "John Brown john.brown@example.com Sales",
+          "Jennifer Jones jennifer.jones@example.com Legal",
+          "Michael Garcia michael.garcia@example.com Operations",
+          "Linda Miller linda.miller@example.com Engineering",
+          "William Davis william.davis@example.com Marketing",
+      },
+      Rows{
+          {"Mary Johnson", "mary.johnson@example.com", "Marketing"},
+          {"James Smith", "james.smith@example.com", "Engineering"},
+          {"Patricia Williams", "patricia.williams@example.com", "Finance"},
+          {"John Brown", "john.brown@example.com", "Sales"},
+          {"Jennifer Jones", "jennifer.jones@example.com", "Legal"},
+          {"Michael Garcia", "michael.garcia@example.com", "Operations"},
+          {"Linda Miller", "linda.miller@example.com", "Engineering"},
+          {"William Davis", "william.davis@example.com", "Marketing"},
+      }});
+
+  // 18. City populations, tab-delimited (commas stay inside numbers).
+  lists.push_back(ManualList{
+      "cities_tab",
+      "",  // Tab is already a whitespace delimiter.
+      {
+          "Toronto\tCanada\t2,731,571",
+          "Montreal\tCanada\t1,704,694",
+          "Vancouver\tCanada\t631,486",
+          "Calgary\tCanada\t1,239,220",
+          "Ottawa\tCanada\t934,243",
+          "Edmonton\tCanada\t932,546",
+          "Winnipeg\tCanada\t705,244",
+          "Halifax\tCanada\t403,131",
+      },
+      Rows{
+          {"Toronto", "Canada", "2,731,571"},
+          {"Montreal", "Canada", "1,704,694"},
+          {"Vancouver", "Canada", "631,486"},
+          {"Calgary", "Canada", "1,239,220"},
+          {"Ottawa", "Canada", "934,243"},
+          {"Edmonton", "Canada", "932,546"},
+          {"Winnipeg", "Canada", "705,244"},
+          {"Halifax", "Canada", "403,131"},
+      }});
+
+  // 19. Product catalog, semicolon-delimited.
+  lists.push_back(ManualList{
+      "products",
+      ";",
+      {
+          "Deluxe Drill; $129; 4.5",
+          "Premium Hammer; $39; 4.7",
+          "Classic Wrench; $25; 4.2",
+          "Smart Speaker; $99; 4.4",
+          "Wireless Mouse; $49; 4.6",
+          "Digital Camera; $449; 4.3",
+          "Portable Heater; $79; 4.1",
+          "Compact Blender; $59; 4.5",
+      },
+      Rows{
+          {"Deluxe Drill", "$129", "4.5"},
+          {"Premium Hammer", "$39", "4.7"},
+          {"Classic Wrench", "$25", "4.2"},
+          {"Smart Speaker", "$99", "4.4"},
+          {"Wireless Mouse", "$49", "4.6"},
+          {"Digital Camera", "$449", "4.3"},
+          {"Portable Heater", "$79", "4.1"},
+          {"Compact Blender", "$59", "4.5"},
+      }});
+
+  // 20. Conference schedule with dates, dash-delimited.
+  lists.push_back(ManualList{
+      "events",
+      "-",
+      {
+          "Jan 12 2010 - Sales Conference - Boston",
+          "Feb 20 2010 - Product Launch - Seattle",
+          "Mar 15 2010 - Annual Meeting - Chicago",
+          "Apr 22 2010 - Training Workshop - Denver",
+          "May 30 2010 - Customer Summit - Austin",
+          "Jun 18 2010 - Board Review - New York",
+          "Jul 26 2010 - Tech Symposium - Portland",
+          "Aug 14 2010 - Partner Forum - Miami",
+      },
+      Rows{
+          {"Jan 12 2010", "Sales Conference", "Boston"},
+          {"Feb 20 2010", "Product Launch", "Seattle"},
+          {"Mar 15 2010", "Annual Meeting", "Chicago"},
+          {"Apr 22 2010", "Training Workshop", "Denver"},
+          {"May 30 2010", "Customer Summit", "Austin"},
+          {"Jun 18 2010", "Board Review", "New York"},
+          {"Jul 26 2010", "Tech Symposium", "Portland"},
+          {"Aug 14 2010", "Partner Forum", "Miami"},
+      }});
+
+  return lists;
+}
+
+}  // namespace
+
+const std::vector<ManualList>& ManualLists() {
+  static const std::vector<ManualList> kLists = BuildManualLists();
+  return kLists;
+}
+
+}  // namespace tegra::eval

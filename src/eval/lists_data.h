@@ -1,0 +1,48 @@
+// The manually labelled "Lists" benchmark (§5.1.3): 20 hand-authored lists
+// across domains (airports, movies, people, sports, ...), using many
+// different column delimiters — comma, semicolon, colon, dash, pipe, tab —
+// with hand-written ground-truth segmentations.
+//
+// Ground-truth cells are expressed over the *tokenized* line (delimiters
+// removed, tokens joined with single spaces), e.g. the population "645,966"
+// in a comma-delimited list tokenizes to "645 966". A unit test verifies
+// that every ground-truth row matches its line's tokens exactly.
+
+#ifndef TEGRA_EVAL_LISTS_DATA_H_
+#define TEGRA_EVAL_LISTS_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/table.h"
+#include "text/tokenizer.h"
+
+namespace tegra::eval {
+
+/// \brief One hand-labelled list.
+struct ManualList {
+  std::string name;
+  /// Punctuation characters acting as column delimiters in this list
+  /// (whitespace is always a delimiter).
+  std::string delimiters;
+  std::vector<std::string> lines;
+  /// Ground truth rows (cells over tokenized lines).
+  std::vector<std::vector<std::string>> truth_rows;
+
+  /// Tokenizer options for this list.
+  TokenizerOptions tokenizer_options() const {
+    TokenizerOptions opts;
+    opts.punctuation_delimiters = delimiters;
+    return opts;
+  }
+
+  /// The ground truth as a Table.
+  Table TruthTable() const { return Table(truth_rows); }
+};
+
+/// \brief The 20 lists.
+const std::vector<ManualList>& ManualLists();
+
+}  // namespace tegra::eval
+
+#endif  // TEGRA_EVAL_LISTS_DATA_H_

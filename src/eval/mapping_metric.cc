@@ -1,0 +1,104 @@
+#include "eval/mapping_metric.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace tegra::eval {
+
+double FMeasure(double precision, double recall) {
+  if (precision + recall <= 0) return 0;
+  return 2 * precision * recall / (precision + recall);
+}
+
+namespace {
+
+/// Concatenation of row `r`'s values over columns [c0, c1) of `t`, with
+/// empty cells skipped (cells were joined from the same token stream, so
+/// this is comparable across tables).
+std::string ConcatCells(const Table& t, size_t r, size_t c0, size_t c1) {
+  std::string out;
+  for (size_t c = c0; c < c1; ++c) {
+    const std::string& cell = t.Cell(r, c);
+    if (cell.empty()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out.append(cell);
+  }
+  return out;
+}
+
+/// Number of rows where truth columns [g0, g1) concatenate to the same
+/// string as extracted columns [a0, a1).
+size_t MatchCount(const Table& truth, const Table& extracted, size_t g0,
+                  size_t g1, size_t a0, size_t a1) {
+  size_t matches = 0;
+  for (size_t r = 0; r < truth.NumRows(); ++r) {
+    if (ConcatCells(truth, r, g0, g1) == ConcatCells(extracted, r, a0, a1)) {
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+}  // namespace
+
+size_t BestMappingValue(const Table& truth, const Table& extracted) {
+  assert(truth.NumRows() == extracted.NumRows());
+  const size_t gm = truth.NumCols();
+  const size_t am = extracted.NumCols();
+  // best[i][j]: best |M| using the first i truth and j extracted columns.
+  std::vector<std::vector<size_t>> best(gm + 1,
+                                        std::vector<size_t>(am + 1, 0));
+  for (size_t i = 0; i <= gm; ++i) {
+    for (size_t j = 0; j <= am; ++j) {
+      size_t v = 0;
+      if (i > 0) v = std::max(v, best[i - 1][j]);  // Unmapped truth column.
+      if (j > 0) v = std::max(v, best[i][j - 1]);  // Unmapped output column.
+      if (i > 0) {
+        // One truth column <- k consecutive extracted columns.
+        for (size_t k = 1; k <= j; ++k) {
+          v = std::max(v, best[i - 1][j - k] +
+                              MatchCount(truth, extracted, i - 1, i, j - k, j));
+        }
+      }
+      if (j > 0) {
+        // k consecutive truth columns <- one extracted column (k >= 2; the
+        // k == 1 case is covered above).
+        for (size_t k = 2; k <= i; ++k) {
+          v = std::max(v, best[i - k][j - 1] +
+                              MatchCount(truth, extracted, i - k, i, j - 1, j));
+        }
+      }
+      best[i][j] = v;
+    }
+  }
+  return best[gm][am];
+}
+
+PrfScore ScoreTable(const Table& truth, const Table& extracted) {
+  PrfScore score;
+  const size_t m = BestMappingValue(truth, extracted);
+  const size_t ta = extracted.NumCells();
+  const size_t tg = truth.NumCells();
+  score.precision = ta == 0 ? 0 : static_cast<double>(m) / ta;
+  score.recall = tg == 0 ? 0 : static_cast<double>(m) / tg;
+  score.f1 = FMeasure(score.precision, score.recall);
+  return score;
+}
+
+PrfScore MacroAverage(const std::vector<PrfScore>& scores) {
+  PrfScore avg;
+  if (scores.empty()) return avg;
+  for (const PrfScore& s : scores) {
+    avg.precision += s.precision;
+    avg.recall += s.recall;
+    avg.f1 += s.f1;
+  }
+  const double n = static_cast<double>(scores.size());
+  avg.precision /= n;
+  avg.recall /= n;
+  avg.f1 /= n;
+  return avg;
+}
+
+}  // namespace tegra::eval

@@ -1,0 +1,46 @@
+// The generalized precision/recall of §5.1.5.
+//
+// Extracted tables are compared to ground truth through a best set of column
+// mappings, where one ground-truth column may map to several consecutive
+// extracted columns or vice versa (so consistently over- or under-segmented
+// tables receive partial credit). |M| counts rows whose concatenated values
+// agree across a mapping; mappings may not overlap. We compute the best
+// mapping set exactly with a DP over ordered column prefixes (mappings are
+// monotone: both tables segment the same token stream left to right, so
+// crossing mappings can never match).
+
+#ifndef TEGRA_EVAL_MAPPING_METRIC_H_
+#define TEGRA_EVAL_MAPPING_METRIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "corpus/table.h"
+
+namespace tegra::eval {
+
+/// \brief Precision / recall / F-measure triple.
+struct PrfScore {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// \brief Combines precision and recall into F1 (0 when both are 0).
+double FMeasure(double precision, double recall);
+
+/// \brief |M_best|: the maximum number of correctly aligned row values over
+/// all non-overlapping sets of consecutive column mappings.
+size_t BestMappingValue(const Table& truth, const Table& extracted);
+
+/// \brief Scores one extraction: P = |M_best| / |T_a|, R = |M_best| / |T_g|.
+/// Tables must have equal row counts (they segment the same list).
+PrfScore ScoreTable(const Table& truth, const Table& extracted);
+
+/// \brief Macro-averages per-table scores (the paper reports dataset-level
+/// P/R/F as averages over tables).
+PrfScore MacroAverage(const std::vector<PrfScore>& scores);
+
+}  // namespace tegra::eval
+
+#endif  // TEGRA_EVAL_MAPPING_METRIC_H_

@@ -1,0 +1,53 @@
+// HTML list extraction — the upstream job of the paper's pipeline.
+//
+// The paper's input is "HTML lists embedded in <ul></ul> HTML tags" (§5.7);
+// an upstream extraction job pulls the list items out of raw pages, strips
+// embedded markup and entities, and hands clean text lines to the
+// segmenter (Appendix I notes images and other HTML constructs "are removed
+// from the input lists by an upstream table/list extraction job"). This
+// module is that job: a small, dependency-free HTML scanner that finds
+// <ul>/<ol> elements, collects their direct <li> items, flattens inline
+// markup, and decodes common entities.
+//
+// It is deliberately a pragmatic web-scale scanner, not a validating
+// parser: real crawl HTML is malformed more often than not, so the scanner
+// never fails — it extracts what it can.
+
+#ifndef TEGRA_HTML_HTML_LISTS_H_
+#define TEGRA_HTML_HTML_LISTS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tegra::html {
+
+/// \brief One extracted HTML list.
+struct HtmlList {
+  /// Cleaned text of each direct <li> item (markup stripped, entities
+  /// decoded, whitespace collapsed). Items that were empty after cleaning
+  /// are omitted.
+  std::vector<std::string> items;
+  /// "ul" or "ol".
+  std::string tag;
+};
+
+/// \brief Extracts every <ul>/<ol> list from an HTML document.
+///
+/// Nested lists contribute their items to their own entry (and their text
+/// is excluded from the enclosing item). <script>/<style> content is
+/// ignored. Unclosed lists are terminated at end of input.
+std::vector<HtmlList> ExtractHtmlLists(std::string_view html);
+
+/// \brief Strips tags, decodes common entities (&amp; &lt; &gt; &quot;
+/// &#39; &nbsp; and numeric forms) and collapses whitespace.
+std::string StripMarkup(std::string_view html);
+
+/// \brief Decodes one entity reference starting at `pos` ('&'); returns the
+/// decoded string and advances *pos past the reference, or returns "&" and
+/// advances by one when the text is not a recognized entity.
+std::string DecodeEntityAt(std::string_view html, size_t* pos);
+
+}  // namespace tegra::html
+
+#endif  // TEGRA_HTML_HTML_LISTS_H_

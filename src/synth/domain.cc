@@ -1,0 +1,352 @@
+#include "synth/domain.h"
+
+#include <array>
+#include <cassert>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "synth/vocab.h"
+
+namespace tegra::synth {
+
+namespace {
+
+/// Zipf skew for categorical sampling. Around 0.9 gives a realistic
+/// head-heavy popularity curve without starving the tail.
+constexpr double kZipfSkew = 0.9;
+
+std::string FormatWithCommas(int64_t v) {
+  char digits[32];
+  std::snprintf(digits, sizeof(digits), "%lld", static_cast<long long>(v));
+  std::string raw(digits);
+  std::string out;
+  int count = 0;
+  for (int i = static_cast<int>(raw.size()) - 1; i >= 0; --i) {
+    out.push_back(raw[i]);
+    if (++count % 3 == 0 && i > 0) out.push_back(',');
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+const std::vector<std::string>* VocabularyFor(DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kWorldCity:
+      return &WorldCities();
+    case DomainKind::kUsCity:
+      return &UsCities();
+    case DomainKind::kCountry:
+      return &Countries();
+    case DomainKind::kUsState:
+      return &UsStates();
+    case DomainKind::kFirstName:
+      return &FirstNames();
+    case DomainKind::kCompany:
+      return &Companies();
+    case DomainKind::kUniversity:
+      return &Universities();
+    case DomainKind::kSportsTeam:
+      return &SportsTeams();
+    case DomainKind::kMovie:
+      return &Movies();
+    case DomainKind::kAirport:
+      return &Airports();
+    case DomainKind::kMonth:
+      return &Months();
+    case DomainKind::kWeekday:
+      return &Weekdays();
+    case DomainKind::kColor:
+      return &Colors();
+    case DomainKind::kElement:
+      return &Elements();
+    case DomainKind::kLanguage:
+      return &Languages();
+    case DomainKind::kAnimal:
+      return &Animals();
+    case DomainKind::kOccupation:
+      return &Occupations();
+    case DomainKind::kGenre:
+      return &Genres();
+    case DomainKind::kDepartment:
+      return &Departments();
+    case DomainKind::kStatus:
+      return &Statuses();
+    case DomainKind::kEnterpriseCustomer:
+      return &EnterpriseCustomers();
+    case DomainKind::kEnterpriseProject:
+      return &EnterpriseProjects();
+    case DomainKind::kEnterpriseEmployee:
+      return &EnterpriseEmployees();
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+const char* DomainKindName(DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kWorldCity: return "world_city";
+    case DomainKind::kUsCity: return "us_city";
+    case DomainKind::kCountry: return "country";
+    case DomainKind::kUsState: return "us_state";
+    case DomainKind::kPersonName: return "person_name";
+    case DomainKind::kFirstName: return "first_name";
+    case DomainKind::kCompany: return "company";
+    case DomainKind::kUniversity: return "university";
+    case DomainKind::kSportsTeam: return "sports_team";
+    case DomainKind::kMovie: return "movie";
+    case DomainKind::kAirport: return "airport";
+    case DomainKind::kMonth: return "month";
+    case DomainKind::kWeekday: return "weekday";
+    case DomainKind::kColor: return "color";
+    case DomainKind::kElement: return "element";
+    case DomainKind::kLanguage: return "language";
+    case DomainKind::kAnimal: return "animal";
+    case DomainKind::kOccupation: return "occupation";
+    case DomainKind::kGenre: return "genre";
+    case DomainKind::kProduct: return "product";
+    case DomainKind::kDepartment: return "department";
+    case DomainKind::kStatus: return "status";
+    case DomainKind::kEnterpriseCustomer: return "ent_customer";
+    case DomainKind::kEnterpriseProject: return "ent_project";
+    case DomainKind::kEnterpriseEmployee: return "ent_employee";
+    case DomainKind::kRank: return "rank";
+    case DomainKind::kSmallInt: return "small_int";
+    case DomainKind::kLargeInt: return "large_int";
+    case DomainKind::kDecimal: return "decimal";
+    case DomainKind::kPercent: return "percent";
+    case DomainKind::kMoney: return "money";
+    case DomainKind::kYear: return "year";
+    case DomainKind::kDateYmd: return "date_ymd";
+    case DomainKind::kDateMonDay: return "date_mon_day";
+    case DomainKind::kTime: return "time";
+    case DomainKind::kIdCode: return "id_code";
+    case DomainKind::kEmail: return "email";
+    case DomainKind::kPhone: return "phone";
+    case DomainKind::kQuarter: return "quarter";
+    case DomainKind::kCostCenter: return "cost_center";
+    case DomainKind::kStreetAddress: return "street_address";
+    case DomainKind::kPhrase: return "phrase";
+    default: return "unknown";
+  }
+}
+
+bool IsNumericDomain(DomainKind kind) {
+  switch (kind) {
+    case DomainKind::kRank:
+    case DomainKind::kSmallInt:
+    case DomainKind::kLargeInt:
+    case DomainKind::kDecimal:
+    case DomainKind::kPercent:
+    case DomainKind::kMoney:
+    case DomainKind::kYear:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Domain::Domain(DomainKind kind) : kind_(kind), vocab_(VocabularyFor(kind)) {
+  if (vocab_ != nullptr) {
+    zipf_ = std::make_unique<ZipfSampler>(vocab_->size(), kZipfSkew);
+  }
+}
+
+const std::vector<std::string>& Domain::vocabulary() const {
+  static const std::vector<std::string> kEmpty;
+  return vocab_ ? *vocab_ : kEmpty;
+}
+
+std::string Domain::SampleCategorical(Rng* rng) const {
+  return (*vocab_)[zipf_->Sample(rng)];
+}
+
+std::string Domain::SampleGenerated(Rng* rng) const {
+  char buf[64];
+  switch (kind_) {
+    case DomainKind::kPersonName: {
+      // Compositional: Zipf over both name parts; ~20% of names carry a
+      // middle name, so person columns mix 2- and 3-token cells (a key
+      // segmentation difficulty on real lists).
+      static const ZipfSampler kFirstZipf(FirstNames().size(), kZipfSkew);
+      static const ZipfSampler kLastZipf(LastNames().size(), kZipfSkew);
+      std::string name = FirstNames()[kFirstZipf.Sample(rng)];
+      if (rng->Chance(0.2)) {
+        name += " " + FirstNames()[kFirstZipf.Sample(rng)];
+      }
+      return name + " " + LastNames()[kLastZipf.Sample(rng)];
+    }
+    case DomainKind::kProduct: {
+      static const ZipfSampler kAdjZipf(ProductAdjectives().size(), kZipfSkew);
+      static const ZipfSampler kNounZipf(ProductNouns().size(), kZipfSkew);
+      return ProductAdjectives()[kAdjZipf.Sample(rng)] + " " +
+             ProductNouns()[kNounZipf.Sample(rng)];
+    }
+    case DomainKind::kRank:
+      // GenerateColumn handles ranks sequentially; a standalone sample is a
+      // plausible small ordinal.
+      return std::to_string(rng->UniformInt(1, 50));
+    case DomainKind::kSmallInt:
+      return std::to_string(rng->UniformInt(1, 100));
+    case DomainKind::kLargeInt:
+      return FormatWithCommas(rng->UniformInt(1000, 2000000));
+    case DomainKind::kDecimal:
+      std::snprintf(buf, sizeof(buf), "%.1f", rng->NextDouble() * 500.0);
+      return buf;
+    case DomainKind::kPercent:
+      return std::to_string(rng->UniformInt(0, 100)) + "%";
+    case DomainKind::kMoney:
+      return "$" + FormatWithCommas(rng->UniformInt(10, 500000));
+    case DomainKind::kYear:
+      return std::to_string(rng->UniformInt(1900, 2020));
+    case DomainKind::kDateYmd:
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                    static_cast<int>(rng->UniformInt(1990, 2020)),
+                    static_cast<int>(rng->UniformInt(1, 12)),
+                    static_cast<int>(rng->UniformInt(1, 28)));
+      return buf;
+    case DomainKind::kDateMonDay: {
+      static const char* kMon[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+      std::snprintf(buf, sizeof(buf), "%s %d", kMon[rng->Uniform(12)],
+                    static_cast<int>(rng->UniformInt(1, 28)));
+      return buf;
+    }
+    case DomainKind::kTime:
+      std::snprintf(buf, sizeof(buf), "%02d:%02d",
+                    static_cast<int>(rng->UniformInt(0, 23)),
+                    static_cast<int>(rng->UniformInt(0, 59)));
+      return buf;
+    case DomainKind::kIdCode: {
+      static const char* kPrefixes[] = {"SKU", "ID", "PN", "REF", "INV"};
+      std::snprintf(buf, sizeof(buf), "%s-%05d",
+                    kPrefixes[rng->Uniform(std::size(kPrefixes))],
+                    static_cast<int>(rng->UniformInt(0, 99999)));
+      return buf;
+    }
+    case DomainKind::kEmail: {
+      static const char* kHosts[] = {"example.com", "mail.com", "corp.net",
+                                     "acme.org"};
+      std::string first = ToLower(
+          FirstNames()[rng->Uniform(FirstNames().size())]);
+      std::string last =
+          ToLower(LastNames()[rng->Uniform(LastNames().size())]);
+      return first + "." + last + "@" + kHosts[rng->Uniform(std::size(kHosts))];
+    }
+    case DomainKind::kPhone:
+      std::snprintf(buf, sizeof(buf), "%03d-%03d-%04d",
+                    static_cast<int>(rng->UniformInt(200, 999)),
+                    static_cast<int>(rng->UniformInt(200, 999)),
+                    static_cast<int>(rng->UniformInt(0, 9999)));
+      return buf;
+    case DomainKind::kQuarter:
+      std::snprintf(buf, sizeof(buf), "Q%d %d",
+                    static_cast<int>(rng->UniformInt(1, 4)),
+                    static_cast<int>(rng->UniformInt(2005, 2015)));
+      return buf;
+    case DomainKind::kCostCenter:
+      std::snprintf(buf, sizeof(buf), "CC-%04d",
+                    static_cast<int>(rng->UniformInt(1000, 9999)));
+      return buf;
+    case DomainKind::kStreetAddress: {
+      // Combinatorial: the full string almost never repeats in the corpus,
+      // so semantic evidence is weak and alignment must lean on syntax.
+      static const ZipfSampler kNameZipf(StreetNames().size(), kZipfSkew);
+      return std::to_string(rng->UniformInt(1, 9999)) + " " +
+             StreetNames()[kNameZipf.Sample(rng)] + " " +
+             StreetTypes()[rng->Uniform(StreetTypes().size())];
+    }
+    case DomainKind::kPhrase: {
+      // Title-like phrases: 2-4 tokens, optional leading article, sparse
+      // full-string corpus coverage but popular constituent words.
+      static const ZipfSampler kAdjZipf2(PhraseAdjectives().size(), kZipfSkew);
+      static const ZipfSampler kNounZipf2(PhraseNouns().size(), kZipfSkew);
+      std::string phrase;
+      if (rng->Chance(0.4)) phrase = "The ";
+      phrase += PhraseAdjectives()[kAdjZipf2.Sample(rng)];
+      phrase += " ";
+      phrase += PhraseNouns()[kNounZipf2.Sample(rng)];
+      if (rng->Chance(0.25)) {
+        phrase += " of the ";
+        phrase += PhraseNouns()[kNounZipf2.Sample(rng)];
+      }
+      return phrase;
+    }
+    default:
+      assert(false && "not a generated domain");
+      return "";
+  }
+}
+
+std::string Domain::Sample(Rng* rng) const {
+  if (vocab_ != nullptr) return SampleCategorical(rng);
+  return SampleGenerated(rng);
+}
+
+std::vector<std::string> Domain::GenerateColumn(Rng* rng,
+                                                size_t num_rows) const {
+  std::vector<std::string> out;
+  out.reserve(num_rows);
+  if (kind_ == DomainKind::kRank) {
+    for (size_t i = 0; i < num_rows; ++i) out.push_back(std::to_string(i + 1));
+    return out;
+  }
+  for (size_t i = 0; i < num_rows; ++i) out.push_back(Sample(rng));
+  return out;
+}
+
+const Domain& GetDomain(DomainKind kind) {
+  static const std::array<Domain, static_cast<size_t>(
+                                      DomainKind::kNumDomainKinds)>* kDomains =
+      [] {
+        auto* arr = new std::array<Domain, static_cast<size_t>(
+                                               DomainKind::kNumDomainKinds)>{
+            Domain(DomainKind::kWorldCity),
+            Domain(DomainKind::kUsCity),
+            Domain(DomainKind::kCountry),
+            Domain(DomainKind::kUsState),
+            Domain(DomainKind::kPersonName),
+            Domain(DomainKind::kFirstName),
+            Domain(DomainKind::kCompany),
+            Domain(DomainKind::kUniversity),
+            Domain(DomainKind::kSportsTeam),
+            Domain(DomainKind::kMovie),
+            Domain(DomainKind::kAirport),
+            Domain(DomainKind::kMonth),
+            Domain(DomainKind::kWeekday),
+            Domain(DomainKind::kColor),
+            Domain(DomainKind::kElement),
+            Domain(DomainKind::kLanguage),
+            Domain(DomainKind::kAnimal),
+            Domain(DomainKind::kOccupation),
+            Domain(DomainKind::kGenre),
+            Domain(DomainKind::kProduct),
+            Domain(DomainKind::kDepartment),
+            Domain(DomainKind::kStatus),
+            Domain(DomainKind::kEnterpriseCustomer),
+            Domain(DomainKind::kEnterpriseProject),
+            Domain(DomainKind::kEnterpriseEmployee),
+            Domain(DomainKind::kRank),
+            Domain(DomainKind::kSmallInt),
+            Domain(DomainKind::kLargeInt),
+            Domain(DomainKind::kDecimal),
+            Domain(DomainKind::kPercent),
+            Domain(DomainKind::kMoney),
+            Domain(DomainKind::kYear),
+            Domain(DomainKind::kDateYmd),
+            Domain(DomainKind::kDateMonDay),
+            Domain(DomainKind::kTime),
+            Domain(DomainKind::kIdCode),
+            Domain(DomainKind::kEmail),
+            Domain(DomainKind::kPhone),
+            Domain(DomainKind::kQuarter),
+            Domain(DomainKind::kCostCenter),
+            Domain(DomainKind::kStreetAddress),
+            Domain(DomainKind::kPhrase),
+        };
+        return arr;
+      }();
+  return (*kDomains)[static_cast<size_t>(kind)];
+}
+
+}  // namespace tegra::synth

@@ -1,0 +1,110 @@
+// Semantic domains for synthetic table generation.
+//
+// A Domain models one column type: either a categorical domain backed by a
+// vocabulary (cities, countries, teams, ...) sampled with Zipfian popularity,
+// or a generated domain (numbers, dates, IDs, emails, ...) whose values are
+// synthesized on the fly. Tables in the synthetic corpus are schemas over
+// domains; co-occurrence of same-domain values across corpus columns is what
+// gives NPMI its signal.
+
+#ifndef TEGRA_SYNTH_DOMAIN_H_
+#define TEGRA_SYNTH_DOMAIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace tegra::synth {
+
+/// \brief Identifies a column domain.
+enum class DomainKind : int {
+  // Categorical, vocabulary-backed.
+  kWorldCity = 0,
+  kUsCity,
+  kCountry,
+  kUsState,
+  kPersonName,   ///< "James Wilson" — compositional first+last.
+  kFirstName,
+  kCompany,
+  kUniversity,
+  kSportsTeam,
+  kMovie,
+  kAirport,
+  kMonth,
+  kWeekday,
+  kColor,
+  kElement,
+  kLanguage,
+  kAnimal,
+  kOccupation,
+  kGenre,
+  kProduct,      ///< "Deluxe Drill" — compositional adjective+noun.
+  kDepartment,
+  kStatus,
+  kEnterpriseCustomer,
+  kEnterpriseProject,
+  kEnterpriseEmployee,
+  // Generated.
+  kRank,         ///< 1, 2, 3, ... per table (Figure 1 style numbering).
+  kSmallInt,     ///< 1..100.
+  kLargeInt,     ///< 1,000..2,000,000 with thousands separators.
+  kDecimal,      ///< 0.0..500.0, one fractional digit.
+  kPercent,      ///< "37%".
+  kMoney,        ///< "$12,500".
+  kYear,         ///< 1900..2020.
+  kDateYmd,      ///< "2013-04-17".
+  kDateMonDay,   ///< "Jan 12" / "Nov 20".
+  kTime,         ///< "14:35".
+  kIdCode,       ///< "SKU-926434".
+  kEmail,        ///< "james.wilson@example.com".
+  kPhone,        ///< "425-882-8080".
+  kQuarter,      ///< "Q1 2014".
+  kCostCenter,   ///< "CC-1042".
+  kStreetAddress, ///< "1420 Maple Street" — compositional, corpus-sparse.
+  kPhrase,        ///< "The Silent River" — title-like compositional text.
+  kNumDomainKinds,
+};
+
+/// \brief Returns a short name ("world_city") for diagnostics.
+const char* DomainKindName(DomainKind kind);
+
+/// \brief True if values of this domain classify as numeric for the Table 1
+/// statistic (integer / decimal / percent / currency / year).
+bool IsNumericDomain(DomainKind kind);
+
+/// \brief A sampleable column domain. Immutable and thread-compatible: all
+/// randomness flows through the caller-provided Rng.
+class Domain {
+ public:
+  explicit Domain(DomainKind kind);
+
+  DomainKind kind() const { return kind_; }
+
+  /// Draws one cell value.
+  std::string Sample(Rng* rng) const;
+
+  /// Generates a full column of `num_rows` values. Rank domains produce the
+  /// sequence 1..num_rows; all others sample independently.
+  std::vector<std::string> GenerateColumn(Rng* rng, size_t num_rows) const;
+
+  /// For categorical domains: the backing vocabulary (used to build the
+  /// synthetic knowledge base). Empty for generated domains.
+  const std::vector<std::string>& vocabulary() const;
+
+ private:
+  std::string SampleCategorical(Rng* rng) const;
+  std::string SampleGenerated(Rng* rng) const;
+
+  DomainKind kind_;
+  const std::vector<std::string>* vocab_ = nullptr;  // Not owned; static.
+  std::unique_ptr<ZipfSampler> zipf_;
+};
+
+/// \brief Process-wide registry of domain singletons.
+const Domain& GetDomain(DomainKind kind);
+
+}  // namespace tegra::synth
+
+#endif  // TEGRA_SYNTH_DOMAIN_H_

@@ -1,0 +1,53 @@
+#include "synth/knowledge_base.h"
+
+#include <cmath>
+
+#include "corpus/column_index.h"
+#include "synth/vocab.h"
+
+namespace tegra::synth {
+
+void KnowledgeBase::AddEntity(std::string_view value, std::string type) {
+  entities_.emplace(NormalizeValue(value), std::move(type));
+}
+
+bool KnowledgeBase::Contains(std::string_view value) const {
+  return entities_.count(NormalizeValue(value)) > 0;
+}
+
+std::optional<std::string> KnowledgeBase::TypeOf(std::string_view value) const {
+  auto it = entities_.find(NormalizeValue(value));
+  if (it == entities_.end()) return std::nullopt;
+  return it->second;
+}
+
+KnowledgeBase KnowledgeBase::BuildGeneral(const KnowledgeBaseOptions& options) {
+  std::vector<DomainKind> domains = options.covered_domains;
+  if (domains.empty()) {
+    // A Freebase-style KB knows famous named entities and the calendar; it
+    // has no colors-as-values, occupations, product names, phrases or
+    // proprietary enterprise content — the coverage gap §5.2 discusses.
+    domains = {
+        DomainKind::kWorldCity,  DomainKind::kUsCity,
+        DomainKind::kCountry,    DomainKind::kUsState,
+        DomainKind::kCompany,    DomainKind::kUniversity,
+        DomainKind::kSportsTeam, DomainKind::kMovie,
+        DomainKind::kAirport,    DomainKind::kMonth,
+        DomainKind::kWeekday,    DomainKind::kElement,
+    };
+  }
+  KnowledgeBase kb;
+  for (DomainKind kind : domains) {
+    const auto& vocab = GetDomain(kind).vocabulary();
+    // Vocabularies are ordered head-first (famous entities lead), so the KB
+    // covers the popular prefix, mimicking real KB coverage bias.
+    const size_t covered = static_cast<size_t>(
+        std::ceil(options.entity_coverage * static_cast<double>(vocab.size())));
+    for (size_t i = 0; i < covered && i < vocab.size(); ++i) {
+      kb.AddEntity(vocab[i], DomainKindName(kind));
+    }
+  }
+  return kb;
+}
+
+}  // namespace tegra::synth

@@ -1,0 +1,58 @@
+// Synthetic general-purpose knowledge base standing in for Freebase in the
+// Judie baseline (§5.1.1). The paper's finding is that even a large general
+// KB covers only part of the values occurring in web tables; we model that by
+// including only the popular head of a subset of domains, and no numeric or
+// generated values at all.
+
+#ifndef TEGRA_SYNTH_KNOWLEDGE_BASE_H_
+#define TEGRA_SYNTH_KNOWLEDGE_BASE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/domain.h"
+
+namespace tegra::synth {
+
+/// \brief Options controlling KB construction.
+struct KnowledgeBaseOptions {
+  /// Fraction of each covered domain's vocabulary (its popular head) that
+  /// the KB knows about. Real KBs skew toward famous entities.
+  double entity_coverage = 0.3;
+  /// Domains the KB has content for. Defaults to the encyclopedic subset a
+  /// Freebase-like KB would plausibly cover (no enterprise-proprietary and
+  /// no generated domains).
+  std::vector<DomainKind> covered_domains;
+};
+
+/// \brief An entity dictionary mapping surface strings to type labels.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() = default;
+
+  /// Adds an entity with a type label; values are normalized
+  /// (case/whitespace-insensitive) for lookup.
+  void AddEntity(std::string_view value, std::string type);
+
+  /// True if the (normalized) value is a known entity.
+  bool Contains(std::string_view value) const;
+
+  /// The type label of a known entity, or nullopt.
+  std::optional<std::string> TypeOf(std::string_view value) const;
+
+  /// Number of known entities.
+  size_t size() const { return entities_.size(); }
+
+  /// \brief Builds the default general-purpose KB from domain vocabularies.
+  static KnowledgeBase BuildGeneral(const KnowledgeBaseOptions& options = {});
+
+ private:
+  std::unordered_map<std::string, std::string> entities_;
+};
+
+}  // namespace tegra::synth
+
+#endif  // TEGRA_SYNTH_KNOWLEDGE_BASE_H_

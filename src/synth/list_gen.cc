@@ -1,0 +1,141 @@
+#include "synth/list_gen.h"
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace tegra::synth {
+
+BenchmarkInstance MakeBenchmarkInstance(Table table) {
+  BenchmarkInstance instance;
+  instance.lines.reserve(table.NumRows());
+  for (size_t r = 0; r < table.NumRows(); ++r) {
+    instance.lines.push_back(Join(table.Row(r), " "));
+  }
+  instance.ground_truth = std::move(table);
+  return instance;
+}
+
+std::vector<BenchmarkInstance> MakeBenchmark(CorpusProfile profile,
+                                             size_t count, uint64_t seed) {
+  TableGenerator gen(profile, seed);
+  std::vector<BenchmarkInstance> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(MakeBenchmarkInstance(gen.Generate()));
+  }
+  return out;
+}
+
+const char* RawListKindName(RawListKind kind) {
+  switch (kind) {
+    case RawListKind::kRelational:
+      return "relational";
+    case RawListKind::kNavigation:
+      return "navigation";
+    case RawListKind::kSentences:
+      return "sentences";
+    case RawListKind::kDegenerate:
+      return "degenerate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+const char* kNavPhrases[] = {
+    "Home",           "About Us",        "Contact",      "Privacy Policy",
+    "Terms of Use",   "Help",            "FAQ",          "Site Map",
+    "Careers",        "News",            "Blog",         "Support",
+    "Products",       "Services",        "Downloads",    "Community",
+    "Login",          "Register",        "My Account",   "Search",
+    "Main Page",      "Recent Changes",  "Random Page",  "Donate",
+    "Press Releases", "Investor Relations",
+};
+
+const char* kFillerWords[] = {
+    "the",   "a",       "of",      "in",     "and",    "to",      "is",
+    "that",  "this",    "it",      "for",    "with",   "as",      "was",
+    "on",    "are",     "by",      "be",     "from",   "or",      "which",
+    "one",   "had",     "not",     "but",    "what",   "all",     "were",
+    "when",  "we",      "there",   "can",    "an",     "more",    "these",
+    "system", "time",   "people",  "water",  "world",  "years",   "city",
+    "state", "history", "number",  "large",  "small",  "known",   "called",
+    "found", "used",    "article", "page",   "section", "example", "common",
+};
+
+RawList MakeNavigationList(Rng* rng) {
+  RawList list;
+  list.kind = RawListKind::kNavigation;
+  const int n = static_cast<int>(rng->UniformInt(3, 8));
+  for (int i = 0; i < n; ++i) {
+    list.lines.emplace_back(kNavPhrases[rng->Uniform(std::size(kNavPhrases))]);
+  }
+  return list;
+}
+
+RawList MakeSentencesList(Rng* rng) {
+  RawList list;
+  list.kind = RawListKind::kSentences;
+  const int n = static_cast<int>(rng->UniformInt(3, 12));
+  for (int i = 0; i < n; ++i) {
+    const int words = static_cast<int>(rng->UniformInt(31, 70));
+    std::string line;
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) line += " ";
+      line += kFillerWords[rng->Uniform(std::size(kFillerWords))];
+    }
+    list.lines.push_back(std::move(line));
+  }
+  return list;
+}
+
+RawList MakeDegenerateList(Rng* rng) {
+  RawList list;
+  list.kind = RawListKind::kDegenerate;
+  const int n = static_cast<int>(rng->UniformInt(1, 2));
+  for (int i = 0; i < n; ++i) {
+    list.lines.emplace_back(kNavPhrases[rng->Uniform(std::size(kNavPhrases))]);
+  }
+  return list;
+}
+
+}  // namespace
+
+std::vector<RawList> GenerateRawCrawl(size_t count, uint64_t seed,
+                                      const RawCrawlOptions& options) {
+  Rng rng(seed);
+  TableGenerator tables(CorpusProfile::kWeb, rng.Next());
+  std::vector<RawList> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double u = rng.NextDouble();
+    if (u < options.relational_fraction) {
+      RawList list;
+      list.kind = RawListKind::kRelational;
+      list.lines = MakeBenchmarkInstance(tables.Generate()).lines;
+      out.push_back(std::move(list));
+    } else if (u < options.relational_fraction + options.navigation_fraction) {
+      out.push_back(MakeNavigationList(&rng));
+    } else if (u < options.relational_fraction + options.navigation_fraction +
+                       options.sentences_fraction) {
+      out.push_back(MakeSentencesList(&rng));
+    } else {
+      out.push_back(MakeDegenerateList(&rng));
+    }
+  }
+  return out;
+}
+
+bool PassesCrawlFilter(const RawList& list, size_t min_rows, size_t max_rows,
+                       size_t max_line_tokens) {
+  if (list.lines.size() < min_rows || list.lines.size() > max_rows) {
+    return false;
+  }
+  Tokenizer tokenizer;
+  for (const auto& line : list.lines) {
+    if (tokenizer.CountTokens(line) > max_line_tokens) return false;
+  }
+  return true;
+}
+
+}  // namespace tegra::synth

@@ -1,0 +1,72 @@
+// Benchmark list construction (§5.1.3) and the raw-crawl simulation used by
+// the useful-list estimate experiment (§5.7).
+
+#ifndef TEGRA_SYNTH_LIST_GEN_H_
+#define TEGRA_SYNTH_LIST_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/table.h"
+#include "synth/corpus_gen.h"
+
+namespace tegra::synth {
+
+/// \brief One benchmark case: an unsegmented list plus its ground truth.
+struct BenchmarkInstance {
+  /// The input lines: each ground-truth row with cells joined by spaces
+  /// (null cells skipped), exactly the construction of §5.1.3.
+  std::vector<std::string> lines;
+  /// The original table used for scoring.
+  Table ground_truth;
+};
+
+/// \brief Flattens a table into an unsegmented list (cells joined with
+/// single spaces; empty cells contribute nothing).
+BenchmarkInstance MakeBenchmarkInstance(Table table);
+
+/// \brief Generates `count` benchmark instances for a profile. Uses a seed
+/// stream disjoint from the background corpus seeds so benchmark tables are
+/// held out of the co-occurrence statistics (§5.1.4).
+std::vector<BenchmarkInstance> MakeBenchmark(CorpusProfile profile,
+                                             size_t count, uint64_t seed);
+
+/// \brief Category of a raw crawled HTML list in the §5.7 simulation.
+enum class RawListKind {
+  kRelational,  ///< A flattened relational table (the needles).
+  kNavigation,  ///< Short site-chrome phrases ("About Us", "Contact").
+  kSentences,   ///< Prose bullet lists with very long lines.
+  kDegenerate,  ///< 1-2 row fragments.
+};
+
+const char* RawListKindName(RawListKind kind);
+
+/// \brief A simulated raw <ul> list from a web crawl.
+struct RawList {
+  std::vector<std::string> lines;
+  RawListKind kind;
+};
+
+/// \brief Options for the raw-crawl mix. Defaults follow the paper's
+/// observation that only a small fraction of HTML lists hold relational
+/// content.
+struct RawCrawlOptions {
+  double relational_fraction = 0.06;
+  double navigation_fraction = 0.60;
+  double sentences_fraction = 0.20;
+  // Remainder is degenerate fragments.
+};
+
+/// \brief Generates a mixed stream of `count` raw lists.
+std::vector<RawList> GenerateRawCrawl(size_t count, uint64_t seed,
+                                      const RawCrawlOptions& options = {});
+
+/// \brief The row/length pre-filter of §5.7: keeps lists with a sane number
+/// of rows and no overlong lines.
+bool PassesCrawlFilter(const RawList& list, size_t min_rows = 5,
+                       size_t max_rows = 100, size_t max_line_tokens = 30);
+
+}  // namespace tegra::synth
+
+#endif  // TEGRA_SYNTH_LIST_GEN_H_

@@ -1,0 +1,579 @@
+#include "synth/vocab.h"
+
+#include <cctype>
+#include <iterator>
+
+#include "common/random.h"
+
+namespace tegra::synth {
+
+namespace {
+
+std::vector<std::string> MakeVector(std::initializer_list<const char*> items) {
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (const char* s : items) out.emplace_back(s);
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& WorldCities() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "London", "Paris", "Tokyo", "New York City", "Los Angeles", "Chicago",
+      "Toronto", "Sydney", "Melbourne", "Berlin", "Madrid", "Rome", "Vienna",
+      "Amsterdam", "Brussels", "Lisbon", "Dublin", "Prague", "Warsaw",
+      "Budapest", "Athens", "Istanbul", "Moscow", "Saint Petersburg", "Kiev",
+      "Stockholm", "Oslo", "Copenhagen", "Helsinki", "Zurich", "Geneva",
+      "Barcelona", "Munich", "Hamburg", "Frankfurt", "Milan", "Naples",
+      "Venice", "Florence", "Seville", "Valencia", "Porto", "Marseille",
+      "Lyon", "Nice", "Bordeaux", "Toulouse", "Edinburgh", "Glasgow",
+      "Manchester", "Liverpool", "Birmingham", "Leeds", "Bristol", "Cardiff",
+      "Belfast", "Montreal", "Vancouver", "Ottawa", "Calgary", "Edmonton",
+      "Quebec City", "Winnipeg", "Halifax", "Mexico City", "Guadalajara",
+      "Monterrey", "Havana", "Kingston", "San Juan", "Panama City", "Bogota",
+      "Lima", "Quito", "Santiago", "Buenos Aires", "Montevideo", "Asuncion",
+      "La Paz", "Caracas", "Sao Paulo", "Rio de Janeiro", "Brasilia",
+      "Salvador", "Recife", "Fortaleza", "Cairo", "Alexandria", "Casablanca",
+      "Tunis", "Algiers", "Lagos", "Abuja", "Accra", "Nairobi", "Addis Ababa",
+      "Johannesburg", "Cape Town", "Durban", "Pretoria", "Dakar", "Kampala",
+      "Dar es Salaam", "Khartoum", "Tel Aviv", "Jerusalem", "Beirut", "Amman",
+      "Damascus", "Baghdad", "Riyadh", "Jeddah", "Dubai", "Abu Dhabi", "Doha",
+      "Kuwait City", "Manama", "Muscat", "Tehran", "Kabul", "Karachi",
+      "Lahore", "Islamabad", "New Delhi", "Mumbai", "Kolkata", "Chennai",
+      "Bangalore", "Hyderabad", "Ahmedabad", "Pune", "Dhaka", "Colombo",
+      "Kathmandu", "Yangon", "Bangkok", "Phnom Penh", "Hanoi",
+      "Ho Chi Minh City", "Kuala Lumpur", "Singapore", "Jakarta", "Surabaya",
+      "Manila", "Quezon City", "Hong Kong", "Macau", "Taipei", "Kaohsiung",
+      "Shanghai", "Beijing", "Guangzhou", "Shenzhen", "Chengdu", "Wuhan",
+      "Tianjin", "Xian", "Hangzhou", "Nanjing", "Seoul", "Busan", "Incheon",
+      "Pyongyang", "Osaka", "Kyoto", "Nagoya", "Yokohama", "Sapporo",
+      "Fukuoka", "Kobe", "Auckland", "Wellington", "Christchurch", "Brisbane",
+      "Perth", "Adelaide", "Canberra", "Hobart", "Suva", "Honolulu",
+      "Anchorage", "Reykjavik", "San Jose", "Guatemala City",
+      "Santo Domingo", "Port au Prince", "Tegucigalpa", "Managua",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& UsCities() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+      "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+      "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+      "San Francisco", "Indianapolis", "Seattle", "Denver", "Boston",
+      "El Paso", "Nashville", "Detroit", "Oklahoma City", "Portland",
+      "Las Vegas", "Memphis", "Louisville", "Baltimore", "Milwaukee",
+      "Albuquerque", "Tucson", "Fresno", "Sacramento", "Kansas City", "Mesa",
+      "Atlanta", "Omaha", "Colorado Springs", "Raleigh", "Long Beach",
+      "Virginia Beach", "Miami", "Oakland", "Minneapolis", "Tulsa",
+      "Bakersfield", "Wichita", "Arlington", "Aurora", "Tampa",
+      "New Orleans", "Cleveland", "Honolulu", "Anaheim", "Lexington",
+      "Stockton", "Corpus Christi", "Henderson", "Riverside", "Newark",
+      "Saint Paul", "Santa Ana", "Cincinnati", "Irvine", "Orlando",
+      "Pittsburgh", "Saint Louis", "Greensboro", "Jersey City", "Anchorage",
+      "Lincoln", "Plano", "Durham", "Buffalo", "Chandler", "Chula Vista",
+      "Toledo", "Madison", "Gilbert", "Reno", "Fort Wayne", "North Las Vegas",
+      "Saint Petersburg", "Lubbock", "Irving", "Laredo", "Winston Salem",
+      "Chesapeake", "Glendale", "Scottsdale", "Boston Heights", "Worcester",
+      "Providence", "Springfield", "Bridgeport", "New Haven", "Hartford",
+      "Stamford", "Waterbury", "Manchester",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Countries() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "United States", "USA", "Canada", "Mexico", "Brazil", "Argentina",
+      "Chile",
+      "Peru", "Colombia", "Venezuela", "Ecuador", "Bolivia", "Paraguay",
+      "Uruguay", "Guyana", "Suriname", "United Kingdom", "UK", "France",
+      "Germany",
+      "Italy", "Spain", "Portugal", "Netherlands", "Belgium", "Luxembourg",
+      "Switzerland", "Austria", "Ireland", "Denmark", "Norway", "Sweden",
+      "Finland", "Iceland", "Poland", "Czech Republic", "Slovakia", "Hungary",
+      "Romania", "Bulgaria", "Greece", "Turkey", "Cyprus", "Malta", "Croatia",
+      "Slovenia", "Serbia", "Bosnia and Herzegovina", "Montenegro", "Albania",
+      "North Macedonia", "Estonia", "Latvia", "Lithuania", "Belarus",
+      "Ukraine", "Moldova", "Russia", "Georgia", "Armenia", "Azerbaijan",
+      "Kazakhstan", "Uzbekistan", "Turkmenistan", "Kyrgyzstan", "Tajikistan",
+      "China", "Japan", "South Korea", "North Korea", "Mongolia", "Taiwan",
+      "India", "Pakistan", "Bangladesh", "Sri Lanka", "Nepal", "Bhutan",
+      "Maldives", "Afghanistan", "Iran", "Iraq", "Syria", "Lebanon", "Israel",
+      "Jordan", "Saudi Arabia", "Yemen", "Oman", "United Arab Emirates",
+      "Qatar", "Bahrain", "Kuwait", "Egypt", "Libya", "Tunisia", "Algeria",
+      "Morocco", "Sudan", "Ethiopia", "Eritrea", "Djibouti", "Somalia",
+      "Kenya", "Uganda", "Tanzania", "Rwanda", "Burundi", "Nigeria", "Ghana",
+      "Ivory Coast", "Senegal", "Mali", "Niger", "Chad", "Cameroon", "Gabon",
+      "Angola", "Zambia", "Zimbabwe", "Mozambique", "Botswana", "Namibia",
+      "South Africa", "Lesotho", "Madagascar", "Mauritius", "Thailand",
+      "Vietnam", "Laos", "Cambodia", "Myanmar", "Malaysia", "Singapore",
+      "Indonesia", "Philippines", "Brunei", "East Timor", "Australia",
+      "New Zealand", "Papua New Guinea", "Fiji", "Samoa", "Tonga", "Vanuatu",
+      "Solomon Islands", "Cuba", "Jamaica", "Haiti", "Dominican Republic",
+      "Trinidad and Tobago", "Barbados", "Bahamas", "Belize", "Guatemala",
+      "Honduras", "El Salvador", "Nicaragua", "Costa Rica", "Panama",
+      "Republic of Korea", "Czechia",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& UsStates() {
+  // Population order: vocabularies lead with their most popular entities so
+  // Zipf sampling (and KB head coverage) reflects real-world frequency.
+  static const std::vector<std::string> kValues = MakeVector({
+      "California", "Texas", "Florida", "New York", "Pennsylvania",
+      "Illinois", "Ohio", "Georgia", "North Carolina", "Michigan",
+      "New Jersey", "Virginia", "Washington", "Arizona", "Massachusetts",
+      "Tennessee", "Indiana", "Missouri", "Maryland", "Wisconsin",
+      "Colorado", "Minnesota", "South Carolina", "Alabama", "Louisiana",
+      "Kentucky", "Oregon", "Oklahoma", "Connecticut", "Utah", "Iowa",
+      "Nevada", "Arkansas", "Mississippi", "Kansas", "New Mexico",
+      "Nebraska", "Idaho", "West Virginia", "Hawaii", "New Hampshire",
+      "Maine", "Montana", "Rhode Island", "Delaware", "South Dakota",
+      "North Dakota", "Alaska", "Vermont", "Wyoming",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+      "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+      "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+      "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Margaret",
+      "Anthony", "Betty", "Mark", "Sandra", "Donald", "Ashley", "Steven",
+      "Dorothy", "Paul", "Kimberly", "Andrew", "Emily", "Joshua", "Donna",
+      "Kenneth", "Michelle", "Kevin", "Carol", "Brian", "Amanda", "George",
+      "Melissa", "Edward", "Deborah", "Ronald", "Stephanie", "Timothy",
+      "Rebecca", "Jason", "Laura", "Jeffrey", "Sharon", "Ryan", "Cynthia",
+      "Jacob", "Kathleen", "Gary", "Amy", "Nicholas", "Shirley", "Eric",
+      "Angela", "Jonathan", "Helen", "Stephen", "Anna", "Larry", "Brenda",
+      "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Samantha",
+      "Benjamin", "Katherine", "Samuel", "Emma", "Gregory", "Ruth", "Frank",
+      "Christine", "Alexander", "Catherine", "Raymond", "Debra", "Patrick",
+      "Rachel", "Jack", "Carolyn", "Dennis", "Janet", "Jerry", "Virginia",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& LastNames() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+      "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+      "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+      "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+      "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+      "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+      "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+      "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+      "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+      "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+      "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+      "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+      "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+      "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+      "Ross", "Foster", "Jimenez",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Companies() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Microsoft", "Apple", "Google", "Amazon", "Facebook", "IBM", "Intel",
+      "Oracle", "Cisco Systems", "Hewlett Packard", "Dell", "Adobe",
+      "Salesforce", "SAP", "Siemens", "General Electric", "Ford Motor",
+      "General Motors", "Toyota", "Honda", "Volkswagen", "BMW", "Daimler",
+      "Boeing", "Airbus", "Lockheed Martin", "Northrop Grumman", "Raytheon",
+      "Exxon Mobil", "Chevron", "Royal Dutch Shell", "British Petroleum",
+      "Total", "ConocoPhillips", "Walmart", "Target", "Costco", "Home Depot",
+      "Lowes", "Best Buy", "Starbucks", "McDonalds", "Coca Cola", "PepsiCo",
+      "Nestle", "Unilever", "Procter and Gamble", "Johnson and Johnson",
+      "Pfizer", "Merck", "Novartis", "Roche", "AstraZeneca", "Sanofi",
+      "Goldman Sachs", "Morgan Stanley", "JPMorgan Chase", "Bank of America",
+      "Wells Fargo", "Citigroup", "American Express", "Visa", "Mastercard",
+      "Berkshire Hathaway", "AT&T", "Verizon", "T-Mobile", "Comcast",
+      "Walt Disney", "Netflix", "Sony", "Samsung Electronics", "LG",
+      "Panasonic", "Nokia", "Ericsson",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Universities() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Harvard University", "Stanford University", "Yale University",
+      "Princeton University", "Columbia University", "Cornell University",
+      "Brown University", "Dartmouth College", "University of Pennsylvania",
+      "Duke University", "Northwestern University", "Johns Hopkins University",
+      "University of Chicago", "Rice University", "Vanderbilt University",
+      "University of Notre Dame", "Georgetown University", "Emory University",
+      "Carnegie Mellon University", "New York University",
+      "University of California Berkeley", "University of California",
+      "University of Michigan", "University of Virginia",
+      "University of North Carolina", "Georgia Institute of Technology",
+      "University of Texas", "University of Wisconsin", "Ohio State University",
+      "Pennsylvania State University", "University of Washington",
+      "University of Illinois", "University of Florida", "Boston University",
+      "Boston College", "Tufts University", "Brandeis University",
+      "Northeastern University", "University of Waterloo",
+      "University of Toronto", "McGill University",
+      "University of British Columbia", "Oxford University",
+      "Cambridge University", "Imperial College London",
+      "London School of Economics", "University of Edinburgh",
+      "ETH Zurich", "Tsinghua University", "Peking University",
+      "University of Tokyo", "Kyoto University",
+      "National University of Singapore", "Seoul National University",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& SportsTeams() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "New York Yankees", "Boston Red Sox", "Chicago Cubs",
+      "Los Angeles Dodgers", "San Francisco Giants", "Atlanta Braves",
+      "Houston Astros", "Philadelphia Phillies", "Texas Rangers",
+      "Seattle Mariners", "New England Patriots", "Dallas Cowboys",
+      "Green Bay Packers", "Pittsburgh Steelers", "Denver Broncos",
+      "Oakland Raiders", "San Francisco 49ers", "Chicago Bears",
+      "New York Giants", "Miami Dolphins", "Los Angeles Lakers",
+      "Boston Celtics", "Chicago Bulls", "Golden State Warriors",
+      "San Antonio Spurs", "Miami Heat", "Houston Rockets", "Phoenix Suns",
+      "Detroit Pistons", "Toronto Raptors", "Montreal Canadiens",
+      "Toronto Maple Leafs", "Detroit Red Wings", "New York Rangers",
+      "Chicago Blackhawks", "Boston Bruins", "Pittsburgh Penguins",
+      "Edmonton Oilers", "Manchester United", "Manchester City", "Liverpool",
+      "Chelsea", "Arsenal", "Tottenham Hotspur", "Real Madrid", "Barcelona",
+      "Atletico Madrid", "Bayern Munich", "Borussia Dortmund", "Juventus",
+      "AC Milan", "Inter Milan", "Paris Saint Germain", "Ajax Amsterdam",
+      "Porto", "Benfica", "Celtic", "Rangers",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Movies() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "The Godfather", "The Shawshank Redemption", "Citizen Kane",
+      "Casablanca", "Gone with the Wind", "Lawrence of Arabia",
+      "The Wizard of Oz", "Star Wars", "The Empire Strikes Back",
+      "Return of the Jedi", "Raiders of the Lost Ark", "Jurassic Park",
+      "Jaws", "E.T. the Extra Terrestrial", "Schindlers List", "Titanic",
+      "Avatar", "The Dark Knight", "Inception", "The Matrix", "Gladiator",
+      "Braveheart", "Forrest Gump", "Pulp Fiction", "Fight Club", "Goodfellas",
+      "The Silence of the Lambs", "Seven", "The Usual Suspects", "Memento",
+      "The Lord of the Rings", "The Fellowship of the Ring", "The Two Towers",
+      "The Return of the King", "The Hobbit", "Harry Potter",
+      "The Lion King", "Beauty and the Beast", "Toy Story", "Finding Nemo",
+      "Monsters Inc", "The Incredibles", "Up", "Wall-E", "Ratatouille",
+      "Frozen", "Shrek", "Back to the Future", "The Terminator",
+      "Terminator 2 Judgment Day", "Alien", "Aliens", "Blade Runner",
+      "2001 A Space Odyssey", "Apocalypse Now", "Full Metal Jacket",
+      "Saving Private Ryan", "The Pianist", "A Beautiful Mind",
+      "The Departed", "No Country for Old Men", "There Will Be Blood",
+      "Slumdog Millionaire", "The Social Network", "The Kings Speech",
+      "12 Years a Slave", "Birdman", "Whiplash", "Mad Max Fury Road",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Airports() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Hartsfield Jackson Atlanta", "Beijing Capital",
+      "Los Angeles International", "Tokyo Haneda", "Dubai International",
+      "Chicago O'Hare",
+      "London Heathrow", "Hong Kong International", "Shanghai Pudong",
+      "Paris Charles de Gaulle", "Amsterdam Schiphol", "Dallas Fort Worth",
+      "Frankfurt am Main", "Istanbul Ataturk", "Guangzhou Baiyun",
+      "John F Kennedy", "Singapore Changi", "Denver International",
+      "Seoul Incheon", "Bangkok Suvarnabhumi", "San Francisco International",
+      "Kuala Lumpur International", "Madrid Barajas", "McCarran Las Vegas",
+      "Seattle Tacoma", "Charlotte Douglas", "Phoenix Sky Harbor",
+      "Miami International", "Toronto Pearson", "Barcelona El Prat",
+      "London Gatwick", "Taipei Taoyuan", "Sydney Kingsford Smith",
+      "Orlando International", "Newark Liberty", "Munich Franz Josef Strauss",
+      "Minneapolis Saint Paul", "Boston Logan", "Rome Fiumicino",
+      "Mexico City Benito Juarez",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Months() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "January", "February", "March", "April", "May", "June", "July",
+      "August", "September", "October", "November", "December",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Weekdays() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+      "Sunday",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Colors() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Red", "Blue", "Green", "Yellow", "Orange", "Purple", "Pink", "Brown",
+      "Black", "White", "Gray", "Silver", "Gold", "Beige", "Ivory", "Teal",
+      "Navy Blue", "Sky Blue", "Royal Blue", "Dark Green", "Forest Green",
+      "Olive", "Lime", "Maroon", "Crimson", "Scarlet", "Magenta", "Violet",
+      "Lavender", "Indigo", "Turquoise", "Cyan", "Aqua", "Coral", "Salmon",
+      "Peach", "Tan", "Khaki", "Charcoal", "Burgundy",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Elements() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Hydrogen", "Helium", "Lithium", "Beryllium", "Boron", "Carbon",
+      "Nitrogen", "Oxygen", "Fluorine", "Neon", "Sodium", "Magnesium",
+      "Aluminum", "Silicon", "Phosphorus", "Sulfur", "Chlorine", "Argon",
+      "Potassium", "Calcium", "Scandium", "Titanium", "Vanadium", "Chromium",
+      "Manganese", "Iron", "Cobalt", "Nickel", "Copper", "Zinc", "Gallium",
+      "Germanium", "Arsenic", "Selenium", "Bromine", "Krypton", "Rubidium",
+      "Strontium", "Yttrium", "Zirconium", "Niobium", "Molybdenum", "Silver",
+      "Cadmium", "Indium", "Tin", "Antimony", "Tellurium", "Iodine", "Xenon",
+      "Cesium", "Barium", "Platinum", "Mercury", "Lead",
+      "Bismuth", "Radon", "Radium", "Uranium", "Plutonium",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Languages() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "English", "Spanish", "French", "German", "Italian", "Portuguese",
+      "Dutch", "Swedish", "Norwegian", "Danish", "Finnish", "Icelandic",
+      "Polish", "Czech", "Slovak", "Hungarian", "Romanian", "Bulgarian",
+      "Greek", "Turkish", "Russian", "Ukrainian", "Serbian", "Croatian",
+      "Arabic", "Hebrew", "Persian", "Urdu", "Hindi", "Bengali", "Tamil",
+      "Telugu", "Punjabi", "Mandarin Chinese", "Cantonese", "Japanese",
+      "Korean", "Vietnamese", "Thai", "Indonesian", "Malay", "Tagalog",
+      "Swahili", "Amharic", "Zulu",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Animals() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Lion", "Tiger", "Elephant", "Giraffe", "Zebra", "Rhinoceros",
+      "Hippopotamus", "Leopard", "Cheetah", "Jaguar", "Panther", "Cougar",
+      "Wolf", "Fox", "Bear", "Polar Bear", "Grizzly Bear", "Panda",
+      "Koala", "Kangaroo", "Wallaby", "Platypus", "Echidna", "Wombat",
+      "Gorilla", "Chimpanzee", "Orangutan", "Baboon", "Lemur", "Sloth",
+      "Armadillo", "Anteater", "Porcupine", "Beaver", "Otter", "Raccoon",
+      "Skunk", "Badger", "Weasel", "Ferret", "Moose", "Elk", "Deer",
+      "Caribou", "Bison", "Buffalo", "Antelope", "Gazelle", "Camel", "Llama",
+      "Alpaca", "Dolphin", "Whale", "Blue Whale", "Sea Lion",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Occupations() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Teacher", "Engineer", "Doctor", "Nurse", "Lawyer", "Accountant",
+      "Architect", "Pharmacist", "Dentist", "Veterinarian", "Pilot",
+      "Firefighter", "Police Officer", "Paramedic", "Electrician", "Plumber",
+      "Carpenter", "Mechanic", "Welder", "Machinist", "Chef", "Baker",
+      "Butcher", "Waiter", "Bartender", "Barista", "Cashier", "Salesperson",
+      "Manager", "Consultant", "Analyst", "Economist", "Statistician",
+      "Mathematician", "Physicist", "Chemist", "Biologist", "Geologist",
+      "Astronomer", "Software Developer", "Data Scientist", "Web Designer",
+      "Graphic Designer", "Photographer", "Journalist", "Editor", "Writer",
+      "Translator", "Librarian", "Professor",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Genres() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Action", "Adventure", "Comedy", "Drama", "Horror", "Thriller",
+      "Romance", "Science Fiction", "Fantasy", "Mystery", "Crime",
+      "Documentary", "Animation", "Family", "Musical", "Western", "War",
+      "History", "Biography", "Sport", "Rock", "Pop", "Jazz", "Blues",
+      "Classical", "Country", "Folk", "Hip Hop", "Electronic", "Reggae",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& ProductAdjectives() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Deluxe", "Premium", "Classic", "Standard", "Professional", "Compact",
+      "Portable", "Wireless", "Digital", "Smart", "Ultra", "Mega", "Super",
+      "Eco", "Turbo", "Heavy Duty", "Lightweight", "Ergonomic", "Advanced",
+      "Essential",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& ProductNouns() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Drill", "Hammer", "Wrench", "Screwdriver", "Saw", "Sander", "Router",
+      "Keyboard", "Mouse", "Monitor", "Printer", "Scanner", "Speaker",
+      "Headphones", "Camera", "Tripod", "Backpack", "Suitcase", "Desk",
+      "Chair", "Lamp", "Blender", "Toaster", "Kettle", "Mixer", "Vacuum",
+      "Heater", "Fan", "Projector", "Charger",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& StreetNames() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Maple", "Oak", "Pine", "Cedar", "Elm", "Birch", "Walnut", "Chestnut",
+      "Willow", "Aspen", "Main", "Church", "Park", "Lake", "River", "Hill",
+      "Valley", "Spring", "Sunset", "Highland", "Meadow", "Forest", "Garden",
+      "Orchard", "Prospect", "Franklin", "Lincoln", "Madison", "Jefferson",
+      "Monroe", "Adams", "Grant", "Sherman", "Douglas", "Harrison",
+      "Cleveland", "Jackson", "Clinton", "Union", "Liberty",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& StreetTypes() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Street", "Avenue", "Road", "Boulevard", "Lane", "Drive", "Court",
+      "Place",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& PhraseAdjectives() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Silent", "Hidden", "Broken", "Golden", "Silver", "Crimson", "Distant",
+      "Ancient", "Frozen", "Burning", "Endless", "Quiet", "Lost", "Final",
+      "First", "Last", "Dark", "Bright", "Empty", "Secret", "Wild", "Gentle",
+      "Bitter", "Sweet", "Hollow", "Sacred", "Shattered", "Eternal",
+      "Fading", "Rising", "Falling", "Wandering", "Forgotten", "Restless",
+      "Crooked", "Scarlet", "Velvet", "Iron", "Stone", "Glass",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& PhraseNouns() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "River", "Mountain", "Valley", "Forest", "Ocean", "Desert", "Island",
+      "Harbor", "Bridge", "Tower", "Castle", "Garden", "Mirror", "Shadow",
+      "Light", "Storm", "Thunder", "Rain", "Snow", "Wind", "Fire", "Ember",
+      "Ash", "Stone", "Crown", "Sword", "Shield", "Banner", "Journey",
+      "Return", "Promise", "Memory", "Dream", "Whisper", "Song", "Dance",
+      "Night", "Dawn", "Dusk", "Winter", "Summer", "Autumn", "Spring",
+      "Horizon", "Voyage", "Empire", "Kingdom", "Legacy", "Destiny", "Echo",
+      "Letter", "Garden Gate", "Road Home", "Door", "Key", "Map", "Compass",
+      "Lantern", "Candle", "Bell",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Departments() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Engineering", "Marketing", "Sales", "Finance", "Human Resources",
+      "Legal", "Operations", "Customer Support", "Research and Development",
+      "Information Technology", "Product Management", "Quality Assurance",
+      "Business Development", "Public Relations", "Procurement", "Logistics",
+      "Facilities", "Security", "Training", "Payroll", "Accounting",
+      "Compliance", "Strategy", "Design", "Data Science",
+  });
+  return kValues;
+}
+
+const std::vector<std::string>& Statuses() {
+  static const std::vector<std::string> kValues = MakeVector({
+      "Open", "Closed", "Pending", "In Progress", "Completed", "Cancelled",
+      "On Hold", "Approved", "Rejected", "Under Review", "Escalated",
+      "Resolved", "Deferred", "Blocked", "Active",
+  });
+  return kValues;
+}
+
+namespace {
+
+/// Generates pronounceable synthetic tokens from syllables, deterministically
+/// from a fixed seed so that the Enterprise corpus and Enterprise benchmark
+/// share one proprietary vocabulary.
+std::vector<std::string> GenerateSyntheticNames(uint64_t seed, size_t count,
+                                                const char* suffix_pool[],
+                                                size_t suffix_count) {
+  static const char* kOnsets[] = {"k",  "v",  "z",  "br", "tr", "gl", "m",
+                                  "n",  "d",  "pr", "st", "fl", "cr", "b"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "el", "or", "an"};
+  static const char* kCodas[] = {"x",   "n",  "s",  "th", "ck", "lt",
+                                 "rno", "bra", "dex", "mir", "tano", "lix"};
+  Rng rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string name;
+    const int syllables = 2;
+    for (int s = 0; s < syllables; ++s) {
+      name += kOnsets[rng.Uniform(std::size(kOnsets))];
+      name += kVowels[rng.Uniform(std::size(kVowels))];
+    }
+    name += kCodas[rng.Uniform(std::size(kCodas))];
+    name[0] = static_cast<char>(std::toupper(name[0]));
+    if (suffix_count > 0) {
+      name += " ";
+      name += suffix_pool[rng.Uniform(suffix_count)];
+    }
+    out.push_back(std::move(name));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& EnterpriseCustomers() {
+  static const char* kSuffixes[] = {"Systems",  "Holdings", "Industries",
+                                    "Partners", "Group",    "Solutions",
+                                    "Technologies", "Logistics"};
+  static const std::vector<std::string> kValues = GenerateSyntheticNames(
+      /*seed=*/0xE17E4912ULL, /*count=*/160, kSuffixes, std::size(kSuffixes));
+  return kValues;
+}
+
+const std::vector<std::string>& EnterpriseProjects() {
+  static const std::vector<std::string> kValues = [] {
+    static const char* kCodeWords[] = {
+        "Falcon",  "Osprey",  "Kestrel", "Condor",  "Heron",   "Ibis",
+        "Merlin",  "Harrier", "Petrel",  "Swift",   "Raven",   "Magpie",
+        "Basalt",  "Granite", "Quartz",  "Obsidian", "Onyx",   "Jasper",
+        "Cobalt",  "Argon",   "Krypton", "Meridian", "Cascade", "Summit",
+        "Horizon", "Aurora",  "Zephyr",  "Tempest", "Cyclone", "Monsoon",
+    };
+    static const char* kQualifiers[] = {"Blue", "Red",  "North", "South",
+                                        "Deep", "High", "Iron",  "Silver"};
+    std::vector<std::string> out;
+    // Single-word and two-word project codes.
+    for (const char* w : kCodeWords) {
+      out.push_back(std::string("Project ") + w);
+    }
+    Rng rng(0x0F1CE5);
+    for (const char* q : kQualifiers) {
+      for (int i = 0; i < 4; ++i) {
+        out.push_back(std::string("Project ") + q + " " +
+                      kCodeWords[rng.Uniform(std::size(kCodeWords))]);
+      }
+    }
+    return out;
+  }();
+  return kValues;
+}
+
+const std::vector<std::string>& EnterpriseEmployees() {
+  static const char* kNoSuffix[] = {""};
+  static const std::vector<std::string> kValues = [] {
+    // Combine synthetic given names with synthetic surnames.
+    auto givens = GenerateSyntheticNames(0xA11CE, 60, kNoSuffix, 0);
+    auto surnames = GenerateSyntheticNames(0xB0B, 80, kNoSuffix, 0);
+    Rng rng(0xC0FFEE);
+    std::vector<std::string> out;
+    out.reserve(200);
+    for (int i = 0; i < 200; ++i) {
+      out.push_back(givens[rng.Uniform(givens.size())] + " " +
+                    surnames[rng.Uniform(surnames.size())]);
+    }
+    return out;
+  }();
+  return kValues;
+}
+
+}  // namespace tegra::synth

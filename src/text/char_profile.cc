@@ -1,0 +1,37 @@
+#include "text/char_profile.h"
+
+#include <cctype>
+
+namespace tegra {
+
+CharProfile ComputeCharProfile(std::string_view s) {
+  CharProfile p;
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isspace(c)) continue;
+    if (std::isdigit(c)) {
+      ++p.digits;
+    } else if (std::isupper(c)) {
+      ++p.capitals;
+    } else if (std::islower(c)) {
+      ++p.lowers;
+    } else if (std::ispunct(c)) {
+      ++p.punctuation;
+    } else {
+      ++p.symbols;
+    }
+  }
+  return p;
+}
+
+double CharClassDistance(const CharProfile& a, const CharProfile& b) {
+  int differing = 0;
+  differing += (a.digits != b.digits);
+  differing += (a.capitals != b.capitals);
+  differing += (a.lowers != b.lowers);
+  differing += (a.punctuation != b.punctuation);
+  differing += (a.symbols != b.symbols);
+  return static_cast<double>(differing) / kNumCharClasses;
+}
+
+}  // namespace tegra

@@ -1,0 +1,40 @@
+// Character-class profile of a cell value, used by the d_char component of
+// syntactic distance (Appendix I). A profile counts five classes of
+// characters: digits, capital letters, lowercase letters, punctuation marks
+// and other symbols; d_char is the fraction of classes whose counts differ.
+
+#ifndef TEGRA_TEXT_CHAR_PROFILE_H_
+#define TEGRA_TEXT_CHAR_PROFILE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace tegra {
+
+/// \brief Per-class character counts of a string.
+struct CharProfile {
+  uint16_t digits = 0;
+  uint16_t capitals = 0;
+  uint16_t lowers = 0;
+  uint16_t punctuation = 0;
+  uint16_t symbols = 0;
+
+  bool operator==(const CharProfile&) const = default;
+};
+
+/// Number of character classes tracked (the "5" in Appendix I).
+inline constexpr int kNumCharClasses = 5;
+
+/// \brief Computes the character-class profile of `s`. Whitespace between
+/// tokens is not counted in any class.
+CharProfile ComputeCharProfile(std::string_view s);
+
+/// \brief d_char(s1, s2): the number of character classes in which the two
+/// profiles have *different* counts, divided by kNumCharClasses. In [0, 1];
+/// 0 iff all five class counts agree. Satisfies the triangle inequality
+/// because per-class equality is transitive.
+double CharClassDistance(const CharProfile& a, const CharProfile& b);
+
+}  // namespace tegra
+
+#endif  // TEGRA_TEXT_CHAR_PROFILE_H_

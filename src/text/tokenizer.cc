@@ -1,0 +1,47 @@
+#include "text/tokenizer.h"
+
+namespace tegra {
+
+bool Tokenizer::IsDelimiter(char c) const {
+  return options_.delimiters.find(c) != std::string::npos ||
+         options_.punctuation_delimiters.find(c) != std::string::npos;
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view line) const {
+  std::vector<std::string> out;
+  size_t start = std::string_view::npos;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (IsDelimiter(line[i])) {
+      if (start != std::string_view::npos) {
+        out.emplace_back(line.substr(start, i - start));
+        start = std::string_view::npos;
+        if (options_.max_tokens > 0 &&
+            out.size() >= static_cast<size_t>(options_.max_tokens)) {
+          return out;
+        }
+      }
+    } else if (start == std::string_view::npos) {
+      start = i;
+    }
+  }
+  if (start != std::string_view::npos) {
+    out.emplace_back(line.substr(start));
+  }
+  return out;
+}
+
+size_t Tokenizer::CountTokens(std::string_view line) const {
+  size_t count = 0;
+  bool in_token = false;
+  for (char c : line) {
+    if (IsDelimiter(c)) {
+      in_token = false;
+    } else if (!in_token) {
+      in_token = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace tegra

@@ -1,0 +1,61 @@
+// Tokenization of unsegmented list lines (the `tok` function of §2.1).
+//
+// A tokenizer splits a raw line into a token sequence based on a set of
+// user-defined delimiter characters. The paper notes that column delimiters
+// in real lists are implicit and heterogeneous (whitespace, commas,
+// semicolons, dashes, ...), so the delimiter set is configurable; benchmark
+// lists constructed per §5.1.3 use whitespace only.
+
+#ifndef TEGRA_TEXT_TOKENIZER_H_
+#define TEGRA_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tegra {
+
+/// \brief Options controlling tokenization.
+struct TokenizerOptions {
+  /// Characters that separate tokens and are dropped from the output.
+  /// The default covers whitespace; real-list extraction typically adds
+  /// punctuation such as ",;:|" (see the Lists dataset).
+  std::string delimiters = " \t\r\n";
+
+  /// Additional punctuation characters that act as delimiters but only when
+  /// surrounded by (or adjacent to) other separators being present is not
+  /// required; they are simply treated as delimiters too.
+  std::string punctuation_delimiters;
+
+  /// If positive, lines tokenizing to more than this many tokens are
+  /// truncated. The paper discards very long lines (Appendix I); benchmark
+  /// construction never hits this.
+  int max_tokens = 0;
+};
+
+/// \brief Splits raw lines into token sequences.
+///
+/// Thread-safe: tokenization has no mutable state.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(std::move(options)) {}
+
+  /// Tokenizes one line. Consecutive delimiters collapse; no empty tokens
+  /// are produced.
+  std::vector<std::string> Tokenize(std::string_view line) const;
+
+  /// Number of tokens `line` would produce (without materializing them).
+  size_t CountTokens(std::string_view line) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool IsDelimiter(char c) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_TEXT_TOKENIZER_H_

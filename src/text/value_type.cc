@@ -1,0 +1,306 @@
+#include "text/value_type.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace tegra {
+
+namespace {
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+bool IsAlpha(char c) { return std::isalpha(static_cast<unsigned char>(c)); }
+
+/// Parses an unsigned digit run with optional thousands separators
+/// ("1234", "1,234,567"). Returns chars consumed, 0 on failure.
+size_t ParseDigitsWithCommas(std::string_view s) {
+  size_t i = 0;
+  if (i >= s.size() || !IsDigit(s[i])) return 0;
+  while (i < s.size() && IsDigit(s[i])) ++i;
+  // Optional groups of ",ddd".
+  while (i + 3 < s.size() && s[i] == ',' && IsDigit(s[i + 1]) &&
+         IsDigit(s[i + 2]) && IsDigit(s[i + 3])) {
+    i += 4;
+  }
+  return i;
+}
+
+bool IsIntegerLike(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') i = 1;
+  size_t used = ParseDigitsWithCommas(s.substr(i));
+  return used > 0 && i + used == s.size();
+}
+
+bool IsDecimalLike(std::string_view s) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  if (s[0] == '-' || s[0] == '+') i = 1;
+  size_t intpart = ParseDigitsWithCommas(s.substr(i));
+  size_t j = i + intpart;
+  if (j >= s.size() || s[j] != '.') return false;
+  ++j;
+  size_t frac = 0;
+  while (j < s.size() && IsDigit(s[j])) {
+    ++j;
+    ++frac;
+  }
+  return frac > 0 && j == s.size();
+}
+
+bool IsPercentLike(std::string_view s) {
+  if (s.size() < 2 || s.back() != '%') return false;
+  std::string_view body = s.substr(0, s.size() - 1);
+  return IsIntegerLike(body) || IsDecimalLike(body);
+}
+
+bool IsCurrencyLike(std::string_view s) {
+  if (s.size() < 2) return false;
+  // ASCII currency prefixes plus common UTF-8 symbols (€ = \xE2\x82\xAC,
+  // £ = \xC2\xA3, ¥ = \xC2\xA5).
+  size_t skip = 0;
+  if (s[0] == '$') {
+    skip = 1;
+  } else if (s.size() >= 4 && static_cast<unsigned char>(s[0]) == 0xE2 &&
+             static_cast<unsigned char>(s[1]) == 0x82 &&
+             static_cast<unsigned char>(s[2]) == 0xAC) {
+    skip = 3;
+  } else if (s.size() >= 3 && static_cast<unsigned char>(s[0]) == 0xC2 &&
+             (static_cast<unsigned char>(s[1]) == 0xA3 ||
+              static_cast<unsigned char>(s[1]) == 0xA5)) {
+    skip = 2;
+  } else {
+    return false;
+  }
+  std::string_view body = s.substr(skip);
+  return IsIntegerLike(body) || IsDecimalLike(body);
+}
+
+bool IsYearLike(std::string_view s) {
+  if (s.size() != 4) return false;
+  for (char c : s) {
+    if (!IsDigit(c)) return false;
+  }
+  return s[0] >= '1' && s[0] <= '2';
+}
+
+bool IsMonthName(std::string_view s) {
+  static const std::array<const char*, 12> kShort = {
+      "jan", "feb", "mar", "apr", "may", "jun",
+      "jul", "aug", "sep", "oct", "nov", "dec"};
+  std::string lower = ToLower(s);
+  for (const char* m : kShort) {
+    if (lower == m) return true;
+    // Full month names share the 3-letter prefix.
+    if (lower.size() > 3 && lower.compare(0, 3, m) == 0 &&
+        (lower == "january" || lower == "february" || lower == "march" ||
+         lower == "april" || lower == "june" || lower == "july" ||
+         lower == "august" || lower == "september" || lower == "october" ||
+         lower == "november" || lower == "december")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!IsDigit(c)) return false;
+  }
+  return true;
+}
+
+/// "2010-05-31", "05/31/2010", "31.12.2010", "Jan 12", "12 Jan 2010".
+bool IsDateLike(std::string_view s) {
+  // Numeric dates with -, / or . separators.
+  for (char sep : {'-', '/', '.'}) {
+    std::string sep_str(1, sep);
+    auto parts = SplitExact(s, sep_str);
+    if (parts.size() == 3 && AllDigits(parts[0]) && AllDigits(parts[1]) &&
+        AllDigits(parts[2])) {
+      bool ymd = parts[0].size() == 4 && parts[1].size() <= 2 &&
+                 parts[2].size() <= 2;
+      bool dmy = parts[2].size() == 4 && parts[0].size() <= 2 &&
+                 parts[1].size() <= 2;
+      if (ymd || dmy) return true;
+    }
+  }
+  // Month-name dates: "Jan 12", "Jan 12 2010", "12 Jan 2010".
+  auto words = SplitOnAny(s, " ");
+  if (words.size() == 2 || words.size() == 3) {
+    bool has_month = false;
+    bool all_others_numeric = true;
+    for (const auto& w : words) {
+      if (IsMonthName(w)) {
+        has_month = true;
+      } else if (!AllDigits(w) || w.size() > 4) {
+        all_others_numeric = false;
+      }
+    }
+    if (has_month && all_others_numeric) return true;
+  }
+  return false;
+}
+
+bool IsTimeLike(std::string_view s) {
+  auto parts = SplitExact(s, ":");
+  if (parts.size() != 2 && parts.size() != 3) return false;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 2 || !AllDigits(p)) return false;
+  }
+  return true;
+}
+
+bool IsEmailLike(std::string_view s) {
+  size_t at = s.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= s.size()) {
+    return false;
+  }
+  std::string_view domain = s.substr(at + 1);
+  size_t dot = domain.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 >= domain.size()) {
+    return false;
+  }
+  if (s.find(' ') != std::string_view::npos) return false;
+  return true;
+}
+
+bool IsUrlLike(std::string_view s) {
+  if (s.find(' ') != std::string_view::npos) return false;
+  if (StartsWith(s, "http://") || StartsWith(s, "https://") ||
+      StartsWith(s, "www.")) {
+    return true;
+  }
+  // Bare domain like "example.com": letters/digits/dashes + known-ish TLD.
+  size_t dot = s.rfind('.');
+  if (dot == std::string_view::npos || dot == 0) return false;
+  std::string_view tld = s.substr(dot + 1);
+  if (tld != "com" && tld != "org" && tld != "net" && tld != "edu" &&
+      tld != "gov" && tld != "io") {
+    return false;
+  }
+  for (char c : s.substr(0, dot)) {
+    if (!IsAlpha(c) && !IsDigit(c) && c != '-' && c != '.') return false;
+  }
+  return true;
+}
+
+bool IsPhoneLike(std::string_view s) {
+  int digits = 0;
+  for (char c : s) {
+    if (IsDigit(c)) {
+      ++digits;
+    } else if (c != '-' && c != ' ' && c != '(' && c != ')' && c != '+' &&
+               c != '.') {
+      return false;
+    }
+  }
+  // Phone numbers are 7..15 digits and must contain at least one separator
+  // (otherwise they classify as integers).
+  return digits >= 7 && digits <= 15 &&
+         digits < static_cast<int>(s.size());
+}
+
+bool IsIpLike(std::string_view s) {
+  auto parts = SplitExact(s, ".");
+  if (parts.size() != 4) return false;
+  for (const auto& p : parts) {
+    if (p.empty() || p.size() > 3 || !AllDigits(p)) return false;
+    int v = std::stoi(p);
+    if (v > 255) return false;
+  }
+  return true;
+}
+
+/// Mixed letters+digits single token such as "SKU-926434" or "A12B9".
+bool IsIdCodeLike(std::string_view s) {
+  if (s.find(' ') != std::string_view::npos) return false;
+  bool has_alpha = false;
+  bool has_digit = false;
+  for (char c : s) {
+    if (IsAlpha(c)) {
+      has_alpha = true;
+    } else if (IsDigit(c)) {
+      has_digit = true;
+    } else if (c != '-' && c != '_' && c != '#' && c != '/') {
+      return false;
+    }
+  }
+  return has_alpha && has_digit;
+}
+
+}  // namespace
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kEmpty:
+      return "empty";
+    case ValueType::kInteger:
+      return "integer";
+    case ValueType::kDecimal:
+      return "decimal";
+    case ValueType::kPercent:
+      return "percent";
+    case ValueType::kCurrency:
+      return "currency";
+    case ValueType::kYear:
+      return "year";
+    case ValueType::kDate:
+      return "date";
+    case ValueType::kTime:
+      return "time";
+    case ValueType::kEmail:
+      return "email";
+    case ValueType::kUrl:
+      return "url";
+    case ValueType::kPhone:
+      return "phone";
+    case ValueType::kIpAddress:
+      return "ip";
+    case ValueType::kIdCode:
+      return "id_code";
+    case ValueType::kText:
+      return "text";
+    default:
+      return "unknown";
+  }
+}
+
+ValueType DetectValueType(std::string_view raw) {
+  std::string_view s = TrimView(raw);
+  if (s.empty()) return ValueType::kEmpty;
+  // Order matters: most specific recognizers run first so that e.g. a year
+  // is not swallowed by the integer recognizer.
+  if (IsYearLike(s)) return ValueType::kYear;
+  if (IsIntegerLike(s)) return ValueType::kInteger;
+  if (IsDecimalLike(s)) return ValueType::kDecimal;
+  if (IsPercentLike(s)) return ValueType::kPercent;
+  if (IsCurrencyLike(s)) return ValueType::kCurrency;
+  if (IsIpLike(s)) return ValueType::kIpAddress;
+  if (IsTimeLike(s)) return ValueType::kTime;
+  if (IsDateLike(s)) return ValueType::kDate;
+  if (IsEmailLike(s)) return ValueType::kEmail;
+  if (IsUrlLike(s)) return ValueType::kUrl;
+  if (IsPhoneLike(s)) return ValueType::kPhone;
+  if (IsIdCodeLike(s)) return ValueType::kIdCode;
+  return ValueType::kText;
+}
+
+bool IsNumericType(ValueType t) {
+  switch (t) {
+    case ValueType::kInteger:
+    case ValueType::kDecimal:
+    case ValueType::kPercent:
+    case ValueType::kCurrency:
+    case ValueType::kYear:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace tegra

@@ -1,0 +1,47 @@
+// Predefined value types for the type component of syntactic distance
+// (Appendix I): numeric values, dates, emails, phone numbers, etc., as
+// determined by pattern recognizers. We hand-roll the recognizers instead of
+// using std::regex: they run in the inner loop of every distance evaluation.
+
+#ifndef TEGRA_TEXT_VALUE_TYPE_H_
+#define TEGRA_TEXT_VALUE_TYPE_H_
+
+#include <string_view>
+
+namespace tegra {
+
+/// \brief Syntactic value categories, ordered from most to least specific.
+enum class ValueType : int {
+  kEmpty = 0,     ///< Empty / null cell.
+  kInteger,       ///< "42", "-7", "1,234" (thousands separators allowed).
+  kDecimal,       ///< "159.3", "-0.5".
+  kPercent,       ///< "12%", "3.5%".
+  kCurrency,      ///< "$1,200", "€99.95".
+  kYear,          ///< 4-digit year 1000..2999.
+  kDate,          ///< "2010-05-31", "05/31/2010", "Jan 12".
+  kTime,          ///< "12:30", "09:15:00".
+  kEmail,         ///< "a.b@c.org".
+  kUrl,           ///< "http://...", "www...." or bare domain.
+  kPhone,         ///< "425-882-8080", "(425) 882 8080".
+  kIpAddress,     ///< "10.0.0.1".
+  kIdCode,        ///< Mixed alnum codes: "SKU-926434", "A12B9".
+  kText,          ///< Anything else (words, names, sentences).
+  kNumTypes,
+};
+
+/// \brief Returns a short display name, e.g. "integer".
+const char* ValueTypeName(ValueType t);
+
+/// \brief Detects the most specific ValueType for a cell string.
+///
+/// Detection is a pure function of the string; multi-token strings are
+/// classified as a whole (so "Jan 12" is a date, "New York" is text).
+ValueType DetectValueType(std::string_view s);
+
+/// \brief True if the type is one of the numeric family (integer, decimal,
+/// percent, currency, year). Used for the %-numeric statistics of Table 1.
+bool IsNumericType(ValueType t);
+
+}  // namespace tegra
+
+#endif  // TEGRA_TEXT_VALUE_TYPE_H_

@@ -1,0 +1,181 @@
+// Tests for the active example-selection extension and the batch extractor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/active.h"
+#include "core/batch.h"
+#include "synth/corpus_gen.h"
+#include "synth/list_gen.h"
+
+namespace tegra {
+namespace {
+
+class ActiveBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    index_ = new ColumnIndex(synth::BuildBackgroundIndex(
+        synth::CorpusProfile::kWeb, /*num_tables=*/1200, /*seed=*/303));
+    stats_ = new CorpusStats(index_);
+  }
+  static void TearDownTestSuite() {
+    delete stats_;
+    delete index_;
+  }
+  static ColumnIndex* index_;
+  static CorpusStats* stats_;
+};
+
+ColumnIndex* ActiveBatchTest::index_ = nullptr;
+CorpusStats* ActiveBatchTest::stats_ = nullptr;
+
+TEST_F(ActiveBatchTest, RanksEveryUnlabeledRow) {
+  const std::vector<std::string> lines = {
+      "Boston Massachusetts 645,966",
+      "Worcester Massachusetts 182,544",
+      "Providence Rhode Island 178,042",
+      "Hartford Connecticut 124,775",
+  };
+  TegraExtractor extractor(stats_);
+  auto result = extractor.Extract(lines);
+  ASSERT_TRUE(result.ok());
+  auto ranked = RankRowsByUncertainty(extractor, lines, *result);
+  ASSERT_TRUE(ranked.ok()) << ranked.status().ToString();
+  EXPECT_EQ(ranked->size(), 4u);
+  // Sorted most-uncertain first.
+  for (size_t i = 1; i < ranked->size(); ++i) {
+    EXPECT_GE((*ranked)[i - 1].mean_distance, (*ranked)[i].mean_distance);
+  }
+}
+
+TEST_F(ActiveBatchTest, ExcludesLabeledRows) {
+  const std::vector<std::string> lines = {
+      "Boston Massachusetts 1", "Chicago Illinois 2", "Houston Texas 3"};
+  TegraExtractor extractor(stats_);
+  auto result = extractor.Extract(lines);
+  ASSERT_TRUE(result.ok());
+  auto ranked = RankRowsByUncertainty(extractor, lines, *result, {1});
+  ASSERT_TRUE(ranked.ok());
+  EXPECT_EQ(ranked->size(), 2u);
+  for (const auto& r : *ranked) EXPECT_NE(r.line_index, 1u);
+}
+
+TEST_F(ActiveBatchTest, SuggestsTheOddRowOut) {
+  // Rows 0-3 are clean city/state/number; row 4 is a misfit the aligner
+  // struggles with — the suggestion should be row 4.
+  const std::vector<std::string> lines = {
+      "Boston Massachusetts 645,966",
+      "Worcester Massachusetts 182,544",
+      "Providence Rhode Island 178,042",
+      "Hartford Connecticut 124,775",
+      "zqx wvv kjh ploo mnwte",
+  };
+  TegraExtractor extractor(stats_);
+  auto suggestion = SuggestNextExample(extractor, lines, {});
+  ASSERT_TRUE(suggestion.ok()) << suggestion.status().ToString();
+  EXPECT_EQ(*suggestion, 4u);
+}
+
+TEST_F(ActiveBatchTest, SuggestNextExampleExhausts) {
+  const std::vector<std::string> lines = {"a 1", "b 2"};
+  TegraExtractor extractor(stats_);
+  std::vector<SegmentationExample> examples = {
+      {0, {"a", "1"}},
+      {1, {"b", "2"}},
+  };
+  auto suggestion = SuggestNextExample(extractor, lines, examples);
+  EXPECT_FALSE(suggestion.ok());
+  EXPECT_TRUE(suggestion.status().IsNotFound());
+}
+
+TEST_F(ActiveBatchTest, ActiveLoopConverges) {
+  // Labeling the suggested row (from ground truth) must never crash and
+  // should keep or improve the extraction.
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 1, 42);
+  const auto& inst = instances[0];
+  TegraExtractor extractor(stats_);
+  std::vector<SegmentationExample> examples;
+  for (int round = 0; round < 2; ++round) {
+    auto suggestion = SuggestNextExample(extractor, inst.lines, examples);
+    ASSERT_TRUE(suggestion.ok());
+    SegmentationExample ex;
+    ex.line_index = *suggestion;
+    ex.cells = inst.ground_truth.Row(*suggestion);
+    examples.push_back(std::move(ex));
+  }
+  auto result = extractor.ExtractWithExamples(inst.lines, examples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumCols(), inst.ground_truth.NumCols());
+}
+
+// ---- batch ----------------------------------------------------------------
+
+TEST_F(ActiveBatchTest, BatchMatchesSequentialResults) {
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 6, 77);
+  std::vector<std::vector<std::string>> lists;
+  for (const auto& inst : instances) lists.push_back(inst.lines);
+
+  TegraExtractor extractor(stats_);
+  BatchOptions opts;
+  opts.num_threads = 4;
+  BatchExtractor batch(&extractor, opts);
+  const auto items = batch.ExtractAll(lists);
+  ASSERT_EQ(items.size(), lists.size());
+  for (size_t i = 0; i < lists.size(); ++i) {
+    ASSERT_EQ(items[i].disposition, BatchItem::Disposition::kExtracted);
+    auto sequential = extractor.Extract(lists[i]);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_EQ(items[i].result.table.rows(), sequential->table.rows())
+        << "list " << i;
+  }
+}
+
+TEST_F(ActiveBatchTest, BatchFiltersShortAndLowQualityLists) {
+  std::vector<std::vector<std::string>> lists = {
+      {"only one row"},
+      {"Boston Massachusetts 1", "Chicago Illinois 2", "Houston Texas 3",
+       "Phoenix Arizona 4", "Seattle Washington 5"},
+  };
+  TegraExtractor extractor(stats_);
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.min_rows = 2;
+  BatchExtractor batch(&extractor, opts);
+  const auto items = batch.ExtractAll(lists);
+  EXPECT_EQ(items[0].disposition, BatchItem::Disposition::kFiltered);
+  EXPECT_EQ(items[1].disposition, BatchItem::Disposition::kExtracted);
+  EXPECT_EQ(BatchExtractor::Count(items, BatchItem::Disposition::kExtracted),
+            1u);
+}
+
+TEST_F(ActiveBatchTest, BatchQualityGate) {
+  std::vector<std::vector<std::string>> lists = {
+      // Incoherent junk should trip a tight objective gate.
+      {"zz qq ww", "mm kk jj pp", "aa", "yy tt rr ee ww qq"},
+  };
+  TegraExtractor extractor(stats_);
+  BatchOptions opts;
+  opts.num_threads = 1;
+  opts.max_per_pair_objective = 0.05;  // Unachievably strict.
+  BatchExtractor batch(&extractor, opts);
+  const auto items = batch.ExtractAll(lists);
+  EXPECT_EQ(items[0].disposition, BatchItem::Disposition::kFiltered);
+}
+
+TEST_F(ActiveBatchTest, BatchProgressCallbackFires) {
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 4, 99);
+  std::vector<std::vector<std::string>> lists;
+  for (const auto& inst : instances) lists.push_back(inst.lines);
+  TegraExtractor extractor(stats_);
+  BatchExtractor batch(&extractor, {.num_threads = 2});
+  std::atomic<size_t> calls{0};
+  batch.ExtractAll(lists, [&](size_t done, size_t total) {
+    EXPECT_LE(done, total);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 4u);
+}
+
+}  // namespace
+}  // namespace tegra

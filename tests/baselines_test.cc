@@ -1,0 +1,208 @@
+// Tests for the ListExtract and Judie baselines: phase behaviour, the
+// over-segmentation trap the paper describes, supervised adaptations, and
+// error handling.
+
+#include <gtest/gtest.h>
+
+#include "baselines/field_quality.h"
+#include "baselines/judie.h"
+#include "baselines/listextract.h"
+#include "synth/corpus_gen.h"
+#include "synth/knowledge_base.h"
+
+namespace tegra {
+namespace {
+
+/// A corpus where "New York" is a much more popular cell than
+/// "New York City" — the trap of §1.
+ColumnIndex BuildTrapCorpus() {
+  ColumnIndex index;
+  for (int i = 0; i < 400; ++i) {
+    index.AddColumn({"New York", "Boston", "Chicago"});
+    if (i % 8 == 0) {
+      index.AddColumn({"New York City", "Los Angeles", "Houston"});
+    }
+    index.AddColumn({"pad" + std::to_string(i)});
+  }
+  index.Finalize();
+  return index;
+}
+
+// ---- FieldQuality -------------------------------------------------------
+
+TEST(FieldQualityTest, TypedFieldsScoreHigh) {
+  FieldQuality fq(nullptr);
+  CellCatalog catalog(nullptr);
+  EXPECT_DOUBLE_EQ(fq.Score(catalog.Register("645,966", 1)), 1.0);
+  EXPECT_DOUBLE_EQ(fq.Score(catalog.Register("2010-05-31", 1)), 1.0);
+  EXPECT_DOUBLE_EQ(fq.Score(catalog.NullCell()), 0.0);
+}
+
+TEST(FieldQualityTest, LmPriorFavorsShortStrings) {
+  FieldQuality fq(nullptr);
+  CellCatalog catalog(nullptr);
+  const double one = fq.Score(catalog.Register("unknownword", 1));
+  const double two = fq.Score(catalog.Register("unknown words", 2));
+  EXPECT_GT(one, two);
+  EXPECT_GT(two, 0.0);
+}
+
+TEST(FieldQualityTest, CorpusSupportScales) {
+  ColumnIndex index = BuildTrapCorpus();
+  CorpusStats stats(&index);
+  FieldQuality fq(&stats);
+  CellCatalog catalog(&index);
+  const double popular = fq.Score(catalog.Register("New York", 2));
+  const double rarer = fq.Score(catalog.Register("New York City", 3));
+  const double unknown = fq.Score(catalog.Register("Zxqw Vbnm", 2));
+  EXPECT_GT(popular, rarer);
+  EXPECT_GT(rarer, unknown);
+}
+
+// ---- ListExtract ----------------------------------------------------------
+
+TEST(ListExtractTest, SegmentsCleanNumericTable) {
+  ColumnIndex index = BuildTrapCorpus();
+  CorpusStats stats(&index);
+  ListExtract algo(&stats);
+  auto result = algo.Extract({"Boston 42 7.5", "Chicago 17 9.1",
+                              "New York 23 8.8"});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_columns, 3);
+  EXPECT_EQ(result->table.Cell(0, 0), "Boston");
+  EXPECT_EQ(result->table.Cell(2, 2), "8.8");
+}
+
+TEST(ListExtractTest, OverSegmentsPopularPrefixes) {
+  // The §1 trap: "New York" is carved out of "New York City" by the
+  // popularity-driven FQ in phase 1, inflating the column count.
+  ColumnIndex index = BuildTrapCorpus();
+  CorpusStats stats(&index);
+  ListExtract algo(&stats);
+  auto result = algo.Extract({
+      "New York City 645,966",
+      "New York City 182,544",
+      "New York City 178,042",
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->num_columns, 2)
+      << "local splitting should over-segment here";
+}
+
+TEST(ListExtractTest, EmptyInputRejected) {
+  ListExtract algo(nullptr);
+  EXPECT_FALSE(algo.Extract({}).ok());
+}
+
+TEST(ListExtractTest, SupervisedExamplesFixColumnCount) {
+  ColumnIndex index = BuildTrapCorpus();
+  CorpusStats stats(&index);
+  ListExtract algo(&stats);
+  std::vector<SegmentationExample> examples = {
+      {0, {"New York City", "645,966"}},
+  };
+  auto result = algo.ExtractWithExamples(
+      {"New York City 645,966", "New York City 182,544"}, examples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns, 2);
+  EXPECT_EQ(result->table.Cell(0, 0), "New York City");
+}
+
+TEST(ListExtractTest, BadExampleRejected) {
+  ListExtract algo(nullptr);
+  std::vector<SegmentationExample> examples = {{0, {"wrong", "tokens"}}};
+  EXPECT_FALSE(algo.ExtractWithExamples({"a b"}, examples).ok());
+  examples = {{5, {"a", "b"}}};
+  EXPECT_FALSE(algo.ExtractWithExamples({"a b"}, examples).ok());
+}
+
+TEST(ListExtractTest, FixedColumnsOptionHonored) {
+  ListExtractOptions opts;
+  opts.fixed_columns = 2;
+  ListExtract algo(nullptr, opts);
+  auto result = algo.Extract({"a b c", "d e f"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns, 2);
+}
+
+TEST(ListExtractTest, HandlesRaggedLines) {
+  ListExtract algo(nullptr);
+  auto result = algo.Extract({"a 42", "b 17 extra junk", "c 9"});
+  ASSERT_TRUE(result.ok());
+  // All rows coerced to one width.
+  for (size_t r = 0; r < result->table.NumRows(); ++r) {
+    EXPECT_EQ(result->table.Row(r).size(),
+              static_cast<size_t>(result->num_columns));
+  }
+}
+
+// ---- Judie -------------------------------------------------------------------
+
+synth::KnowledgeBase CityKb() {
+  synth::KnowledgeBase kb;
+  kb.AddEntity("New York City", "city");
+  kb.AddEntity("Los Angeles", "city");
+  kb.AddEntity("Boston", "city");
+  kb.AddEntity("United States", "country");
+  kb.AddEntity("Canada", "country");
+  return kb;
+}
+
+TEST(JudieTest, KbEntitiesBecomeFields) {
+  synth::KnowledgeBase kb = CityKb();
+  Judie algo(&kb);
+  auto result = algo.Extract({
+      "New York City United States",
+      "Los Angeles United States",
+      "Boston United States",
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->num_columns, 2);
+  EXPECT_EQ(result->table.Cell(0, 0), "New York City");
+  EXPECT_EQ(result->table.Cell(0, 1), "United States");
+}
+
+TEST(JudieTest, DegradesWithoutCoverage) {
+  synth::KnowledgeBase empty_kb;
+  Judie algo(&empty_kb);
+  auto result = algo.Extract({
+      "New York City United States",
+      "Los Angeles Canada",
+  });
+  ASSERT_TRUE(result.ok());
+  // Without KB coverage the entity boundary is invisible; the multi-token
+  // city cannot be reliably recovered.
+  EXPECT_NE(result->table.Cell(0, 0), "New York City");
+}
+
+TEST(JudieTest, SupervisedAddsExampleCellsToKb) {
+  synth::KnowledgeBase empty_kb;
+  Judie algo(&empty_kb);
+  std::vector<SegmentationExample> examples = {
+      {0, {"New York City", "United States"}},
+  };
+  auto result = algo.ExtractWithExamples(
+      {"New York City United States", "New York City United States"},
+      examples);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.Cell(1, 0), "New York City");
+}
+
+TEST(JudieTest, EmptyInputRejected) {
+  synth::KnowledgeBase kb;
+  Judie algo(&kb);
+  EXPECT_FALSE(algo.Extract({}).ok());
+}
+
+TEST(JudieTest, FixedColumnsHonored) {
+  synth::KnowledgeBase kb = CityKb();
+  JudieOptions opts;
+  opts.fixed_columns = 3;
+  Judie algo(&kb, opts);
+  auto result = algo.Extract({"Boston 42 x", "Boston 17 y"});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_columns, 3);
+}
+
+}  // namespace
+}  // namespace tegra

@@ -1,0 +1,204 @@
+// Tests for string utilities, hashing, RNG and the thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace tegra {
+namespace {
+
+// ---- string_util --------------------------------------------------------
+
+TEST(SplitOnAnyTest, Basic) {
+  EXPECT_EQ(SplitOnAny("a b c", " "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitOnAnyTest, CollapsesConsecutiveDelimiters) {
+  EXPECT_EQ(SplitOnAny("a,,b, ,c", ", "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitOnAnyTest, LeadingTrailingDelimiters) {
+  EXPECT_EQ(SplitOnAny("  a b  ", " "),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitOnAnyTest, EmptyInput) {
+  EXPECT_TRUE(SplitOnAny("", " ").empty());
+  EXPECT_TRUE(SplitOnAny("   ", " ").empty());
+}
+
+TEST(SplitExactTest, KeepsEmptyPieces) {
+  EXPECT_EQ(SplitExact("a::b", ":"),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(SplitExact("", ":"), (std::vector<std::string>{""}));
+}
+
+TEST(JoinTest, SkipsEmptyParts) {
+  EXPECT_EQ(Join({"a", "", "b"}), "a b");
+  EXPECT_EQ(Join({"", "", ""}), "");
+  EXPECT_EQ(JoinRange({"a", "b", "c", "d"}, 1, 3), "b c");
+}
+
+TEST(JoinRangeTest, OutOfBoundsEndIsClamped) {
+  EXPECT_EQ(JoinRange({"a", "b"}, 0, 99), "a b");
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(TrimView("abc"), "abc");
+}
+
+TEST(CaseAndAffixTest, Basic) {
+  EXPECT_EQ(ToLower("New YORK"), "new york");
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.idx", ".idx"));
+  EXPECT_FALSE(EndsWith("x", ".idx"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.666666), "0.67");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(2.5, 3), "2.500");
+}
+
+TEST(PadRightTest, PadsAndTruncates) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");
+}
+
+// ---- hash ----------------------------------------------------------------
+
+TEST(HashTest, Fnv1aIsDeterministicAndDiscriminating) {
+  EXPECT_EQ(Fnv1a64("toronto"), Fnv1a64("toronto"));
+  EXPECT_NE(Fnv1a64("toronto"), Fnv1a64("torontO"));
+  // Known FNV-1a property: empty string hashes to the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+}
+
+TEST(HashTest, PairHashSpreadsNeighbors) {
+  PairHash h;
+  std::set<size_t> values;
+  for (uint32_t i = 0; i < 100; ++i) {
+    values.insert(h({i, i + 1}));
+  }
+  EXPECT_EQ(values.size(), 100u);  // No collisions among tiny neighbors.
+}
+
+// ---- random ---------------------------------------------------------------
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.Uniform(4)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(5);
+  Rng child = a.Fork();
+  EXPECT_NE(a.Next(), child.Next());
+}
+
+TEST(ZipfSamplerTest, HeadIsMorePopularThanTail) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(3);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfSamplerTest, SingleItem) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(3);
+  EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+// ---- thread pool -----------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.Submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  auto f = pool.Submit([] { return 1; });
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(ThreadPoolTest, ManyTasksDrainOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 200; ++i) {
+      futures.push_back(pool.Submit([&count] { count.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace tegra

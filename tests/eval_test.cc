@@ -1,0 +1,177 @@
+// Tests for the evaluation harness: the embedded Lists dataset, dataset
+// builders, supervised example picking, bucketing and the report writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "core/segmentation.h"
+#include "eval/experiment.h"
+#include "eval/lists_data.h"
+
+namespace tegra::eval {
+namespace {
+
+// ---- Lists dataset -------------------------------------------------------
+
+TEST(ManualListsTest, TwentyListsWithVariedDelimiters) {
+  const auto& lists = ManualLists();
+  EXPECT_EQ(lists.size(), 20u);
+  std::set<std::string> delimiters;
+  for (const auto& list : lists) delimiters.insert(list.delimiters);
+  // Heterogeneous delimiters across the set (comma, semicolon, colon, dash,
+  // pipe, whitespace-only, ...).
+  EXPECT_GE(delimiters.size(), 5u);
+}
+
+TEST(ManualListsTest, GroundTruthMatchesTokenization) {
+  // Every ground-truth row must concatenate to exactly its line's tokens
+  // under the list's tokenizer — otherwise the ground truth is wrong.
+  for (const auto& list : ManualLists()) {
+    Tokenizer tok(list.tokenizer_options());
+    ASSERT_EQ(list.lines.size(), list.truth_rows.size()) << list.name;
+    for (size_t r = 0; r < list.lines.size(); ++r) {
+      const auto tokens = tok.Tokenize(list.lines[r]);
+      Result<Bounds> bounds = CellsToBounds(tokens, list.truth_rows[r], tok);
+      EXPECT_TRUE(bounds.ok())
+          << list.name << " row " << r << ": " << bounds.status().ToString();
+    }
+  }
+}
+
+TEST(ManualListsTest, RectangularTruth) {
+  for (const auto& list : ManualLists()) {
+    const Table truth = list.TruthTable();
+    EXPECT_GE(truth.NumRows(), 8u) << list.name;
+    EXPECT_GE(truth.NumCols(), 3u) << list.name;
+  }
+}
+
+// ---- dataset builders -----------------------------------------------------
+
+TEST(BuildDatasetTest, GeneratedDatasetsHaveTruthAndLines) {
+  for (DatasetId id :
+       {DatasetId::kWeb, DatasetId::kWiki, DatasetId::kEnterprise}) {
+    const auto instances = BuildDataset(id, 5);
+    ASSERT_EQ(instances.size(), 5u);
+    for (const auto& inst : instances) {
+      EXPECT_EQ(inst.lines.size(), inst.truth.NumRows());
+      EXPECT_FALSE(inst.lines.empty());
+    }
+  }
+}
+
+TEST(BuildDatasetTest, ListsDatasetIgnoresCount) {
+  EXPECT_EQ(BuildDataset(DatasetId::kLists, 3).size(), 20u);
+}
+
+TEST(BuildDatasetTest, DatasetsAreDeterministic) {
+  const auto a = BuildDataset(DatasetId::kWeb, 3);
+  const auto b = BuildDataset(DatasetId::kWeb, 3);
+  EXPECT_EQ(a[0].lines, b[0].lines);
+  EXPECT_EQ(a[2].truth.rows(), b[2].truth.rows());
+}
+
+TEST(BuildDatasetTest, DatasetsDifferAcrossIds) {
+  const auto web = BuildDataset(DatasetId::kWeb, 3);
+  const auto wiki = BuildDataset(DatasetId::kWiki, 3);
+  EXPECT_NE(web[0].lines, wiki[0].lines);
+}
+
+TEST(EnvKnobsTest, DefaultsArePositive) {
+  EXPECT_GT(BenchTablesPerDataset(), 0u);
+  EXPECT_GT(WebCorpusTables(), 0u);
+  EXPECT_GT(EnterpriseCorpusTables(), 0u);
+}
+
+// ---- example picking ---------------------------------------------------------
+
+TEST(PickExamplesTest, PicksDistinctRowsDeterministically) {
+  const auto instances = BuildDataset(DatasetId::kWeb, 2);
+  const auto ex1 = PickExamples(instances[0], 2, 7);
+  const auto ex2 = PickExamples(instances[0], 2, 7);
+  ASSERT_EQ(ex1.size(), 2u);
+  EXPECT_NE(ex1[0].line_index, ex1[1].line_index);
+  EXPECT_EQ(ex1[0].line_index, ex2[0].line_index);
+  // Cells are the ground-truth row.
+  EXPECT_EQ(ex1[0].cells, instances[0].truth.Row(ex1[0].line_index));
+}
+
+TEST(PickExamplesTest, CapsAtRowCount) {
+  const auto instances = BuildDataset(DatasetId::kWeb, 1);
+  const auto ex =
+      PickExamples(instances[0], 1000, 7);
+  EXPECT_EQ(ex.size(), instances[0].truth.NumRows());
+  EXPECT_TRUE(PickExamples(instances[0], 0, 7).empty());
+}
+
+// ---- EvaluateAlgorithm ---------------------------------------------------------
+
+TEST(EvaluateAlgorithmTest, PerfectOracleScoresOne) {
+  const auto instances = BuildDataset(DatasetId::kWeb, 3);
+  const SegmentFn oracle = [](const EvalInstance& inst) -> Result<Table> {
+    return inst.truth;
+  };
+  const AlgoEvaluation eval = EvaluateAlgorithm(instances, oracle);
+  EXPECT_DOUBLE_EQ(eval.mean.f1, 1.0);
+  EXPECT_EQ(eval.failures, 0u);
+  EXPECT_EQ(eval.scores.size(), 3u);
+}
+
+TEST(EvaluateAlgorithmTest, FailuresScoreZero) {
+  const auto instances = BuildDataset(DatasetId::kWeb, 2);
+  const SegmentFn failing = [](const EvalInstance&) -> Result<Table> {
+    return Status::Internal("nope");
+  };
+  const AlgoEvaluation eval = EvaluateAlgorithm(instances, failing);
+  EXPECT_EQ(eval.failures, 2u);
+  EXPECT_DOUBLE_EQ(eval.mean.f1, 0.0);
+}
+
+// ---- bucketing -----------------------------------------------------------------
+
+TEST(EqualBucketsTest, SplitsSortedIndices) {
+  const std::vector<double> keys = {5, 1, 4, 2, 3, 0};
+  const auto buckets = EqualBuckets(keys, 3);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], (std::vector<size_t>{5, 1}));
+  EXPECT_EQ(buckets[1], (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(buckets[2], (std::vector<size_t>{2, 0}));
+}
+
+TEST(EqualBucketsTest, UnevenSizesCovered) {
+  const std::vector<double> keys = {1, 2, 3, 4, 5};
+  const auto buckets = EqualBuckets(keys, 2);
+  size_t total = 0;
+  for (const auto& b : buckets) total += b.size();
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(MeanFTest, AveragesSubset) {
+  std::vector<PrfScore> scores(3);
+  scores[0].f1 = 0.2;
+  scores[1].f1 = 0.4;
+  scores[2].f1 = 0.9;
+  EXPECT_NEAR(MeanF(scores, {0, 2}), 0.55, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanF(scores, {}), 0.0);
+}
+
+// ---- output --------------------------------------------------------------------
+
+TEST(TextTableTest, AlignsColumnsWithHeaderRule) {
+  TextTable t({"a", "bbb"});
+  t.AddRow({"xx", "y"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("a   bbb"), std::string::npos);
+  EXPECT_NE(out.find("--  ---"), std::string::npos);
+  EXPECT_NE(out.find("xx  y"), std::string::npos);
+}
+
+TEST(FormatPrfTest, Renders) {
+  PrfScore s{0.5, 1.0, 0.6667};
+  EXPECT_EQ(FormatPrf(s), "0.50/1.00/0.67");
+}
+
+}  // namespace
+}  // namespace tegra::eval

@@ -1,0 +1,133 @@
+// Tests for header-row detection and the Angular semantic measure.
+
+#include <gtest/gtest.h>
+
+#include "core/header.h"
+#include "corpus/corpus_stats.h"
+
+namespace tegra {
+namespace {
+
+const std::vector<std::string> kWithHeader = {
+    "Rank City State Population",
+    "1 Boston Massachusetts 645,966",
+    "2 Worcester Massachusetts 182,544",
+    "3 Providence RhodeIsland 178,042",
+    "4 Hartford Connecticut 124,775",
+};
+
+TEST(HeaderDetectionTest, DetectsTypicalHeader) {
+  EXPECT_TRUE(HasHeaderRow(kWithHeader));
+  EXPECT_GT(HeaderScore(kWithHeader), 0.5);
+}
+
+TEST(HeaderDetectionTest, NoFalsePositiveOnUniformBody) {
+  const std::vector<std::string> no_header(kWithHeader.begin() + 1,
+                                           kWithHeader.end());
+  EXPECT_FALSE(HasHeaderRow(no_header));
+}
+
+TEST(HeaderDetectionTest, AllTextListIsNotHeadered) {
+  // A list of phrases with no typed body gives no type signal.
+  const std::vector<std::string> text_only = {
+      "Silent River", "Hidden Valley", "Broken Crown", "Golden Dawn",
+      "Crimson Tide"};
+  EXPECT_LT(HeaderScore(text_only), 0.5);
+}
+
+TEST(HeaderDetectionTest, TooShortToJudge) {
+  EXPECT_DOUBLE_EQ(HeaderScore({"Rank City", "1 Boston"}), 0.0);
+  EXPECT_DOUBLE_EQ(HeaderScore({}), 0.0);
+  EXPECT_FALSE(HasHeaderRow({"only one line"}));
+}
+
+TEST(HeaderDetectionTest, StripHeaderRemovesAndReports) {
+  std::string header;
+  const auto body = StripHeaderRow(kWithHeader, &header);
+  EXPECT_EQ(body.size(), kWithHeader.size() - 1);
+  EXPECT_EQ(header, kWithHeader[0]);
+  EXPECT_EQ(body[0], kWithHeader[1]);
+}
+
+TEST(HeaderDetectionTest, StripHeaderNoopWithoutHeader) {
+  const std::vector<std::string> no_header(kWithHeader.begin() + 1,
+                                           kWithHeader.end());
+  std::string header = "sentinel";
+  const auto body = StripHeaderRow(no_header, &header);
+  EXPECT_EQ(body, no_header);
+  EXPECT_TRUE(header.empty());
+}
+
+TEST(HeaderDetectionTest, HeaderTokensRepeatedInBodyLowerScore) {
+  // Row 0 is made of the same values as the body, so it cannot be a header:
+  // the novelty signal must vanish.
+  const std::vector<std::string> lines = {
+      "Open Closed Open",
+      "Open Closed Open",
+      "Closed Open Closed",
+      "Open Open Closed",
+  };
+  EXPECT_LT(HeaderScore(lines), 0.5);
+  EXPECT_FALSE(HasHeaderRow(lines));
+}
+
+// ---- angular measure -------------------------------------------------------
+
+TEST(AngularMeasureTest, BoundsAndIdentity) {
+  ColumnIndex index;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::string> col = {"always"};
+    if (i % 2 == 0) col.push_back("evens");
+    if (i % 2 == 1) col.push_back("odds");
+    index.AddColumn(col);
+  }
+  index.Finalize();
+  CorpusStats stats(&index);
+  const ValueId always = index.Lookup("always");
+  const ValueId evens = index.Lookup("evens");
+  const ValueId odds = index.Lookup("odds");
+
+  // Identity.
+  EXPECT_DOUBLE_EQ(
+      stats.SemanticDistance(always, always, SemanticMeasure::kAngular), 0.0);
+  // Disjoint sets: orthogonal -> distance 1.
+  EXPECT_DOUBLE_EQ(
+      stats.SemanticDistance(evens, odds, SemanticMeasure::kAngular), 1.0);
+  // Subset: cos = |A∩B| / sqrt(|A||B|) = 50 / sqrt(50*100) ~ 0.707 ->
+  // angle 45° -> distance 0.5.
+  EXPECT_NEAR(
+      stats.SemanticDistance(always, evens, SemanticMeasure::kAngular), 0.5,
+      1e-9);
+}
+
+TEST(AngularMeasureTest, TriangleOnSampledTriples) {
+  ColumnIndex index;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<std::string> col;
+    if (i % 2 == 0) col.push_back("a");
+    if (i % 3 == 0) col.push_back("b");
+    if (i % 5 == 0) col.push_back("c");
+    col.push_back("pad" + std::to_string(i));
+    index.AddColumn(col);
+  }
+  index.Finalize();
+  CorpusStats stats(&index);
+  const ValueId ids[] = {index.Lookup("a"), index.Lookup("b"),
+                         index.Lookup("c")};
+  for (ValueId x : ids) {
+    for (ValueId y : ids) {
+      for (ValueId z : ids) {
+        const double xz =
+            stats.SemanticDistance(x, z, SemanticMeasure::kAngular);
+        const double xy =
+            stats.SemanticDistance(x, y, SemanticMeasure::kAngular);
+        const double yz =
+            stats.SemanticDistance(y, z, SemanticMeasure::kAngular);
+        EXPECT_LE(xz, xy + yz + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tegra

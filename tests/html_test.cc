@@ -1,0 +1,155 @@
+// Tests for the HTML list-extraction substrate.
+
+#include <gtest/gtest.h>
+
+#include "html/html_lists.h"
+
+namespace tegra::html {
+namespace {
+
+TEST(StripMarkupTest, RemovesTagsAndCollapsesWhitespace) {
+  EXPECT_EQ(StripMarkup("<b>Boston</b>,   <i>MA</i>"), "Boston, MA");
+  EXPECT_EQ(StripMarkup("plain text"), "plain text");
+  EXPECT_EQ(StripMarkup(""), "");
+}
+
+TEST(StripMarkupTest, DecodesEntities) {
+  EXPECT_EQ(StripMarkup("Johnson &amp; Johnson"), "Johnson & Johnson");
+  EXPECT_EQ(StripMarkup("a&lt;b&gt;c"), "a<b>c");
+  EXPECT_EQ(StripMarkup("x&nbsp;y"), "x y");
+  EXPECT_EQ(StripMarkup("it&#39;s"), "it's");
+  EXPECT_EQ(StripMarkup("A&#66;C"), "ABC");
+}
+
+TEST(StripMarkupTest, UnknownEntityKeptLiteral) {
+  EXPECT_EQ(StripMarkup("AT&T"), "AT&T");
+  EXPECT_EQ(StripMarkup("a &unknownentityname; b"), "a &unknownentityname; b");
+}
+
+TEST(StripMarkupTest, DropsScriptStyleAndComments) {
+  EXPECT_EQ(StripMarkup("a<script>var x = '<b>';</script>b"), "ab");
+  EXPECT_EQ(StripMarkup("a<style>.x{}</style>b"), "ab");
+  EXPECT_EQ(StripMarkup("a<!-- hidden <li> -->b"), "ab");
+  EXPECT_EQ(StripMarkup("645,966<sup>[1]</sup>"), "645,966");
+}
+
+TEST(StripMarkupTest, BlockTagsSeparateWords) {
+  EXPECT_EQ(StripMarkup("line1<br>line2"), "line1 line2");
+  EXPECT_EQ(StripMarkup("<p>a</p><p>b</p>"), "a b");
+}
+
+TEST(StripMarkupTest, QuotedAngleBracketInAttribute) {
+  EXPECT_EQ(StripMarkup(R"(<a href="x>y">link</a>)"), "link");
+}
+
+TEST(ExtractHtmlListsTest, SimpleList) {
+  const auto lists = ExtractHtmlLists(
+      "<ul><li>Boston, MA: 645,966</li><li>Worcester, MA: 182,544</li></ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].tag, "ul");
+  EXPECT_EQ(lists[0].items,
+            (std::vector<std::string>{"Boston, MA: 645,966",
+                                      "Worcester, MA: 182,544"}));
+}
+
+TEST(ExtractHtmlListsTest, OrderedListAndAttributes) {
+  const auto lists = ExtractHtmlLists(
+      R"(<ol class="rank"><li value="1">first</li><li>second</li></ol>)");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].tag, "ol");
+  EXPECT_EQ(lists[0].items[0], "first");
+}
+
+TEST(ExtractHtmlListsTest, InlineMarkupInsideItems) {
+  const auto lists = ExtractHtmlLists(
+      "<ul><li><b>Boston</b> <a href='/ma'>Massachusetts</a> 645,966</li></ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items[0], "Boston Massachusetts 645,966");
+}
+
+TEST(ExtractHtmlListsTest, ImpliedLiClose) {
+  // Real-world HTML frequently omits </li>.
+  const auto lists =
+      ExtractHtmlLists("<ul><li>one<li>two<li>three</ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items,
+            (std::vector<std::string>{"one", "two", "three"}));
+}
+
+TEST(ExtractHtmlListsTest, NestedListsSeparated) {
+  const auto lists = ExtractHtmlLists(
+      "<ul><li>outer1</li><li>outer2<ul><li>inner1</li><li>inner2</li></ul>"
+      "</li><li>outer3</li></ul>");
+  ASSERT_EQ(lists.size(), 2u);
+  // Inner list closes (and is emitted) first.
+  EXPECT_EQ(lists[0].items, (std::vector<std::string>{"inner1", "inner2"}));
+  EXPECT_EQ(lists[1].items,
+            (std::vector<std::string>{"outer1", "outer2", "outer3"}));
+}
+
+TEST(ExtractHtmlListsTest, MultipleListsInDocumentOrder) {
+  const auto lists = ExtractHtmlLists(
+      "<html><body><ul><li>a</li></ul><p>x</p><ol><li>b</li></ol></body>");
+  ASSERT_EQ(lists.size(), 2u);
+  EXPECT_EQ(lists[0].items[0], "a");
+  EXPECT_EQ(lists[1].items[0], "b");
+}
+
+TEST(ExtractHtmlListsTest, UnclosedListTerminatedAtEof) {
+  const auto lists = ExtractHtmlLists("<ul><li>a</li><li>b");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ExtractHtmlListsTest, EmptyItemsDropped) {
+  const auto lists =
+      ExtractHtmlLists("<ul><li>  </li><li>x</li><li></li></ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items, (std::vector<std::string>{"x"}));
+}
+
+TEST(ExtractHtmlListsTest, AllEmptyListOmitted) {
+  EXPECT_TRUE(ExtractHtmlLists("<ul><li> </li></ul>").empty());
+  EXPECT_TRUE(ExtractHtmlLists("no lists here").empty());
+}
+
+TEST(ExtractHtmlListsTest, TextOutsideItemsIgnored) {
+  const auto lists =
+      ExtractHtmlLists("<ul>stray text<li>kept</li>more stray</ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items, (std::vector<std::string>{"kept"}));
+}
+
+TEST(ExtractHtmlListsTest, ScriptInsideItemSkipped) {
+  const auto lists = ExtractHtmlLists(
+      "<ul><li>a<script>document.write('<li>fake</li>')</script>b</li></ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items, (std::vector<std::string>{"ab"}));
+}
+
+TEST(ExtractHtmlListsTest, EntitiesInsideItems) {
+  const auto lists =
+      ExtractHtmlLists("<ul><li>Barnes &amp; Noble &#45; 1971</li></ul>");
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_EQ(lists[0].items[0], "Barnes & Noble - 1971");
+}
+
+TEST(ExtractHtmlListsTest, RealisticWikipediaFragment) {
+  const char* html = R"(
+    <div id="content">
+      <h1>List of cities by population in New England</h1>
+      <ul>
+        <li>1. <a href="/wiki/Boston">Boston</a>, Massachusetts: 645,966<sup>[1]</sup></li>
+        <li>2. <a href="/wiki/Worcester">Worcester</a>, Massachusetts: 182,544</li>
+        <li>3. Providence, Rhode Island: 178,042</li>
+      </ul>
+    </div>)";
+  const auto lists = ExtractHtmlLists(html);
+  ASSERT_EQ(lists.size(), 1u);
+  ASSERT_EQ(lists[0].items.size(), 3u);
+  EXPECT_EQ(lists[0].items[0], "1. Boston, Massachusetts: 645,966");
+  EXPECT_EQ(lists[0].items[2], "3. Providence, Rhode Island: 178,042");
+}
+
+}  // namespace
+}  // namespace tegra::html

@@ -1,0 +1,118 @@
+// Tests for the generalized column-mapping precision/recall of §5.1.5,
+// including the paper's worked example (Tables 2 and 3: P = R = 4/6).
+
+#include <gtest/gtest.h>
+
+#include "eval/mapping_metric.h"
+
+namespace tegra::eval {
+namespace {
+
+Table T(std::vector<std::vector<std::string>> rows) {
+  return Table(std::move(rows));
+}
+
+TEST(FMeasureTest, Basics) {
+  EXPECT_DOUBLE_EQ(FMeasure(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(FMeasure(0.0, 0.0), 0.0);
+  EXPECT_NEAR(FMeasure(0.5, 1.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MappingMetricTest, PerfectSegmentationScoresOne) {
+  Table t = T({{"Boston", "42"}, {"Toronto", "17"}});
+  PrfScore s = ScoreTable(t, t);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(MappingMetricTest, PaperWorkedExample) {
+  // Table 2 (ground truth): first | last | "Mon day".
+  Table truth = T({{"Jenny", "Scott", "Jan 12"}, {"John", "Smith", "Nov 20"}});
+  // Table 3 (output): "first last" | Mon | day.
+  Table output = T({{"Jenny Scott", "Jan", "12"}, {"John Smith", "Nov", "20"}});
+  PrfScore s = ScoreTable(truth, output);
+  EXPECT_NEAR(s.precision, 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.recall, 4.0 / 6.0, 1e-12);
+}
+
+TEST(MappingMetricTest, ConsistentOverSegmentationKeepsRecall) {
+  Table truth = T({{"New York City", "7"}, {"Los Angeles", "9"}});
+  Table over = T({{"New York", "City", "7"}, {"Los", "Angeles", "9"}});
+  // Column 1 of truth maps to columns 1-2 of output (both rows match when
+  // concatenated); column 2 maps 1-1.
+  PrfScore s = ScoreTable(truth, over);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_NEAR(s.precision, 4.0 / 6.0, 1e-12);
+}
+
+TEST(MappingMetricTest, ConsistentUnderSegmentationKeepsPrecision) {
+  Table truth = T({{"Boston", "MA", "42"}, {"Austin", "TX", "17"}});
+  Table under = T({{"Boston MA", "42"}, {"Austin TX", "17"}});
+  PrfScore s = ScoreTable(truth, under);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_NEAR(s.recall, 4.0 / 6.0, 1e-12);
+}
+
+TEST(MappingMetricTest, MisalignedRowsGetNoCredit) {
+  Table truth = T({{"Boston", "42"}, {"Toronto", "17"}});
+  Table wrong = T({{"Boston 42", ""}, {"", "Toronto 17"}});
+  // Inconsistent merge direction: each mapping can match at most one row.
+  PrfScore s = ScoreTable(truth, wrong);
+  EXPECT_LT(s.f1, 0.7);
+  EXPECT_GT(s.f1, 0.0);  // Partial credit for single-row matches.
+}
+
+TEST(MappingMetricTest, CompletelyWrongIsZero) {
+  Table truth = T({{"Boston", "42"}});
+  Table junk = T({{"x", "y"}});
+  PrfScore s = ScoreTable(truth, junk);
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(MappingMetricTest, NullCellsCompareAsEmpty) {
+  Table truth = T({{"Toronto", "", "Canada"}, {"Boston", "MA", "USA"}});
+  PrfScore s = ScoreTable(truth, truth);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(MappingMetricTest, ScoresAreBounded) {
+  // Property: P, R in [0, 1] for assorted shapes.
+  const Table truth = T({{"a", "b", "c"}, {"d", "e", "f"}});
+  const Table shapes[] = {
+      T({{"a b c"}, {"d e f"}}),
+      T({{"a", "b", "c", ""}, {"d", "e", "f", ""}}),
+      T({{"a b", "c"}, {"d", "e f"}}),
+      T({{"", "", ""}, {"", "", ""}}),
+  };
+  for (const Table& out : shapes) {
+    PrfScore s = ScoreTable(truth, out);
+    EXPECT_GE(s.precision, 0.0);
+    EXPECT_LE(s.precision, 1.0);
+    EXPECT_GE(s.recall, 0.0);
+    EXPECT_LE(s.recall, 1.0);
+  }
+}
+
+TEST(MappingMetricTest, BestMappingValueSymmetricRoles) {
+  // |M| is defined over non-overlapping mappings in both tables; swapping
+  // the argument order swaps P and R.
+  Table a = T({{"x y", "1"}, {"p q", "2"}});
+  Table b = T({{"x", "y", "1"}, {"p", "q", "2"}});
+  PrfScore ab = ScoreTable(a, b);
+  PrfScore ba = ScoreTable(b, a);
+  EXPECT_DOUBLE_EQ(ab.precision, ba.recall);
+  EXPECT_DOUBLE_EQ(ab.recall, ba.precision);
+}
+
+TEST(MacroAverageTest, AveragesComponentWise) {
+  PrfScore a{1.0, 0.5, FMeasure(1.0, 0.5)};
+  PrfScore b{0.5, 1.0, FMeasure(0.5, 1.0)};
+  PrfScore avg = MacroAverage({a, b});
+  EXPECT_DOUBLE_EQ(avg.precision, 0.75);
+  EXPECT_DOUBLE_EQ(avg.recall, 0.75);
+  EXPECT_TRUE(MacroAverage({}).f1 == 0.0);
+}
+
+}  // namespace
+}  // namespace tegra::eval

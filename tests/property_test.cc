@@ -1,0 +1,186 @@
+// Cross-cutting property and robustness tests:
+//  * the mapping-metric DP equals a brute-force search over all
+//    non-overlapping monotone mapping sets on small tables,
+//  * random-bytes robustness for the tokenizer, type detector and HTML
+//    scanner (never crash, always terminate),
+//  * end-to-end invariants of extraction on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/tegra.h"
+#include "eval/mapping_metric.h"
+#include "html/html_lists.h"
+#include "text/tokenizer.h"
+#include "text/value_type.h"
+
+namespace tegra {
+namespace {
+
+// ---- mapping metric vs brute force -----------------------------------------
+
+/// Brute-force |M_best|: recursively choose, left to right, how the next
+/// mapping pairs one truth column with k output columns (or k truth columns
+/// with one output column), or skips a column on either side.
+size_t BruteBest(const Table& tg, const Table& ta, size_t i, size_t j) {
+  const size_t gm = tg.NumCols();
+  const size_t am = ta.NumCols();
+  if (i >= gm || j >= am) return 0;
+  auto match = [&](size_t g0, size_t g1, size_t a0, size_t a1) {
+    size_t count = 0;
+    for (size_t r = 0; r < tg.NumRows(); ++r) {
+      std::string gs;
+      for (size_t c = g0; c < g1; ++c) {
+        if (tg.Cell(r, c).empty()) continue;
+        if (!gs.empty()) gs += " ";
+        gs += tg.Cell(r, c);
+      }
+      std::string as;
+      for (size_t c = a0; c < a1; ++c) {
+        if (ta.Cell(r, c).empty()) continue;
+        if (!as.empty()) as += " ";
+        as += ta.Cell(r, c);
+      }
+      count += (gs == as);
+    }
+    return count;
+  };
+  size_t best = std::max(BruteBest(tg, ta, i + 1, j),
+                         BruteBest(tg, ta, i, j + 1));
+  for (size_t k = 1; j + k <= am; ++k) {
+    best = std::max(best, match(i, i + 1, j, j + k) +
+                              BruteBest(tg, ta, i + 1, j + k));
+  }
+  for (size_t k = 2; i + k <= gm; ++k) {
+    best = std::max(best, match(i, i + k, j, j + 1) +
+                              BruteBest(tg, ta, i + k, j + 1));
+  }
+  return best;
+}
+
+class MappingMetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MappingMetricPropertyTest, DpEqualsBruteForce) {
+  Rng rng(GetParam() * 31337 + 11);
+  static const char* kCells[] = {"a", "b", "c", "x y", ""};
+  for (int iter = 0; iter < 30; ++iter) {
+    const size_t rows = 1 + rng.Uniform(3);
+    const size_t gcols = 1 + rng.Uniform(3);
+    const size_t acols = 1 + rng.Uniform(3);
+    std::vector<std::vector<std::string>> g(rows), a(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < gcols; ++c) {
+        g[r].push_back(kCells[rng.Uniform(std::size(kCells))]);
+      }
+      for (size_t c = 0; c < acols; ++c) {
+        a[r].push_back(kCells[rng.Uniform(std::size(kCells))]);
+      }
+    }
+    Table tg(std::move(g));
+    Table ta(std::move(a));
+    ASSERT_EQ(eval::BestMappingValue(tg, ta), BruteBest(tg, ta, 0, 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MappingMetricPropertyTest,
+                         ::testing::Range(1, 6));
+
+// ---- robustness under random bytes -------------------------------------------
+
+std::string RandomBytes(Rng* rng, size_t max_len) {
+  const size_t len = rng->Uniform(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng->Uniform(256)));
+  }
+  return out;
+}
+
+TEST(RobustnessTest, TokenizerNeverChokes) {
+  Rng rng(5150);
+  Tokenizer tok;
+  for (int i = 0; i < 300; ++i) {
+    const std::string junk = RandomBytes(&rng, 200);
+    const auto tokens = tok.Tokenize(junk);
+    EXPECT_EQ(tokens.size(), tok.CountTokens(junk));
+    for (const auto& t : tokens) EXPECT_FALSE(t.empty());
+  }
+}
+
+TEST(RobustnessTest, TypeDetectorNeverChokes) {
+  Rng rng(6160);
+  for (int i = 0; i < 300; ++i) {
+    const ValueType t = DetectValueType(RandomBytes(&rng, 60));
+    EXPECT_GE(static_cast<int>(t), 0);
+    EXPECT_LT(static_cast<int>(t), static_cast<int>(ValueType::kNumTypes));
+  }
+}
+
+TEST(RobustnessTest, HtmlScannerNeverChokes) {
+  Rng rng(7170);
+  static const char* kFragments[] = {
+      "<ul>", "</ul>", "<li>", "</li>", "<ol>", "<b>", "&amp;", "&#",
+      "text ", "<script>", "</script>", "<!--", "-->", "<", ">", "\"", "'",
+  };
+  for (int i = 0; i < 200; ++i) {
+    std::string soup;
+    const int pieces = 1 + static_cast<int>(rng.Uniform(40));
+    for (int p = 0; p < pieces; ++p) {
+      if (rng.Chance(0.3)) {
+        soup += RandomBytes(&rng, 10);
+      } else {
+        soup += kFragments[rng.Uniform(std::size(kFragments))];
+      }
+    }
+    const auto lists = html::ExtractHtmlLists(soup);
+    for (const auto& list : lists) {
+      for (const auto& item : list.items) EXPECT_FALSE(item.empty());
+    }
+    (void)html::StripMarkup(soup);
+  }
+}
+
+// ---- extraction invariants ------------------------------------------------
+
+TEST(RobustnessTest, ExtractionInvariantsOnRandomLists) {
+  Rng rng(8180);
+  static const char* kWords[] = {"alpha", "42",   "beta",  "7.5", "gamma",
+                                 "x1",    "2010", "delta", "zz",  "q"};
+  TegraExtractor tegra(nullptr);  // No corpus: syntactic only, still valid.
+  for (int iter = 0; iter < 25; ++iter) {
+    std::vector<std::string> lines;
+    const size_t n = 2 + rng.Uniform(5);
+    for (size_t i = 0; i < n; ++i) {
+      std::string line;
+      const size_t toks = 1 + rng.Uniform(6);
+      for (size_t t = 0; t < toks; ++t) {
+        if (t > 0) line += " ";
+        line += kWords[rng.Uniform(std::size(kWords))];
+      }
+      lines.push_back(std::move(line));
+    }
+    auto result = tegra.Extract(lines);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Invariants: rectangular, row tokens preserved in order.
+    EXPECT_EQ(result->table.NumRows(), n);
+    Tokenizer tok;
+    for (size_t i = 0; i < n; ++i) {
+      std::string joined;
+      for (size_t c = 0; c < result->table.NumCols(); ++c) {
+        const std::string& cell = result->table.Cell(i, c);
+        if (cell.empty()) continue;
+        if (!joined.empty()) joined += " ";
+        joined += cell;
+      }
+      EXPECT_EQ(tok.Tokenize(joined), tok.Tokenize(lines[i]))
+          << "tokens must be preserved, row " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tegra

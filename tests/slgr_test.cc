@@ -1,0 +1,200 @@
+// Tests for the SLGR dynamic program (Algorithm 3): correctness against an
+// exhaustive oracle, the incremental row form, the backward matrix, and the
+// Figure 5 structural expectations.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "core/slgr.h"
+#include "synth/corpus_gen.h"
+
+namespace tegra {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Exhaustive oracle: min over all m-column segmentations (width-capped) of
+/// the record distance to the anchor cells.
+double BruteForceMinCost(const ListContext& ctx, size_t line,
+                         const std::vector<const CellInfo*>& anchor_cells,
+                         DistanceCache* dist, uint32_t max_width) {
+  double best = kInf;
+  for (const Bounds& b :
+       EnumerateBounds(ctx.line_length(line),
+                       static_cast<int>(anchor_cells.size()), max_width)) {
+    auto cells = ctx.CellsFor(line, b);
+    double cost = 0;
+    for (size_t k = 0; k < cells.size(); ++k) {
+      cost += (*dist)(*cells[k], *anchor_cells[k]);
+    }
+    best = std::min(best, cost);
+  }
+  return best;
+}
+
+/// Builds a context of random token lines (tokens drawn from a small shared
+/// alphabet so distances are non-trivial).
+ListContext RandomContext(Rng* rng, size_t lines, uint32_t max_tokens,
+                          const ColumnIndex* index) {
+  static const char* kAlphabet[] = {"new",  "york",   "city", "toronto",
+                                    "42",   "1984",   "blue", "ridge",
+                                    "jan",  "smith",  "ave",  "7.5"};
+  std::vector<std::vector<std::string>> token_lines;
+  for (size_t i = 0; i < lines; ++i) {
+    const uint32_t n = static_cast<uint32_t>(rng->UniformInt(0, max_tokens));
+    std::vector<std::string> toks;
+    for (uint32_t t = 0; t < n; ++t) {
+      toks.push_back(kAlphabet[rng->Uniform(std::size(kAlphabet))]);
+    }
+    token_lines.push_back(std::move(toks));
+  }
+  return ListContext(std::move(token_lines), index);
+}
+
+class SlgrPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlgrPropertyTest, DpMatchesBruteForce) {
+  Rng rng(GetParam() * 1000003);
+  CellDistance distance(nullptr);  // Pure syntactic: fast and deterministic.
+  for (int iter = 0; iter < 20; ++iter) {
+    ListContext ctx = RandomContext(&rng, 2, 6, nullptr);
+    const int m = static_cast<int>(rng.UniformInt(1, 4));
+    const uint32_t width0 = ctx.EffectiveWidth(0, m, 3);
+    const uint32_t width1 = ctx.EffectiveWidth(1, m, 3);
+    ctx.EnsureWidth(0, width0);
+    ctx.EnsureWidth(1, width1);
+    // Random anchor segmentation of line 0.
+    const auto anchors = EnumerateBounds(ctx.line_length(0), m, width0);
+    ASSERT_FALSE(anchors.empty());
+    const Bounds& anchor = anchors[rng.Uniform(anchors.size())];
+    const auto anchor_cells = ctx.CellsFor(0, anchor);
+
+    DistanceCache cache(&distance);
+    SlgrResult dp =
+        SegmentLineGivenRecord(ctx, 1, anchor_cells, &cache, width1);
+    const double oracle =
+        BruteForceMinCost(ctx, 1, anchor_cells, &cache, width1);
+    ASSERT_NEAR(dp.cost, oracle, 1e-9);
+    ASSERT_TRUE(IsValidBounds(dp.bounds, ctx.line_length(1), m));
+    // The returned bounds must realize the returned cost.
+    auto cells = ctx.CellsFor(1, dp.bounds);
+    double realized = 0;
+    for (size_t k = 0; k < cells.size(); ++k) {
+      realized += cache(*cells[k], *anchor_cells[k]);
+    }
+    ASSERT_NEAR(realized, dp.cost, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlgrPropertyTest, ::testing::Range(1, 8));
+
+TEST(SlgrTest, ForwardMatrixShapeAndSeed) {
+  CellDistance distance(nullptr);
+  DistanceCache cache(&distance);
+  ListContext ctx({{"a", "b"}, {"x", "y", "z"}}, nullptr);
+  ctx.EnsureWidth(0, 2);
+  ctx.EnsureWidth(1, 3);
+  auto anchor_cells = ctx.CellsFor(0, {0, 1, 2});
+  auto matrix = ForwardAlignmentMatrix(ctx, 1, anchor_cells, &cache, 3);
+  ASSERT_EQ(matrix.size(), 3u);          // m + 1 rows.
+  ASSERT_EQ(matrix[0].size(), 4u);       // |l| + 1 columns.
+  // Figure 5 structure: M[0][0] = 0, M[0][w>0] = infinity.
+  EXPECT_DOUBLE_EQ(matrix[0][0], 0.0);
+  EXPECT_EQ(matrix[0][1], kInf);
+  EXPECT_EQ(matrix[0][3], kInf);
+  // First column of later rows accumulates d(null, t[p]) (Figure 5's 0.9,
+  // 1.8, 2.7 pattern, here with our distance values).
+  const double null_cost = cache(ctx.NullCell(), *anchor_cells[0]);
+  EXPECT_NEAR(matrix[1][0], null_cost, 1e-12);
+  // Monotone in p for fixed w.
+  EXPECT_GE(matrix[2][3], matrix[1][3] - 1e-12);
+}
+
+TEST(SlgrTest, BackwardMatrixAgreesWithForwardAtSeam) {
+  // For any w: min over segmentations = M[p][w] + N[p][w] minimized over
+  // split points must equal the full-alignment optimum at p = m, w = |l|.
+  Rng rng(17);
+  CellDistance distance(nullptr);
+  DistanceCache cache(&distance);
+  ListContext ctx = RandomContext(&rng, 2, 6, nullptr);
+  const int m = 3;
+  ctx.EnsureWidth(0, ctx.line_length(0));
+  ctx.EnsureWidth(1, ctx.line_length(1));
+  const auto anchors = EnumerateBounds(ctx.line_length(0), m, 0);
+  ASSERT_FALSE(anchors.empty());
+  const auto anchor_cells = ctx.CellsFor(0, anchors.back());
+
+  auto fwd = ForwardAlignmentMatrix(ctx, 1, anchor_cells, &cache, 0);
+  auto bwd = BackwardAlignmentMatrix(ctx, 1, anchor_cells, &cache, 0);
+  const uint32_t len = ctx.line_length(1);
+  const double opt = fwd[m][len];
+  for (int p = 0; p <= m; ++p) {
+    double best = kInf;
+    for (uint32_t w = 0; w <= len; ++w) {
+      if (fwd[p][w] == kInf || bwd[p][w] == kInf) continue;
+      best = std::min(best, fwd[p][w] + bwd[p][w]);
+    }
+    // Every full alignment passes through exactly one (p, w) seam, so the
+    // best seam value equals the optimum.
+    ASSERT_NEAR(best, opt, 1e-9) << "at p=" << p;
+  }
+}
+
+TEST(SlgrTest, FixedLineScoredAsIs) {
+  CellDistance distance(nullptr);
+  DistanceCache cache(&distance);
+  ListContext ctx({{"a", "b"}, {"x", "y"}}, nullptr);
+  ctx.EnsureWidth(0, 2);
+  ctx.SetFixedBounds(1, {0, 0, 2});  // [null]["x y"], deliberately odd.
+  auto anchor_cells = ctx.CellsFor(0, {0, 1, 2});
+  SlgrResult r = SegmentLineGivenRecord(ctx, 1, anchor_cells, &cache, 2);
+  EXPECT_EQ(r.bounds, (Bounds{0, 0, 2}));
+  const double expected = cache(ctx.NullCell(), *anchor_cells[0]) +
+                          cache(ctx.Cell(1, 0, 2), *anchor_cells[1]);
+  EXPECT_NEAR(r.cost, expected, 1e-12);
+}
+
+TEST(SlgrTest, EmptyLineAlignsAllNull) {
+  CellDistance distance(nullptr);
+  DistanceCache cache(&distance);
+  ListContext ctx({{"a", "b"}, {}}, nullptr);
+  ctx.EnsureWidth(0, 2);
+  auto anchor_cells = ctx.CellsFor(0, {0, 1, 2});
+  SlgrResult r = SegmentLineGivenRecord(ctx, 1, anchor_cells, &cache, 1);
+  EXPECT_EQ(r.bounds, (Bounds{0, 0, 0}));
+  EXPECT_NEAR(r.cost,
+              cache(ctx.NullCell(), *anchor_cells[0]) +
+                  cache(ctx.NullCell(), *anchor_cells[1]),
+              1e-12);
+}
+
+TEST(SlgrTest, RunningExampleAlignment) {
+  // Figure 5: align l2 = "Toronto Canada" against t1 = (Los Angeles |
+  // California | United States); the optimum assigns Toronto to column 1,
+  // null to column 2, Canada to column 3.
+  ColumnIndex index;
+  for (int i = 0; i < 50; ++i) {
+    index.AddColumn({"Los Angeles", "Toronto", "New York City"});
+    index.AddColumn({"California", "New York", "Ontario"});
+    index.AddColumn({"United States", "Canada", "USA"});
+    index.AddColumn({"pad" + std::to_string(i)});
+  }
+  index.Finalize();
+  CorpusStats stats(&index);
+  CellDistance distance(&stats);
+  DistanceCache cache(&distance);
+  ListContext ctx(
+      {{"Los", "Angeles", "California", "United", "States"},
+       {"Toronto", "Canada"}},
+      &index);
+  ctx.EnsureWidth(0, 5);
+  ctx.EnsureWidth(1, 2);
+  auto anchor_cells = ctx.CellsFor(0, {0, 2, 3, 5});
+  SlgrResult r = SegmentLineGivenRecord(ctx, 1, anchor_cells, &cache, 2);
+  EXPECT_EQ(r.bounds, (Bounds{0, 1, 1, 2}));
+}
+
+}  // namespace
+}  // namespace tegra

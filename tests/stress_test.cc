@@ -1,0 +1,101 @@
+// Stress and concurrency tests: bigger lists, wide tables, concurrent
+// corpus-statistics access, and allocation-heavy paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "core/tegra.h"
+#include "corpus/corpus_stats.h"
+#include "synth/corpus_gen.h"
+#include "synth/list_gen.h"
+
+namespace tegra {
+namespace {
+
+TEST(StressTest, HundredRowList) {
+  ColumnIndex index = synth::BuildBackgroundIndex(
+      synth::CorpusProfile::kWeb, /*num_tables=*/600, /*seed=*/11);
+  CorpusStats stats(&index);
+  synth::TableGenOptions shape =
+      synth::DefaultTableGenOptions(synth::CorpusProfile::kWeb);
+  shape.min_rows = 100;
+  shape.max_rows = 100;
+  shape.min_cols = 4;
+  shape.max_cols = 4;
+  synth::TableGenerator gen(synth::CorpusProfile::kWeb, shape, 8);
+  const auto instance = synth::MakeBenchmarkInstance(gen.Generate());
+
+  TegraOptions opts;
+  opts.final_anchor_sample = 8;  // Keep the stress test brisk.
+  TegraExtractor tegra(&stats, opts);
+  auto result = tegra.ExtractWithColumns(instance.lines, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 100u);
+}
+
+TEST(StressTest, WideTable) {
+  ColumnIndex index = synth::BuildBackgroundIndex(
+      synth::CorpusProfile::kWeb, /*num_tables=*/600, /*seed=*/12);
+  CorpusStats stats(&index);
+  synth::TableGenOptions shape =
+      synth::DefaultTableGenOptions(synth::CorpusProfile::kWeb);
+  shape.min_rows = 8;
+  shape.max_rows = 8;
+  shape.min_cols = 12;
+  shape.max_cols = 12;
+  synth::TableGenerator gen(synth::CorpusProfile::kWeb, shape, 9);
+  const auto instance = synth::MakeBenchmarkInstance(gen.Generate());
+
+  TegraExtractor tegra(&stats);
+  auto result = tegra.ExtractWithColumns(instance.lines, 12);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumCols(), 12u);
+}
+
+TEST(StressTest, ConcurrentCorpusStatsAccess) {
+  ColumnIndex index = synth::BuildBackgroundIndex(
+      synth::CorpusProfile::kWeb, /*num_tables=*/400, /*seed=*/13);
+  CorpusStats stats(&index);
+  // Hammer the shared co-occurrence cache from many threads; results must
+  // be identical to a single-threaded pass.
+  std::vector<ValueId> ids;
+  for (ValueId id = 0; id < index.NumValues() && ids.size() < 60; id += 97) {
+    ids.push_back(id);
+  }
+  std::vector<double> expected;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    expected.push_back(stats.Npmi(ids[i], ids[(i * 7 + 3) % ids.size()]));
+  }
+  std::atomic<int> mismatches{0};
+  ThreadPool pool(8);
+  pool.ParallelFor(200, [&](size_t iter) {
+    const size_t i = iter % ids.size();
+    const double v = stats.Npmi(ids[i], ids[(i * 7 + 3) % ids.size()]);
+    if (v != expected[i]) mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(StressTest, ManySmallExtractionsNoLeakOrCrash) {
+  TegraExtractor tegra(nullptr);
+  for (int i = 0; i < 200; ++i) {
+    auto result = tegra.ExtractWithColumns(
+        {"a " + std::to_string(i) + " b", "c 7 d"}, 3);
+    ASSERT_TRUE(result.ok());
+  }
+}
+
+TEST(StressTest, LongTokensAndOddCharacters) {
+  TegraExtractor tegra(nullptr);
+  std::string long_token(300, 'x');
+  auto result = tegra.ExtractWithColumns(
+      {long_token + " 42", "\xff\xfe weird 17"}, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->table.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace tegra

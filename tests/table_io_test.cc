@@ -1,0 +1,96 @@
+// Tests for table import/export (CSV, TSV, Markdown).
+
+#include <gtest/gtest.h>
+
+#include "corpus/table_io.h"
+
+namespace tegra {
+namespace {
+
+Table Simple() {
+  return Table({{"Boston", "645,966"}, {"New Haven", "129,779"}});
+}
+
+TEST(TableToCsvTest, QuotesCommasAndQuotes) {
+  const std::string csv = TableToCsv(Simple());
+  EXPECT_EQ(csv, "Boston,\"645,966\"\nNew Haven,\"129,779\"\n");
+}
+
+TEST(TableToCsvTest, EscapesEmbeddedQuotes) {
+  Table t(std::vector<std::vector<std::string>>{{"say \"hi\"", "x"}});
+  EXPECT_EQ(TableToCsv(t), "\"say \"\"hi\"\"\",x\n");
+}
+
+TEST(TableToCsvTest, EmptyCellsStayEmpty) {
+  Table t(std::vector<std::vector<std::string>>{{"", "a"}});
+  EXPECT_EQ(TableToCsv(t), ",a\n");
+}
+
+TEST(TableToTsvTest, ReplacesControlCharacters) {
+  Table t(std::vector<std::vector<std::string>>{{"a\tb", "c\nd"}});
+  EXPECT_EQ(TableToTsv(t), "a b\tc d\n");
+}
+
+TEST(TableToMarkdownTest, DefaultHeaderAndEscaping) {
+  Table t(std::vector<std::vector<std::string>>{{"a|b", "c"}});
+  const std::string md = TableToMarkdown(t);
+  EXPECT_NE(md.find("| col1 | col2 |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | --- |"), std::string::npos);
+  EXPECT_NE(md.find("a\\|b"), std::string::npos);
+}
+
+TEST(TableToMarkdownTest, CustomHeader) {
+  const std::string md = TableToMarkdown(Simple(), {"City", "Population"});
+  EXPECT_NE(md.find("| City | Population |"), std::string::npos);
+}
+
+TEST(CsvToTableTest, RoundTripsArbitraryCells) {
+  Table original(std::vector<std::vector<std::string>>{
+      {"plain", "with,comma", "with \"quote\""},
+      {"", "multi word", "line\nbreak"},
+  });
+  Result<Table> parsed = CsvToTable(TableToCsv(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->rows(), original.rows());
+}
+
+TEST(CsvToTableTest, HandlesCrlfAndMissingTrailingNewline) {
+  Result<Table> t = CsvToTable("a,b\r\nc,d");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 2u);
+  EXPECT_EQ(t->Cell(1, 1), "d");
+}
+
+TEST(CsvToTableTest, RejectsRaggedRows) {
+  Result<Table> t = CsvToTable("a,b\nc\n");
+  EXPECT_FALSE(t.ok());
+  EXPECT_TRUE(t.status().IsInvalidArgument());
+}
+
+TEST(CsvToTableTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(CsvToTable("\"abc").ok());
+}
+
+TEST(CsvToTableTest, EmptyInputIsEmptyTable) {
+  Result<Table> t = CsvToTable("");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->NumRows(), 0u);
+}
+
+TEST(CsvToTableTest, QuotedFieldWithEmbeddedNewline) {
+  Result<Table> t = CsvToTable("\"a\nb\",c\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Cell(0, 0), "a\nb");
+}
+
+TEST(WriteFileTest, WritesAndFailsGracefully) {
+  const std::string path = "/tmp/tegra_table_io_test.csv";
+  ASSERT_TRUE(WriteFile(path, "a,b\n").ok());
+  Result<Table> t = CsvToTable("a,b\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(WriteFile("/nonexistent-dir/x.csv", "x").IsIOError());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tegra

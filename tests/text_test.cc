@@ -1,0 +1,175 @@
+// Tests for the tokenizer, value-type detection and character profiles.
+
+#include <gtest/gtest.h>
+
+#include "text/char_profile.h"
+#include "text/tokenizer.h"
+#include "text/value_type.h"
+
+namespace tegra {
+namespace {
+
+// ---- tokenizer ----------------------------------------------------------
+
+TEST(TokenizerTest, WhitespaceDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Los Angeles  California\tUnited States"),
+            (std::vector<std::string>{"Los", "Angeles", "California",
+                                      "United", "States"}));
+}
+
+TEST(TokenizerTest, PunctuationDelimiters) {
+  TokenizerOptions opts;
+  opts.punctuation_delimiters = ".,:";
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("1. Boston, Massachusetts: 645,966"),
+            (std::vector<std::string>{"1", "Boston", "Massachusetts", "645",
+                                      "966"}));
+}
+
+TEST(TokenizerTest, CommaNotDelimiterByDefault) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Tokyo 37,400,068"),
+            (std::vector<std::string>{"Tokyo", "37,400,068"}));
+}
+
+TEST(TokenizerTest, EmptyAndAllDelimiters) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize(" \t \n").empty());
+}
+
+TEST(TokenizerTest, CountMatchesTokenize) {
+  Tokenizer tok;
+  const std::string lines[] = {"", "a", "a b c", "  x  ", "one,two three"};
+  for (const auto& line : lines) {
+    EXPECT_EQ(tok.CountTokens(line), tok.Tokenize(line).size()) << line;
+  }
+}
+
+TEST(TokenizerTest, MaxTokensTruncates) {
+  TokenizerOptions opts;
+  opts.max_tokens = 2;
+  Tokenizer tok(opts);
+  EXPECT_EQ(tok.Tokenize("a b c d").size(), 2u);
+}
+
+// ---- value types ----------------------------------------------------------
+
+struct TypeCase {
+  const char* input;
+  ValueType expected;
+};
+
+class ValueTypeTest : public ::testing::TestWithParam<TypeCase> {};
+
+TEST_P(ValueTypeTest, Detects) {
+  EXPECT_EQ(DetectValueType(GetParam().input), GetParam().expected)
+      << "input: " << GetParam().input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, ValueTypeTest,
+    ::testing::Values(
+        TypeCase{"", ValueType::kEmpty},
+        TypeCase{"   ", ValueType::kEmpty},
+        TypeCase{"42", ValueType::kInteger},
+        TypeCase{"-7", ValueType::kInteger},
+        TypeCase{"1,234,567", ValueType::kInteger},
+        TypeCase{"159.3", ValueType::kDecimal},
+        TypeCase{"-0.5", ValueType::kDecimal},
+        TypeCase{"1,234.56", ValueType::kDecimal},
+        TypeCase{"12%", ValueType::kPercent},
+        TypeCase{"3.5%", ValueType::kPercent},
+        TypeCase{"$1,200", ValueType::kCurrency},
+        TypeCase{"$99.95", ValueType::kCurrency},
+        TypeCase{"\xE2\x82\xAC" "99", ValueType::kCurrency},  // €99
+        TypeCase{"1984", ValueType::kYear},
+        TypeCase{"2020", ValueType::kYear},
+        TypeCase{"3020", ValueType::kInteger},  // Not a plausible year.
+        TypeCase{"2010-05-31", ValueType::kDate},
+        TypeCase{"05/31/2010", ValueType::kDate},
+        TypeCase{"Jan 12", ValueType::kDate},
+        TypeCase{"12 Jan 2010", ValueType::kDate},
+        TypeCase{"September 3", ValueType::kDate},
+        TypeCase{"12:30", ValueType::kTime},
+        TypeCase{"09:15:00", ValueType::kTime},
+        TypeCase{"mary.cook@example.com", ValueType::kEmail},
+        TypeCase{"http://example.com/x", ValueType::kUrl},
+        TypeCase{"www.example.com", ValueType::kUrl},
+        TypeCase{"example.org", ValueType::kUrl},
+        TypeCase{"425-882-8080", ValueType::kPhone},
+        TypeCase{"(425) 882 8080", ValueType::kPhone},
+        TypeCase{"10.0.0.1", ValueType::kIpAddress},
+        TypeCase{"255.255.255.300", ValueType::kPhone},  // Octet overflow;
+        // dotted digit groups then read as a phone-style number.
+        TypeCase{"SKU-926434", ValueType::kIdCode},
+        TypeCase{"A12B9", ValueType::kIdCode},
+        TypeCase{"CC-1042", ValueType::kIdCode},
+        TypeCase{"New York City", ValueType::kText},
+        TypeCase{"Toronto", ValueType::kText},
+        TypeCase{"hello world foo", ValueType::kText}));
+
+TEST(ValueTypeTest, NumericFamily) {
+  EXPECT_TRUE(IsNumericType(ValueType::kInteger));
+  EXPECT_TRUE(IsNumericType(ValueType::kDecimal));
+  EXPECT_TRUE(IsNumericType(ValueType::kPercent));
+  EXPECT_TRUE(IsNumericType(ValueType::kCurrency));
+  EXPECT_TRUE(IsNumericType(ValueType::kYear));
+  EXPECT_FALSE(IsNumericType(ValueType::kDate));
+  EXPECT_FALSE(IsNumericType(ValueType::kText));
+  EXPECT_FALSE(IsNumericType(ValueType::kPhone));
+}
+
+TEST(ValueTypeTest, NamesAreDistinct) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kInteger), "integer");
+  EXPECT_STREQ(ValueTypeName(ValueType::kText), "text");
+  EXPECT_STRNE(ValueTypeName(ValueType::kEmail),
+               ValueTypeName(ValueType::kUrl));
+}
+
+// ---- char profiles ---------------------------------------------------------
+
+TEST(CharProfileTest, CountsClasses) {
+  CharProfile p = ComputeCharProfile("Ab1-x 2");
+  EXPECT_EQ(p.capitals, 1);
+  EXPECT_EQ(p.lowers, 2);   // 'b', 'x'
+  EXPECT_EQ(p.digits, 2);   // '1', '2'
+  EXPECT_EQ(p.punctuation, 1);  // '-'
+  EXPECT_EQ(p.symbols, 0);
+}
+
+TEST(CharProfileTest, WhitespaceNotCounted) {
+  EXPECT_EQ(ComputeCharProfile("a b"), ComputeCharProfile("ab"));
+}
+
+TEST(CharClassDistanceTest, IdenticalProfilesAreZero) {
+  CharProfile p = ComputeCharProfile("New York");
+  EXPECT_DOUBLE_EQ(CharClassDistance(p, p), 0.0);
+}
+
+TEST(CharClassDistanceTest, FractionOfDifferingClasses) {
+  CharProfile a = ComputeCharProfile("abc");   // 3 lowers
+  CharProfile b = ComputeCharProfile("ab1");   // 2 lowers, 1 digit
+  // Differ in lowers and digits: 2 of 5 classes.
+  EXPECT_DOUBLE_EQ(CharClassDistance(a, b), 0.4);
+}
+
+TEST(CharClassDistanceTest, TriangleInequalityOnSamples) {
+  const char* samples[] = {"Toronto", "New York City", "645,966", "$12.50",
+                           "SKU-9","", "a B 9 ?"};
+  for (const char* x : samples) {
+    for (const char* y : samples) {
+      for (const char* z : samples) {
+        const auto px = ComputeCharProfile(x);
+        const auto py = ComputeCharProfile(y);
+        const auto pz = ComputeCharProfile(z);
+        EXPECT_LE(CharClassDistance(px, pz),
+                  CharClassDistance(px, py) + CharClassDistance(py, pz) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tegra
