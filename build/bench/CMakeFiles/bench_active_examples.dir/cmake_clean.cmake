@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_active_examples.dir/bench_active_examples.cc.o"
+  "CMakeFiles/bench_active_examples.dir/bench_active_examples.cc.o.d"
+  "bench_active_examples"
+  "bench_active_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_active_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_sp_correlation.dir/bench_fig8a_sp_correlation.cc.o"
+  "CMakeFiles/bench_fig8a_sp_correlation.dir/bench_fig8a_sp_correlation.cc.o.d"
+  "bench_fig8a_sp_correlation"
+  "bench_fig8a_sp_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_sp_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figh1_supervised_sweeps.dir/bench_figh1_supervised_sweeps.cc.o"
+  "CMakeFiles/bench_figh1_supervised_sweeps.dir/bench_figh1_supervised_sweeps.cc.o.d"
+  "bench_figh1_supervised_sweeps"
+  "bench_figh1_supervised_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figh1_supervised_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec57_list_estimate.dir/bench_sec57_list_estimate.cc.o"
+  "CMakeFiles/bench_sec57_list_estimate.dir/bench_sec57_list_estimate.cc.o.d"
+  "bench_sec57_list_estimate"
+  "bench_sec57_list_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec57_list_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_supervised.dir/bench_table5_supervised.cc.o"
+  "CMakeFiles/bench_table5_supervised.dir/bench_table5_supervised.cc.o.d"
+  "bench_table5_supervised"
+  "bench_table5_supervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_supervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

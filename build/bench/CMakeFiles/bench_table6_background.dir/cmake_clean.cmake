@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_background.dir/bench_table6_background.cc.o"
+  "CMakeFiles/bench_table6_background.dir/bench_table6_background.cc.o.d"
+  "bench_table6_background"
+  "bench_table6_background.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

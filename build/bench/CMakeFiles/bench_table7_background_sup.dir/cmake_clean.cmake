@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_background_sup.dir/bench_table7_background_sup.cc.o"
+  "CMakeFiles/bench_table7_background_sup.dir/bench_table7_background_sup.cc.o.d"
+  "bench_table7_background_sup"
+  "bench_table7_background_sup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_background_sup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

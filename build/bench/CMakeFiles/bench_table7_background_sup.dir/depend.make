@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table7_background_sup.
+# This may be replaced when dependencies are built.

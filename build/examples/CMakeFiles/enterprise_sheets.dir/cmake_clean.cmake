@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_sheets.dir/enterprise_sheets.cpp.o"
+  "CMakeFiles/enterprise_sheets.dir/enterprise_sheets.cpp.o.d"
+  "enterprise_sheets"
+  "enterprise_sheets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_sheets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_to_table.dir/html_to_table.cpp.o"
+  "CMakeFiles/html_to_table.dir/html_to_table.cpp.o.d"
+  "html_to_table"
+  "html_to_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_to_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

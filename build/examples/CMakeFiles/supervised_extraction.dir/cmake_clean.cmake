@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supervised_extraction.dir/supervised_extraction.cpp.o"
+  "CMakeFiles/supervised_extraction.dir/supervised_extraction.cpp.o.d"
+  "supervised_extraction"
+  "supervised_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supervised_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wikipedia_cities.dir/wikipedia_cities.cpp.o"
+  "CMakeFiles/wikipedia_cities.dir/wikipedia_cities.cpp.o.d"
+  "wikipedia_cities"
+  "wikipedia_cities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wikipedia_cities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for wikipedia_cities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for wikipedia_cities.
+# This may be replaced when dependencies are built.

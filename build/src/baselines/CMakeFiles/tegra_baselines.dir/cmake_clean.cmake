@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_baselines.dir/field_quality.cc.o"
+  "CMakeFiles/tegra_baselines.dir/field_quality.cc.o.d"
+  "CMakeFiles/tegra_baselines.dir/judie.cc.o"
+  "CMakeFiles/tegra_baselines.dir/judie.cc.o.d"
+  "CMakeFiles/tegra_baselines.dir/listextract.cc.o"
+  "CMakeFiles/tegra_baselines.dir/listextract.cc.o.d"
+  "libtegra_baselines.a"
+  "libtegra_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_common.dir/random.cc.o"
+  "CMakeFiles/tegra_common.dir/random.cc.o.d"
+  "CMakeFiles/tegra_common.dir/status.cc.o"
+  "CMakeFiles/tegra_common.dir/status.cc.o.d"
+  "CMakeFiles/tegra_common.dir/string_util.cc.o"
+  "CMakeFiles/tegra_common.dir/string_util.cc.o.d"
+  "CMakeFiles/tegra_common.dir/thread_pool.cc.o"
+  "CMakeFiles/tegra_common.dir/thread_pool.cc.o.d"
+  "libtegra_common.a"
+  "libtegra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/active.cc" "src/core/CMakeFiles/tegra_core.dir/active.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/active.cc.o.d"
+  "/root/repo/src/core/anchor_search.cc" "src/core/CMakeFiles/tegra_core.dir/anchor_search.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/anchor_search.cc.o.d"
+  "/root/repo/src/core/batch.cc" "src/core/CMakeFiles/tegra_core.dir/batch.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/batch.cc.o.d"
+  "/root/repo/src/core/free_distance.cc" "src/core/CMakeFiles/tegra_core.dir/free_distance.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/free_distance.cc.o.d"
+  "/root/repo/src/core/header.cc" "src/core/CMakeFiles/tegra_core.dir/header.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/header.cc.o.d"
+  "/root/repo/src/core/list_context.cc" "src/core/CMakeFiles/tegra_core.dir/list_context.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/list_context.cc.o.d"
+  "/root/repo/src/core/objective.cc" "src/core/CMakeFiles/tegra_core.dir/objective.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/objective.cc.o.d"
+  "/root/repo/src/core/segmentation.cc" "src/core/CMakeFiles/tegra_core.dir/segmentation.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/segmentation.cc.o.d"
+  "/root/repo/src/core/slgr.cc" "src/core/CMakeFiles/tegra_core.dir/slgr.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/slgr.cc.o.d"
+  "/root/repo/src/core/tegra.cc" "src/core/CMakeFiles/tegra_core.dir/tegra.cc.o" "gcc" "src/core/CMakeFiles/tegra_core.dir/tegra.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/distance/CMakeFiles/tegra_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/tegra_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tegra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tegra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_core.dir/active.cc.o"
+  "CMakeFiles/tegra_core.dir/active.cc.o.d"
+  "CMakeFiles/tegra_core.dir/anchor_search.cc.o"
+  "CMakeFiles/tegra_core.dir/anchor_search.cc.o.d"
+  "CMakeFiles/tegra_core.dir/batch.cc.o"
+  "CMakeFiles/tegra_core.dir/batch.cc.o.d"
+  "CMakeFiles/tegra_core.dir/free_distance.cc.o"
+  "CMakeFiles/tegra_core.dir/free_distance.cc.o.d"
+  "CMakeFiles/tegra_core.dir/header.cc.o"
+  "CMakeFiles/tegra_core.dir/header.cc.o.d"
+  "CMakeFiles/tegra_core.dir/list_context.cc.o"
+  "CMakeFiles/tegra_core.dir/list_context.cc.o.d"
+  "CMakeFiles/tegra_core.dir/objective.cc.o"
+  "CMakeFiles/tegra_core.dir/objective.cc.o.d"
+  "CMakeFiles/tegra_core.dir/segmentation.cc.o"
+  "CMakeFiles/tegra_core.dir/segmentation.cc.o.d"
+  "CMakeFiles/tegra_core.dir/slgr.cc.o"
+  "CMakeFiles/tegra_core.dir/slgr.cc.o.d"
+  "CMakeFiles/tegra_core.dir/tegra.cc.o"
+  "CMakeFiles/tegra_core.dir/tegra.cc.o.d"
+  "libtegra_core.a"
+  "libtegra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

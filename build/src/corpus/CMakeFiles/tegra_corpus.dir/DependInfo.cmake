@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/column_index.cc" "src/corpus/CMakeFiles/tegra_corpus.dir/column_index.cc.o" "gcc" "src/corpus/CMakeFiles/tegra_corpus.dir/column_index.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/corpus/CMakeFiles/tegra_corpus.dir/corpus_io.cc.o" "gcc" "src/corpus/CMakeFiles/tegra_corpus.dir/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/corpus_stats.cc" "src/corpus/CMakeFiles/tegra_corpus.dir/corpus_stats.cc.o" "gcc" "src/corpus/CMakeFiles/tegra_corpus.dir/corpus_stats.cc.o.d"
+  "/root/repo/src/corpus/table.cc" "src/corpus/CMakeFiles/tegra_corpus.dir/table.cc.o" "gcc" "src/corpus/CMakeFiles/tegra_corpus.dir/table.cc.o.d"
+  "/root/repo/src/corpus/table_io.cc" "src/corpus/CMakeFiles/tegra_corpus.dir/table_io.cc.o" "gcc" "src/corpus/CMakeFiles/tegra_corpus.dir/table_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tegra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tegra_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_corpus.dir/column_index.cc.o"
+  "CMakeFiles/tegra_corpus.dir/column_index.cc.o.d"
+  "CMakeFiles/tegra_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/tegra_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/tegra_corpus.dir/corpus_stats.cc.o"
+  "CMakeFiles/tegra_corpus.dir/corpus_stats.cc.o.d"
+  "CMakeFiles/tegra_corpus.dir/table.cc.o"
+  "CMakeFiles/tegra_corpus.dir/table.cc.o.d"
+  "CMakeFiles/tegra_corpus.dir/table_io.cc.o"
+  "CMakeFiles/tegra_corpus.dir/table_io.cc.o.d"
+  "libtegra_corpus.a"
+  "libtegra_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/cell.cc" "src/distance/CMakeFiles/tegra_distance.dir/cell.cc.o" "gcc" "src/distance/CMakeFiles/tegra_distance.dir/cell.cc.o.d"
+  "/root/repo/src/distance/distance.cc" "src/distance/CMakeFiles/tegra_distance.dir/distance.cc.o" "gcc" "src/distance/CMakeFiles/tegra_distance.dir/distance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/tegra_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tegra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tegra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_distance.dir/cell.cc.o"
+  "CMakeFiles/tegra_distance.dir/cell.cc.o.d"
+  "CMakeFiles/tegra_distance.dir/distance.cc.o"
+  "CMakeFiles/tegra_distance.dir/distance.cc.o.d"
+  "libtegra_distance.a"
+  "libtegra_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

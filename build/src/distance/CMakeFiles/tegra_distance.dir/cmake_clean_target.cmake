@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtegra_distance.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_eval.dir/benchmark_data.cc.o"
+  "CMakeFiles/tegra_eval.dir/benchmark_data.cc.o.d"
+  "CMakeFiles/tegra_eval.dir/experiment.cc.o"
+  "CMakeFiles/tegra_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/tegra_eval.dir/lists_data.cc.o"
+  "CMakeFiles/tegra_eval.dir/lists_data.cc.o.d"
+  "CMakeFiles/tegra_eval.dir/mapping_metric.cc.o"
+  "CMakeFiles/tegra_eval.dir/mapping_metric.cc.o.d"
+  "libtegra_eval.a"
+  "libtegra_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_html.dir/html_lists.cc.o"
+  "CMakeFiles/tegra_html.dir/html_lists.cc.o.d"
+  "libtegra_html.a"
+  "libtegra_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

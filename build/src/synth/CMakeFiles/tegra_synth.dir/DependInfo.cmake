@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corpus_gen.cc" "src/synth/CMakeFiles/tegra_synth.dir/corpus_gen.cc.o" "gcc" "src/synth/CMakeFiles/tegra_synth.dir/corpus_gen.cc.o.d"
+  "/root/repo/src/synth/domain.cc" "src/synth/CMakeFiles/tegra_synth.dir/domain.cc.o" "gcc" "src/synth/CMakeFiles/tegra_synth.dir/domain.cc.o.d"
+  "/root/repo/src/synth/knowledge_base.cc" "src/synth/CMakeFiles/tegra_synth.dir/knowledge_base.cc.o" "gcc" "src/synth/CMakeFiles/tegra_synth.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/synth/list_gen.cc" "src/synth/CMakeFiles/tegra_synth.dir/list_gen.cc.o" "gcc" "src/synth/CMakeFiles/tegra_synth.dir/list_gen.cc.o.d"
+  "/root/repo/src/synth/vocab.cc" "src/synth/CMakeFiles/tegra_synth.dir/vocab.cc.o" "gcc" "src/synth/CMakeFiles/tegra_synth.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tegra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/tegra_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tegra_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_synth.dir/corpus_gen.cc.o"
+  "CMakeFiles/tegra_synth.dir/corpus_gen.cc.o.d"
+  "CMakeFiles/tegra_synth.dir/domain.cc.o"
+  "CMakeFiles/tegra_synth.dir/domain.cc.o.d"
+  "CMakeFiles/tegra_synth.dir/knowledge_base.cc.o"
+  "CMakeFiles/tegra_synth.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/tegra_synth.dir/list_gen.cc.o"
+  "CMakeFiles/tegra_synth.dir/list_gen.cc.o.d"
+  "CMakeFiles/tegra_synth.dir/vocab.cc.o"
+  "CMakeFiles/tegra_synth.dir/vocab.cc.o.d"
+  "libtegra_synth.a"
+  "libtegra_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

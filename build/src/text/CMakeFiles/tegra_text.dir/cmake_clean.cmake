@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_text.dir/char_profile.cc.o"
+  "CMakeFiles/tegra_text.dir/char_profile.cc.o.d"
+  "CMakeFiles/tegra_text.dir/tokenizer.cc.o"
+  "CMakeFiles/tegra_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/tegra_text.dir/value_type.cc.o"
+  "CMakeFiles/tegra_text.dir/value_type.cc.o.d"
+  "libtegra_text.a"
+  "libtegra_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_batch_test.dir/active_batch_test.cc.o"
+  "CMakeFiles/active_batch_test.dir/active_batch_test.cc.o.d"
+  "active_batch_test"
+  "active_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchor_search_test.dir/anchor_search_test.cc.o"
+  "CMakeFiles/anchor_search_test.dir/anchor_search_test.cc.o.d"
+  "anchor_search_test"
+  "anchor_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchor_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

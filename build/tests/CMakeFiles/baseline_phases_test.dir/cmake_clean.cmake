@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_phases_test.dir/baseline_phases_test.cc.o"
+  "CMakeFiles/baseline_phases_test.dir/baseline_phases_test.cc.o.d"
+  "baseline_phases_test"
+  "baseline_phases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

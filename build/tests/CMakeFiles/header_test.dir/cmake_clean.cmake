@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_test.dir/header_test.cc.o"
+  "CMakeFiles/header_test.dir/header_test.cc.o.d"
+  "header_test"
+  "header_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_metric_test.dir/mapping_metric_test.cc.o"
+  "CMakeFiles/mapping_metric_test.dir/mapping_metric_test.cc.o.d"
+  "mapping_metric_test"
+  "mapping_metric_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_metric_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slgr_test.dir/slgr_test.cc.o"
+  "CMakeFiles/slgr_test.dir/slgr_test.cc.o.d"
+  "slgr_test"
+  "slgr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slgr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

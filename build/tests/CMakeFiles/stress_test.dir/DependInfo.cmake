@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stress_test.cc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/tegra_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tegra_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tegra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/tegra_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tegra_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/tegra_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/tegra_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/tegra_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tegra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_core_test.dir/tegra_core_test.cc.o"
+  "CMakeFiles/tegra_core_test.dir/tegra_core_test.cc.o.d"
+  "tegra_core_test"
+  "tegra_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

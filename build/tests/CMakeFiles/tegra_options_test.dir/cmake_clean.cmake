@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_options_test.dir/tegra_options_test.cc.o"
+  "CMakeFiles/tegra_options_test.dir/tegra_options_test.cc.o.d"
+  "tegra_options_test"
+  "tegra_options_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_options_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_inspector.dir/corpus_inspector.cc.o"
+  "CMakeFiles/corpus_inspector.dir/corpus_inspector.cc.o.d"
+  "corpus_inspector"
+  "corpus_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_cli.dir/tegra_cli.cc.o"
+  "CMakeFiles/tegra_cli.dir/tegra_cli.cc.o.d"
+  "tegra_cli"
+  "tegra_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tegra_eval_cli.dir/tegra_eval.cc.o"
+  "CMakeFiles/tegra_eval_cli.dir/tegra_eval.cc.o.d"
+  "tegra_eval_cli"
+  "tegra_eval_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tegra_eval_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
