@@ -26,6 +26,12 @@ enum class StatusCode : int {
   kCorruption = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// The operation was refused because the service is overloaded or shutting
+  /// down (admission control); retry later against a healthy instance.
+  kUnavailable = 9,
+  /// The request's deadline expired before the work completed (or before it
+  /// was dequeued at all).
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -78,6 +84,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -90,6 +102,10 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <vector>
@@ -28,7 +29,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `fn` and returns a future for its result.
+  /// Enqueues `fn` and returns a future for its result. Must not be called
+  /// once shutdown has begun (the task would never run); use TrySubmit when
+  /// submitters can race pool teardown.
   template <typename Fn>
   auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -42,6 +45,30 @@ class ThreadPool {
     cv_.notify_one();
     return fut;
   }
+
+  /// \brief Like Submit, but fails fast once shutdown has begun: returns
+  /// std::nullopt instead of enqueueing into a dying pool (whose queue may
+  /// never be drained). Safe to call concurrently with BeginShutdown.
+  template <typename Fn>
+  auto TrySubmit(Fn&& fn)
+      -> std::optional<std::future<std::invoke_result_t<Fn>>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return std::nullopt;
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// \brief Marks the pool as shutting down: subsequent TrySubmit calls fail
+  /// fast, and workers exit once the queue drains. Idempotent; the
+  /// destructor calls it and then joins. Does NOT block.
+  void BeginShutdown();
 
   /// \brief Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// iterations complete. Exceptions propagate from the first failing task.

@@ -2,7 +2,9 @@
 
 #include <atomic>
 
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "service/metrics.h"
 
 namespace tegra {
 
@@ -16,7 +18,22 @@ std::vector<BatchItem> BatchExtractor::ExtractAll(
   std::vector<BatchItem> items(lists.size());
   std::atomic<size_t> done{0};
 
+  // Resolve instrument handles once, outside the per-list hot loop.
+  Counter* lists_total = nullptr;
+  Counter* extracted_count = nullptr;
+  Counter* filtered_count = nullptr;
+  Counter* failed_count = nullptr;
+  Histogram* extract_seconds = nullptr;
+  if (options_.metrics != nullptr) {
+    lists_total = options_.metrics->GetCounter("batch.lists_total");
+    extracted_count = options_.metrics->GetCounter("batch.extracted_total");
+    filtered_count = options_.metrics->GetCounter("batch.filtered_total");
+    failed_count = options_.metrics->GetCounter("batch.failed_total");
+    extract_seconds = options_.metrics->GetHistogram("batch.extract_seconds");
+  }
+
   auto process = [&](size_t i) {
+    Stopwatch watch;
     BatchItem& item = items[i];
     item.list_index = i;
     if (lists[i].size() < options_.min_rows) {
@@ -35,6 +52,21 @@ std::vector<BatchItem> BatchExtractor::ExtractAll(
         item.disposition = BatchItem::Disposition::kExtracted;
         item.result = std::move(result).value();
       }
+    }
+    if (lists_total != nullptr) {
+      lists_total->Increment();
+      switch (item.disposition) {
+        case BatchItem::Disposition::kExtracted:
+          extracted_count->Increment();
+          break;
+        case BatchItem::Disposition::kFiltered:
+          filtered_count->Increment();
+          break;
+        case BatchItem::Disposition::kFailed:
+          failed_count->Increment();
+          break;
+      }
+      extract_seconds->Observe(watch.ElapsedSeconds());
     }
     const size_t completed = done.fetch_add(1) + 1;
     if (progress) progress(completed, lists.size());

@@ -17,6 +17,8 @@
 
 namespace tegra {
 
+class MetricsRegistry;  // service/metrics.h
+
 /// \brief Options for batch extraction.
 struct BatchOptions {
   /// Worker threads across lists (within-list extraction stays sequential;
@@ -28,6 +30,10 @@ struct BatchOptions {
   /// most this (the Figure 8(a) quality proxy); others are reported as
   /// filtered.
   double max_per_pair_objective = 0;
+  /// Optional metrics sink (not owned; must outlive the ExtractAll call).
+  /// When set, the batch reports `batch.lists_total`, per-disposition
+  /// counters and a `batch.extract_seconds` latency histogram into it.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Outcome of one list in a batch.

@@ -8,7 +8,11 @@
 
 namespace tegra {
 
-CorpusStats::CorpusStats(const ColumnIndex* index) : index_(index) {
+CorpusStats::CorpusStats(const ColumnIndex* index, CorpusStatsOptions options)
+    : index_(index),
+      options_(options),
+      co_cache_(options.co_cache_capacity,
+                std::max<size_t>(1, options.co_cache_shards)) {
   assert(index_ != nullptr);
   assert(index_->finalized());
 }
@@ -20,19 +24,11 @@ double CorpusStats::Probability(ValueId id) const {
 }
 
 uint32_t CorpusStats::CachedCoOccurrence(ValueId a, ValueId b) const {
+  // Canonical ordering: (a,b) and (b,a) share one memo entry.
   if (a > b) std::swap(a, b);
-  const std::pair<uint32_t, uint32_t> key{a, b};
-  {
-    std::shared_lock<std::shared_mutex> lock(cache_mu_);
-    auto it = co_cache_.find(key);
-    if (it != co_cache_.end()) return it->second;
-  }
-  const uint32_t count = index_->CoOccurrenceCount(a, b);
-  {
-    std::unique_lock<std::shared_mutex> lock(cache_mu_);
-    co_cache_.emplace(key, count);
-  }
-  return count;
+  const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
+  return co_cache_.GetOrCompute(
+      key, [&] { return index_->CoOccurrenceCount(a, b); });
 }
 
 double CorpusStats::JointProbability(ValueId a, ValueId b) const {
@@ -108,9 +104,8 @@ uint32_t CorpusStats::ColumnFrequency(std::string_view value) const {
   return id == kInvalidValueId ? 0 : index_->ColumnCount(id);
 }
 
-size_t CorpusStats::CacheSize() const {
-  std::shared_lock<std::shared_mutex> lock(cache_mu_);
-  return co_cache_.size();
-}
+size_t CorpusStats::CacheSize() const { return co_cache_.Size(); }
+
+LruCacheStats CorpusStats::CoCacheStats() const { return co_cache_.Stats(); }
 
 }  // namespace tegra

@@ -7,15 +7,10 @@
 #define TEGRA_CORPUS_CORPUS_STATS_H_
 
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string_view>
-#include <unordered_map>
-#include <utility>
 
-#include "common/hash.h"
 #include "corpus/column_index.h"
+#include "service/lru_cache.h"
 
 namespace tegra {
 
@@ -27,15 +22,28 @@ enum class SemanticMeasure {
              ///< metric version of cosine similarity (§2.3.1 Discussion).
 };
 
+/// \brief Memoization limits for CorpusStats. The memo used to be an
+/// unbounded map — an OOM hazard for a long-lived serving process — and is
+/// now a sharded LRU whose capacity is configured here.
+struct CorpusStatsOptions {
+  /// Entry budget of the co-occurrence memo (pairs). ~1M entries is ~50MB
+  /// upper bound of bookkeeping and covers the working set of even large
+  /// extraction batches; 0 disables memoization entirely.
+  size_t co_cache_capacity = 1 << 20;
+  /// Concurrency width of the memo.
+  size_t co_cache_shards = 16;
+};
+
 /// \brief Probability / information measures over a background corpus.
 ///
 /// All lookups are const and safe to call from multiple threads; pairwise
-/// results are memoized under a shared mutex since postings intersections of
-/// popular values are the single hottest operation in segmentation.
+/// postings intersections — the single hottest operation in segmentation —
+/// are memoized in a bounded sharded LRU (see CorpusStatsOptions).
 class CorpusStats {
  public:
   /// \param index a *finalized* column index. Not owned; must outlive this.
-  explicit CorpusStats(const ColumnIndex* index);
+  explicit CorpusStats(const ColumnIndex* index,
+                       CorpusStatsOptions options = {});
 
   const ColumnIndex& index() const { return *index_; }
 
@@ -67,17 +75,24 @@ class CorpusStats {
   /// field-quality score (table-corpus support).
   uint32_t ColumnFrequency(std::string_view value) const;
 
-  /// Cache statistics (diagnostics).
+  /// Number of memoized pairs currently resident (<= configured capacity).
   size_t CacheSize() const;
 
+  /// Hit/miss/eviction counters and occupancy of the co-occurrence memo, for
+  /// surfacing through a metrics registry.
+  LruCacheStats CoCacheStats() const;
+
+  const CorpusStatsOptions& options() const { return options_; }
+
  private:
-  /// Memoized |C(a) ∩ C(b)|.
+  /// Memoized |C(a) ∩ C(b)|. The key is canonically ordered (min, max) so
+  /// (a,b) and (b,a) share one entry.
   uint32_t CachedCoOccurrence(ValueId a, ValueId b) const;
 
   const ColumnIndex* index_;
-  mutable std::shared_mutex cache_mu_;
-  mutable std::unordered_map<std::pair<uint32_t, uint32_t>, uint32_t, PairHash>
-      co_cache_;
+  CorpusStatsOptions options_;
+  /// Key = (min(a,b) << 32) | max(a,b).
+  mutable ShardedLruCache<uint64_t, uint32_t> co_cache_;
 };
 
 }  // namespace tegra

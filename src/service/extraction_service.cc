@@ -1,0 +1,259 @@
+#include "service/extraction_service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace tegra {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+ExtractionResponse RejectedResponse(Status status) {
+  ExtractionResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+uint64_t RequestCacheKey(const std::vector<std::string>& lines,
+                         int num_columns) {
+  // Length-delimited FNV over every line, then the line count and the column
+  // count mixed in, so that ["ab","c"] and ["a","bc"] (and the same list at a
+  // different m) key differently.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::string& line : lines) {
+    h = HashCombine(h, Fnv1a64(line));
+    h = HashCombine(h, line.size());
+  }
+  h = HashCombine(h, lines.size());
+  h = HashCombine(h, static_cast<uint64_t>(static_cast<int64_t>(num_columns)));
+  return h;
+}
+
+ExtractionService::ExtractionService(const TegraExtractor* extractor,
+                                     ServiceOptions options,
+                                     MetricsRegistry* registry)
+    : extractor_(extractor),
+      options_(options),
+      owned_registry_(registry == nullptr ? new MetricsRegistry() : nullptr),
+      registry_(registry == nullptr ? owned_registry_.get() : registry),
+      requests_total_(registry_->GetCounter("service.requests_total")),
+      rejected_total_(registry_->GetCounter("service.rejected_total")),
+      deadline_exceeded_total_(
+          registry_->GetCounter("service.deadline_exceeded_total")),
+      completed_total_(registry_->GetCounter("service.completed_total")),
+      failed_total_(registry_->GetCounter("service.failed_total")),
+      cache_hits_(registry_->GetCounter("service.result_cache_hits")),
+      cache_misses_(registry_->GetCounter("service.result_cache_misses")),
+      queue_latency_(registry_->GetHistogram("service.queue_seconds")),
+      extract_latency_(registry_->GetHistogram("service.extract_seconds")),
+      total_latency_(registry_->GetHistogram("service.total_seconds")),
+      result_cache_(options_.result_cache_capacity,
+                    std::max<size_t>(1, options_.result_cache_shards)) {
+  const int workers = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExtractionService::~ExtractionService() { Shutdown(); }
+
+void ExtractionService::Shutdown() {
+  std::deque<PendingRequest> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    drained.swap(queue_);
+  }
+  cv_.notify_all();
+  for (PendingRequest& pending : drained) {
+    rejected_total_->Increment();
+    pending.promise.set_value(
+        RejectedResponse(Status::Unavailable("service shutting down")));
+  }
+  // Serialize the join phase so concurrent Shutdown calls (e.g. an explicit
+  // Shutdown racing the destructor) cannot both walk workers_.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::future<ExtractionResponse> ExtractionService::Submit(
+    ExtractionRequest request) {
+  requests_total_->Increment();
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueue_time = Clock::now();
+  const double deadline_s = pending.request.deadline_seconds > 0
+                                ? pending.request.deadline_seconds
+                                : options_.default_deadline_seconds;
+  if (deadline_s > 0) {
+    pending.has_deadline = true;
+    pending.deadline =
+        pending.enqueue_time + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(deadline_s));
+  }
+  std::future<ExtractionResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected_total_->Increment();
+      pending.promise.set_value(
+          RejectedResponse(Status::Unavailable("service is shut down")));
+      return future;
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      rejected_total_->Increment();
+      pending.promise.set_value(RejectedResponse(Status::Unavailable(
+          "queue full (" + std::to_string(queue_.size()) + "/" +
+          std::to_string(options_.max_queue_depth) + "); try again later")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ExtractionResponse ExtractionService::SubmitAndWait(ExtractionRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void ExtractionService::WorkerLoop() {
+  while (true) {
+    PendingRequest pending;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(std::move(pending));
+  }
+}
+
+void ExtractionService::Process(PendingRequest pending) {
+  const Clock::time_point start = Clock::now();
+  const double queue_seconds = Seconds(start - pending.enqueue_time);
+  queue_latency_->Observe(queue_seconds);
+
+  ExtractionResponse response;
+  response.queue_seconds = queue_seconds;
+
+  // Deadline check at dequeue: don't spend extraction CPU on a request whose
+  // caller has already timed out.
+  if (pending.has_deadline && start >= pending.deadline) {
+    deadline_exceeded_total_->Increment();
+    response.status = Status::DeadlineExceeded(
+        "request expired after waiting " +
+        std::to_string(queue_seconds) + "s in queue");
+    response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
+    total_latency_->Observe(response.total_seconds);
+    pending.promise.set_value(std::move(response));
+    return;
+  }
+
+  const ExtractionRequest& request = pending.request;
+  const bool use_cache =
+      !request.bypass_cache && result_cache_.capacity() > 0;
+  const uint64_t key =
+      use_cache ? RequestCacheKey(request.lines, request.num_columns) : 0;
+
+  if (use_cache) {
+    if (auto hit = result_cache_.Get(key)) {
+      cache_hits_->Increment();
+      completed_total_->Increment();
+      response.cache_hit = true;
+      response.result = std::move(*hit);
+      response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
+      total_latency_->Observe(response.total_seconds);
+      pending.promise.set_value(std::move(response));
+      return;
+    }
+    cache_misses_->Increment();
+  }
+
+  Result<ExtractionResult> result =
+      request.num_columns > 0
+          ? extractor_->ExtractWithColumns(request.lines, request.num_columns)
+          : extractor_->Extract(request.lines);
+  response.extract_seconds = Seconds(Clock::now() - start);
+  extract_latency_->Observe(response.extract_seconds);
+
+  if (!result.ok()) {
+    failed_total_->Increment();
+    response.status = result.status();
+  } else {
+    completed_total_->Increment();
+    auto shared = std::make_shared<const ExtractionResult>(
+        std::move(result).value());
+    if (use_cache) result_cache_.Put(key, shared);
+    response.result = std::move(shared);
+  }
+  response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
+  total_latency_->Observe(response.total_seconds);
+  pending.promise.set_value(std::move(response));
+}
+
+size_t ExtractionService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ExtractionService::RefreshGauges() {
+  registry_->GetGauge("service.queue_depth")
+      ->Set(static_cast<double>(QueueDepth()));
+  registry_->GetGauge("service.workers")
+      ->Set(static_cast<double>(workers_.size()));
+
+  const LruCacheStats cache = result_cache_.Stats();
+  registry_->GetGauge("service.result_cache_size")
+      ->Set(static_cast<double>(cache.size));
+  registry_->GetGauge("service.result_cache_capacity")
+      ->Set(static_cast<double>(cache.capacity));
+  registry_->GetGauge("service.result_cache_hit_rate")->Set(cache.HitRate());
+  registry_->GetGauge("service.result_cache_evictions")
+      ->Set(static_cast<double>(cache.evictions));
+
+  // Surface the corpus-level co-occurrence cache through the same registry,
+  // so one snapshot shows the full memory/caching picture of the process.
+  if (extractor_ != nullptr && extractor_->stats() != nullptr) {
+    const LruCacheStats co = extractor_->stats()->CoCacheStats();
+    registry_->GetGauge("corpus.co_cache_size")
+        ->Set(static_cast<double>(co.size));
+    registry_->GetGauge("corpus.co_cache_capacity")
+        ->Set(static_cast<double>(co.capacity));
+    registry_->GetGauge("corpus.co_cache_hits")
+        ->Set(static_cast<double>(co.hits));
+    registry_->GetGauge("corpus.co_cache_misses")
+        ->Set(static_cast<double>(co.misses));
+    registry_->GetGauge("corpus.co_cache_evictions")
+        ->Set(static_cast<double>(co.evictions));
+    registry_->GetGauge("corpus.co_cache_hit_rate")->Set(co.HitRate());
+  }
+}
+
+MetricsRegistry* ExtractionService::metrics() {
+  RefreshGauges();
+  return registry_;
+}
+
+}  // namespace serve
+}  // namespace tegra

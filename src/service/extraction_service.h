@@ -1,0 +1,192 @@
+// tegra::serve::ExtractionService — the long-lived online serving path.
+//
+// The paper deploys TEGRA as an offline scale-out job (§5.6); BatchExtractor
+// reproduces that. This service is the complementary deployment mode the
+// ROADMAP targets: a resident process that accepts one list at a time from
+// many concurrent callers and returns a segmented table, under explicit
+// resource bounds:
+//
+//  * Admission control. Requests enter a bounded FIFO queue. When the queue
+//    is full, Submit fails *immediately* with kUnavailable (load shedding)
+//    instead of blocking the caller — the standard overload posture for a
+//    service fronting millions of users. Per-request deadlines are checked
+//    when a worker dequeues the request; a request that waited past its
+//    deadline is answered with kDeadlineExceeded without burning extraction
+//    CPU on an answer nobody is waiting for.
+//
+//  * Bounded memory. Whole-list results are cached in a sharded LRU keyed by
+//    a content hash of (lines, num_columns), so repeated extraction of hot
+//    lists (crawl revisits, popular pages) is O(1). The underlying
+//    CorpusStats co-occurrence memo is likewise LRU-bounded (see
+//    corpus_stats.h), so a resident process cannot OOM from memoization.
+//
+//  * Observability. Every request is accounted in a MetricsRegistry:
+//    counters for accepted / rejected / completed work, gauges for queue
+//    depth and cache occupancy, and latency histograms (queue wait,
+//    extraction, end-to-end) with p50/p95/p99 snapshots.
+//
+// The extractor itself is immutable and shared; every response is
+// deterministic and identical to a direct sequential TegraExtractor call on
+// the same input (the service_test asserts this byte-for-byte).
+
+#ifndef TEGRA_SERVICE_EXTRACTION_SERVICE_H_
+#define TEGRA_SERVICE_EXTRACTION_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tegra.h"
+#include "service/lru_cache.h"
+#include "service/metrics.h"
+
+namespace tegra {
+namespace serve {
+
+/// \brief Static configuration of an ExtractionService.
+struct ServiceOptions {
+  /// Number of dedicated worker threads executing extractions.
+  int num_workers = 4;
+  /// Maximum number of requests waiting to be picked up by a worker. A
+  /// Submit that would exceed this fails with kUnavailable.
+  size_t max_queue_depth = 64;
+  /// Deadline applied to requests that do not carry their own
+  /// (seconds, measured from Submit; 0 = no deadline).
+  double default_deadline_seconds = 0;
+  /// Whole-list result cache budget in entries (0 disables caching).
+  size_t result_cache_capacity = 1024;
+  /// Shards of the result cache.
+  size_t result_cache_shards = 8;
+};
+
+/// \brief One extraction request.
+struct ExtractionRequest {
+  /// The unsegmented list, one row per element.
+  std::vector<std::string> lines;
+  /// Fixed column count (Definition 2); 0 = unsupervised sweep
+  /// (Definition 3).
+  int num_columns = 0;
+  /// Per-request deadline in seconds from Submit; 0 = use the service
+  /// default.
+  double deadline_seconds = 0;
+  /// Skip the result cache for this request (both lookup and fill).
+  bool bypass_cache = false;
+};
+
+/// \brief One extraction response.
+struct ExtractionResponse {
+  /// OK, or kUnavailable (shed / shutdown), kDeadlineExceeded (expired in
+  /// queue), or the underlying extraction failure.
+  Status status;
+  /// Valid when status.ok(). Shared with the result cache — treat as
+  /// immutable.
+  std::shared_ptr<const ExtractionResult> result;
+  bool cache_hit = false;
+  double queue_seconds = 0;    ///< Time spent waiting for a worker.
+  double extract_seconds = 0;  ///< Time inside the extractor (0 on cache hit).
+  double total_seconds = 0;    ///< Submit-to-completion wall clock.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// \brief Stable content hash of a request's cache identity: the list lines
+/// (length-delimited) and the requested column count. Exposed for tests and
+/// for external result stores.
+uint64_t RequestCacheKey(const std::vector<std::string>& lines,
+                         int num_columns);
+
+/// \brief A long-lived, thread-safe extraction front end.
+///
+/// Construction spins up the worker threads; destruction rejects queued
+/// work with kUnavailable and joins the workers. All public methods are
+/// thread-safe.
+class ExtractionService {
+ public:
+  /// \param extractor the shared immutable engine (not owned; must outlive
+  /// this service).
+  /// \param registry metrics sink; when null the service owns a private one.
+  explicit ExtractionService(const TegraExtractor* extractor,
+                             ServiceOptions options = {},
+                             MetricsRegistry* registry = nullptr);
+  ~ExtractionService();
+
+  ExtractionService(const ExtractionService&) = delete;
+  ExtractionService& operator=(const ExtractionService&) = delete;
+
+  /// Submits a request. The returned future is *always* eventually
+  /// satisfied: with kUnavailable immediately when the queue is full or the
+  /// service is shutting down, with kDeadlineExceeded if the request expires
+  /// in the queue, otherwise with the extraction outcome.
+  std::future<ExtractionResponse> Submit(ExtractionRequest request);
+
+  /// Convenience: Submit + wait.
+  ExtractionResponse SubmitAndWait(ExtractionRequest request);
+
+  /// Stops accepting work, fails all queued requests with kUnavailable and
+  /// joins the workers. Idempotent; also invoked by the destructor.
+  void Shutdown();
+
+  /// Current number of queued (not yet running) requests.
+  size_t QueueDepth() const;
+
+  /// The metrics registry this service reports into. Refreshes the derived
+  /// gauges (queue depth, cache occupancy and hit rates, corpus co-cache
+  /// counters) before returning, so Snapshot() on the result is current.
+  MetricsRegistry* metrics();
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct PendingRequest {
+    ExtractionRequest request;
+    std::promise<ExtractionResponse> promise;
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
+    bool has_deadline = false;
+  };
+
+  void WorkerLoop();
+  void Process(PendingRequest pending);
+  void RefreshGauges();
+
+  const TegraExtractor* extractor_;  // Not owned.
+  ServiceOptions options_;
+
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_;  // Either owned_registry_.get() or external.
+
+  // Instrument handles (resolved once; hot path never touches the registry
+  // mutex).
+  Counter* requests_total_;
+  Counter* rejected_total_;
+  Counter* deadline_exceeded_total_;
+  Counter* completed_total_;
+  Counter* failed_total_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Histogram* queue_latency_;
+  Histogram* extract_latency_;
+  Histogram* total_latency_;
+
+  ShardedLruCache<uint64_t, std::shared_ptr<const ExtractionResult>>
+      result_cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+  std::mutex join_mu_;  // Serializes the worker-join phase of Shutdown.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_EXTRACTION_SERVICE_H_

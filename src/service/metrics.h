@@ -1,0 +1,150 @@
+// Process-wide metrics primitives for the serving layer: monotonic counters,
+// point-in-time gauges, and fixed-bucket latency histograms with percentile
+// snapshots. All instruments are lock-free on the hot path (relaxed atomics);
+// the registry itself takes a mutex only on first registration of a name.
+//
+// The registry is the single observable surface of a tegra process: the
+// ExtractionService, BatchExtractor and the CorpusStats co-occurrence cache
+// all report through it, and `tegra_serve` dumps a JSON snapshot on demand.
+
+#ifndef TEGRA_SERVICE_METRICS_H_
+#define TEGRA_SERVICE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tegra {
+
+/// \brief A monotonically increasing event counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A settable point-in-time value (queue depth, cache size, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Percentile summary of a histogram at snapshot time.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0;   ///< Sum of observed values.
+  double min = 0;   ///< Smallest observation (0 when count == 0).
+  double max = 0;   ///< Largest observation (0 when count == 0).
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// \brief A fixed-bucket histogram with cheap concurrent Observe and
+/// interpolated percentile estimates.
+///
+/// Buckets are defined by their inclusive upper bounds; an implicit +inf
+/// bucket catches everything beyond the last bound. Percentiles are estimated
+/// by linear interpolation inside the bucket containing the target rank —
+/// exact enough for latency SLO reporting as long as bounds grow
+/// geometrically (the default bounds cover 50us .. 30s).
+class Histogram {
+ public:
+  /// Default latency bucket bounds in *seconds*, geometric from 50us to 30s.
+  static std::vector<double> DefaultLatencyBounds();
+
+  /// \param bounds strictly increasing inclusive upper bounds. An empty
+  /// vector falls back to DefaultLatencyBounds().
+  explicit Histogram(std::vector<double> bounds = {});
+
+  /// Records one observation. Thread-safe, wait-free.
+  void Observe(double value);
+
+  HistogramSnapshot Snapshot() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  double PercentileLocked(const std::vector<uint64_t>& counts, uint64_t total,
+                          double q) const;
+
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;  // +inf until the first observation.
+  std::atomic<double> max_;  // -inf until the first observation.
+};
+
+/// \brief A full registry snapshot, suitable for rendering.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Renders `name value` lines (counters, gauges) and
+  /// `name{count,mean,p50,p95,p99}` lines for histograms.
+  std::string ToString() const;
+  /// Renders one JSON object {"counters":{...},"gauges":{...},...}.
+  std::string ToJson() const;
+};
+
+/// \brief Named instrument registry. Get* registers on first use and returns
+/// a stable pointer thereafter; instruments live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* GetGauge(const std::string& name);
+  /// Returns the histogram under `name`; `bounds` applies only on creation.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// \brief RAII latency recorder: observes elapsed seconds into a histogram
+/// (when non-null) at scope exit.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist);
+  ~ScopedLatency();
+
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_METRICS_H_

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <vector>
 
 #include "core/active.h"
 #include "core/batch.h"
+#include "service/metrics.h"
 #include "synth/corpus_gen.h"
 #include "synth/list_gen.h"
 
@@ -175,6 +179,95 @@ TEST_F(ActiveBatchTest, BatchProgressCallbackFires) {
     calls.fetch_add(1);
   });
   EXPECT_EQ(calls.load(), 4u);
+}
+
+TEST_F(ActiveBatchTest, ProgressCallbackIsThreadSafeUnderManyWorkers) {
+  // A counting callback driven from many worker threads at once: every list
+  // must be reported exactly once, `done` must be a positive value <= total,
+  // and the *final* values seen must cover the full range 1..total (each
+  // fetch_add(1)+1 in the extractor is unique).
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 12, 41);
+  std::vector<std::vector<std::string>> lists;
+  for (const auto& inst : instances) lists.push_back(inst.lines);
+  TegraExtractor extractor(stats_);
+  BatchExtractor batch(&extractor, {.num_threads = 8});
+
+  std::mutex mu;
+  std::vector<size_t> seen_done;
+  std::atomic<size_t> bad_totals{0};
+  const auto items = batch.ExtractAll(lists, [&](size_t done, size_t total) {
+    if (total != lists.size() || done == 0 || done > total) {
+      bad_totals.fetch_add(1);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    seen_done.push_back(done);
+  });
+  EXPECT_EQ(items.size(), lists.size());
+  EXPECT_EQ(bad_totals.load(), 0u);
+  ASSERT_EQ(seen_done.size(), lists.size());
+  // Every completion rank 1..N appears exactly once.
+  std::sort(seen_done.begin(), seen_done.end());
+  for (size_t i = 0; i < seen_done.size(); ++i) {
+    EXPECT_EQ(seen_done[i], i + 1);
+  }
+}
+
+TEST_F(ActiveBatchTest, CountAccountsForEveryDispositionMix) {
+  // One failing list (empty tokens after min_rows pass is impossible here,
+  // so craft: a too-short list -> filtered; junk gated by the objective ->
+  // filtered; healthy lists -> extracted).
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 3, 7);
+  std::vector<std::vector<std::string>> lists;
+  for (const auto& inst : instances) lists.push_back(inst.lines);
+  lists.push_back({"lonely row"});                      // filtered: min_rows
+  lists.push_back({});                                  // filtered: empty
+  lists.push_back({"zz qq ww", "mm kk jj pp", "aa"});   // gated below
+
+  TegraExtractor extractor(stats_);
+  BatchOptions opts;
+  opts.num_threads = 4;
+  opts.min_rows = 2;
+  opts.max_per_pair_objective = 0.05;  // Tight gate trips the junk list.
+  BatchExtractor batch(&extractor, opts);
+  const auto items = batch.ExtractAll(lists);
+  ASSERT_EQ(items.size(), lists.size());
+
+  const size_t extracted =
+      BatchExtractor::Count(items, BatchItem::Disposition::kExtracted);
+  const size_t filtered =
+      BatchExtractor::Count(items, BatchItem::Disposition::kFiltered);
+  const size_t failed =
+      BatchExtractor::Count(items, BatchItem::Disposition::kFailed);
+  // Disposition accounting must partition the batch exactly.
+  EXPECT_EQ(extracted + filtered + failed, items.size());
+  EXPECT_GE(filtered, 2u);  // The short and empty lists at minimum.
+  // Count on an empty vector is zero for every disposition.
+  EXPECT_EQ(BatchExtractor::Count({}, BatchItem::Disposition::kFailed), 0u);
+}
+
+TEST_F(ActiveBatchTest, BatchReportsIntoMetricsRegistry) {
+  auto instances = synth::MakeBenchmark(synth::CorpusProfile::kWeb, 5, 13);
+  std::vector<std::vector<std::string>> lists;
+  for (const auto& inst : instances) lists.push_back(inst.lines);
+  lists.push_back({"short"});  // One filtered item.
+
+  MetricsRegistry registry;
+  TegraExtractor extractor(stats_);
+  BatchOptions opts;
+  opts.num_threads = 4;
+  opts.metrics = &registry;
+  BatchExtractor batch(&extractor, opts);
+  const auto items = batch.ExtractAll(lists);
+
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("batch.lists_total"), lists.size());
+  EXPECT_EQ(snap.counters.at("batch.extracted_total"),
+            BatchExtractor::Count(items, BatchItem::Disposition::kExtracted));
+  EXPECT_EQ(snap.counters.at("batch.filtered_total"),
+            BatchExtractor::Count(items, BatchItem::Disposition::kFiltered));
+  EXPECT_EQ(snap.counters.at("batch.failed_total"),
+            BatchExtractor::Count(items, BatchItem::Disposition::kFailed));
+  EXPECT_EQ(snap.histograms.at("batch.extract_seconds").count, lists.size());
 }
 
 }  // namespace

@@ -224,6 +224,64 @@ TEST(CorpusStatsTest, ColumnFrequency) {
   EXPECT_EQ(stats.ColumnFrequency("never seen"), 0u);
 }
 
+TEST(CorpusStatsTest, SymmetricPairsShareOneCacheEntryWithHit) {
+  ColumnIndex index = BuildExample2Corpus();
+  CorpusStats stats(&index);
+  const ValueId a = index.Lookup("canada");
+  const ValueId b = index.Lookup("republic of korea");
+  (void)stats.JointProbability(a, b);
+  (void)stats.JointProbability(b, a);
+  const LruCacheStats cache = stats.CoCacheStats();
+  EXPECT_EQ(cache.size, 1u);    // (a,b) and (b,a) canonicalize to one key.
+  EXPECT_EQ(cache.misses, 1u);  // First order computed...
+  EXPECT_EQ(cache.hits, 1u);    // ...reversed order was a memo hit.
+}
+
+TEST(CorpusStatsTest, CoCacheStaysWithinConfiguredCapacityUnderStress) {
+  ColumnIndex index = BuildExample2Corpus();
+  CorpusStatsOptions options;
+  options.co_cache_capacity = 128;
+  options.co_cache_shards = 4;
+  CorpusStats stats(&index, options);
+
+  // Stress far more distinct pairs than the capacity: every pad value
+  // against several others. The old unbounded map would hold all ~30k pairs.
+  std::vector<ValueId> ids;
+  for (int i = 0; i < 250; ++i) {
+    ids.push_back(index.Lookup("pad" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); j += 2) {
+      (void)stats.JointProbability(ids[i], ids[j]);
+    }
+  }
+  const LruCacheStats cache = stats.CoCacheStats();
+  EXPECT_LE(cache.size, options.co_cache_capacity);
+  EXPECT_LE(stats.CacheSize(), options.co_cache_capacity);
+  EXPECT_GT(cache.evictions, 0u);
+  EXPECT_GT(cache.misses, options.co_cache_capacity);  // Far more traffic...
+  EXPECT_EQ(cache.capacity, options.co_cache_capacity);
+
+  // Bounded memoization must never change answers, only recompute them.
+  const ValueId a = index.Lookup("canada");
+  const ValueId b = index.Lookup("republic of korea");
+  EXPECT_NEAR(stats.JointProbability(a, b), 0.003, 1e-9);
+  EXPECT_NEAR(stats.JointProbability(b, a), 0.003, 1e-9);
+}
+
+TEST(CorpusStatsTest, ZeroCapacityDisablesMemoizationButStaysCorrect) {
+  ColumnIndex index = BuildExample2Corpus();
+  CorpusStatsOptions options;
+  options.co_cache_capacity = 0;
+  CorpusStats stats(&index, options);
+  const ValueId a = index.Lookup("canada");
+  const ValueId b = index.Lookup("republic of korea");
+  EXPECT_NEAR(stats.JointProbability(a, b), 0.003, 1e-9);
+  EXPECT_NEAR(stats.JointProbability(a, b), 0.003, 1e-9);
+  EXPECT_EQ(stats.CacheSize(), 0u);
+  EXPECT_EQ(stats.CoCacheStats().hits, 0u);
+}
+
 // ---- corpus_io ---------------------------------------------------------------
 
 std::string TempPath(const char* name) {

@@ -47,11 +47,26 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::OutOfRange("").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::NotImplemented("").code(), StatusCode::kNotImplemented);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(StatusTest, ServicePredicates) {
+  EXPECT_TRUE(Status::Unavailable("overloaded").IsUnavailable());
+  EXPECT_FALSE(Status::Unavailable("overloaded").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::DeadlineExceeded("too slow").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::OK().IsUnavailable());
+  EXPECT_EQ(Status::Unavailable("queue full").ToString(),
+            "Unavailable: queue full");
 }
 
 TEST(StatusCodeTest, Names) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(ResultTest, HoldsValue) {

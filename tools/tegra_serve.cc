@@ -1,0 +1,274 @@
+// tegra_serve — a long-lived extraction daemon speaking newline-delimited
+// JSON over stdin/stdout. One request per line in, one response per line out
+// (in submission order), so the service layer is driveable end-to-end with
+// nothing but a pipe:
+//
+//   $ printf '%s\n' \
+//       '{"id":1,"lines":["Boston Massachusetts 645,966",
+//                         "Worcester Massachusetts 182,544"]}' \
+//       '{"cmd":"metrics"}' | ./tegra_serve --corpus web.idx
+//
+// Request objects:
+//   {"id": <any>, "lines": ["row", ...],          // required
+//    "columns": N,                                 // optional, 0 = auto
+//    "deadline_ms": D,                             // optional
+//    "bypass_cache": true}                         // optional
+// Control objects:
+//   {"cmd": "metrics"}   -> one JSON metrics snapshot
+//   {"cmd": "quit"}      -> drain in-flight work and exit
+//
+// Response objects (id echoed):
+//   {"id":1,"ok":true,"columns":3,"rows":[[...],...],"sp":...,
+//    "cache_hit":false,"queue_ms":...,"extract_ms":...,"total_ms":...}
+//   {"id":2,"ok":false,"code":"Unavailable","error":"queue full ..."}
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <future>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "corpus/corpus_io.h"
+#include "corpus/corpus_stats.h"
+#include "service/extraction_service.h"
+#include "service/serve_json.h"
+#include "synth/corpus_gen.h"
+
+namespace {
+
+using tegra::serve::ExtractionRequest;
+using tegra::serve::ExtractionResponse;
+using tegra::serve::JsonValue;
+
+void PrintUsage() {
+  std::fputs(R"(usage: tegra_serve [options]
+
+Long-lived TEGRA extraction service over stdin/stdout (NDJSON).
+
+options:
+  --corpus PATH           load a serialized background index
+  --build-corpus SPEC     build a synthetic corpus; SPEC = profile:tables:seed
+                          with profile in {web, wiki, enterprise}
+                          (default: web:5000:1 when --corpus is not given)
+  --workers N             extraction worker threads (default 4)
+  --queue-depth N         admission-control queue bound (default 64)
+  --deadline-ms D         default per-request deadline (default: none)
+  --cache-capacity N      whole-list result cache entries (default 1024)
+  --co-cache-capacity N   corpus co-occurrence memo entries (default 1M)
+  --alpha X               syntactic weight in [0,1] (default 0.5)
+  --threads N             per-extraction anchor threads (default 1)
+  --help                  this text
+)",
+             stderr);
+}
+
+struct ServeCliOptions {
+  std::string corpus_path;
+  std::string build_spec;
+  size_t co_cache_capacity = 1 << 20;
+  tegra::TegraOptions tegra;
+  tegra::serve::ServiceOptions service;
+};
+
+bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--corpus") {
+      if (!(v = need_value(i))) return false;
+      opts->corpus_path = v;
+    } else if (arg == "--build-corpus") {
+      if (!(v = need_value(i))) return false;
+      opts->build_spec = v;
+    } else if (arg == "--workers") {
+      if (!(v = need_value(i))) return false;
+      opts->service.num_workers = std::atoi(v);
+    } else if (arg == "--queue-depth") {
+      if (!(v = need_value(i))) return false;
+      opts->service.max_queue_depth = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--deadline-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->service.default_deadline_seconds = std::atof(v) / 1e3;
+    } else if (arg == "--cache-capacity") {
+      if (!(v = need_value(i))) return false;
+      opts->service.result_cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--co-cache-capacity") {
+      if (!(v = need_value(i))) return false;
+      opts->co_cache_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--alpha") {
+      if (!(v = need_value(i))) return false;
+      opts->tegra.distance.alpha = std::atof(v);
+    } else if (arg == "--threads") {
+      if (!(v = need_value(i))) return false;
+      opts->tegra.num_threads = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+tegra::Result<tegra::ColumnIndex> BuildOrLoadCorpus(
+    const ServeCliOptions& opts) {
+  if (!opts.corpus_path.empty()) {
+    return tegra::LoadColumnIndex(opts.corpus_path);
+  }
+  const std::string spec =
+      opts.build_spec.empty() ? "web:5000:1" : opts.build_spec;
+  const auto parts = tegra::SplitExact(spec, ":");
+  if (parts.empty() || parts.size() > 3) {
+    return tegra::Status::InvalidArgument("bad --build-corpus spec: " + spec);
+  }
+  tegra::synth::CorpusProfile profile;
+  if (parts[0] == "web") {
+    profile = tegra::synth::CorpusProfile::kWeb;
+  } else if (parts[0] == "wiki") {
+    profile = tegra::synth::CorpusProfile::kWiki;
+  } else if (parts[0] == "enterprise") {
+    profile = tegra::synth::CorpusProfile::kEnterprise;
+  } else {
+    return tegra::Status::InvalidArgument("unknown profile: " + parts[0]);
+  }
+  const size_t tables =
+      parts.size() > 1 ? static_cast<size_t>(std::atoll(parts[1].c_str()))
+                       : 5000;
+  const uint64_t seed =
+      parts.size() > 2 ? static_cast<uint64_t>(std::atoll(parts[2].c_str()))
+                       : 1;
+  std::fprintf(stderr, "tegra_serve: building %s corpus (%zu tables)...\n",
+               parts[0].c_str(), tables);
+  return tegra::synth::BuildBackgroundIndex(profile, tables, seed);
+}
+
+JsonValue ResponseToJson(const JsonValue& id, const ExtractionResponse& resp) {
+  JsonValue out = JsonValue::Object();
+  out.Set("id", id);
+  if (!resp.ok()) {
+    out.Set("ok", JsonValue::Bool(false));
+    out.Set("code",
+            JsonValue::Str(tegra::StatusCodeToString(resp.status.code())));
+    out.Set("error", JsonValue::Str(resp.status.message()));
+    out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
+    out.Set("total_ms", JsonValue::Number(resp.total_seconds * 1e3));
+    return out;
+  }
+  const tegra::ExtractionResult& result = *resp.result;
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("columns", JsonValue::Number(result.num_columns));
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : result.table.rows()) {
+    JsonValue cells = JsonValue::Array();
+    for (const auto& cell : row) cells.Append(JsonValue::Str(cell));
+    rows.Append(std::move(cells));
+  }
+  out.Set("rows", std::move(rows));
+  out.Set("sp", JsonValue::Number(result.sp));
+  out.Set("per_column_objective",
+          JsonValue::Number(result.per_column_objective));
+  out.Set("cache_hit", JsonValue::Bool(resp.cache_hit));
+  out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
+  out.Set("extract_ms", JsonValue::Number(resp.extract_seconds * 1e3));
+  out.Set("total_ms", JsonValue::Number(resp.total_seconds * 1e3));
+  return out;
+}
+
+struct InFlight {
+  JsonValue id;
+  std::future<ExtractionResponse> future;
+};
+
+void Emit(const std::string& line) {
+  std::fputs(line.c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void Flush(std::deque<InFlight>* inflight, size_t keep) {
+  while (inflight->size() > keep) {
+    InFlight front = std::move(inflight->front());
+    inflight->pop_front();
+    Emit(ResponseToJson(front.id, front.future.get()).Dump());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeCliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+
+  auto corpus = BuildOrLoadCorpus(opts);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "tegra_serve: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  tegra::CorpusStatsOptions stats_options;
+  stats_options.co_cache_capacity = opts.co_cache_capacity;
+  tegra::CorpusStats stats(&corpus.value(), stats_options);
+  tegra::TegraExtractor extractor(&stats, opts.tegra);
+  tegra::serve::ExtractionService service(&extractor, opts.service);
+  std::fprintf(stderr,
+               "tegra_serve: ready (%d workers, queue %zu, cache %zu)\n",
+               service.options().num_workers, service.options().max_queue_depth,
+               service.options().result_cache_capacity);
+
+  // Keep at most pipeline_depth requests in flight so admission control is
+  // exercised by fast producers while stdout stays in submission order.
+  const size_t pipeline_depth = opts.service.max_queue_depth + 16;
+  std::deque<InFlight> inflight;
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (tegra::Trim(line).empty()) continue;
+    auto parsed = tegra::serve::ParseJson(line);
+    if (!parsed.ok()) {
+      JsonValue err = JsonValue::Object();
+      err.Set("ok", JsonValue::Bool(false));
+      err.Set("code", JsonValue::Str("InvalidArgument"));
+      err.Set("error", JsonValue::Str(parsed.status().message()));
+      Flush(&inflight, 0);  // Keep output ordered even for parse errors.
+      Emit(err.Dump());
+      continue;
+    }
+    const JsonValue& request = *parsed;
+    const std::string& cmd = request["cmd"].AsString();
+    if (cmd == "quit") break;
+    if (cmd == "metrics") {
+      Flush(&inflight, 0);
+      Emit(service.metrics()->Snapshot().ToJson());
+      continue;
+    }
+
+    ExtractionRequest extraction;
+    for (const JsonValue& item : request["lines"].AsArray()) {
+      extraction.lines.push_back(item.AsString());
+    }
+    extraction.num_columns = static_cast<int>(request["columns"].AsNumber(0));
+    extraction.deadline_seconds = request["deadline_ms"].AsNumber(0) / 1e3;
+    extraction.bypass_cache = request["bypass_cache"].AsBool(false);
+    inflight.push_back(
+        InFlight{request["id"], service.Submit(std::move(extraction))});
+    Flush(&inflight, pipeline_depth);
+  }
+  Flush(&inflight, 0);
+  return 0;
+}
