@@ -18,6 +18,8 @@
 #include "eval/experiment.h"
 #include "synth/corpus_gen.h"
 #include "synth/list_gen.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace.h"
 
 namespace tegra::eval {
 namespace {
@@ -107,13 +109,37 @@ void RunSweep(const char* title, const std::vector<std::pair<int, int>>& shapes,
 }  // namespace
 }  // namespace tegra::eval
 
-int main() {
+int main(int argc, char** argv) {
   using tegra::eval::RunSweep;
+  // --trace-out PATH: record pipeline spans during the sweeps and dump a
+  // Chrome trace — the per-phase breakdown behind the Figure 9 wall clocks.
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+  tegra::trace::Tracer& tracer = tegra::trace::Tracer::Global();
+  if (!trace_out.empty()) tracer.SetEnabled(true);
+
   RunSweep("Figure 9(a): latency vs number of columns (10 rows)",
            {{2, 10}, {4, 10}, {6, 10}, {8, 10}, {10, 10}},
            /*label_cols=*/true);
   RunSweep("Figure 9(b): latency vs number of rows (6 columns)",
            {{6, 5}, {6, 10}, {6, 20}, {6, 40}},
            /*label_cols=*/false);
+
+  if (!trace_out.empty()) {
+    tegra::Status s =
+        tegra::trace::WriteChromeTrace(trace_out, tracer.RingSnapshot());
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace: %llu spans recorded (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer.spans_recorded()),
+                static_cast<unsigned long long>(tracer.dropped()),
+                trace_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Repo-wide check harness: builds and tests every supported configuration so
+# the tracing subsystem stays green both compiled-in and compiled-out, and
+# the concurrency-sensitive code (histograms, trace ring, thread pool,
+# serving layer) is exercised under ThreadSanitizer.
+#
+# Configurations:
+#   1. default        — TEGRA_TRACE=ON, full ctest suite
+#   2. trace-off      — TEGRA_TRACE=OFF (spans compile to no-op stubs); the
+#                       full suite must still pass, proving nothing depends
+#                       on tracing being compiled in
+#   3. tsan           — TEGRA_SANITIZE=thread; runs the `service` and
+#                       `trace` ctest labels plus the metrics/stress tests,
+#                       the suites with real cross-thread traffic
+#
+# Usage:
+#   scripts/check.sh            # all three configurations
+#   scripts/check.sh default    # just one (default | trace-off | tsan)
+#
+# Each configuration gets its own build directory (build-check-*) so this
+# never clobbers an existing developer `build/`.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+ONLY="${1:-all}"
+
+run() { echo "+ $*" >&2; "$@"; }
+
+configure_and_build() {
+  local name="$1"
+  shift
+  local dir="$ROOT/build-check-$name"
+  echo "=== [$name] configure ==="
+  run cmake -B "$dir" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@" \
+    > /dev/null
+  echo "=== [$name] build ==="
+  run cmake --build "$dir" -j "$JOBS" > /dev/null
+}
+
+if [[ "$ONLY" == "all" || "$ONLY" == "default" ]]; then
+  configure_and_build default -DTEGRA_TRACE=ON
+  echo "=== [default] test (full suite) ==="
+  (cd "$ROOT/build-check-default" && run ctest --output-on-failure)
+  echo "=== [default] OK ==="
+fi
+
+if [[ "$ONLY" == "all" || "$ONLY" == "trace-off" ]]; then
+  configure_and_build trace-off -DTEGRA_TRACE=OFF
+  echo "=== [trace-off] test (full suite) ==="
+  (cd "$ROOT/build-check-trace-off" && run ctest --output-on-failure)
+  echo "=== [trace-off] OK ==="
+fi
+
+if [[ "$ONLY" == "all" || "$ONLY" == "tsan" ]]; then
+  # TSan build: run the suites with genuine multi-threaded traffic. The
+  # trace label covers the span ring + cross-thread context handoff; the
+  # service label covers the worker pool, caches and metrics; stress_test
+  # and metrics_test hammer the histogram CAS paths.
+  configure_and_build tsan -DTEGRA_SANITIZE=thread -DTEGRA_TRACE=ON
+  echo "=== [tsan] test (service + trace labels, metrics/stress) ==="
+  (cd "$ROOT/build-check-tsan" &&
+    run ctest --output-on-failure --timeout 600 -L 'service|trace' &&
+    run ctest --output-on-failure --timeout 600 -R 'metrics_test|stress_test')
+  echo "=== [tsan] OK ==="
+fi
+
+echo "All requested configurations passed."

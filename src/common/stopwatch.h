@@ -4,6 +4,7 @@
 #define TEGRA_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace tegra {
 
@@ -23,6 +24,14 @@ class Stopwatch {
 
   /// Elapsed time in milliseconds.
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in whole microseconds (the span-trace timebase).
+  uint64_t ElapsedMicros() const {
+    auto now = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+            .count());
+  }
 
  private:
   std::chrono::steady_clock::time_point start_;

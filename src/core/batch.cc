@@ -5,6 +5,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "service/metrics.h"
+#include "trace/trace.h"
 
 namespace tegra {
 
@@ -32,7 +33,13 @@ std::vector<BatchItem> BatchExtractor::ExtractAll(
     extract_seconds = options_.metrics->GetHistogram("batch.extract_seconds");
   }
 
+  // Batch work fans out over a pool; capture the caller's trace context so
+  // every per-list span tree hangs off the same batch-level trace.
+  trace::TraceContext* trace_parent = trace::CurrentContext();
+
   auto process = [&](size_t i) {
+    trace::ScopedContext scoped(trace_parent);
+    TEGRA_TRACE_SPAN("batch_item", "batch", "batch.item_seconds");
     Stopwatch watch;
     BatchItem& item = items[i];
     item.list_index = i;

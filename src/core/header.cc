@@ -5,6 +5,7 @@
 
 #include "corpus/column_index.h"
 #include "text/value_type.h"
+#include "trace/trace.h"
 
 namespace tegra {
 
@@ -25,6 +26,7 @@ double TypedTokenFraction(const std::vector<std::string>& tokens) {
 
 double HeaderScore(const std::vector<std::string>& lines,
                    const HeaderDetectionOptions& options) {
+  TEGRA_TRACE_SPAN("header_detect", "extract", "extract.phase.header_detect");
   if (lines.size() < options.min_body_rows + 1) return 0;
   Tokenizer tokenizer(options.tokenizer);
   const auto head = tokenizer.Tokenize(lines[0]);

@@ -9,12 +9,26 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/anchor_search.h"
+#include "trace/trace.h"
 
 namespace tegra {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Tokenizes every raw line under an "extract/tokenize" span.
+std::vector<std::vector<std::string>> TokenizeLines(
+    const TokenizerOptions& options, const std::vector<std::string>& lines) {
+  TEGRA_TRACE_SPAN("tokenize", "extract", "extract.phase.tokenize");
+  Tokenizer tokenizer(options);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const auto& line : lines) {
+    token_lines.push_back(tokenizer.Tokenize(line));
+  }
+  return token_lines;
+}
 
 }  // namespace
 
@@ -56,10 +70,14 @@ TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
     ListContext* ctx, int m, int anchor_sample,
     DistanceCache* shared_cache) const {
   const uint32_t base_cap = static_cast<uint32_t>(options_.max_cell_tokens);
-  // Materialize candidate cells for every line up front so the context is
-  // read-only during (possibly parallel) anchor evaluation.
-  for (size_t j = 0; j < ctx->num_lines(); ++j) {
-    ctx->EnsureWidth(j, ctx->EffectiveWidth(j, m, base_cap));
+  {
+    // Materialize candidate cells for every line up front so the context is
+    // read-only during (possibly parallel) anchor evaluation.
+    TEGRA_TRACE_SPAN("candidate_cells", "extract",
+                     "extract.phase.segmentation");
+    for (size_t j = 0; j < ctx->num_lines(); ++j) {
+      ctx->EnsureWidth(j, ctx->EffectiveWidth(j, m, base_cap));
+    }
   }
 
   const std::vector<size_t> anchors = SelectAnchors(*ctx, anchor_sample);
@@ -74,22 +92,33 @@ TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
                                                base_cap);
   };
 
-  if (options_.num_threads > 1 && anchors.size() > 1) {
-    ThreadPool pool(static_cast<size_t>(options_.num_threads));
-    pool.ParallelFor(anchors.size(), [&](size_t idx) {
-      // Each task owns a memo cache; corpus-level co-occurrence results are
-      // shared (and locked) inside CorpusStats.
-      DistanceCache local_cache(&distance_);
-      run_anchor(idx, &local_cache);
-    });
-  } else {
-    for (size_t idx = 0; idx < anchors.size(); ++idx) {
-      run_anchor(idx, shared_cache);
+  {
+    TEGRA_TRACE_SPAN("anchor_search", "extract",
+                     "extract.phase.anchor_search");
+    if (options_.num_threads > 1 && anchors.size() > 1) {
+      // Worker threads have their own (empty) thread-local span stacks, so
+      // capture the current request context once and re-install it inside
+      // each task: anchor spans then land in the right trace tree.
+      trace::TraceContext* parent = trace::CurrentContext();
+      ThreadPool pool(static_cast<size_t>(options_.num_threads));
+      pool.ParallelFor(anchors.size(), [&, parent](size_t idx) {
+        trace::ScopedContext scoped(parent);
+        TEGRA_TRACE_SPAN("anchor", "extract", nullptr);
+        // Each task owns a memo cache; corpus-level co-occurrence results
+        // are shared (and locked) inside CorpusStats.
+        DistanceCache local_cache(&distance_);
+        run_anchor(idx, &local_cache);
+      });
+    } else {
+      for (size_t idx = 0; idx < anchors.size(); ++idx) {
+        run_anchor(idx, shared_cache);
+      }
     }
   }
 
   RunOutcome outcome;
   outcome.anchor_distance = kInf;
+  outcome.anchors_evaluated = anchors.size();
   for (size_t idx = 0; idx < anchors.size(); ++idx) {
     outcome.nodes_expanded += results[idx].nodes_expanded;
     if (results[idx].anchor_distance < outcome.anchor_distance) {
@@ -100,9 +129,14 @@ TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
   const AnchorSearchResult& best =
       results[std::find(anchors.begin(), anchors.end(), outcome.anchor_line) -
               anchors.begin()];
-  outcome.bounds = InduceTable(*ctx, outcome.anchor_line, best.anchor_bounds,
-                               shared_cache, base_cap);
-  outcome.sp = SumOfPairsDistance(*ctx, outcome.bounds, shared_cache);
+  {
+    // Inducing the table replays the SLGR alignment DP against every
+    // non-anchor line; SP evaluation re-walks the aligned pairs.
+    TEGRA_TRACE_SPAN("slgr_dp", "extract", "extract.phase.slgr_dp");
+    outcome.bounds = InduceTable(*ctx, outcome.anchor_line, best.anchor_bounds,
+                                 shared_cache, base_cap);
+    outcome.sp = SumOfPairsDistance(*ctx, outcome.bounds, shared_cache);
+  }
   return outcome;
 }
 
@@ -117,8 +151,12 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
   }
 
   Stopwatch watch;
+  TEGRA_TRACE_SPAN("extract", "extract", "extract.phase.total");
+  trace::Span list_context_span(&trace::Tracer::Global(), "list_context",
+                                "extract", "extract.phase.list_context");
   const ColumnIndex* index = stats_ ? &stats_->index() : nullptr;
   ListContext ctx(std::move(token_lines), index);
+  list_context_span.End();
 
   // Pin user examples; they also determine the column count.
   if (examples != nullptr && !examples->empty()) {
@@ -146,10 +184,12 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
 
   DistanceCache cache(&distance_);
   ExtractionResult out;
+  size_t anchors_evaluated = 0;
 
   if (num_columns > 0) {
     RunOutcome run = RunGivenColumns(&ctx, num_columns,
                                      options_.final_anchor_sample, &cache);
+    anchors_evaluated += run.anchors_evaluated;
     out.num_columns = num_columns;
     out.bounds = std::move(run.bounds);
     out.sp = run.sp;
@@ -168,6 +208,7 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
       RunOutcome run =
           RunGivenColumns(&ctx, m, options_.sweep_anchor_sample, &cache);
       out.nodes_expanded += run.nodes_expanded;
+      anchors_evaluated += run.anchors_evaluated;
       const double score = PerColumnObjective(run.sp, m);
       if (score < best_score) {
         best_score = score;
@@ -181,6 +222,7 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
       best_run = RunGivenColumns(&ctx, best_m, options_.final_anchor_sample,
                                  &cache);
       out.nodes_expanded += best_run.nodes_expanded;
+      anchors_evaluated += best_run.anchors_evaluated;
     }
     out.num_columns = best_m;
     out.bounds = std::move(best_run.bounds);
@@ -189,21 +231,36 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
     out.anchor_line = best_run.anchor_line;
   }
 
-  out.table = MaterializeTable(ctx, out.bounds);
+  {
+    TEGRA_TRACE_SPAN("materialize", "extract", "extract.phase.materialize");
+    out.table = MaterializeTable(ctx, out.bounds);
+  }
   out.per_column_objective = PerColumnObjective(out.sp, out.num_columns);
   out.per_pair_objective =
       PerPairObjective(out.sp, ctx.num_lines(), out.num_columns);
   out.seconds = watch.ElapsedSeconds();
+
+  // Work-volume counters (§5.7 efficiency analysis): how much search and
+  // distance evaluation this extraction cost, independent of wall clock.
+  if (trace::kCompiledIn) {
+    trace::Tracer& tracer = trace::Tracer::Global();
+    if (tracer.enabled() && tracer.metrics() != nullptr) {
+      MetricsRegistry* metrics = tracer.metrics();
+      metrics->GetCounter("extract.requests_total")->Increment();
+      metrics->GetCounter("extract.nodes_expanded_total")
+          ->Increment(out.nodes_expanded);
+      metrics->GetCounter("extract.distance_calls_total")
+          ->Increment(cache.size());
+      metrics->GetCounter("extract.anchors_total")
+          ->Increment(anchors_evaluated);
+    }
+  }
   return out;
 }
 
 Result<ExtractionResult> TegraExtractor::Extract(
     const std::vector<std::string>& lines) const {
-  Tokenizer tokenizer(options_.tokenizer);
-  std::vector<std::vector<std::string>> token_lines;
-  token_lines.reserve(lines.size());
-  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
-  return ExtractTokens(std::move(token_lines), 0, nullptr);
+  return ExtractTokens(TokenizeLines(options_.tokenizer, lines), 0, nullptr);
 }
 
 Result<ExtractionResult> TegraExtractor::ExtractWithColumns(
@@ -211,21 +268,14 @@ Result<ExtractionResult> TegraExtractor::ExtractWithColumns(
   if (num_columns < 1) {
     return Status::InvalidArgument("num_columns must be >= 1");
   }
-  Tokenizer tokenizer(options_.tokenizer);
-  std::vector<std::vector<std::string>> token_lines;
-  token_lines.reserve(lines.size());
-  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
-  return ExtractTokens(std::move(token_lines), num_columns, nullptr);
+  return ExtractTokens(TokenizeLines(options_.tokenizer, lines), num_columns,
+                       nullptr);
 }
 
 Result<ExtractionResult> TegraExtractor::ExtractWithExamples(
     const std::vector<std::string>& lines,
     const std::vector<SegmentationExample>& examples) const {
-  Tokenizer tokenizer(options_.tokenizer);
-  std::vector<std::vector<std::string>> token_lines;
-  token_lines.reserve(lines.size());
-  for (const auto& line : lines) token_lines.push_back(tokenizer.Tokenize(line));
-  return ExtractTokens(std::move(token_lines), 0, &examples);
+  return ExtractTokens(TokenizeLines(options_.tokenizer, lines), 0, &examples);
 }
 
 }  // namespace tegra

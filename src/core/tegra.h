@@ -128,6 +128,7 @@ class TegraExtractor {
     double anchor_distance = 0;
     size_t anchor_line = 0;
     size_t nodes_expanded = 0;
+    size_t anchors_evaluated = 0;  ///< Candidate anchors actually searched.
     std::vector<Bounds> bounds;
     double sp = 0;
   };

@@ -15,6 +15,11 @@ CorpusStats::CorpusStats(const ColumnIndex* index, CorpusStatsOptions options)
                 std::max<size_t>(1, options.co_cache_shards)) {
   assert(index_ != nullptr);
   assert(index_->finalized());
+  if (options_.metrics != nullptr) {
+    co_lookups_ = options_.metrics->GetCounter("corpus.co_lookups_total");
+    co_lookup_hits_ =
+        options_.metrics->GetCounter("corpus.co_lookup_hits_total");
+  }
 }
 
 double CorpusStats::Probability(ValueId id) const {
@@ -27,8 +32,14 @@ uint32_t CorpusStats::CachedCoOccurrence(ValueId a, ValueId b) const {
   // Canonical ordering: (a,b) and (b,a) share one memo entry.
   if (a > b) std::swap(a, b);
   const uint64_t key = (static_cast<uint64_t>(a) << 32) | b;
-  return co_cache_.GetOrCompute(
-      key, [&] { return index_->CoOccurrenceCount(a, b); });
+  if (co_lookups_ != nullptr) co_lookups_->Increment();
+  bool computed = false;
+  const uint32_t count = co_cache_.GetOrCompute(key, [&] {
+    computed = true;
+    return index_->CoOccurrenceCount(a, b);
+  });
+  if (co_lookup_hits_ != nullptr && !computed) co_lookup_hits_->Increment();
+  return count;
 }
 
 double CorpusStats::JointProbability(ValueId a, ValueId b) const {

@@ -11,6 +11,7 @@
 
 #include "corpus/column_index.h"
 #include "service/lru_cache.h"
+#include "service/metrics.h"
 
 namespace tegra {
 
@@ -32,6 +33,12 @@ struct CorpusStatsOptions {
   size_t co_cache_capacity = 1 << 20;
   /// Concurrency width of the memo.
   size_t co_cache_shards = 16;
+  /// Optional metrics sink (not owned; must outlive the CorpusStats). When
+  /// set, every co-occurrence lookup increments `corpus.co_lookups_total`
+  /// and memo hits increment `corpus.co_lookup_hits_total` — the work-volume
+  /// counters behind the per-phase efficiency analysis (§5.7). Relaxed
+  /// atomic increments; negligible cost next to a postings intersection.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Probability / information measures over a background corpus.
@@ -93,6 +100,9 @@ class CorpusStats {
   CorpusStatsOptions options_;
   /// Key = (min(a,b) << 32) | max(a,b).
   mutable ShardedLruCache<uint64_t, uint32_t> co_cache_;
+  /// Resolved once from options_.metrics (null when no sink configured).
+  Counter* co_lookups_ = nullptr;
+  Counter* co_lookup_hits_ = nullptr;
 };
 
 }  // namespace tegra

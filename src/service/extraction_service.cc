@@ -59,7 +59,8 @@ ExtractionService::ExtractionService(const TegraExtractor* extractor,
       extract_latency_(registry_->GetHistogram("service.extract_seconds")),
       total_latency_(registry_->GetHistogram("service.total_seconds")),
       result_cache_(options_.result_cache_capacity,
-                    std::max<size_t>(1, options_.result_cache_shards)) {
+                    std::max<size_t>(1, options_.result_cache_shards)),
+      slowlog_(options_.slowlog_capacity) {
   const int workers = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -154,8 +155,44 @@ void ExtractionService::Process(PendingRequest pending) {
   const double queue_seconds = Seconds(start - pending.enqueue_time);
   queue_latency_->Observe(queue_seconds);
 
+  // Request-scoped trace: every span completed while this worker (and any
+  // extractor ThreadPool task holding a ScopedContext) runs this request is
+  // tagged with one trace id and collected for the slow-request log.
+  trace::Tracer& tracer = trace::Tracer::Global();
+  TEGRA_TRACE_CONTEXT(trace_ctx, "serve.request");
+
+  // The queue wait happened before this worker existed in the trace; record
+  // it manually so the request's span tree starts at Submit, not dequeue.
+  {
+    const uint64_t now_us = tracer.NowMicros();
+    const uint64_t wait_us = static_cast<uint64_t>(queue_seconds * 1e6);
+    tracer.RecordManual("queue_wait", "serve",
+                        now_us > wait_us ? now_us - wait_us : 0, wait_us);
+  }
+
   ExtractionResponse response;
   response.queue_seconds = queue_seconds;
+
+  // One exit path: finalize timings, retain into the slow-request log with
+  // the captured span tree, then satisfy the promise.
+  auto finish = [&](const char* outcome) {
+    response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
+    total_latency_->Observe(response.total_seconds);
+    if (slowlog_.capacity() > 0) {
+      SlowRequestRecord record;
+      record.trace_id = trace_ctx.trace_id();
+      record.total_seconds = response.total_seconds;
+      record.queue_seconds = response.queue_seconds;
+      record.extract_seconds = response.extract_seconds;
+      record.num_lines = pending.request.lines.size();
+      record.num_columns = pending.request.num_columns;
+      record.cache_hit = response.cache_hit;
+      record.outcome = outcome;
+      record.spans = trace_ctx.Events();
+      slowlog_.Add(std::move(record));
+    }
+    pending.promise.set_value(std::move(response));
+  };
 
   // Deadline check at dequeue: don't spend extraction CPU on a request whose
   // caller has already timed out.
@@ -164,9 +201,7 @@ void ExtractionService::Process(PendingRequest pending) {
     response.status = Status::DeadlineExceeded(
         "request expired after waiting " +
         std::to_string(queue_seconds) + "s in queue");
-    response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
-    total_latency_->Observe(response.total_seconds);
-    pending.promise.set_value(std::move(response));
+    finish("deadline_exceeded");
     return;
   }
 
@@ -177,39 +212,41 @@ void ExtractionService::Process(PendingRequest pending) {
       use_cache ? RequestCacheKey(request.lines, request.num_columns) : 0;
 
   if (use_cache) {
-    if (auto hit = result_cache_.Get(key)) {
+    trace::Span cache_span(&tracer, "cache_probe", "serve");
+    auto hit = result_cache_.Get(key);
+    cache_span.End();
+    if (hit) {
       cache_hits_->Increment();
       completed_total_->Increment();
       response.cache_hit = true;
       response.result = std::move(*hit);
-      response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
-      total_latency_->Observe(response.total_seconds);
-      pending.promise.set_value(std::move(response));
+      finish("ok");
       return;
     }
     cache_misses_->Increment();
   }
 
+  trace::Span execute_span(&tracer, "execute", "serve");
   Result<ExtractionResult> result =
       request.num_columns > 0
           ? extractor_->ExtractWithColumns(request.lines, request.num_columns)
           : extractor_->Extract(request.lines);
+  execute_span.End();
   response.extract_seconds = Seconds(Clock::now() - start);
   extract_latency_->Observe(response.extract_seconds);
 
   if (!result.ok()) {
     failed_total_->Increment();
     response.status = result.status();
-  } else {
-    completed_total_->Increment();
-    auto shared = std::make_shared<const ExtractionResult>(
-        std::move(result).value());
-    if (use_cache) result_cache_.Put(key, shared);
-    response.result = std::move(shared);
+    finish("failed");
+    return;
   }
-  response.total_seconds = Seconds(Clock::now() - pending.enqueue_time);
-  total_latency_->Observe(response.total_seconds);
-  pending.promise.set_value(std::move(response));
+  completed_total_->Increment();
+  auto shared = std::make_shared<const ExtractionResult>(
+      std::move(result).value());
+  if (use_cache) result_cache_.Put(key, shared);
+  response.result = std::move(shared);
+  finish("ok");
 }
 
 size_t ExtractionService::QueueDepth() const {

@@ -46,6 +46,8 @@
 #include "core/tegra.h"
 #include "service/lru_cache.h"
 #include "service/metrics.h"
+#include "service/slowlog.h"
+#include "trace/trace.h"
 
 namespace tegra {
 namespace serve {
@@ -64,6 +66,9 @@ struct ServiceOptions {
   size_t result_cache_capacity = 1024;
   /// Shards of the result cache.
   size_t result_cache_shards = 8;
+  /// Requests retained by the slow-request log, slowest first (0 disables).
+  /// Each retained request keeps its full span tree when tracing is on.
+  size_t slowlog_capacity = 8;
 };
 
 /// \brief One extraction request.
@@ -141,6 +146,9 @@ class ExtractionService {
   /// counters) before returning, so Snapshot() on the result is current.
   MetricsRegistry* metrics();
 
+  /// The N slowest requests seen so far, with their captured span trees.
+  const SlowRequestLog& slowlog() const { return slowlog_; }
+
   const ServiceOptions& options() const { return options_; }
 
  private:
@@ -177,6 +185,7 @@ class ExtractionService {
 
   ShardedLruCache<uint64_t, std::shared_ptr<const ExtractionResult>>
       result_cache_;
+  SlowRequestLog slowlog_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -58,11 +58,17 @@ void Histogram::Observe(double value) {
   // Index of the first bound >= value; the +inf bucket is bounds_.size().
   const size_t idx =
       std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
+  // Update the scalar accumulators (CAS loops, never racy read-modify-write)
+  // *before* publishing the observation via the bucket counter: the bucket
+  // increment uses release ordering and Snapshot reads buckets with acquire,
+  // so any observation a snapshot counts also has its min/max/sum update
+  // visible — the snapshot can never pair count > 0 with an untouched
+  // (infinite) min or max.
   AtomicAdd(&sum_, value);
   AtomicMin(&min_, value);
   AtomicMax(&max_, value);
+  buckets_[idx].fetch_add(1, std::memory_order_release);
+  count_.fetch_add(1, std::memory_order_release);
 }
 
 double Histogram::PercentileLocked(const std::vector<uint64_t>& counts,
@@ -95,14 +101,24 @@ HistogramSnapshot Histogram::Snapshot() const {
   std::vector<uint64_t> counts(buckets_.size());
   uint64_t total = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
-    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    // Acquire pairs with the release increment in Observe: every observation
+    // counted here has its min/max/sum CAS update visible below.
+    counts[i] = buckets_[i].load(std::memory_order_acquire);
     total += counts[i];
   }
   snap.count = total;
   snap.sum = sum_.load(std::memory_order_relaxed);
   if (total > 0) {
-    snap.min = min_.load(std::memory_order_relaxed);
-    snap.max = max_.load(std::memory_order_relaxed);
+    double mn = min_.load(std::memory_order_relaxed);
+    double mx = max_.load(std::memory_order_relaxed);
+    // Defensive sanitation: even though the acquire/release pairing above
+    // makes an infinite min/max with total > 0 unreachable, never let a
+    // non-finite or inverted range escape into the clamp below (the previous
+    // racy snapshot could produce clamp(lo=+inf, hi=-inf), which is UB).
+    if (!std::isfinite(mn)) mn = 0.0;
+    if (!std::isfinite(mx) || mx < mn) mx = mn;
+    snap.min = mn;
+    snap.max = mx;
   }
   snap.p50 = PercentileLocked(counts, total, 0.50);
   snap.p95 = PercentileLocked(counts, total, 0.95);
@@ -117,6 +133,8 @@ HistogramSnapshot Histogram::Snapshot() const {
     snap.p95 = std::max(snap.p95, snap.p50);
     snap.p99 = std::max(snap.p99, snap.p95);
   }
+  snap.bounds = bounds_;
+  snap.bucket_counts = std::move(counts);
   return snap;
 }
 
@@ -205,13 +223,11 @@ std::string MetricsSnapshot::ToJson() const {
   return out.str();
 }
 
-ScopedLatency::ScopedLatency(Histogram* hist)
-    : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+ScopedLatency::ScopedLatency(Histogram* hist) : hist_(hist) {}
 
 ScopedLatency::~ScopedLatency() {
   if (hist_ == nullptr) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  hist_->Observe(std::chrono::duration<double>(elapsed).count());
+  hist_->Observe(watch_.ElapsedSeconds());
 }
 
 }  // namespace tegra

@@ -11,13 +11,14 @@
 #define TEGRA_SERVICE_METRICS_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/stopwatch.h"
 
 namespace tegra {
 
@@ -52,6 +53,11 @@ struct HistogramSnapshot {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  /// Bucket upper bounds and per-bucket (NOT cumulative) counts;
+  /// bucket_counts has bounds.size() + 1 entries (the extra one is the
+  /// implicit +inf bucket). Consumed by the Prometheus exposition.
+  std::vector<double> bounds;
+  std::vector<uint64_t> bucket_counts;
 
   double Mean() const { return count == 0 ? 0.0 : sum / count; }
 };
@@ -142,7 +148,7 @@ class ScopedLatency {
 
  private:
   Histogram* hist_;
-  std::chrono::steady_clock::time_point start_;
+  Stopwatch watch_;
 };
 
 }  // namespace tegra

@@ -1,0 +1,44 @@
+#include "service/slowlog.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tegra {
+namespace serve {
+
+bool SlowRequestLog::Add(SlowRequestRecord record) {
+  if (capacity_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() >= capacity_ &&
+      record.total_seconds <= records_.back().total_seconds) {
+    return false;
+  }
+  // Insert before the first strictly-slower-or-equal predecessor boundary:
+  // upper_bound keeps earlier-arrived records ahead of later ties.
+  auto pos = std::upper_bound(
+      records_.begin(), records_.end(), record,
+      [](const SlowRequestRecord& a, const SlowRequestRecord& b) {
+        return a.total_seconds > b.total_seconds;
+      });
+  records_.insert(pos, std::move(record));
+  if (records_.size() > capacity_) records_.pop_back();
+  return true;
+}
+
+std::vector<SlowRequestRecord> SlowRequestLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t SlowRequestLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void SlowRequestLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace serve
+}  // namespace tegra

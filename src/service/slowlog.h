@@ -1,0 +1,73 @@
+// tegra::serve::SlowRequestLog — retains the full span trees of the N
+// slowest requests seen by the service.
+//
+// Aggregate histograms answer "how slow is the p99"; the slow-request log
+// answers "what did the worst requests actually spend their time on" by
+// keeping, for each retained request, the complete list of TraceEvents
+// collected by its TraceContext (anchor search vs SLGR DP vs queue wait...).
+// Capacity-bounded and sorted slowest-first, so memory is O(N * spans) no
+// matter how long the process lives.
+
+#ifndef TEGRA_SERVICE_SLOWLOG_H_
+#define TEGRA_SERVICE_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace tegra {
+namespace serve {
+
+/// \brief One retained slow request: identity, outcome, timings and the
+/// captured span tree.
+struct SlowRequestRecord {
+  uint64_t trace_id = 0;       ///< TraceContext id (0 when tracing disabled).
+  double total_seconds = 0;    ///< Submit-to-completion wall clock (sort key).
+  double queue_seconds = 0;    ///< Time waiting for a worker.
+  double extract_seconds = 0;  ///< Time inside the extractor (0 on cache hit).
+  size_t num_lines = 0;        ///< Input list size.
+  int num_columns = 0;         ///< Requested column count (0 = unsupervised).
+  bool cache_hit = false;
+  /// "ok", "failed", "deadline_exceeded".
+  std::string outcome;
+  /// The request's span tree in completion order (empty when the tracer was
+  /// disabled while the request ran).
+  std::vector<trace::TraceEvent> spans;
+};
+
+/// \brief Thread-safe, capacity-bounded, slowest-first request log.
+class SlowRequestLog {
+ public:
+  /// \param capacity number of requests retained (0 disables the log).
+  explicit SlowRequestLog(size_t capacity = 8) : capacity_(capacity) {}
+
+  SlowRequestLog(const SlowRequestLog&) = delete;
+  SlowRequestLog& operator=(const SlowRequestLog&) = delete;
+
+  /// Admits `record` if it is slower than the current N-th slowest (or the
+  /// log is not yet full). Returns true when retained.
+  bool Add(SlowRequestRecord record);
+
+  /// The retained records, slowest first.
+  std::vector<SlowRequestRecord> Snapshot() const;
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+
+  /// Drops all retained records (capacity unchanged).
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  /// Sorted by total_seconds descending; ties keep insertion order.
+  std::vector<SlowRequestRecord> records_;
+};
+
+}  // namespace serve
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_SLOWLOG_H_

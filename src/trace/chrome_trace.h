@@ -1,0 +1,31 @@
+// Chrome trace_event JSON export: turns recorded TraceEvents into a file
+// loadable in chrome://tracing and https://ui.perfetto.dev.
+//
+// Each span becomes one "complete" event (ph:"X") with microsecond ts/dur;
+// the trace id, span id, parent id and depth ride along in args so Perfetto's
+// query engine can reconstruct request trees across threads.
+
+#ifndef TEGRA_TRACE_CHROME_TRACE_H_
+#define TEGRA_TRACE_CHROME_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace tegra {
+namespace trace {
+
+/// \brief Serializes `events` into the Chrome trace_event "JSON object
+/// format": {"traceEvents":[...],"displayTimeUnit":"ms"}.
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// \brief Writes ToChromeTraceJson(events) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace trace
+}  // namespace tegra
+
+#endif  // TEGRA_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,63 @@
+// Internal JSON string escaping shared by the trace exporters and the
+// structured logger. Deliberately tiny and dependency-free: the full JSON
+// machinery in service/serve_json.h lives *above* this layer (tegra_service
+// links tegra_trace), so the exporters cannot use it without a cycle.
+
+#ifndef TEGRA_TRACE_JSON_UTIL_H_
+#define TEGRA_TRACE_JSON_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace tegra {
+namespace trace {
+
+/// Appends `s` to `out` escaped for embedding inside a JSON string literal
+/// (no surrounding quotes added). Control characters become \u00XX.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// Returns `s` as a quoted JSON string literal.
+inline std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  AppendJsonEscaped(&out, s);
+  out += '"';
+  return out;
+}
+
+}  // namespace trace
+}  // namespace tegra
+
+#endif  // TEGRA_TRACE_JSON_UTIL_H_

@@ -1,0 +1,116 @@
+// tegra::trace::Logger — leveled structured logging for the tools and the
+// serving layer, replacing ad-hoc fprintf(stderr, ...) calls.
+//
+// Every record is a level, a message and a flat set of typed key/value
+// fields. Two sink formats:
+//  * kText:  2026-08-06T12:00:00Z INFO  ready workers=4 queue=64
+//  * kJson:  {"ts":"2026-08-06T12:00:00Z","level":"info","msg":"ready",
+//             "workers":4,"queue":64}
+// one line per record on the configured FILE* (stderr by default), or into a
+// test callback. Emission is serialized by a mutex; level filtering happens
+// before any formatting, so suppressed records cost one atomic load.
+//
+// Usage:
+//   trace::LogInfo("ready", {{"workers", 4}, {"queue_depth", 64}});
+//   trace::LogWarn("bad request", {{"error", status.message()}});
+
+#ifndef TEGRA_TRACE_LOG_H_
+#define TEGRA_TRACE_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tegra {
+namespace trace {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// "debug" / "info" / "warn" / "error".
+const char* LogLevelName(LogLevel level);
+
+/// \brief One typed field of a structured log record.
+struct LogField {
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, std::string_view v)
+      : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v);
+  LogField(std::string k, int v);
+  LogField(std::string k, unsigned int v);
+  LogField(std::string k, long v);
+  LogField(std::string k, unsigned long v);
+  LogField(std::string k, long long v);
+  LogField(std::string k, unsigned long long v);
+  LogField(std::string k, bool v);
+
+  std::string key;
+  std::string value;
+  bool numeric = false;  ///< Emit bare (numbers, booleans) in JSON.
+};
+
+/// \brief A leveled, structured, thread-safe logger.
+class Logger {
+ public:
+  enum class Format { kText, kJson };
+
+  /// Text to stderr at kInfo, like the fprintf calls it replaces.
+  Logger() = default;
+
+  /// The process-wide logger used by the Log* convenience functions.
+  static Logger& Global();
+
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  bool ShouldLog(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  void SetFormat(Format format);
+  /// Redirects output (default stderr). Not owned; pass nullptr to silence.
+  void SetOutput(std::FILE* out);
+  /// Test hook: when set, rendered lines go to the callback instead of the
+  /// FILE*. Pass nullptr to restore FILE output.
+  void SetCallback(std::function<void(LogLevel, const std::string&)> callback);
+
+  /// Emits one record (no-op below the minimum level).
+  void Log(LogLevel level, std::string_view message,
+           std::initializer_list<LogField> fields = {});
+
+  /// Renders a record to one line without emitting it (exposed for tests).
+  std::string Render(LogLevel level, std::string_view message,
+                     std::initializer_list<LogField> fields) const;
+
+ private:
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
+  mutable std::mutex mu_;  // Guards format_, out_, callback_ and emission.
+  Format format_ = Format::kText;
+  std::FILE* out_ = stderr;
+  std::function<void(LogLevel, const std::string&)> callback_;
+};
+
+/// Convenience wrappers over Logger::Global().
+void LogDebug(std::string_view message,
+              std::initializer_list<LogField> fields = {});
+void LogInfo(std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void LogWarn(std::string_view message,
+             std::initializer_list<LogField> fields = {});
+void LogError(std::string_view message,
+              std::initializer_list<LogField> fields = {});
+
+}  // namespace trace
+}  // namespace tegra
+
+#endif  // TEGRA_TRACE_LOG_H_

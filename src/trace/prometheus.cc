@@ -1,0 +1,79 @@
+#include "trace/prometheus.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace tegra {
+namespace trace {
+
+namespace {
+
+bool ValidChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+std::string Num(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name,
+                           const std::string& prefix) {
+  std::string out = prefix;
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    out += ValidChar(c) ? c : '_';
+  }
+  // Names must not start with a digit (the prefix normally prevents this).
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const std::string& prefix) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string pname = PrometheusName(name, prefix);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusName(name, prefix);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << Num(value) << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string pname = PrometheusName(name, prefix);
+    out << "# TYPE " << pname << " histogram\n";
+    // Cumulative bucket counts; bucket_counts has one extra +Inf slot.
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      cumulative += hist.bucket_counts[i];
+      out << pname << "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        out << Num(hist.bounds[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    if (hist.bucket_counts.empty()) {
+      // A histogram snapshot without bucket data still gets an +Inf bucket
+      // so scrapers see a well-formed series.
+      out << pname << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    }
+    out << pname << "_sum " << Num(hist.sum) << "\n";
+    out << pname << "_count " << hist.count << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace trace
+}  // namespace tegra

@@ -1,0 +1,39 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsSnapshot.
+//
+// Counters render as `# TYPE <name> counter`, gauges as gauge, and
+// histograms as the full cumulative-bucket form:
+//
+//   # TYPE tegra_service_total_seconds histogram
+//   tegra_service_total_seconds_bucket{le="5e-05"} 0
+//   ...
+//   tegra_service_total_seconds_bucket{le="+Inf"} 12
+//   tegra_service_total_seconds_sum 0.84
+//   tegra_service_total_seconds_count 12
+//
+// Metric names are prefixed (default "tegra_") and sanitized to the
+// Prometheus charset: every character outside [a-zA-Z0-9_:] becomes '_', so
+// the registry's dotted names ("service.queue_seconds") map 1:1 onto valid
+// exposition names.
+
+#ifndef TEGRA_TRACE_PROMETHEUS_H_
+#define TEGRA_TRACE_PROMETHEUS_H_
+
+#include <string>
+
+#include "service/metrics.h"
+
+namespace tegra {
+namespace trace {
+
+/// \brief Sanitizes one metric name for exposition (prefix + charset fix).
+std::string PrometheusName(const std::string& name,
+                           const std::string& prefix = "tegra_");
+
+/// \brief Renders the whole snapshot in Prometheus text exposition format.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "tegra_");
+
+}  // namespace trace
+}  // namespace tegra
+
+#endif  // TEGRA_TRACE_PROMETHEUS_H_

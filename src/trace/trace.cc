@@ -1,0 +1,244 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+namespace tegra {
+namespace trace {
+
+namespace {
+
+// Per-thread tracing state: a small sequential id (assigned on first use), the
+// RAII span stack (for parent/depth bookkeeping) and the installed request
+// context. One flat struct so the hot path touches one thread_local slot.
+struct ThreadState {
+  uint32_t id = 0;
+  std::vector<uint64_t> span_stack;
+  TraceContext* context = nullptr;
+};
+
+ThreadState& LocalState() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local ThreadState state = [] {
+    ThreadState s;
+    s.id = next_id.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }();
+  return state;
+}
+
+}  // namespace
+
+TraceContext* CurrentContext() { return LocalState().context; }
+
+uint32_t CurrentThreadId() { return LocalState().id; }
+
+Tracer::Tracer(size_t ring_capacity)
+    : num_shards_(std::min(kShards, std::max<size_t>(1, ring_capacity))),
+      per_shard_(std::max<size_t>(1, ring_capacity / std::min(
+                                         kShards,
+                                         std::max<size_t>(1, ring_capacity)))),
+      ring_capacity_(num_shards_ * per_shard_),
+      metrics_(&owned_metrics_) {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    shards_[i].slots.resize(per_shard_);
+  }
+  dropped_counter_.store(owned_metrics_.GetCounter("trace.dropped"),
+                         std::memory_order_relaxed);
+  spans_counter_.store(owned_metrics_.GetCounter("trace.spans_total"),
+                       std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() = default;
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // Leaked: outlives exit-time spans.
+  return *tracer;
+}
+
+void Tracer::BindMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* target = registry == nullptr ? &owned_metrics_ : registry;
+  {
+    std::lock_guard<std::mutex> lock(metric_mu_);
+    metric_cache_.clear();
+    metrics_.store(target, std::memory_order_release);
+  }
+  dropped_counter_.store(target->GetCounter("trace.dropped"),
+                         std::memory_order_release);
+  spans_counter_.store(target->GetCounter("trace.spans_total"),
+                       std::memory_order_release);
+}
+
+MetricsRegistry* Tracer::metrics() {
+  return metrics_.load(std::memory_order_acquire);
+}
+
+uint64_t Tracer::NowMicros() const { return epoch_.ElapsedMicros(); }
+
+Histogram* Tracer::MetricFor(const char* name) {
+  std::lock_guard<std::mutex> lock(metric_mu_);
+  // Pointer-identity memo: span metric names are string literals, so each
+  // call site resolves through the registry mutex exactly once. (Identical
+  // literals from different TUs may add a second entry resolving to the same
+  // histogram — harmless.)
+  for (const auto& [key, hist] : metric_cache_) {
+    if (key == name) return hist;
+  }
+  Histogram* hist =
+      metrics_.load(std::memory_order_relaxed)->GetHistogram(name);
+  metric_cache_.emplace_back(name, hist);
+  return hist;
+}
+
+void Tracer::RecordManual(const char* name, const char* category,
+                          uint64_t start_us, uint64_t duration_us,
+                          const char* metric) {
+  if (!enabled()) return;
+  ThreadState& st = LocalState();
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.span_id = NextSpanId();
+  event.parent_id = st.span_stack.empty() ? 0 : st.span_stack.back();
+  event.depth = static_cast<uint32_t>(st.span_stack.size());
+  event.thread_id = st.id;
+  event.trace_id = st.context != nullptr ? st.context->trace_id() : 0;
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  FinishSpan(event, metric);
+}
+
+void Tracer::FinishSpan(TraceEvent event, const char* metric) {
+  event.seq = seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  spans_counter_.load(std::memory_order_relaxed)->Increment();
+
+  // Ring append: shards are filled round-robin by sequence number, so the
+  // ring as a whole retains exactly the last `ring_capacity_` events and a
+  // recording thread only ever contends on 1/num_shards of the lock space.
+  const uint64_t slot_index = event.seq - 1;
+  Shard& shard = shards_[slot_index % num_shards_];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const size_t pos = (slot_index / num_shards_) % per_shard_;
+    if (shard.used == per_shard_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_counter_.load(std::memory_order_relaxed)->Increment();
+    } else {
+      ++shard.used;
+    }
+    shard.slots[pos] = event;
+  }
+
+  if (TraceContext* context = CurrentContext();
+      context != nullptr && context->capturing()) {
+    context->Collect(event);
+  }
+  if (metric != nullptr) {
+    MetricFor(metric)->Observe(static_cast<double>(event.duration_us) * 1e-6);
+  }
+}
+
+std::vector<TraceEvent> Tracer::RingSnapshot() const {
+  std::vector<TraceEvent> events;
+  events.reserve(ring_capacity_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t j = 0; j < shard.used; ++j) {
+      events.push_back(shard.slots[j]);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.start_us != b.start_us ? a.start_us < b.start_us
+                                              : a.seq < b.seq;
+            });
+  return events;
+}
+
+void Tracer::Reset() {
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].used = 0;
+    shards_[i].next = 0;
+  }
+  seq_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+#if TEGRA_TRACE_ENABLED
+
+Span::Span(Tracer* tracer, const char* name, const char* category,
+           const char* metric)
+    : tracer_(tracer), name_(name), category_(category), metric_(metric) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  ThreadState& st = LocalState();
+  span_id_ = tracer_->NextSpanId();
+  parent_id_ = st.span_stack.empty() ? 0 : st.span_stack.back();
+  depth_ = static_cast<uint32_t>(st.span_stack.size());
+  st.span_stack.push_back(span_id_);
+  start_us_ = tracer_->NowMicros();
+  active_ = true;
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  const uint64_t end_us = tracer_->NowMicros();
+  ThreadState& st = LocalState();
+  if (!st.span_stack.empty() && st.span_stack.back() == span_id_) {
+    st.span_stack.pop_back();
+  }
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.depth = depth_;
+  event.thread_id = st.id;
+  event.trace_id = st.context != nullptr ? st.context->trace_id() : 0;
+  event.start_us = start_us_;
+  event.duration_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  tracer_->FinishSpan(event, metric_);
+}
+
+TraceContext::TraceContext(Tracer* tracer, const char* name, bool capture)
+    : tracer_(tracer), name_(name) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  trace_id_ = tracer_->NextTraceId();
+  capture_ = capture;
+  ThreadState& st = LocalState();
+  prev_ = st.context;
+  st.context = this;
+  installed_ = true;
+}
+
+TraceContext::~TraceContext() {
+  if (installed_) LocalState().context = prev_;
+}
+
+std::vector<TraceEvent> TraceContext::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceContext::Collect(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(event);
+}
+
+ScopedContext::ScopedContext(TraceContext* context) : prev_(nullptr) {
+  if (context == nullptr) return;
+  ThreadState& st = LocalState();
+  prev_ = st.context;
+  st.context = context;
+  installed_ = true;
+}
+
+ScopedContext::~ScopedContext() {
+  if (installed_) LocalState().context = prev_;
+}
+
+#endif  // TEGRA_TRACE_ENABLED
+
+}  // namespace trace
+}  // namespace tegra

@@ -156,5 +156,59 @@ TEST(ScopedLatencyTest, ObservesOnScopeExit) {
   { ScopedLatency latency(nullptr); }  // Null histogram is a no-op.
 }
 
+TEST(HistogramTest, SnapshotExposesPerBucketCounts) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0 (<= 1)
+  h.Observe(1.5);   // bucket 1 (<= 2)
+  h.Observe(3.0);   // bucket 2 (<= 4)
+  h.Observe(100.0); // overflow (+inf) bucket
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);  // bounds + implicit +inf
+  EXPECT_EQ(snap.bucket_counts[0], 1u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  uint64_t total = 0;
+  for (uint64_t c : snap.bucket_counts) total += c;
+  EXPECT_EQ(total, snap.count);
+}
+
+// Regression for the snapshot race: Observe used to bump the bucket/count
+// before the min/max CAS loops, so a concurrent Snapshot could see count > 0
+// with min still +inf and max still -inf and feed them into std::clamp
+// (UB: hi < lo). Snapshots taken mid-storm must always be internally sane.
+TEST(HistogramTest, ConcurrentObserveAndSnapshotStaySane) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      double v = 1e-4 * (t + 1);
+      // do-while: every writer observes at least once even if the reader
+      // loop below finishes before this thread is first scheduled.
+      do {
+        h.Observe(v);
+        v = v < 1.0 ? v * 1.01 : 1e-4;
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    const HistogramSnapshot snap = h.Snapshot();
+    if (snap.count == 0) continue;
+    EXPECT_LE(snap.min, snap.max);
+    EXPECT_GE(snap.min, 0.0);
+    EXPECT_GE(snap.p50, snap.min);
+    EXPECT_LE(snap.p50, snap.max);
+    EXPECT_LE(snap.p50, snap.p95);
+    EXPECT_LE(snap.p95, snap.p99);
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+  const HistogramSnapshot final_snap = h.Snapshot();
+  EXPECT_GT(final_snap.count, 0u);
+  EXPECT_LE(final_snap.min, final_snap.max);
+}
+
 }  // namespace
 }  // namespace tegra

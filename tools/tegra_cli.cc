@@ -25,6 +25,8 @@
 #include "corpus/corpus_stats.h"
 #include "corpus/table_io.h"
 #include "synth/corpus_gen.h"
+#include "trace/chrome_trace.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -49,6 +51,8 @@ options:
   --naive                 disable the A* pruning (TEGRA-naive+)
   --jaccard               use Jaccard instead of NPMI for semantic distance
   --stats                 print extraction statistics to stderr
+  --trace-out PATH        record pipeline spans and write a Chrome trace JSON
+                          (open in chrome://tracing or ui.perfetto.dev)
   --help                  this text
 )",
              stderr);
@@ -63,6 +67,7 @@ struct CliOptions {
   std::string format = "table";
   std::vector<std::string> example_specs;
   bool show_stats = false;
+  std::string trace_out;
   tegra::TegraOptions tegra;
 };
 
@@ -113,6 +118,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       opts->tegra.distance.measure = tegra::SemanticMeasure::kJaccard;
     } else if (arg == "--stats") {
       opts->show_stats = true;
+    } else if (arg == "--trace-out") {
+      if (!(v = need_value(i))) return false;
+      opts->trace_out = v;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -213,6 +221,11 @@ int main(int argc, char** argv) {
   }
   tegra::CorpusStats stats(&index.value());
 
+  // Tracing: enabled only when the caller asked for a dump, so the default
+  // CLI path stays span-free.
+  tegra::trace::Tracer& tracer = tegra::trace::Tracer::Global();
+  if (!opts.trace_out.empty()) tracer.SetEnabled(true);
+
   // Extract.
   tegra::TegraExtractor extractor(&stats, opts.tegra);
   tegra::Result<tegra::ExtractionResult> result = [&] {
@@ -232,6 +245,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "extraction: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+
+  if (!opts.trace_out.empty()) {
+    tegra::Status s =
+        tegra::trace::WriteChromeTrace(opts.trace_out, tracer.RingSnapshot());
+    if (!s.ok()) {
+      std::fprintf(stderr, "trace-out: %s\n", s.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "trace: %llu spans -> %s\n",
+                   static_cast<unsigned long long>(tracer.spans_recorded()),
+                   opts.trace_out.c_str());
+    }
   }
 
   // Output.

@@ -3,10 +3,9 @@
 // (in submission order), so the service layer is driveable end-to-end with
 // nothing but a pipe:
 //
-//   $ printf '%s\n' \
-//       '{"id":1,"lines":["Boston Massachusetts 645,966",
-//                         "Worcester Massachusetts 182,544"]}' \
-//       '{"cmd":"metrics"}' | ./tegra_serve --corpus web.idx
+//   $ printf '%s\n' '{"id":1,"lines":["Boston Massachusetts 645,966",
+//     "Worcester Massachusetts 182,544"]}' '{"cmd":"metrics"}' |
+//     ./tegra_serve --corpus web.idx
 //
 // Request objects:
 //   {"id": <any>, "lines": ["row", ...],          // required
@@ -14,13 +13,23 @@
 //    "deadline_ms": D,                             // optional
 //    "bypass_cache": true}                         // optional
 // Control objects:
-//   {"cmd": "metrics"}   -> one JSON metrics snapshot
-//   {"cmd": "quit"}      -> drain in-flight work and exit
+//   {"cmd": "metrics"}       -> one JSON metrics snapshot
+//   {"cmd": "metrics_prom"}  -> Prometheus text exposition (inline "body",
+//                               or to disk with {"file":"path"})
+//   {"cmd": "trace_dump"}    -> Chrome trace_event JSON of the span ring
+//                               (inline "body", or {"file":"path"} —
+//                               loadable in ui.perfetto.dev)
+//   {"cmd": "slowlog"}       -> the N slowest requests with span trees
+//   {"cmd": "quit"}          -> drain in-flight work and exit
 //
 // Response objects (id echoed):
 //   {"id":1,"ok":true,"columns":3,"rows":[[...],...],"sp":...,
 //    "cache_hit":false,"queue_ms":...,"extract_ms":...,"total_ms":...}
 //   {"id":2,"ok":false,"code":"Unavailable","error":"queue full ..."}
+//
+// Malformed input (unparsable JSON, missing/empty "lines", unknown "cmd")
+// is answered with a structured error object and counted in
+// `serve.bad_request` rather than silently dropped.
 
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +46,10 @@
 #include "service/extraction_service.h"
 #include "service/serve_json.h"
 #include "synth/corpus_gen.h"
+#include "trace/chrome_trace.h"
+#include "trace/log.h"
+#include "trace/prometheus.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -61,6 +74,10 @@ options:
   --co-cache-capacity N   corpus co-occurrence memo entries (default 1M)
   --alpha X               syntactic weight in [0,1] (default 0.5)
   --threads N             per-extraction anchor threads (default 1)
+  --trace on|off          runtime span recording (default on)
+  --slowlog N             slow-request log capacity (default 8)
+  --log-format text|json  stderr log rendering (default text)
+  --log-level LEVEL       debug|info|warn|error (default info)
   --help                  this text
 )",
              stderr);
@@ -70,6 +87,7 @@ struct ServeCliOptions {
   std::string corpus_path;
   std::string build_spec;
   size_t co_cache_capacity = 1 << 20;
+  bool trace_enabled = true;
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -115,6 +133,26 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
     } else if (arg == "--threads") {
       if (!(v = need_value(i))) return false;
       opts->tegra.num_threads = std::atoi(v);
+    } else if (arg == "--trace") {
+      if (!(v = need_value(i))) return false;
+      opts->trace_enabled = std::string(v) != "off";
+    } else if (arg == "--slowlog") {
+      if (!(v = need_value(i))) return false;
+      opts->service.slowlog_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--log-format") {
+      if (!(v = need_value(i))) return false;
+      tegra::trace::Logger::Global().SetFormat(
+          std::string(v) == "json" ? tegra::trace::Logger::Format::kJson
+                                   : tegra::trace::Logger::Format::kText);
+    } else if (arg == "--log-level") {
+      if (!(v = need_value(i))) return false;
+      const std::string level = v;
+      tegra::trace::Logger::Global().SetMinLevel(
+          level == "debug"  ? tegra::trace::LogLevel::kDebug
+          : level == "warn" ? tegra::trace::LogLevel::kWarn
+          : level == "error"
+              ? tegra::trace::LogLevel::kError
+              : tegra::trace::LogLevel::kInfo);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -150,8 +188,8 @@ tegra::Result<tegra::ColumnIndex> BuildOrLoadCorpus(
   const uint64_t seed =
       parts.size() > 2 ? static_cast<uint64_t>(std::atoll(parts[2].c_str()))
                        : 1;
-  std::fprintf(stderr, "tegra_serve: building %s corpus (%zu tables)...\n",
-               parts[0].c_str(), tables);
+  tegra::trace::LogInfo("building synthetic corpus",
+                        {{"profile", parts[0]}, {"tables", tables}});
   return tegra::synth::BuildBackgroundIndex(profile, tables, seed);
 }
 
@@ -206,6 +244,88 @@ void Flush(std::deque<InFlight>* inflight, size_t keep) {
   }
 }
 
+/// Emits a structured error object (id echoed when present) and counts it.
+void EmitBadRequest(const JsonValue& id, const std::string& message,
+                    tegra::Counter* bad_requests) {
+  if (bad_requests != nullptr) bad_requests->Increment();
+  tegra::trace::LogWarn("bad request", {{"error", message}});
+  JsonValue err = JsonValue::Object();
+  if (!id.AsString().empty() || id.AsNumber(0) != 0) err.Set("id", id);
+  err.Set("ok", JsonValue::Bool(false));
+  err.Set("code", JsonValue::Str("InvalidArgument"));
+  err.Set("error", JsonValue::Str(message));
+  Emit(err.Dump());
+}
+
+/// Emits `body` inline ({"ok":true,"format":...,"body":...}) or, when the
+/// request carries a "file" key, writes it to disk and reports the path —
+/// multi-line payloads (Prometheus exposition, Chrome traces) stay NDJSON
+/// friendly either way.
+void EmitBody(const JsonValue& request, const char* format,
+              const std::string& body) {
+  JsonValue out = JsonValue::Object();
+  if (request.Has("id")) out.Set("id", request["id"]);
+  const std::string& path = request["file"].AsString();
+  if (!path.empty()) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      out.Set("ok", JsonValue::Bool(false));
+      out.Set("code", JsonValue::Str("IOError"));
+      out.Set("error", JsonValue::Str("cannot open " + path));
+      Emit(out.Dump());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("format", JsonValue::Str(format));
+    out.Set("file", JsonValue::Str(path));
+    out.Set("bytes", JsonValue::Number(static_cast<double>(body.size())));
+    Emit(out.Dump());
+    return;
+  }
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("format", JsonValue::Str(format));
+  out.Set("body", JsonValue::Str(body));
+  Emit(out.Dump());
+}
+
+JsonValue SpanToJson(const tegra::trace::TraceEvent& span) {
+  JsonValue s = JsonValue::Object();
+  s.Set("name", JsonValue::Str(span.name));
+  s.Set("cat", JsonValue::Str(span.category));
+  s.Set("span_id", JsonValue::Number(static_cast<double>(span.span_id)));
+  s.Set("parent_id", JsonValue::Number(static_cast<double>(span.parent_id)));
+  s.Set("start_us", JsonValue::Number(static_cast<double>(span.start_us)));
+  s.Set("dur_us", JsonValue::Number(static_cast<double>(span.duration_us)));
+  s.Set("tid", JsonValue::Number(span.thread_id));
+  s.Set("depth", JsonValue::Number(span.depth));
+  return s;
+}
+
+JsonValue SlowlogToJson(const tegra::serve::SlowRequestLog& slowlog) {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  JsonValue records = JsonValue::Array();
+  for (const tegra::serve::SlowRequestRecord& rec : slowlog.Snapshot()) {
+    JsonValue r = JsonValue::Object();
+    r.Set("trace_id", JsonValue::Number(static_cast<double>(rec.trace_id)));
+    r.Set("total_ms", JsonValue::Number(rec.total_seconds * 1e3));
+    r.Set("queue_ms", JsonValue::Number(rec.queue_seconds * 1e3));
+    r.Set("extract_ms", JsonValue::Number(rec.extract_seconds * 1e3));
+    r.Set("num_lines", JsonValue::Number(static_cast<double>(rec.num_lines)));
+    r.Set("columns", JsonValue::Number(rec.num_columns));
+    r.Set("cache_hit", JsonValue::Bool(rec.cache_hit));
+    r.Set("outcome", JsonValue::Str(rec.outcome));
+    JsonValue spans = JsonValue::Array();
+    for (const auto& span : rec.spans) spans.Append(SpanToJson(span));
+    r.Set("spans", std::move(spans));
+    records.Append(std::move(r));
+  }
+  out.Set("records", std::move(records));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,21 +335,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // One registry for the whole process: service accounting, corpus cache
+  // counters and the tracer's per-phase histograms all land in it, so one
+  // `metrics`/`metrics_prom` snapshot shows the complete picture.
+  tegra::MetricsRegistry registry;
+  tegra::trace::Tracer& tracer = tegra::trace::Tracer::Global();
+  tracer.BindMetrics(&registry);
+  tracer.SetEnabled(opts.trace_enabled && tegra::trace::kCompiledIn);
+
   auto corpus = BuildOrLoadCorpus(opts);
   if (!corpus.ok()) {
-    std::fprintf(stderr, "tegra_serve: %s\n",
-                 corpus.status().ToString().c_str());
+    tegra::trace::LogError("corpus load failed",
+                           {{"status", corpus.status().ToString()}});
     return 1;
   }
   tegra::CorpusStatsOptions stats_options;
   stats_options.co_cache_capacity = opts.co_cache_capacity;
+  stats_options.metrics = &registry;
   tegra::CorpusStats stats(&corpus.value(), stats_options);
   tegra::TegraExtractor extractor(&stats, opts.tegra);
-  tegra::serve::ExtractionService service(&extractor, opts.service);
-  std::fprintf(stderr,
-               "tegra_serve: ready (%d workers, queue %zu, cache %zu)\n",
-               service.options().num_workers, service.options().max_queue_depth,
-               service.options().result_cache_capacity);
+  tegra::serve::ExtractionService service(&extractor, opts.service, &registry);
+  tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
+  tegra::trace::LogInfo(
+      "tegra_serve ready",
+      {{"workers", service.options().num_workers},
+       {"queue_depth", service.options().max_queue_depth},
+       {"cache_capacity", service.options().result_cache_capacity},
+       {"slowlog_capacity", service.options().slowlog_capacity},
+       {"trace", tracer.enabled()}});
 
   // Keep at most pipeline_depth requests in flight so admission control is
   // exercised by fast producers while stdout stays in submission order.
@@ -241,12 +374,8 @@ int main(int argc, char** argv) {
     if (tegra::Trim(line).empty()) continue;
     auto parsed = tegra::serve::ParseJson(line);
     if (!parsed.ok()) {
-      JsonValue err = JsonValue::Object();
-      err.Set("ok", JsonValue::Bool(false));
-      err.Set("code", JsonValue::Str("InvalidArgument"));
-      err.Set("error", JsonValue::Str(parsed.status().message()));
       Flush(&inflight, 0);  // Keep output ordered even for parse errors.
-      Emit(err.Dump());
+      EmitBadRequest(JsonValue(), parsed.status().message(), bad_requests);
       continue;
     }
     const JsonValue& request = *parsed;
@@ -255,6 +384,36 @@ int main(int argc, char** argv) {
     if (cmd == "metrics") {
       Flush(&inflight, 0);
       Emit(service.metrics()->Snapshot().ToJson());
+      continue;
+    }
+    if (cmd == "metrics_prom") {
+      Flush(&inflight, 0);
+      EmitBody(request, "prometheus",
+               tegra::trace::ToPrometheusText(
+                   service.metrics()->Snapshot()));
+      continue;
+    }
+    if (cmd == "trace_dump") {
+      Flush(&inflight, 0);
+      EmitBody(request, "chrome_trace",
+               tegra::trace::ToChromeTraceJson(tracer.RingSnapshot()));
+      continue;
+    }
+    if (cmd == "slowlog") {
+      Flush(&inflight, 0);
+      JsonValue out = SlowlogToJson(service.slowlog());
+      if (request.Has("id")) out.Set("id", request["id"]);
+      Emit(out.Dump());
+      continue;
+    }
+    if (!cmd.empty()) {
+      Flush(&inflight, 0);
+      EmitBadRequest(request["id"], "unknown cmd: " + cmd, bad_requests);
+      continue;
+    }
+    if (!request.Has("lines") || request["lines"].AsArray().empty()) {
+      Flush(&inflight, 0);
+      EmitBadRequest(request["id"], "request has no \"lines\"", bad_requests);
       continue;
     }
 
@@ -270,5 +429,8 @@ int main(int argc, char** argv) {
     Flush(&inflight, pipeline_depth);
   }
   Flush(&inflight, 0);
+  tegra::trace::LogInfo("tegra_serve exiting",
+                        {{"spans_recorded", tracer.spans_recorded()},
+                         {"spans_dropped", tracer.dropped()}});
   return 0;
 }
