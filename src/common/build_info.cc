@@ -1,0 +1,49 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+#include "common/build_info_gen.h"
+
+namespace tegra {
+
+namespace {
+
+// Captured during static initialization of this translation unit, i.e. at
+// process load — close enough to "process start" for an uptime gauge.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+const BuildInfo& GetBuildInfo() {
+  static const BuildInfo kInfo = {
+      TEGRA_BUILD_GIT_SHA, TEGRA_BUILD_TYPE, TEGRA_BUILD_TRACE_FLAG,
+      TEGRA_BUILD_COMPILER, TEGRA_BUILD_CXX_STANDARD};
+  return kInfo;
+}
+
+double ProcessUptimeSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+std::string BuildInfoJson() {
+  // All fields are configure-time literals with no characters needing JSON
+  // escaping (CMake version/id strings), so plain concatenation is safe.
+  const BuildInfo& info = GetBuildInfo();
+  std::string out = "{\"git_sha\":\"";
+  out += info.git_sha;
+  out += "\",\"build_type\":\"";
+  out += info.build_type;
+  out += "\",\"trace\":\"";
+  out += info.trace;
+  out += "\",\"compiler\":\"";
+  out += info.compiler;
+  out += "\",\"cxx_standard\":\"";
+  out += info.cxx_standard;
+  out += "\"}";
+  return out;
+}
+
+}  // namespace tegra

@@ -255,6 +255,27 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
           ->Increment(anchors_evaluated);
     }
   }
+
+  // Extraction-quality telemetry. The per-pair SP objective is the paper's
+  // own online quality proxy (Fig 8(a): it correlates with accuracy without
+  // ground truth), so a resident service can watch *algorithm* health — a
+  // drifting sp_score distribution or a climbing low-confidence rate flags a
+  // corpus/workload mismatch long before offline evaluation would. Recorded
+  // independently of span tracing: quality visibility must not require the
+  // tracer to be compiled in or enabled.
+  {
+    MetricsRegistry* metrics = trace::Tracer::Global().metrics();
+    // per_pair_objective is a normalized record distance in ~[0,1]; 24
+    // linear buckets of 0.05 cover [0,1.2] with uniform resolution.
+    metrics
+        ->GetHistogram("extract.sp_score",
+                       Histogram::LinearBounds(0.05, 0.05, 24))
+        ->Observe(out.per_pair_objective);
+    if (options_.low_confidence_threshold >= 0 &&
+        out.per_pair_objective > options_.low_confidence_threshold) {
+      metrics->GetCounter("extract.low_confidence_total")->Increment();
+    }
+  }
   return out;
 }
 

@@ -62,6 +62,12 @@ struct TegraOptions {
   /// Anchor lines evaluated in the final (or fixed-m) run; 0 = all (paper).
   int final_anchor_sample = 0;
 
+  /// Quality-telemetry threshold: an extraction whose per-pair SP objective
+  /// (ExtractionResult::per_pair_objective, the Fig 8(a) quality proxy —
+  /// lower is better) exceeds this is counted in
+  /// `extract.low_confidence_total`. Negative disables the counter.
+  double low_confidence_threshold = 0.5;
+
   /// Tokenization of raw input lines.
   TokenizerOptions tokenizer;
 };

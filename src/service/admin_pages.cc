@@ -1,0 +1,403 @@
+#include "service/admin_pages.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/build_info.h"
+#include "common/string_util.h"
+#include "trace/chrome_trace.h"
+#include "trace/prometheus.h"
+
+namespace tegra {
+namespace serve {
+
+namespace {
+
+/// One "<tr><th>k</th><td>v</td></tr>" row.
+void Row(std::string* out, const std::string& key, const std::string& value) {
+  *out += "<tr><th>" + HtmlEscape(key) + "</th><td>" + HtmlEscape(value) +
+          "</td></tr>\n";
+}
+
+void RowNum(std::string* out, const std::string& key, double value,
+            int digits = 3) {
+  Row(out, key, FormatDouble(value, digits));
+}
+
+void RowCount(std::string* out, const std::string& key, uint64_t value) {
+  Row(out, key, std::to_string(value));
+}
+
+std::string PageHead(const std::string& title) {
+  return "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
+         HtmlEscape(title) +
+         "</title><style>"
+         "body{font-family:monospace;margin:2em;background:#fafafa}"
+         "h1{font-size:1.3em}h2{font-size:1.1em;margin-top:1.5em}"
+         "table{border-collapse:collapse;margin:0.5em 0}"
+         "th,td{border:1px solid #ccc;padding:2px 10px;text-align:left}"
+         "th{background:#eee}"
+         ".warn{color:#b00}"
+         "</style></head><body>\n<h1>" +
+         HtmlEscape(title) + "</h1>\n";
+}
+
+constexpr char kPageFoot[] = "</body></html>\n";
+
+std::string NavLinks() {
+  return "<p><a href=\"/statusz\">statusz</a> | "
+         "<a href=\"/metrics\">metrics</a> | "
+         "<a href=\"/varz\">varz</a> | "
+         "<a href=\"/tracez\">tracez</a> | "
+         "<a href=\"/slowlogz\">slowlogz</a> | "
+         "<a href=\"/healthz\">healthz</a> | "
+         "<a href=\"/readyz\">readyz</a></p>\n";
+}
+
+uint64_t CounterOr0(const MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
+
+double GaugeOr0(const MetricsSnapshot& snap, const std::string& name) {
+  const auto it = snap.gauges.find(name);
+  return it == snap.gauges.end() ? 0.0 : it->second;
+}
+
+std::string FormatUptime(double seconds) {
+  const uint64_t s = static_cast<uint64_t>(seconds);
+  std::ostringstream out;
+  if (s >= 86400) out << s / 86400 << "d ";
+  if (s >= 3600) out << (s % 86400) / 3600 << "h ";
+  if (s >= 60) out << (s % 3600) / 60 << "m ";
+  out << s % 60 << "s";
+  return out.str();
+}
+
+}  // namespace
+
+std::string HtmlEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+JsonValue SpanToJson(const trace::TraceEvent& span) {
+  JsonValue s = JsonValue::Object();
+  s.Set("name", JsonValue::Str(span.name));
+  s.Set("cat", JsonValue::Str(span.category));
+  s.Set("span_id", JsonValue::Number(static_cast<double>(span.span_id)));
+  s.Set("parent_id", JsonValue::Number(static_cast<double>(span.parent_id)));
+  s.Set("start_us", JsonValue::Number(static_cast<double>(span.start_us)));
+  s.Set("dur_us", JsonValue::Number(static_cast<double>(span.duration_us)));
+  s.Set("tid", JsonValue::Number(span.thread_id));
+  s.Set("depth", JsonValue::Number(span.depth));
+  return s;
+}
+
+JsonValue SlowlogToJson(const SlowRequestLog& slowlog) {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue::Bool(true));
+  JsonValue records = JsonValue::Array();
+  for (const SlowRequestRecord& rec : slowlog.Snapshot()) {
+    JsonValue r = JsonValue::Object();
+    r.Set("trace_id", JsonValue::Number(static_cast<double>(rec.trace_id)));
+    r.Set("total_ms", JsonValue::Number(rec.total_seconds * 1e3));
+    r.Set("queue_ms", JsonValue::Number(rec.queue_seconds * 1e3));
+    r.Set("extract_ms", JsonValue::Number(rec.extract_seconds * 1e3));
+    r.Set("num_lines", JsonValue::Number(static_cast<double>(rec.num_lines)));
+    r.Set("columns", JsonValue::Number(rec.num_columns));
+    r.Set("sp", JsonValue::Number(rec.sp_score));
+    r.Set("cache_hit", JsonValue::Bool(rec.cache_hit));
+    r.Set("outcome", JsonValue::Str(rec.outcome));
+    JsonValue spans = JsonValue::Array();
+    for (const auto& span : rec.spans) spans.Append(SpanToJson(span));
+    r.Set("spans", std::move(spans));
+    records.Append(std::move(r));
+  }
+  out.Set("records", std::move(records));
+  return out;
+}
+
+AdminPages::AdminPages(ExtractionService* service, trace::Tracer* tracer,
+                       const ColumnIndex* corpus, AdminPagesOptions options)
+    : service_(service),
+      tracer_(tracer),
+      corpus_(corpus),
+      options_(std::move(options)) {
+  queue_depth_fn_ = [this]() -> size_t {
+    return service_ == nullptr ? 0 : service_->QueueDepth();
+  };
+}
+
+void AdminPages::set_queue_depth_fn(std::function<size_t()> fn) {
+  queue_depth_fn_ = std::move(fn);
+}
+
+void AdminPages::RegisterAll(HttpAdminServer* server) {
+  server->Handle("/", [this](const HttpRequest& r) { return Index(r); });
+  server->Handle("/metrics",
+                 [this](const HttpRequest& r) { return Metrics(r); });
+  server->Handle("/healthz",
+                 [this](const HttpRequest& r) { return Healthz(r); });
+  server->Handle("/readyz", [this](const HttpRequest& r) { return Readyz(r); });
+  server->Handle("/statusz",
+                 [this](const HttpRequest& r) { return Statusz(r); });
+  server->Handle("/tracez", [this](const HttpRequest& r) { return Tracez(r); });
+  server->Handle("/slowlogz",
+                 [this](const HttpRequest& r) { return Slowlogz(r); });
+  server->Handle("/varz", [this](const HttpRequest& r) { return Varz(r); });
+}
+
+HttpResponse AdminPages::Index(const HttpRequest&) {
+  std::string body = PageHead("tegra admin");
+  body += "<p>build " + std::string(GetBuildInfo().git_sha) + " · up " +
+          FormatUptime(ProcessUptimeSeconds()) + "</p>\n";
+  body += NavLinks();
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
+}
+
+HttpResponse AdminPages::Metrics(const HttpRequest&) {
+  MetricsRegistry* registry =
+      service_ != nullptr
+          ? service_->metrics()  // refreshes queue/cache gauges
+          : (tracer_ != nullptr ? tracer_->metrics() : nullptr);
+  if (registry == nullptr) {
+    return HttpResponse::Text(503, "no metrics registry\n");
+  }
+  registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
+  HttpResponse response =
+      HttpResponse::Text(200, trace::ToPrometheusText(registry->Snapshot()));
+  // The exposition-format content type Prometheus expects.
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  return response;
+}
+
+HttpResponse AdminPages::Healthz(const HttpRequest&) {
+  // Liveness only: if this handler runs, the process is alive. Readiness is
+  // /readyz's job.
+  return HttpResponse::Text(200, "ok\n");
+}
+
+AdminPages::Readiness AdminPages::CheckReadiness() {
+  Readiness result;
+  if (service_ == nullptr) {
+    result.reason = "extraction service not attached";
+    return result;
+  }
+  if (service_->shutting_down()) {
+    result.reason = "service shutting down";
+    return result;
+  }
+  if (corpus_ == nullptr || !corpus_->finalized()) {
+    result.reason = "background corpus not loaded";
+    return result;
+  }
+  const size_t max_depth = service_->options().max_queue_depth;
+  const size_t threshold = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(options_.ready_queue_fraction *
+                       static_cast<double>(max_depth))));
+  const size_t depth = queue_depth_fn_();
+  if (depth >= threshold) {
+    result.reason = "queue saturated (" + std::to_string(depth) + "/" +
+                    std::to_string(max_depth) + " waiting, threshold " +
+                    std::to_string(threshold) + ")";
+    return result;
+  }
+  result.ready = true;
+  return result;
+}
+
+HttpResponse AdminPages::Readyz(const HttpRequest&) {
+  const Readiness readiness = CheckReadiness();
+  if (readiness.ready) return HttpResponse::Text(200, "ok\n");
+  return HttpResponse::Text(503, "not ready: " + readiness.reason + "\n");
+}
+
+HttpResponse AdminPages::Statusz(const HttpRequest&) {
+  const BuildInfo& build = GetBuildInfo();
+  std::string body = PageHead("tegra /statusz");
+  body += NavLinks();
+
+  body += "<h2>build</h2>\n<table>\n";
+  Row(&body, "git_sha", build.git_sha);
+  Row(&body, "build_type", build.build_type);
+  Row(&body, "trace", build.trace);
+  Row(&body, "compiler", build.compiler);
+  Row(&body, "cxx_standard", build.cxx_standard);
+  Row(&body, "uptime", FormatUptime(ProcessUptimeSeconds()));
+  body += "</table>\n";
+
+  const Readiness readiness = CheckReadiness();
+  body += "<h2>readiness</h2>\n<p>";
+  body += readiness.ready
+              ? "<b>READY</b>"
+              : "<b class=\"warn\">NOT READY</b>: " +
+                    HtmlEscape(readiness.reason);
+  body += "</p>\n";
+
+  if (corpus_ != nullptr) {
+    body += "<h2>corpus</h2>\n<table>\n";
+    if (!options_.corpus_description.empty()) {
+      Row(&body, "source", options_.corpus_description);
+    }
+    RowCount(&body, "columns", corpus_->TotalColumns());
+    RowCount(&body, "distinct_values", corpus_->NumValues());
+    Row(&body, "finalized", corpus_->finalized() ? "yes" : "no");
+    body += "</table>\n";
+  }
+
+  if (service_ != nullptr) {
+    const ServiceOptions& opts = service_->options();
+    body += "<h2>service options</h2>\n<table>\n";
+    RowCount(&body, "num_workers", static_cast<uint64_t>(opts.num_workers));
+    RowCount(&body, "max_queue_depth", opts.max_queue_depth);
+    RowNum(&body, "default_deadline_seconds", opts.default_deadline_seconds);
+    RowCount(&body, "result_cache_capacity", opts.result_cache_capacity);
+    RowCount(&body, "result_cache_shards", opts.result_cache_shards);
+    RowCount(&body, "slowlog_capacity", opts.slowlog_capacity);
+    body += "</table>\n";
+
+    const MetricsSnapshot snap = service_->metrics()->Snapshot();
+    const uint64_t requests = CounterOr0(snap, "service.requests_total");
+    const uint64_t completed = CounterOr0(snap, "service.completed_total");
+    const uint64_t rejected = CounterOr0(snap, "service.rejected_total");
+    const uint64_t failed = CounterOr0(snap, "service.failed_total");
+    const uint64_t deadline =
+        CounterOr0(snap, "service.deadline_exceeded_total");
+    const uint64_t done = completed + rejected + failed + deadline;
+    body += "<h2>serving</h2>\n<table>\n";
+    RowCount(&body, "requests_total", requests);
+    RowCount(&body, "completed_total", completed);
+    RowCount(&body, "rejected_total (shed)", rejected);
+    RowCount(&body, "deadline_exceeded_total", deadline);
+    RowCount(&body, "failed_total", failed);
+    RowCount(&body, "inflight+queued", requests > done ? requests - done : 0);
+    RowNum(&body, "queue_depth", GaugeOr0(snap, "service.queue_depth"), 0);
+    RowNum(&body, "result_cache_size",
+           GaugeOr0(snap, "service.result_cache_size"), 0);
+    RowNum(&body, "result_cache_hit_rate",
+           GaugeOr0(snap, "service.result_cache_hit_rate"));
+    RowNum(&body, "co_cache_hit_rate",
+           GaugeOr0(snap, "corpus.co_cache_hit_rate"));
+    const auto lat = snap.histograms.find("service.total_seconds");
+    if (lat != snap.histograms.end() && lat->second.count > 0) {
+      Row(&body, "latency p50/p95/p99 (ms)",
+          FormatDouble(lat->second.p50 * 1e3, 2) + " / " +
+              FormatDouble(lat->second.p95 * 1e3, 2) + " / " +
+              FormatDouble(lat->second.p99 * 1e3, 2));
+    }
+    body += "</table>\n";
+
+    // Algorithm health, not just system health: the SP-score distribution is
+    // the online quality signal (Fig 8(a)); drift here means the corpus no
+    // longer matches the workload even if latency looks perfect.
+    body += "<h2>extraction quality</h2>\n<table>\n";
+    const auto sp = snap.histograms.find("extract.sp_score");
+    if (sp != snap.histograms.end() && sp->second.count > 0) {
+      RowCount(&body, "extractions_scored", sp->second.count);
+      RowNum(&body, "sp_score mean", sp->second.Mean());
+      RowNum(&body, "sp_score p50", sp->second.p50);
+      RowNum(&body, "sp_score p95", sp->second.p95);
+      RowNum(&body, "sp_score max", sp->second.max);
+    } else {
+      Row(&body, "extractions_scored", "0 (no extractions yet)");
+    }
+    RowCount(&body, "low_confidence_total",
+             CounterOr0(snap, "extract.low_confidence_total"));
+    body += "</table>\n";
+  }
+
+  if (tracer_ != nullptr) {
+    body += "<h2>tracing</h2>\n<table>\n";
+    Row(&body, "enabled", tracer_->enabled() ? "yes" : "no");
+    RowCount(&body, "spans_recorded", tracer_->spans_recorded());
+    RowCount(&body, "spans_dropped", tracer_->dropped());
+    RowCount(&body, "ring_capacity", tracer_->ring_capacity());
+    body += "</table>\n";
+  }
+
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
+}
+
+HttpResponse AdminPages::Tracez(const HttpRequest&) {
+  if (tracer_ == nullptr) {
+    return HttpResponse::Text(503, "tracer not attached\n");
+  }
+  // The Chrome trace_event "JSON object format" — save and load in
+  // ui.perfetto.dev, or point a fetch at this endpoint directly.
+  return HttpResponse::Json(
+      trace::ToChromeTraceJson(tracer_->RingSnapshot()));
+}
+
+HttpResponse AdminPages::Slowlogz(const HttpRequest& request) {
+  if (service_ == nullptr) {
+    return HttpResponse::Text(503, "extraction service not attached\n");
+  }
+  const SlowRequestLog& slowlog = service_->slowlog();
+  if (request.Param("format") == "json") {
+    return HttpResponse::Json(SlowlogToJson(slowlog).Dump());
+  }
+
+  std::string body = PageHead("tegra /slowlogz");
+  body += NavLinks();
+  body += "<p>slowest " + std::to_string(slowlog.size()) + " of capacity " +
+          std::to_string(slowlog.capacity()) +
+          " — <a href=\"/slowlogz?format=json\">json</a></p>\n";
+  for (const SlowRequestRecord& rec : slowlog.Snapshot()) {
+    body += "<h2>trace " + std::to_string(rec.trace_id) + " — " +
+            FormatDouble(rec.total_seconds * 1e3, 2) + " ms (" +
+            HtmlEscape(rec.outcome) + ")</h2>\n<table>\n";
+    RowNum(&body, "queue_ms", rec.queue_seconds * 1e3, 2);
+    RowNum(&body, "extract_ms", rec.extract_seconds * 1e3, 2);
+    RowCount(&body, "num_lines", rec.num_lines);
+    RowCount(&body, "columns", static_cast<uint64_t>(
+                                   rec.num_columns < 0 ? 0 : rec.num_columns));
+    Row(&body, "sp_score",
+        rec.sp_score < 0 ? "n/a" : FormatDouble(rec.sp_score, 4));
+    Row(&body, "cache_hit", rec.cache_hit ? "yes" : "no");
+    body += "</table>\n";
+    if (!rec.spans.empty()) {
+      body += "<pre>\n";
+      for (const trace::TraceEvent& span : rec.spans) {
+        body += std::string(2 * span.depth, ' ');
+        body += HtmlEscape(span.name);
+        body += " [" + HtmlEscape(span.category) + "] " +
+                FormatDouble(static_cast<double>(span.duration_us) / 1e3, 3) +
+                " ms (tid " + std::to_string(span.thread_id) + ")\n";
+      }
+      body += "</pre>\n";
+    }
+  }
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
+}
+
+HttpResponse AdminPages::Varz(const HttpRequest&) {
+  MetricsRegistry* registry =
+      service_ != nullptr
+          ? service_->metrics()
+          : (tracer_ != nullptr ? tracer_->metrics() : nullptr);
+  if (registry == nullptr) {
+    return HttpResponse::Text(503, "no metrics registry\n");
+  }
+  registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
+  return HttpResponse::Json(registry->Snapshot().ToJson());
+}
+
+}  // namespace serve
+}  // namespace tegra

@@ -1,0 +1,104 @@
+// tegra::serve::AdminPages — the standard zPage set served by the HTTP
+// admin plane, wired to the live subsystems of a serving process:
+//
+//   /          index: endpoint directory
+//   /metrics   Prometheus text exposition (scrape-ready; includes the
+//              extract.sp_score quality histogram and tegra_build_info)
+//   /healthz   liveness: 200 as long as the process can answer at all
+//   /readyz    readiness: 200 only when the corpus is loaded, the service
+//              accepts work and the queue is not saturated; 503 + reason
+//              otherwise (load-balancer drain signal)
+//   /statusz   HTML: build info, uptime, effective ServiceOptions, corpus
+//              summary, cache hit rates, queue/inflight gauges and the
+//              extraction-quality picture at a glance
+//   /tracez    Chrome trace_event JSON of the span ring (open in Perfetto)
+//   /slowlogz  the N slowest requests with span trees (HTML; ?format=json)
+//   /varz      raw JSON metrics snapshot (self-identifying via "build")
+//
+// The pages are plain handler methods over non-owned pointers, so tests can
+// call them directly without sockets, and the daemon can register them on an
+// HttpAdminServer with one RegisterAll call.
+
+#ifndef TEGRA_SERVICE_ADMIN_PAGES_H_
+#define TEGRA_SERVICE_ADMIN_PAGES_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "corpus/column_index.h"
+#include "service/extraction_service.h"
+#include "service/http_admin.h"
+#include "service/serve_json.h"
+#include "service/slowlog.h"
+#include "trace/trace.h"
+
+namespace tegra {
+namespace serve {
+
+/// \brief Static configuration of the page set.
+struct AdminPagesOptions {
+  /// /readyz reports 503 once QueueDepth() reaches this fraction of
+  /// max_queue_depth (at least one entry). 1.0 = only a completely full
+  /// queue makes the process unready.
+  double ready_queue_fraction = 1.0;
+  /// Human-readable corpus provenance shown on /statusz (a file path or a
+  /// synthetic-build spec).
+  std::string corpus_description;
+};
+
+/// \brief zPage handlers over a live service. All referenced objects are
+/// borrowed and must outlive this instance.
+class AdminPages {
+ public:
+  /// Any pointer may be null; the affected pages degrade gracefully
+  /// (/readyz reports 503, /statusz omits the section).
+  AdminPages(ExtractionService* service, trace::Tracer* tracer,
+             const ColumnIndex* corpus, AdminPagesOptions options = {});
+
+  /// Registers every page on `server`.
+  void RegisterAll(HttpAdminServer* server);
+
+  // Individual handlers, exposed so tests can exercise them socket-free.
+  HttpResponse Index(const HttpRequest& request);
+  HttpResponse Metrics(const HttpRequest& request);
+  HttpResponse Healthz(const HttpRequest& request);
+  HttpResponse Readyz(const HttpRequest& request);
+  HttpResponse Statusz(const HttpRequest& request);
+  HttpResponse Tracez(const HttpRequest& request);
+  HttpResponse Slowlogz(const HttpRequest& request);
+  HttpResponse Varz(const HttpRequest& request);
+
+  /// Test hook: substitute the queue-depth probe consulted by /readyz (the
+  /// default reads service->QueueDepth()), so saturation is testable
+  /// deterministically.
+  void set_queue_depth_fn(std::function<size_t()> fn);
+
+ private:
+  struct Readiness {
+    bool ready = false;
+    std::string reason;  ///< Human-readable cause when not ready.
+  };
+  Readiness CheckReadiness();
+
+  ExtractionService* service_;   // Not owned; may be null.
+  trace::Tracer* tracer_;        // Not owned; may be null.
+  const ColumnIndex* corpus_;    // Not owned; may be null.
+  AdminPagesOptions options_;
+  std::function<size_t()> queue_depth_fn_;
+};
+
+/// \brief Renders one recorded span as a JSON object (shared by the daemon's
+/// {"cmd":"slowlog"} and /slowlogz?format=json).
+JsonValue SpanToJson(const trace::TraceEvent& span);
+
+/// \brief Renders the slow-request log as {"ok":true,"records":[...]}.
+JsonValue SlowlogToJson(const SlowRequestLog& slowlog);
+
+/// \brief Escapes `s` for embedding in HTML text content.
+std::string HtmlEscape(std::string_view s);
+
+}  // namespace serve
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_ADMIN_PAGES_H_

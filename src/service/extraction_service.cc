@@ -186,6 +186,9 @@ void ExtractionService::Process(PendingRequest pending) {
       record.extract_seconds = response.extract_seconds;
       record.num_lines = pending.request.lines.size();
       record.num_columns = pending.request.num_columns;
+      if (response.result != nullptr) {
+        record.sp_score = response.result->per_pair_objective;
+      }
       record.cache_hit = response.cache_hit;
       record.outcome = outcome;
       record.spans = trace_ctx.Events();
@@ -252,6 +255,11 @@ void ExtractionService::Process(PendingRequest pending) {
 size_t ExtractionService::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+bool ExtractionService::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
 }
 
 void ExtractionService::RefreshGauges() {

@@ -141,6 +141,10 @@ class ExtractionService {
   /// Current number of queued (not yet running) requests.
   size_t QueueDepth() const;
 
+  /// True once Shutdown() has begun; the admin plane's /readyz reports 503
+  /// from that point so load balancers drain before the workers join.
+  bool shutting_down() const;
+
   /// The metrics registry this service reports into. Refreshes the derived
   /// gauges (queue depth, cache occupancy and hit rates, corpus co-cache
   /// counters) before returning, so Snapshot() on the result is current.

@@ -1,0 +1,538 @@
+#include "service/http_admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "trace/log.h"
+
+namespace tegra {
+namespace serve {
+
+namespace {
+
+/// Sets both receive and send timeouts on `fd`.
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  if (timeout_ms <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Percent-decodes `in` ('+' also becomes space, as in form encoding).
+/// Malformed escapes are passed through literally.
+std::string PercentDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (in[i] == '+') {
+      out += ' ';
+    } else if (in[i] == '%' && i + 2 < in.size() &&
+               HexValue(in[i + 1]) >= 0 && HexValue(in[i + 2]) >= 0) {
+      out += static_cast<char>(HexValue(in[i + 1]) * 16 + HexValue(in[i + 2]));
+      i += 2;
+    } else {
+      out += in[i];
+    }
+  }
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Sends `size` bytes, riding out partial writes and EINTR. MSG_NOSIGNAL so
+/// a peer that hung up yields an error instead of SIGPIPE.
+bool SendAll(int fd, const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Serializes and sends one response with Content-Length framing.
+void SendResponse(int fd, const HttpResponse& response, bool keep_alive) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     HttpStatusReason(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
+  head += "Cache-Control: no-store\r\n\r\n";
+  if (!SendAll(fd, head.data(), head.size())) return;
+  SendAll(fd, response.body.data(), response.body.size());
+}
+
+}  // namespace
+
+std::string HttpRequest::Param(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Html(std::string body) {
+  HttpResponse response;
+  response.content_type = "text/html; charset=utf-8";
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::Json(std::string body) {
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(body);
+  return response;
+}
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+HttpAdminServer::HttpAdminServer(HttpAdminOptions options,
+                                 MetricsRegistry* registry)
+    : options_(std::move(options)) {
+  if (registry != nullptr) {
+    requests_total_ = registry->GetCounter("admin.requests_total");
+    bad_requests_total_ = registry->GetCounter("admin.bad_request_total");
+    not_found_total_ = registry->GetCounter("admin.not_found_total");
+    shed_total_ = registry->GetCounter("admin.shed_connections_total");
+    request_latency_ = registry->GetHistogram("admin.request_seconds");
+    port_gauge_ = registry->GetGauge("admin.port");
+  }
+}
+
+HttpAdminServer::~HttpAdminServer() { Stop(); }
+
+void HttpAdminServer::Handle(std::string path, HttpHandler handler) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  routes_[std::move(path)] = std::move(handler);
+}
+
+std::vector<std::string> HttpAdminServer::RegisteredPaths() const {
+  std::vector<std::string> paths;
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  paths.reserve(routes_.size());
+  for (const auto& [path, handler] : routes_) paths.push_back(path);
+  return paths;
+}
+
+Status HttpAdminServer::Start() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::InvalidArgument("admin server already running");
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("bind(" + options_.bind_address + ":" +
+                           std::to_string(options_.port) + "): " + err);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("listen(): " + err);
+  }
+
+  // Resolve the bound port (meaningful when options_.port == 0).
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("getsockname(): " + err);
+  }
+
+  listen_fd_ = fd;
+  port_.store(ntohs(bound.sin_port), std::memory_order_release);
+  if (port_gauge_ != nullptr) port_gauge_->Set(port());
+  running_.store(true, std::memory_order_release);
+
+  const int handler_count = std::max(1, options_.num_handler_threads);
+  handlers_.reserve(static_cast<size_t>(handler_count));
+  for (int i = 0; i < handler_count; ++i) {
+    handlers_.emplace_back([this] { HandlerLoop(); });
+  }
+  listener_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpAdminServer::Stop() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    // Never started (or already stopped); still reap a failed Start.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+
+  // Unblock the listener (accept returns once the socket is shut down) and
+  // any handler blocked reading a connection.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : active_conns_) ::shutdown(fd, SHUT_RDWR);
+  }
+  conn_cv_.notify_all();
+
+  if (listener_.joinable()) listener_.join();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  handlers_.clear();
+
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int fd : pending_conns_) ::close(fd);
+    pending_conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpAdminServer::AcceptLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load(std::memory_order_acquire)) break;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      trace::LogWarn("admin accept failed",
+                     {{"errno", std::strerror(errno)}});
+      break;
+    }
+    SetSocketTimeouts(fd, options_.read_timeout_ms);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (pending_conns_.size() >= options_.max_pending_connections) {
+        shed = true;
+      } else {
+        pending_conns_.push_back(fd);
+      }
+    }
+    if (shed) {
+      // Same overload posture as the extraction queue: fail fast, never let
+      // a backlog build behind a stalled handler pool.
+      if (shed_total_ != nullptr) shed_total_->Increment();
+      SendResponse(fd, HttpResponse::Text(503, "admin handler pool full\n"),
+                   /*keep_alive=*/false);
+      ::close(fd);
+      continue;
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void HttpAdminServer::HandlerLoop() {
+  while (true) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock, [this] {
+        return !running_.load(std::memory_order_acquire) ||
+               !pending_conns_.empty();
+      });
+      if (pending_conns_.empty()) {
+        if (!running_.load(std::memory_order_acquire)) return;
+        continue;
+      }
+      fd = pending_conns_.front();
+      pending_conns_.pop_front();
+      active_conns_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      active_conns_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpAdminServer::ServeConnection(int fd) {
+  std::string buffer;
+  for (int served = 0; served < options_.max_requests_per_connection;
+       ++served) {
+    // Read one request head (GET requests carry no body we care about).
+    size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (!running_.load(std::memory_order_acquire)) return;
+      if (buffer.size() > options_.max_request_bytes) {
+        if (bad_requests_total_ != nullptr) bad_requests_total_->Increment();
+        SendResponse(fd, HttpResponse::Text(413, "request too large\n"),
+                     /*keep_alive=*/false);
+        return;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return;  // closed, timed out, or shut down
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+    const std::string head = buffer.substr(0, head_end);
+    buffer.erase(0, head_end + 4);
+
+    ScopedLatency latency(request_latency_);
+    if (requests_total_ != nullptr) requests_total_->Increment();
+
+    HttpRequest request;
+    int error_status = 0;
+    std::string error_message;
+    if (!ParseRequest(head, &request, &error_status, &error_message)) {
+      if (bad_requests_total_ != nullptr) bad_requests_total_->Increment();
+      SendResponse(fd, HttpResponse::Text(error_status, error_message + "\n"),
+                   /*keep_alive=*/false);
+      return;
+    }
+
+    const bool client_wants_close =
+        ToLowerAscii(request.headers.count("connection")
+                         ? request.headers.at("connection")
+                         : "") == "close";
+    const bool keep_alive = options_.keep_alive && !client_wants_close &&
+                            served + 1 < options_.max_requests_per_connection;
+
+    SendResponse(fd, Dispatch(request), keep_alive);
+    if (!keep_alive) return;
+  }
+}
+
+bool HttpAdminServer::ParseRequest(const std::string& head,
+                                   HttpRequest* request, int* error_status,
+                                   std::string* error_message) const {
+  const size_t line_end = head.find("\r\n");
+  const std::string request_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+
+  // METHOD SP TARGET SP VERSION
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    *error_status = 400;
+    *error_message = "malformed request line";
+    return false;
+  }
+  request->method = request_line.substr(0, sp1);
+  const std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    *error_status = 400;
+    *error_message = "unsupported HTTP version: " + version;
+    return false;
+  }
+  if (request->method != "GET") {
+    *error_status = 405;
+    *error_message = "admin plane is GET-only";
+    return false;
+  }
+
+  const size_t qmark = target.find('?');
+  request->path = PercentDecode(
+      qmark == std::string::npos ? target : target.substr(0, qmark));
+  if (qmark != std::string::npos) {
+    request->query = target.substr(qmark + 1);
+    std::string_view rest = request->query;
+    while (!rest.empty()) {
+      const size_t amp = rest.find('&');
+      const std::string_view pair =
+          amp == std::string_view::npos ? rest : rest.substr(0, amp);
+      rest = amp == std::string_view::npos ? std::string_view()
+                                           : rest.substr(amp + 1);
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        request->params[PercentDecode(pair)] = "";
+      } else {
+        request->params[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
+      }
+    }
+  }
+
+  // Header lines.
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line(head.data() + pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // tolerate junk headers
+    request->headers[ToLowerAscii(TrimView(line.substr(0, colon)))] =
+        std::string(TrimView(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+HttpResponse HttpAdminServer::Dispatch(const HttpRequest& request) {
+  HttpHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    const auto it = routes_.find(request.path);
+    if (it != routes_.end()) handler = it->second;
+  }
+  if (!handler) {
+    if (not_found_total_ != nullptr) not_found_total_->Increment();
+    std::string body = "404 not found: " + request.path + "\n\nendpoints:\n";
+    for (const std::string& path : RegisteredPaths()) {
+      body += "  " + path + "\n";
+    }
+    return HttpResponse::Text(404, std::move(body));
+  }
+  return handler(request);
+}
+
+Result<HttpFetchResult> HttpGet(int port, const std::string& target,
+                                int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket(): ") + std::strerror(errno));
+  }
+  SetSocketTimeouts(fd, timeout_ms);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IOError("connect(127.0.0.1:" + std::to_string(port) +
+                           "): " + err);
+  }
+
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  if (!SendAll(fd, request.data(), request.size())) {
+    ::close(fd);
+    return Status::IOError("send() failed");
+  }
+
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Status::IOError("truncated HTTP response (" +
+                           std::to_string(raw.size()) + " bytes)");
+  }
+  HttpFetchResult result;
+  result.body = raw.substr(head_end + 4);
+
+  const std::string head = raw.substr(0, head_end);
+  const size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    return Status::IOError("malformed status line: " + status_line);
+  }
+  result.status = std::atoi(status_line.c_str() + sp + 1);
+
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string_view line(head.data() + pos, eol - pos);
+    pos = eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    result.headers[ToLowerAscii(TrimView(line.substr(0, colon)))] =
+        std::string(TrimView(line.substr(colon + 1)));
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace tegra

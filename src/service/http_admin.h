@@ -1,0 +1,195 @@
+// tegra::serve::HttpAdminServer — a small, dependency-free HTTP/1.1 admin
+// plane over POSIX sockets.
+//
+// PR 2 built every export path of the observability stack (Prometheus text,
+// Chrome traces, the slow-request log) but left them reachable only through
+// the daemon's stdin — no Prometheus scraper, load balancer or human with a
+// browser could get at them. This server is the missing transport: a
+// GET-only HTTP/1.1 listener with its own accept thread and a bounded
+// handler pool, deliberately tiny (no TLS, no routing wildcards, no
+// streaming) because its one job is serving zPages and probes on a loopback
+// or cluster-internal port.
+//
+// Design points:
+//  * Own threads, zero coupling to the extraction workers: a wedged scrape
+//    can never stall an extraction, and vice versa (bench_admin_overhead
+//    keeps the interference budget honest: <2% throughput under a 10 Hz
+//    scraper).
+//  * Admission control mirrors the ExtractionService posture: accepted
+//    connections enter a bounded queue; beyond the bound the listener
+//    answers 503 immediately instead of letting backlog grow.
+//  * Keep-alive (HTTP/1.1 default) with per-connection request and byte
+//    caps, read timeouts, and graceful Stop(): the listener socket is shut
+//    down, in-flight handlers are unblocked, every thread is joined.
+//  * GET-only: anything else is answered 405. The admin plane is strictly
+//    read-only — mutating a serving process goes through the NDJSON control
+//    channel, not a browser.
+//
+// Routes are exact-path handlers registered before Start(); see
+// admin_pages.h for the standard zPage set (/metrics, /healthz, /readyz,
+// /statusz, /tracez, /slowlogz, /varz).
+
+#ifndef TEGRA_SERVICE_HTTP_ADMIN_H_
+#define TEGRA_SERVICE_HTTP_ADMIN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "service/metrics.h"
+
+namespace tegra {
+namespace serve {
+
+/// \brief One parsed (GET) request.
+struct HttpRequest {
+  std::string method;  ///< "GET" (anything else is rejected before dispatch).
+  std::string path;    ///< Decoded path without the query string, e.g. "/metrics".
+  std::string query;   ///< Raw query string (no leading '?'); may be empty.
+  /// Parsed query parameters (percent-decoded, last key wins).
+  std::map<std::string, std::string> params;
+  /// Request headers, keys lower-cased.
+  std::map<std::string, std::string> headers;
+
+  /// Convenience: params lookup with default.
+  std::string Param(const std::string& key,
+                    const std::string& fallback = std::string()) const;
+};
+
+/// \brief One response. Handlers fill status/content type/body; the server
+/// adds Content-Length and Connection framing.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(int status, std::string body);
+  static HttpResponse Html(std::string body);
+  static HttpResponse Json(std::string body);
+};
+
+/// \brief Standard reason phrase for an HTTP status code.
+const char* HttpStatusReason(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// \brief Static configuration of the admin server.
+struct HttpAdminOptions {
+  /// Port to bind; 0 requests an ephemeral port (read it back via port()).
+  int port = 0;
+  /// Bind address; the default keeps the plane loopback-only. Use "0.0.0.0"
+  /// to expose it cluster-wide.
+  std::string bind_address = "127.0.0.1";
+  /// Handler pool size. Two is plenty for probes + one scraper + one human.
+  int num_handler_threads = 2;
+  /// Accepted connections waiting for a handler; beyond this the listener
+  /// sheds with an immediate 503.
+  size_t max_pending_connections = 32;
+  /// Serve multiple requests per connection (HTTP/1.1 keep-alive).
+  bool keep_alive = true;
+  /// Per-read socket timeout; an idle keep-alive connection is closed after
+  /// this long.
+  int read_timeout_ms = 5000;
+  /// Upper bound on one request's head (request line + headers).
+  size_t max_request_bytes = 16384;
+  /// Requests served per connection before forcing Connection: close.
+  int max_requests_per_connection = 100;
+};
+
+/// \brief The admin-plane HTTP server. Lifecycle: construct, Handle(...)
+/// routes, Start(), ... , Stop() (idempotent; the destructor calls it).
+class HttpAdminServer {
+ public:
+  /// \param registry optional metrics sink for admin.* instrumentation
+  /// (request counts, shed connections, handler latency). May be null.
+  explicit HttpAdminServer(HttpAdminOptions options = {},
+                           MetricsRegistry* registry = nullptr);
+  ~HttpAdminServer();
+
+  HttpAdminServer(const HttpAdminServer&) = delete;
+  HttpAdminServer& operator=(const HttpAdminServer&) = delete;
+
+  /// Registers `handler` for exact path `path` (e.g. "/metrics").
+  /// Thread-safe; replaces any existing handler for the path.
+  void Handle(std::string path, HttpHandler handler);
+
+  /// Binds, listens and spins up the listener + handler threads. Fails with
+  /// IOError when the port is taken or the bind address is invalid.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, unblocks and joins every thread,
+  /// closes all sockets. Idempotent; safe to call concurrently.
+  void Stop();
+
+  /// The bound port (the ephemeral one when options.port == 0). Valid after
+  /// a successful Start(); -1 before.
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Registered paths, sorted — used by the index page and 404 bodies.
+  std::vector<std::string> RegisteredPaths() const;
+
+  const HttpAdminOptions& options() const { return options_; }
+
+ private:
+  void AcceptLoop();
+  void HandlerLoop();
+  void ServeConnection(int fd);
+  /// Parses one request head; returns false (and fills `error_status`) on
+  /// malformed input.
+  bool ParseRequest(const std::string& head, HttpRequest* request,
+                    int* error_status, std::string* error_message) const;
+  HttpResponse Dispatch(const HttpRequest& request);
+
+  HttpAdminOptions options_;
+
+  // Instrumentation (all may be null when no registry was given).
+  Counter* requests_total_ = nullptr;
+  Counter* bad_requests_total_ = nullptr;
+  Counter* not_found_total_ = nullptr;
+  Counter* shed_total_ = nullptr;
+  Histogram* request_latency_ = nullptr;
+  Gauge* port_gauge_ = nullptr;
+
+  mutable std::mutex routes_mu_;
+  std::map<std::string, HttpHandler> routes_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<int> port_{-1};
+  int listen_fd_ = -1;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> pending_conns_;
+  std::set<int> active_conns_;
+
+  std::mutex lifecycle_mu_;  ///< Serializes Start/Stop.
+  std::thread listener_;
+  std::vector<std::thread> handlers_;
+};
+
+/// \brief Minimal blocking HTTP GET against 127.0.0.1:`port` — the raw-socket
+/// client used by tests and bench_admin_overhead (no libcurl dependency).
+/// Returns the status code, response headers (lower-cased keys) and body.
+struct HttpFetchResult {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+Result<HttpFetchResult> HttpGet(int port, const std::string& target,
+                                int timeout_ms = 5000);
+
+}  // namespace serve
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_HTTP_ADMIN_H_

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/build_info.h"
 #include "common/string_util.h"
 
 namespace tegra {
@@ -44,6 +45,16 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   for (int i = 0; i < 20; ++i) {
     bounds.push_back(b);
     b *= 2.0;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double start, double width,
+                                            size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
   }
   return bounds;
 }
@@ -219,7 +230,10 @@ std::string MetricsSnapshot::ToJson() const {
         << ",\"p50\":" << num(h.p50) << ",\"p95\":" << num(h.p95)
         << ",\"p99\":" << num(h.p99) << "}";
   }
-  out << "}}";
+  // Self-identification: every snapshot names the build that produced it and
+  // how long the process has been up.
+  out << "},\"build\":" << BuildInfoJson()
+      << ",\"uptime_seconds\":" << num(ProcessUptimeSeconds()) << "}";
   return out.str();
 }
 

@@ -75,6 +75,12 @@ class Histogram {
   /// Default latency bucket bounds in *seconds*, geometric from 50us to 30s.
   static std::vector<double> DefaultLatencyBounds();
 
+  /// Linear bucket bounds: start, start+width, ..., start+(count-1)*width.
+  /// For score-like quantities (e.g. the extract.sp_score quality histogram)
+  /// where geometric latency buckets would waste resolution.
+  static std::vector<double> LinearBounds(double start, double width,
+                                          size_t count);
+
   /// \param bounds strictly increasing inclusive upper bounds. An empty
   /// vector falls back to DefaultLatencyBounds().
   explicit Histogram(std::vector<double> bounds = {});

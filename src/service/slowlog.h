@@ -30,6 +30,10 @@ struct SlowRequestRecord {
   double extract_seconds = 0;  ///< Time inside the extractor (0 on cache hit).
   size_t num_lines = 0;        ///< Input list size.
   int num_columns = 0;         ///< Requested column count (0 = unsupervised).
+  /// Per-pair SP objective of the returned segmentation (the Fig 8(a)
+  /// quality proxy; lower is better). Negative when no result was produced
+  /// (failure / deadline exceeded).
+  double sp_score = -1;
   bool cache_hit = false;
   /// "ok", "failed", "deadline_exceeded".
   std::string outcome;

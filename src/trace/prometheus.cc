@@ -3,6 +3,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/build_info.h"
+
 namespace tegra {
 namespace trace {
 
@@ -34,6 +36,17 @@ std::string PrometheusName(const std::string& name,
     out.insert(out.begin(), '_');
   }
   return out;
+}
+
+std::string BuildInfoPrometheusText(const std::string& prefix) {
+  const BuildInfo& info = GetBuildInfo();
+  const std::string pname = PrometheusName("build_info", prefix);
+  std::ostringstream out;
+  out << "# TYPE " << pname << " gauge\n";
+  out << pname << "{git_sha=\"" << info.git_sha << "\",build_type=\""
+      << info.build_type << "\",trace=\"" << info.trace << "\",compiler=\""
+      << info.compiler << "\"} 1\n";
+  return out.str();
 }
 
 std::string ToPrometheusText(const MetricsSnapshot& snapshot,
@@ -72,6 +85,9 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot,
     out << pname << "_sum " << Num(hist.sum) << "\n";
     out << pname << "_count " << hist.count << "\n";
   }
+  // Every exposition is stamped with the build identity, so a scraped series
+  // can always be joined against the exact revision that produced it.
+  out << BuildInfoPrometheusText(prefix);
   return out.str();
 }
 

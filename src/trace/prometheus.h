@@ -29,7 +29,15 @@ namespace trace {
 std::string PrometheusName(const std::string& name,
                            const std::string& prefix = "tegra_");
 
-/// \brief Renders the whole snapshot in Prometheus text exposition format.
+/// \brief The process "info metric": a constant-1 gauge whose labels carry
+/// the build identity, e.g.
+///   tegra_build_info{git_sha="abc",build_type="Release",trace="on"} 1
+/// Appended to every ToPrometheusText exposition; exposed separately for
+/// callers composing their own payloads.
+std::string BuildInfoPrometheusText(const std::string& prefix = "tegra_");
+
+/// \brief Renders the whole snapshot in Prometheus text exposition format,
+/// followed by the tegra_build_info line.
 std::string ToPrometheusText(const MetricsSnapshot& snapshot,
                              const std::string& prefix = "tegra_");
 

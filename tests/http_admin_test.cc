@@ -1,0 +1,511 @@
+// Tests for the HTTP admin plane: HttpAdminServer (POSIX HTTP/1.1 listener,
+// routing, shedding, lifecycle) and AdminPages (the zPage set wired to a live
+// ExtractionService). Includes the TSan-relevant concurrency cases: scrapes
+// racing extractions and Stop() racing in-flight requests.
+
+#include "service/http_admin.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "corpus/corpus_stats.h"
+#include "service/admin_pages.h"
+#include "service/extraction_service.h"
+#include "service/serve_json.h"
+#include "synth/corpus_gen.h"
+#include "trace/trace.h"
+
+namespace tegra {
+namespace serve {
+namespace {
+
+/// Routes the global tracer's metric sink (where the core extractor records
+/// extract.sp_score / extract.low_confidence_total) into a test-local
+/// registry, and restores the tracer-owned registry on scope exit so later
+/// tests never write through a dangling pointer.
+struct ScopedBindMetrics {
+  explicit ScopedBindMetrics(MetricsRegistry* registry) {
+    trace::Tracer::Global().BindMetrics(registry);
+  }
+  ~ScopedBindMetrics() { trace::Tracer::Global().BindMetrics(nullptr); }
+};
+
+/// Sends raw bytes to 127.0.0.1:port and returns everything read until EOF —
+/// for exercising the malformed-request paths HttpGet cannot produce.
+std::string RawRequest(int port, const std::string& data) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  (void)::send(fd, data.data(), data.size(), 0);
+  ::shutdown(fd, SHUT_WR);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HttpAdminServer: transport-level behaviour with plain handlers.
+// ---------------------------------------------------------------------------
+
+TEST(HttpAdminServerTest, StartsOnEphemeralPortAndServes) {
+  HttpAdminServer server;
+  server.Handle("/ping", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "pong\n");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const auto result = HttpGet(server.port(), "/ping");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(result->body, "pong\n");
+  const auto it = result->headers.find("content-type");
+  ASSERT_NE(it, result->headers.end());
+  EXPECT_NE(it->second.find("text/plain"), std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpAdminServerTest, UnknownPathIs404ListingRoutes) {
+  HttpAdminServer server;
+  server.Handle("/known", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const auto result = HttpGet(server.port(), "/nope");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 404);
+  EXPECT_NE(result->body.find("/known"), std::string::npos);
+}
+
+TEST(HttpAdminServerTest, NonGetMethodsAre405) {
+  HttpAdminServer server;
+  server.Handle("/x", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(),
+      "POST /x HTTP/1.1\r\nHost: localhost\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405"), std::string::npos) << response;
+}
+
+TEST(HttpAdminServerTest, MalformedRequestLineIs400) {
+  HttpAdminServer server;
+  server.Handle("/x", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response =
+      RawRequest(server.port(), "this is not http\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos) << response;
+}
+
+TEST(HttpAdminServerTest, OversizedRequestHeadIs413) {
+  HttpAdminOptions options;
+  options.max_request_bytes = 512;
+  HttpAdminServer server(options);
+  server.Handle("/x", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const std::string response = RawRequest(
+      server.port(), "GET /x HTTP/1.1\r\nX-Pad: " + std::string(4096, 'a') +
+                         "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 413"), std::string::npos) << response;
+}
+
+TEST(HttpAdminServerTest, QueryParametersAreDecodedAndDispatched) {
+  HttpAdminServer server;
+  std::string seen_format, seen_q;
+  server.Handle("/page", [&](const HttpRequest& request) {
+    seen_format = request.Param("format", "html");
+    seen_q = request.Param("q");
+    return HttpResponse::Text(200, "format=" + seen_format);
+  });
+  ASSERT_TRUE(server.Start().ok());
+  const auto result =
+      HttpGet(server.port(), "/page?format=json&q=a%20b%2Bc");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 200);
+  EXPECT_EQ(seen_format, "json");
+  EXPECT_EQ(seen_q, "a b+c");
+  EXPECT_EQ(result->body, "format=json");
+}
+
+TEST(HttpAdminServerTest, PortConflictFailsCleanly) {
+  HttpAdminServer first;
+  first.Handle("/", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(first.Start().ok());
+
+  HttpAdminOptions options;
+  options.port = first.port();
+  HttpAdminServer second(options);
+  second.Handle("/", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  const Status status = second.Start();
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(second.running());
+}
+
+TEST(HttpAdminServerTest, StopIsIdempotentAndRestartable) {
+  HttpAdminServer server;
+  server.Handle("/", [](const HttpRequest&) {
+    return HttpResponse::Text(200, "ok");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+  server.Stop();  // Second Stop is a no-op.
+  EXPECT_FALSE(server.running());
+  // After Stop the port is released and the server can be started again.
+  ASSERT_TRUE(server.Start().ok());
+  const auto result = HttpGet(server.port(), "/");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, 200);
+  server.Stop();
+}
+
+TEST(HttpAdminServerTest, ConcurrentClientsAllServed) {
+  MetricsRegistry registry;
+  HttpAdminOptions options;
+  options.num_handler_threads = 4;
+  HttpAdminServer server(options, &registry);
+  std::atomic<int> handled{0};
+  server.Handle("/work", [&](const HttpRequest&) {
+    handled.fetch_add(1);
+    return HttpResponse::Text(200, "done");
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const auto result = HttpGet(server.port(), "/work");
+        if (result.ok() && result->status == 200) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(ok_count.load(), kThreads * kPerThread);
+  EXPECT_EQ(handled.load(), kThreads * kPerThread);
+  const MetricsSnapshot snap = registry.Snapshot();
+  const auto it = snap.counters.find("admin.requests_total");
+  ASSERT_NE(it, snap.counters.end());
+  EXPECT_GE(it->second, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(HttpAdminServerTest, StopWithoutStartIsSafe) {
+  HttpAdminServer server;
+  server.Stop();  // Never started; must not crash or hang.
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), -1);
+}
+
+// ---------------------------------------------------------------------------
+// AdminPages over a live ExtractionService.
+// ---------------------------------------------------------------------------
+
+class AdminPagesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    index_ = new ColumnIndex(synth::BuildBackgroundIndex(
+        synth::CorpusProfile::kWeb, /*num_tables=*/800, /*seed=*/404));
+    stats_ = new CorpusStats(index_);
+    extractor_ = new TegraExtractor(stats_);
+  }
+  static void TearDownTestSuite() {
+    delete extractor_;
+    delete stats_;
+    delete index_;
+    extractor_ = nullptr;
+    stats_ = nullptr;
+    index_ = nullptr;
+  }
+
+  static ExtractionRequest MakeRequest(size_t rotate = 0) {
+    static const std::vector<std::string> base = {
+        "Boston Massachusetts 645,966",
+        "Worcester Massachusetts 182,544",
+        "Providence Rhode Island 178,042",
+        "Hartford Connecticut 124,775",
+        "Springfield Massachusetts 153,060",
+        "Bridgeport Connecticut 144,229",
+    };
+    ExtractionRequest request;
+    for (size_t j = 0; j < base.size(); ++j) {
+      request.lines.push_back(base[(rotate + j) % base.size()]);
+    }
+    return request;
+  }
+
+  static ColumnIndex* index_;
+  static CorpusStats* stats_;
+  static TegraExtractor* extractor_;
+};
+
+ColumnIndex* AdminPagesTest::index_ = nullptr;
+CorpusStats* AdminPagesTest::stats_ = nullptr;
+TegraExtractor* AdminPagesTest::extractor_ = nullptr;
+
+TEST_F(AdminPagesTest, AllPagesRespondOverSockets) {
+  MetricsRegistry registry;
+  ScopedBindMetrics bind(&registry);
+  ExtractionService service(extractor_, {}, &registry);
+  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  HttpAdminServer server({}, &registry);
+  pages.RegisterAll(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Drive one extraction through so the pages have content to show.
+  const ExtractionResponse response = service.SubmitAndWait(MakeRequest());
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+
+  const std::vector<std::string> endpoints = {
+      "/", "/metrics", "/healthz", "/readyz", "/statusz", "/tracez",
+      "/slowlogz", "/varz"};
+  for (const std::string& endpoint : endpoints) {
+    const auto result = HttpGet(server.port(), endpoint);
+    ASSERT_TRUE(result.ok()) << endpoint << ": " << result.status().ToString();
+    EXPECT_EQ(result->status, 200) << endpoint << "\n" << result->body;
+    EXPECT_FALSE(result->body.empty()) << endpoint;
+  }
+
+  // /metrics speaks the Prometheus exposition format and carries both the
+  // quality histogram and the build-info marker.
+  const auto metrics = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  const auto ct = metrics->headers.find("content-type");
+  ASSERT_NE(ct, metrics->headers.end());
+  EXPECT_NE(ct->second.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics->body.find("tegra_extract_sp_score_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("tegra_build_info{git_sha="),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("tegra_service_requests_total"),
+            std::string::npos);
+
+  // /varz is parseable JSON, self-identifies the build, and carries uptime.
+  const auto varz = HttpGet(server.port(), "/varz");
+  ASSERT_TRUE(varz.ok());
+  const auto varz_json = ParseJson(varz->body);
+  ASSERT_TRUE(varz_json.ok()) << varz_json.status().ToString();
+  EXPECT_TRUE((*varz_json)["build"].is_object());
+  EXPECT_GT((*varz_json)["gauges"]["process.uptime_seconds"].AsNumber(-1), 0);
+
+  // /tracez is loadable Chrome trace JSON.
+  const auto tracez = HttpGet(server.port(), "/tracez");
+  ASSERT_TRUE(tracez.ok());
+  const auto trace_json = ParseJson(tracez->body);
+  ASSERT_TRUE(trace_json.ok()) << trace_json.status().ToString();
+  EXPECT_TRUE((*trace_json)["traceEvents"].is_array());
+
+  // /slowlogz?format=json renders the shared shape with the sp field.
+  const auto slowlog = HttpGet(server.port(), "/slowlogz?format=json");
+  ASSERT_TRUE(slowlog.ok());
+  const auto slow_json = ParseJson(slowlog->body);
+  ASSERT_TRUE(slow_json.ok()) << slow_json.status().ToString();
+  const auto& records = (*slow_json)["records"].AsArray();
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_GE(records[0]["sp"].AsNumber(-1), 0) << slowlog->body;
+}
+
+TEST_F(AdminPagesTest, ReadyzReports503WhenQueueSaturated) {
+  MetricsRegistry registry;
+  ServiceOptions service_options;
+  service_options.max_queue_depth = 4;
+  ExtractionService service(extractor_, service_options, &registry);
+  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+
+  // Healthy: ready.
+  HttpResponse ready = pages.Readyz(HttpRequest());
+  EXPECT_EQ(ready.status, 200);
+
+  // Deterministic saturation via the queue-depth hook: at the threshold the
+  // page must flip to 503 and explain itself.
+  pages.set_queue_depth_fn([] { return size_t{4}; });
+  ready = pages.Readyz(HttpRequest());
+  EXPECT_EQ(ready.status, 503);
+  EXPECT_NE(ready.body.find("queue saturated"), std::string::npos)
+      << ready.body;
+
+  pages.set_queue_depth_fn([] { return size_t{3}; });
+  EXPECT_EQ(pages.Readyz(HttpRequest()).status, 200);
+}
+
+TEST_F(AdminPagesTest, ReadyzReports503WithoutServiceOrCorpus) {
+  AdminPages no_service(nullptr, nullptr, nullptr);
+  HttpResponse response = no_service.Readyz(HttpRequest());
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("not attached"), std::string::npos);
+
+  MetricsRegistry registry;
+  ExtractionService service(extractor_, {}, &registry);
+  AdminPages no_corpus(&service, nullptr, nullptr);
+  response = no_corpus.Readyz(HttpRequest());
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("corpus"), std::string::npos);
+}
+
+TEST_F(AdminPagesTest, ReadyzReports503DuringShutdown) {
+  MetricsRegistry registry;
+  auto* service = new ExtractionService(extractor_, {}, &registry);
+  AdminPages pages(service, nullptr, index_);
+  EXPECT_EQ(pages.Readyz(HttpRequest()).status, 200);
+  service->Shutdown();
+  HttpResponse response = pages.Readyz(HttpRequest());
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("shutting down"), std::string::npos);
+  delete service;
+}
+
+TEST_F(AdminPagesTest, StatuszShowsBuildCorpusAndQuality) {
+  MetricsRegistry registry;
+  ScopedBindMetrics bind(&registry);
+  ExtractionService service(extractor_, {}, &registry);
+  AdminPagesOptions options;
+  options.corpus_description = "synthetic web:800:404";
+  AdminPages pages(&service, &trace::Tracer::Global(), index_, options);
+
+  const ExtractionResponse response = service.SubmitAndWait(MakeRequest(1));
+  ASSERT_TRUE(response.ok());
+
+  const HttpResponse statusz = pages.Statusz(HttpRequest());
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_NE(statusz.content_type.find("text/html"), std::string::npos);
+  EXPECT_NE(statusz.body.find("git_sha"), std::string::npos);
+  EXPECT_NE(statusz.body.find("synthetic web:800:404"), std::string::npos);
+  EXPECT_NE(statusz.body.find("extraction quality"), std::string::npos);
+  EXPECT_NE(statusz.body.find("sp_score"), std::string::npos);
+  EXPECT_NE(statusz.body.find("max_queue_depth"), std::string::npos);
+}
+
+// The TSan case the issue calls out: /metrics scrapes racing extractions.
+// Run extraction load on several client threads while a scraper hammers the
+// endpoint; every scrape must return a well-formed 200 and the final counters
+// must be exact.
+TEST_F(AdminPagesTest, ConcurrentScrapesDuringExtractions) {
+  MetricsRegistry registry;
+  ScopedBindMetrics bind(&registry);
+  ServiceOptions service_options;
+  service_options.num_workers = 2;
+  ExtractionService service(extractor_, service_options, &registry);
+  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  HttpAdminServer server({}, &registry);
+  pages.RegisterAll(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 3;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<bool> done{false};
+  std::atomic<int> scrapes_ok{0};
+  std::atomic<int> scrapes_bad{0};
+
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto result = HttpGet(server.port(), "/metrics");
+      if (result.ok() && result->status == 200 &&
+          result->body.find("tegra_build_info") != std::string::npos) {
+        scrapes_ok.fetch_add(1);
+      } else {
+        scrapes_bad.fetch_add(1);
+      }
+      // Also exercise the JSON path, which walks the same histograms.
+      const auto varz = HttpGet(server.port(), "/varz");
+      if (!varz.ok() || varz->status != 200) scrapes_bad.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> clients;
+  std::atomic<int> extract_ok{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ExtractionRequest request = MakeRequest(c * kRequestsPerClient + i);
+        request.bypass_cache = true;  // Force real extractor work every time.
+        const ExtractionResponse response =
+            service.SubmitAndWait(std::move(request));
+        if (response.ok()) extract_ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  scraper.join();
+
+  EXPECT_EQ(extract_ok.load(), kClients * kRequestsPerClient);
+  EXPECT_GT(scrapes_ok.load(), 0);
+  EXPECT_EQ(scrapes_bad.load(), 0);
+
+  // After the dust settles, the scrape totals must be exact, not torn.
+  const auto final_scrape = HttpGet(server.port(), "/metrics");
+  ASSERT_TRUE(final_scrape.ok());
+  // Line-anchored so the "# TYPE ..." comment line cannot match first.
+  const std::string needle = "\ntegra_service_completed_total ";
+  const size_t pos = final_scrape->body.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  const int completed =
+      std::atoi(final_scrape->body.c_str() + pos + needle.size());
+  EXPECT_EQ(completed, kClients * kRequestsPerClient);
+}
+
+// Stop() racing in-flight requests must not deadlock, crash or leak threads.
+TEST_F(AdminPagesTest, StopWhileClientsAreFetching) {
+  MetricsRegistry registry;
+  ExtractionService service(extractor_, {}, &registry);
+  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  HttpAdminServer server({}, &registry);
+  pages.RegisterAll(&server);
+  ASSERT_TRUE(server.Start().ok());
+  const int port = server.port();
+
+  std::atomic<bool> stop_clients{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      while (!stop_clients.load(std::memory_order_acquire)) {
+        // Failures are expected once the server goes down; only liveness
+        // matters here.
+        (void)HttpGet(port, "/statusz", /*timeout_ms=*/1000);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Stop();
+  stop_clients.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tegra

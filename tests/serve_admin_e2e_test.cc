@@ -1,0 +1,338 @@
+// End-to-end test of the tegra_serve admin plane: starts the real daemon
+// binary with `--admin-port 0`, discovers the ephemeral port from the
+// {"event":"admin_ready","port":N} stdout line, fetches every zPage over real
+// sockets, drives extractions through stdin and checks they appear in a real
+// Prometheus scrape, and saturates the (deliberately tiny) queue to observe
+// /readyz flip to 503.
+//
+// The binary path is injected at compile time via TEGRA_SERVE_BINARY.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/http_admin.h"
+#include "service/serve_json.h"
+
+#ifndef TEGRA_SERVE_BINARY
+#error "TEGRA_SERVE_BINARY must be defined to the tegra_serve binary path"
+#endif
+
+namespace tegra {
+namespace serve {
+namespace {
+
+/// A running tegra_serve child: NDJSON in via `WriteLine`, NDJSON out via
+/// `NextLine` (fed by a reader thread so the child can never block on a full
+/// stdout pipe).
+class ServeProcess {
+ public:
+  bool Start(const std::vector<std::string>& extra_args) {
+    int in_pipe[2];   // parent writes -> child stdin
+    int out_pipe[2];  // child stdout -> parent reads
+    if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) return false;
+    pid_ = ::fork();
+    if (pid_ < 0) return false;
+    if (pid_ == 0) {
+      // Child: wire the pipes and exec the daemon.
+      ::dup2(in_pipe[0], STDIN_FILENO);
+      ::dup2(out_pipe[1], STDOUT_FILENO);
+      ::close(in_pipe[0]);
+      ::close(in_pipe[1]);
+      ::close(out_pipe[0]);
+      ::close(out_pipe[1]);
+      std::vector<std::string> args = {TEGRA_SERVE_BINARY};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(TEGRA_SERVE_BINARY, argv.data());
+      ::_exit(127);  // exec failed
+    }
+    ::close(in_pipe[0]);
+    ::close(out_pipe[1]);
+    stdin_fd_ = in_pipe[1];
+    stdout_fd_ = out_pipe[0];
+    reader_ = std::thread([this] { ReaderLoop(); });
+    return true;
+  }
+
+  ~ServeProcess() {
+    CloseStdin();
+    if (reader_.joinable()) reader_.join();
+    if (pid_ > 0) {
+      int status = 0;
+      if (::waitpid(pid_, &status, WNOHANG) == 0) {
+        ::kill(pid_, SIGKILL);
+        ::waitpid(pid_, &status, 0);
+      }
+    }
+  }
+
+  bool WriteLine(const std::string& line) {
+    const std::string data = line + "\n";
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n =
+          ::write(stdin_fd_, data.data() + off, data.size() - off);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Next stdout line, or empty string after `timeout_ms` / EOF.
+  std::string NextLine(int timeout_ms = 30000) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                 [this] { return !lines_.empty() || eof_; });
+    if (lines_.empty()) return "";
+    std::string line = std::move(lines_.front());
+    lines_.pop_front();
+    return line;
+  }
+
+  void CloseStdin() {
+    if (stdin_fd_ >= 0) {
+      ::close(stdin_fd_);
+      stdin_fd_ = -1;
+    }
+  }
+
+  /// Waits for the child to exit and returns its exit code (-1 on abnormal
+  /// termination).
+  int Wait() {
+    if (pid_ <= 0) return -1;
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  void ReaderLoop() {
+    std::string buf;
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(stdout_fd_, chunk, sizeof(chunk))) > 0) {
+      buf.append(chunk, static_cast<size_t>(n));
+      size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        std::lock_guard<std::mutex> lock(mu_);
+        lines_.push_back(buf.substr(0, pos));
+        buf.erase(0, pos + 1);
+        cv_.notify_all();
+      }
+    }
+    ::close(stdout_fd_);
+    std::lock_guard<std::mutex> lock(mu_);
+    eof_ = true;
+    cv_.notify_all();
+  }
+
+  pid_t pid_ = -1;
+  int stdin_fd_ = -1;
+  int stdout_fd_ = -1;
+  std::thread reader_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::string> lines_;
+  bool eof_ = false;
+};
+
+std::string ExtractionRequestLine(int id, size_t num_lines, size_t rotate) {
+  static const std::vector<std::string> base = {
+      "Boston Massachusetts 645,966",    "Worcester Massachusetts 182,544",
+      "Providence Rhode Island 178,042", "Hartford Connecticut 124,775",
+      "Springfield Massachusetts 153,060", "Bridgeport Connecticut 144,229",
+      "New Haven Connecticut 129,779",   "Stamford Connecticut 122,643",
+  };
+  JsonValue request = JsonValue::Object();
+  request.Set("id", JsonValue::Number(id));
+  JsonValue lines = JsonValue::Array();
+  for (size_t i = 0; i < num_lines; ++i) {
+    lines.Append(JsonValue::Str(base[(rotate + i) % base.size()]));
+  }
+  request.Set("lines", std::move(lines));
+  request.Set("bypass_cache", JsonValue::Bool(true));
+  return request.Dump();
+}
+
+TEST(ServeAdminE2eTest, FullAdminPlaneAgainstRealDaemon) {
+  ServeProcess daemon;
+  // Tiny corpus for startup speed; one worker and a 2-deep queue so the
+  // saturation phase below can actually fill it.
+  ASSERT_TRUE(daemon.Start({"--build-corpus", "web:300:7", "--admin-port", "0",
+                            "--workers", "1", "--queue-depth", "2",
+                            "--slowlog", "4"}));
+
+  // 1. The first stdout line announces the admin plane and its bound port.
+  const std::string ready_line = daemon.NextLine();
+  ASSERT_FALSE(ready_line.empty()) << "daemon produced no output";
+  const auto ready = ParseJson(ready_line);
+  ASSERT_TRUE(ready.ok()) << ready_line;
+  ASSERT_EQ((*ready)["event"].AsString(), "admin_ready") << ready_line;
+  const int port = static_cast<int>((*ready)["port"].AsNumber(0));
+  ASSERT_GT(port, 0) << ready_line;
+
+  // 2. Drive one extraction through stdin so the telemetry has content. The
+  //    daemon pipelines responses, so chase the request with a control
+  //    command — control commands flush everything in flight first.
+  ASSERT_TRUE(daemon.WriteLine(ExtractionRequestLine(1, 8, 0)));
+  ASSERT_TRUE(daemon.WriteLine("{\"cmd\":\"metrics\"}"));
+  const std::string response_line = daemon.NextLine();
+  const auto response = ParseJson(response_line);
+  ASSERT_TRUE(response.ok()) << response_line;
+  EXPECT_TRUE((*response)["ok"].AsBool(false)) << response_line;
+  (void)daemon.NextLine();  // Discard the metrics snapshot used as a flush.
+
+  // 3. Every endpoint answers 200 with plausible content.
+  struct Endpoint {
+    const char* path;
+    const char* must_contain;
+  };
+  const std::vector<Endpoint> endpoints = {
+      {"/", "tegra admin"},
+      {"/healthz", "ok"},
+      {"/readyz", "ok"},
+      {"/metrics", "tegra_service_requests_total"},
+      {"/statusz", "extraction quality"},
+      {"/tracez", "traceEvents"},
+      {"/slowlogz", "trace"},
+      {"/varz", "\"build\""},
+  };
+  for (const Endpoint& endpoint : endpoints) {
+    const auto result = HttpGet(port, endpoint.path);
+    ASSERT_TRUE(result.ok())
+        << endpoint.path << ": " << result.status().ToString();
+    EXPECT_EQ(result->status, 200) << endpoint.path << "\n" << result->body;
+    EXPECT_NE(result->body.find(endpoint.must_contain), std::string::npos)
+        << endpoint.path << " missing \"" << endpoint.must_contain << "\":\n"
+        << result->body;
+  }
+
+  // 4. The quality histogram and build info appear in a real scrape, with
+  //    the extraction from step 2 counted.
+  const auto scrape = HttpGet(port, "/metrics");
+  ASSERT_TRUE(scrape.ok());
+  const auto scrape_ct = scrape->headers.find("content-type");
+  ASSERT_NE(scrape_ct, scrape->headers.end());
+  EXPECT_NE(scrape_ct->second.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(scrape->body.find("tegra_extract_sp_score_bucket"),
+            std::string::npos);
+  EXPECT_NE(scrape->body.find("tegra_extract_sp_score_count 1"),
+            std::string::npos)
+      << scrape->body;
+  EXPECT_NE(scrape->body.find("tegra_build_info{git_sha="),
+            std::string::npos);
+
+  // 5. /slowlogz?format=json carries the per-request sp score.
+  const auto slowlog = HttpGet(port, "/slowlogz?format=json");
+  ASSERT_TRUE(slowlog.ok());
+  const auto slow_json = ParseJson(slowlog->body);
+  ASSERT_TRUE(slow_json.ok()) << slowlog->body;
+  const auto& records = (*slow_json)["records"].AsArray();
+  ASSERT_GE(records.size(), 1u);
+  EXPECT_GE(records[0]["sp"].AsNumber(-1), 0) << slowlog->body;
+
+  // 6. Saturate the queue (1 worker, depth 2, large bypass-cache requests)
+  //    and watch /readyz flip to 503. Refill between polls so the window is
+  //    not a one-shot race; bounded so a fast machine cannot hang the test.
+  bool saw_unready = false;
+  std::string last_readyz;
+  int id = 100;
+  for (int round = 0; round < 40 && !saw_unready; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      const int request_id = id++;
+      ASSERT_TRUE(daemon.WriteLine(
+          ExtractionRequestLine(request_id, 64, request_id % 8)));
+    }
+    for (int poll = 0; poll < 20 && !saw_unready; ++poll) {
+      const auto readyz = HttpGet(port, "/readyz");
+      if (!readyz.ok()) break;
+      last_readyz = readyz->body;
+      if (readyz->status == 503) {
+        saw_unready = true;
+        EXPECT_NE(readyz->body.find("queue saturated"), std::string::npos)
+            << readyz->body;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_unready)
+      << "never observed 503 from /readyz; last body: " << last_readyz;
+
+  // Drain whatever the saturation phase produced, then quit cleanly.
+  ASSERT_TRUE(daemon.WriteLine("{\"cmd\":\"quit\"}"));
+  daemon.CloseStdin();
+  EXPECT_EQ(daemon.Wait(), 0);
+
+  // 7. After shutdown the admin plane is gone: probes fail at connect.
+  const auto after = HttpGet(port, "/healthz", /*timeout_ms=*/1000);
+  EXPECT_FALSE(after.ok() && after->status == 200);
+}
+
+TEST(ServeAdminE2eTest, AdminDisabledByDefault) {
+  ServeProcess daemon;
+  ASSERT_TRUE(daemon.Start({"--build-corpus", "web:200:3"}));
+  // No admin plane: the first output must be a response to our request, not
+  // an admin_ready event. Quit immediately — EOF of the control channel
+  // flushes the pipelined response before the daemon exits.
+  ASSERT_TRUE(daemon.WriteLine(ExtractionRequestLine(1, 6, 0)));
+  ASSERT_TRUE(daemon.WriteLine("{\"cmd\":\"quit\"}"));
+  daemon.CloseStdin();
+  const std::string first = daemon.NextLine();
+  const auto parsed = ParseJson(first);
+  ASSERT_TRUE(parsed.ok()) << first;
+  EXPECT_FALSE((*parsed).Has("event")) << first;
+  EXPECT_TRUE((*parsed)["ok"].AsBool(false)) << first;
+  EXPECT_EQ(daemon.Wait(), 0);
+}
+
+TEST(ServeAdminE2eTest, UnwritableDumpFileCountsAsBadRequest) {
+  ServeProcess daemon;
+  ASSERT_TRUE(daemon.Start({"--build-corpus", "web:200:3", "--admin-port",
+                            "0"}));
+  ASSERT_FALSE(daemon.NextLine().empty());  // admin_ready
+
+  // A control command with a valid cmd but an unwritable file path must fail
+  // with a structured IOError...
+  ASSERT_TRUE(daemon.WriteLine(
+      "{\"id\":9,\"cmd\":\"metrics_prom\",\"file\":"
+      "\"/nonexistent-dir/metrics.prom\"}"));
+  const std::string line = daemon.NextLine();
+  const auto parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_FALSE((*parsed)["ok"].AsBool(true)) << line;
+  EXPECT_EQ((*parsed)["code"].AsString(), "IOError") << line;
+  EXPECT_EQ((*parsed)["id"].AsNumber(0), 9) << line;
+
+  // ...and the failure must be visible in serve.bad_request.
+  ASSERT_TRUE(daemon.WriteLine("{\"cmd\":\"metrics\"}"));
+  const std::string metrics_line = daemon.NextLine();
+  const auto metrics = ParseJson(metrics_line);
+  ASSERT_TRUE(metrics.ok()) << metrics_line;
+  EXPECT_EQ((*metrics)["counters"]["serve.bad_request"].AsNumber(0), 1)
+      << metrics_line;
+
+  ASSERT_TRUE(daemon.WriteLine("{\"cmd\":\"quit\"}"));
+  daemon.CloseStdin();
+  EXPECT_EQ(daemon.Wait(), 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace tegra

@@ -22,6 +22,14 @@
 //   {"cmd": "slowlog"}       -> the N slowest requests with span trees
 //   {"cmd": "quit"}          -> drain in-flight work and exit
 //
+// With --admin-port the same telemetry is served over HTTP (zPages:
+// /metrics /healthz /readyz /statusz /tracez /slowlogz /varz), so Prometheus
+// scrapers, load balancers and browsers reach it without the pipe. When the
+// admin plane starts, one NDJSON event line
+//   {"event":"admin_ready","port":N}
+// is emitted on stdout before any responses — with `--admin-port 0` (bind an
+// ephemeral port) this line is how drivers learn the actual port.
+//
 // Response objects (id echoed):
 //   {"id":1,"ok":true,"columns":3,"rows":[[...],...],"sp":...,
 //    "cache_hit":false,"queue_ms":...,"extract_ms":...,"total_ms":...}
@@ -40,10 +48,13 @@
 #include <utility>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/string_util.h"
 #include "corpus/corpus_io.h"
 #include "corpus/corpus_stats.h"
+#include "service/admin_pages.h"
 #include "service/extraction_service.h"
+#include "service/http_admin.h"
 #include "service/serve_json.h"
 #include "synth/corpus_gen.h"
 #include "trace/chrome_trace.h"
@@ -76,6 +87,14 @@ options:
   --threads N             per-extraction anchor threads (default 1)
   --trace on|off          runtime span recording (default on)
   --slowlog N             slow-request log capacity (default 8)
+  --admin-port N          serve the HTTP admin plane (zPages: /metrics
+                          /healthz /readyz /statusz /tracez /slowlogz /varz)
+                          on 127.0.0.1:N; N=0 binds an ephemeral port and
+                          the bound port is reported via the
+                          {"event":"admin_ready","port":N} stdout line and
+                          the startup log. Omit the flag to disable (default)
+  --admin-bind ADDR       admin plane bind address (default 127.0.0.1;
+                          use 0.0.0.0 to expose beyond loopback)
   --log-format text|json  stderr log rendering (default text)
   --log-level LEVEL       debug|info|warn|error (default info)
   --help                  this text
@@ -88,6 +107,9 @@ struct ServeCliOptions {
   std::string build_spec;
   size_t co_cache_capacity = 1 << 20;
   bool trace_enabled = true;
+  /// -1 = admin plane disabled; 0 = ephemeral port; >0 = fixed port.
+  int admin_port = -1;
+  std::string admin_bind = "127.0.0.1";
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -139,6 +161,16 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
     } else if (arg == "--slowlog") {
       if (!(v = need_value(i))) return false;
       opts->service.slowlog_capacity = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--admin-port") {
+      if (!(v = need_value(i))) return false;
+      opts->admin_port = std::atoi(v);
+      if (opts->admin_port < 0 || opts->admin_port > 65535) {
+        std::fprintf(stderr, "bad --admin-port: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--admin-bind") {
+      if (!(v = need_value(i))) return false;
+      opts->admin_bind = v;
     } else if (arg == "--log-format") {
       if (!(v = need_value(i))) return false;
       tegra::trace::Logger::Global().SetFormat(
@@ -260,15 +292,19 @@ void EmitBadRequest(const JsonValue& id, const std::string& message,
 /// Emits `body` inline ({"ok":true,"format":...,"body":...}) or, when the
 /// request carries a "file" key, writes it to disk and reports the path —
 /// multi-line payloads (Prometheus exposition, Chrome traces) stay NDJSON
-/// friendly either way.
+/// friendly either way. An unwritable "file" path is a malformed control
+/// command: it answers {"ok":false,"code":"IOError",...} and counts in
+/// `serve.bad_request` like every other rejected input.
 void EmitBody(const JsonValue& request, const char* format,
-              const std::string& body) {
+              const std::string& body, tegra::Counter* bad_requests) {
   JsonValue out = JsonValue::Object();
   if (request.Has("id")) out.Set("id", request["id"]);
   const std::string& path = request["file"].AsString();
   if (!path.empty()) {
     std::FILE* f = std::fopen(path.c_str(), "wb");
     if (f == nullptr) {
+      if (bad_requests != nullptr) bad_requests->Increment();
+      tegra::trace::LogWarn("bad request", {{"error", "cannot open " + path}});
       out.Set("ok", JsonValue::Bool(false));
       out.Set("code", JsonValue::Str("IOError"));
       out.Set("error", JsonValue::Str("cannot open " + path));
@@ -288,42 +324,6 @@ void EmitBody(const JsonValue& request, const char* format,
   out.Set("format", JsonValue::Str(format));
   out.Set("body", JsonValue::Str(body));
   Emit(out.Dump());
-}
-
-JsonValue SpanToJson(const tegra::trace::TraceEvent& span) {
-  JsonValue s = JsonValue::Object();
-  s.Set("name", JsonValue::Str(span.name));
-  s.Set("cat", JsonValue::Str(span.category));
-  s.Set("span_id", JsonValue::Number(static_cast<double>(span.span_id)));
-  s.Set("parent_id", JsonValue::Number(static_cast<double>(span.parent_id)));
-  s.Set("start_us", JsonValue::Number(static_cast<double>(span.start_us)));
-  s.Set("dur_us", JsonValue::Number(static_cast<double>(span.duration_us)));
-  s.Set("tid", JsonValue::Number(span.thread_id));
-  s.Set("depth", JsonValue::Number(span.depth));
-  return s;
-}
-
-JsonValue SlowlogToJson(const tegra::serve::SlowRequestLog& slowlog) {
-  JsonValue out = JsonValue::Object();
-  out.Set("ok", JsonValue::Bool(true));
-  JsonValue records = JsonValue::Array();
-  for (const tegra::serve::SlowRequestRecord& rec : slowlog.Snapshot()) {
-    JsonValue r = JsonValue::Object();
-    r.Set("trace_id", JsonValue::Number(static_cast<double>(rec.trace_id)));
-    r.Set("total_ms", JsonValue::Number(rec.total_seconds * 1e3));
-    r.Set("queue_ms", JsonValue::Number(rec.queue_seconds * 1e3));
-    r.Set("extract_ms", JsonValue::Number(rec.extract_seconds * 1e3));
-    r.Set("num_lines", JsonValue::Number(static_cast<double>(rec.num_lines)));
-    r.Set("columns", JsonValue::Number(rec.num_columns));
-    r.Set("cache_hit", JsonValue::Bool(rec.cache_hit));
-    r.Set("outcome", JsonValue::Str(rec.outcome));
-    JsonValue spans = JsonValue::Array();
-    for (const auto& span : rec.spans) spans.Append(SpanToJson(span));
-    r.Set("spans", std::move(spans));
-    records.Append(std::move(r));
-  }
-  out.Set("records", std::move(records));
-  return out;
 }
 
 }  // namespace
@@ -356,13 +356,48 @@ int main(int argc, char** argv) {
   tegra::TegraExtractor extractor(&stats, opts.tegra);
   tegra::serve::ExtractionService service(&extractor, opts.service, &registry);
   tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
+
+  // Optional HTTP admin plane. Declared after the service so it is stopped
+  // (and destroyed) first; AdminPages only borrows the subsystems above.
+  tegra::serve::AdminPagesOptions pages_options;
+  pages_options.corpus_description =
+      !opts.corpus_path.empty()
+          ? opts.corpus_path
+          : "synthetic " +
+                (opts.build_spec.empty() ? std::string("web:5000:1")
+                                         : opts.build_spec);
+  tegra::serve::AdminPages pages(&service, &tracer, &corpus.value(),
+                                 pages_options);
+  tegra::serve::HttpAdminOptions admin_options;
+  admin_options.port = opts.admin_port < 0 ? 0 : opts.admin_port;
+  admin_options.bind_address = opts.admin_bind;
+  tegra::serve::HttpAdminServer admin(admin_options, &registry);
+  pages.RegisterAll(&admin);
+  if (opts.admin_port >= 0) {
+    const tegra::Status started = admin.Start();
+    if (!started.ok()) {
+      tegra::trace::LogError("admin plane failed to start",
+                             {{"status", started.ToString()}});
+      return 1;
+    }
+    // Announce the bound port on stdout before any responses so drivers of
+    // `--admin-port 0` (ephemeral) can discover where to scrape.
+    JsonValue ready = JsonValue::Object();
+    ready.Set("event", JsonValue::Str("admin_ready"));
+    ready.Set("port", JsonValue::Number(admin.port()));
+    Emit(ready.Dump());
+    tegra::trace::LogInfo("admin plane listening",
+                          {{"bind", opts.admin_bind}, {"port", admin.port()}});
+  }
+
   tegra::trace::LogInfo(
       "tegra_serve ready",
       {{"workers", service.options().num_workers},
        {"queue_depth", service.options().max_queue_depth},
        {"cache_capacity", service.options().result_cache_capacity},
        {"slowlog_capacity", service.options().slowlog_capacity},
-       {"trace", tracer.enabled()}});
+       {"trace", tracer.enabled()},
+       {"admin", opts.admin_port >= 0 ? "on" : "off"}});
 
   // Keep at most pipeline_depth requests in flight so admission control is
   // exercised by fast producers while stdout stays in submission order.
@@ -389,14 +424,15 @@ int main(int argc, char** argv) {
     if (cmd == "metrics_prom") {
       Flush(&inflight, 0);
       EmitBody(request, "prometheus",
-               tegra::trace::ToPrometheusText(
-                   service.metrics()->Snapshot()));
+               tegra::trace::ToPrometheusText(service.metrics()->Snapshot()),
+               bad_requests);
       continue;
     }
     if (cmd == "trace_dump") {
       Flush(&inflight, 0);
       EmitBody(request, "chrome_trace",
-               tegra::trace::ToChromeTraceJson(tracer.RingSnapshot()));
+               tegra::trace::ToChromeTraceJson(tracer.RingSnapshot()),
+               bad_requests);
       continue;
     }
     if (cmd == "slowlog") {
@@ -429,6 +465,9 @@ int main(int argc, char** argv) {
     Flush(&inflight, pipeline_depth);
   }
   Flush(&inflight, 0);
+  // Stop the admin plane before the service drains so probes see the
+  // process disappear (connection refused) rather than a half-dead server.
+  admin.Stop();
   tegra::trace::LogInfo("tegra_serve exiting",
                         {{"spans_recorded", tracer.spans_recorded()},
                          {"spans_dropped", tracer.dropped()}});
