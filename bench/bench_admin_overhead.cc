@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -25,8 +26,10 @@
 #include "service/admin_pages.h"
 #include "service/extraction_service.h"
 #include "service/http_admin.h"
+#include "store/corpus_manager.h"
 #include "synth/corpus_gen.h"
 #include "trace/trace.h"
+#include "corpus/column_index.h"
 
 namespace {
 
@@ -121,7 +124,11 @@ int main(int argc, char** argv) {
   service_options.result_cache_capacity = 0;
   ExtractionService service(&extractor, service_options, &registry);
 
-  AdminPages pages(&service, &tegra::trace::Tracer::Global(), &index);
+  tegra::store::CorpusManager manager(
+      std::shared_ptr<const tegra::CorpusView>(&index,
+                                               [](const tegra::CorpusView*) {}),
+      /*path=*/"");
+  AdminPages pages(&service, &tegra::trace::Tracer::Global(), &manager);
   HttpAdminServer admin({}, &registry);
   pages.RegisterAll(&admin);
   if (!admin.Start().ok()) {

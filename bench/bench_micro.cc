@@ -8,6 +8,7 @@
 #include "core/anchor_search.h"
 #include "core/list_context.h"
 #include "core/slgr.h"
+#include "corpus/column_index.h"
 #include "corpus/corpus_stats.h"
 #include "distance/distance.h"
 #include "eval/benchmark_data.h"

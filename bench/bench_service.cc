@@ -15,6 +15,7 @@
 #include "service/lru_cache.h"
 #include "service/metrics.h"
 #include "synth/corpus_gen.h"
+#include "corpus/column_index.h"
 
 namespace {
 

@@ -1,0 +1,231 @@
+// bench_store — the heap-vs-mmap corpus representation benchmark behind
+// docs/STORAGE.md:
+//
+//   * publish cost      EncodeSnapshot + atomic write, v1 vs v2 bytes
+//   * open latency      LoadColumnIndex (full heap parse) vs MmapCorpus::Open
+//                       (header + section-table validation only)
+//   * memory            process RSS delta attributable to each open, plus
+//                       the views' own HeapBytes / MappedBytes accounting
+//   * query throughput  Lookup and CoOccurrenceCount over identical pair
+//                       workloads, with a cross-checked hit total so the two
+//                       representations provably answered the same queries
+//
+// Usage: bench_store [tables ...]   (default scales: 5000 28000)
+//
+// The 28k-table scale is the acceptance gate: MmapCorpus::Open must come in
+// under 50 ms (it is usually under 1 ms — no payload is read at open).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "corpus/column_index.h"
+#include "corpus/corpus_io.h"
+#include "corpus/corpus_view.h"
+#include "store/mmap_corpus.h"
+#include "store/snapshot_writer.h"
+#include "synth/corpus_gen.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Current resident set size in KiB (VmRSS from /proc/self/status), or 0.
+size_t RssKib() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kib = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      kib = static_cast<size_t>(std::atoll(line + 6));
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib;
+}
+
+struct PairWorkload {
+  std::vector<std::pair<tegra::ValueId, tegra::ValueId>> pairs;
+};
+
+/// Same logical workload for both views: pair up popular values (long,
+/// block-compressed postings) and random ones, translated per-view through
+/// the value strings so relabeled snapshot ids do not change the queries.
+PairWorkload BuildWorkload(const tegra::CorpusView& view,
+                           const std::vector<std::string>& popular,
+                           const std::vector<std::string>& random_values) {
+  PairWorkload out;
+  std::vector<tegra::ValueId> ids;
+  for (const auto& value : popular) ids.push_back(view.Lookup(value));
+  for (const auto& value : random_values) ids.push_back(view.Lookup(value));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (size_t j = i + 1; j < ids.size(); j += 5) {
+      out.pairs.emplace_back(ids[i], ids[j]);
+    }
+  }
+  return out;
+}
+
+struct QueryResult {
+  double co_ms = 0;
+  double lookup_ms = 0;
+  uint64_t hit_total = 0;  ///< Cross-representation checksum.
+};
+
+QueryResult RunQueries(const tegra::CorpusView& view,
+                       const PairWorkload& workload,
+                       const std::vector<std::string>& lookup_values,
+                       int rounds) {
+  QueryResult result;
+  Clock::time_point start = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& [a, b] : workload.pairs) {
+      result.hit_total += view.CoOccurrenceCount(a, b);
+    }
+  }
+  result.co_ms = MsSince(start);
+
+  start = Clock::now();
+  uint64_t found = 0;
+  for (int round = 0; round < rounds; ++round) {
+    for (const std::string& value : lookup_values) {
+      found += view.Lookup(value) != tegra::kInvalidValueId ? 1 : 0;
+    }
+  }
+  result.lookup_ms = MsSince(start);
+  result.hit_total += found;
+  return result;
+}
+
+void BenchScale(size_t tables) {
+  std::printf("=== %zu tables ===\n", tables);
+  const std::string v1_path =
+      "/tmp/bench_store_" + std::to_string(tables) + ".idx";
+  const std::string v2_path = v1_path + "2";
+
+  Clock::time_point start = Clock::now();
+  const tegra::ColumnIndex built = tegra::synth::BuildBackgroundIndex(
+      tegra::synth::CorpusProfile::kWeb, tables, /*seed=*/1);
+  std::printf("build            %8.1f ms  (%llu columns, %zu values)\n",
+              MsSince(start),
+              static_cast<unsigned long long>(built.TotalColumns()),
+              built.NumValues());
+
+  start = Clock::now();
+  if (!tegra::SaveColumnIndex(built, v1_path).ok()) std::abort();
+  const double v1_save_ms = MsSince(start);
+  start = Clock::now();
+  if (!tegra::store::WriteSnapshot(built, v2_path).ok()) std::abort();
+  const double v2_save_ms = MsSince(start);
+
+  // Open latency + RSS delta. v1 materializes the whole index on the heap;
+  // v2 maps the file and reads only the header + section table.
+  const size_t rss_before_v1 = RssKib();
+  start = Clock::now();
+  auto heap = tegra::LoadColumnIndex(v1_path);
+  const double v1_open_ms = MsSince(start);
+  if (!heap.ok()) std::abort();
+  const size_t rss_after_v1 = RssKib();
+
+  start = Clock::now();
+  auto mapped = tegra::store::MmapCorpus::Open(v2_path);
+  const double v2_open_ms = MsSince(start);
+  if (!mapped.ok()) std::abort();
+  const size_t rss_after_v2 = RssKib();
+
+  std::printf("publish          v1 %6.1f ms   v2 %6.1f ms\n", v1_save_ms,
+              v2_save_ms);
+  std::printf("open             v1 %8.3f ms   v2 %8.3f ms   (speedup %.0fx)\n",
+              v1_open_ms, v2_open_ms,
+              v2_open_ms > 0 ? v1_open_ms / v2_open_ms : 0.0);
+  std::printf("open RSS delta   v1 %6zu KiB  v2 %6zu KiB\n",
+              rss_after_v1 - rss_before_v1, rss_after_v2 - rss_after_v1);
+  std::printf("view accounting  v1 heap %6.1f MiB   v2 heap %zu B"
+              " + mapped %.1f MiB\n",
+              static_cast<double>(heap->HeapBytes()) / (1 << 20),
+              (*mapped)->HeapBytes(),
+              static_cast<double>((*mapped)->MappedBytes()) / (1 << 20));
+
+  // Query throughput over an identical pair workload.
+  std::vector<tegra::ValueId> by_count(heap->NumValues());
+  for (size_t i = 0; i < by_count.size(); ++i) {
+    by_count[i] = static_cast<tegra::ValueId>(i);
+  }
+  std::partial_sort(by_count.begin(),
+                    by_count.begin() + std::min<size_t>(24, by_count.size()),
+                    by_count.end(),
+                    [&](tegra::ValueId a, tegra::ValueId b) {
+                      return heap->ColumnCount(a) > heap->ColumnCount(b);
+                    });
+  std::vector<std::string> popular;
+  for (size_t i = 0; i < std::min<size_t>(24, by_count.size()); ++i) {
+    popular.push_back(heap->ValueString(by_count[i]));
+  }
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<size_t> pick(0, heap->NumValues() - 1);
+  std::vector<std::string> random_values;
+  for (int i = 0; i < 40; ++i) {
+    random_values.push_back(
+        heap->ValueString(static_cast<tegra::ValueId>(pick(rng))));
+  }
+
+  const PairWorkload heap_work =
+      BuildWorkload(*heap, popular, random_values);
+  const PairWorkload mmap_work =
+      BuildWorkload(**mapped, popular, random_values);
+  const int rounds = 200;
+  const QueryResult heap_result =
+      RunQueries(*heap, heap_work, random_values, rounds);
+  const QueryResult mmap_result =
+      RunQueries(**mapped, mmap_work, random_values, rounds);
+  if (heap_result.hit_total != mmap_result.hit_total) {
+    std::fprintf(stderr,
+                 "FATAL: representations disagree (heap=%llu mmap=%llu)\n",
+                 static_cast<unsigned long long>(heap_result.hit_total),
+                 static_cast<unsigned long long>(mmap_result.hit_total));
+    std::abort();
+  }
+  const double ops = static_cast<double>(heap_work.pairs.size()) * rounds;
+  std::printf("intersections    v1 %7.2f Mops/s   v2 %7.2f Mops/s"
+              "   (hit checksum %llu)\n",
+              ops / heap_result.co_ms / 1e3, ops / mmap_result.co_ms / 1e3,
+              static_cast<unsigned long long>(heap_result.hit_total));
+  const double lookups = static_cast<double>(random_values.size()) * rounds;
+  std::printf("lookups          v1 %7.2f Mops/s   v2 %7.2f Mops/s\n",
+              lookups / heap_result.lookup_ms / 1e3,
+              lookups / mmap_result.lookup_ms / 1e3);
+
+  if (tables >= 28000) {
+    std::printf("acceptance       mmap open %.3f ms %s 50 ms budget\n",
+                v2_open_ms, v2_open_ms < 50.0 ? "<" : ">=");
+    if (v2_open_ms >= 50.0) std::abort();
+  }
+  std::printf("\n");
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<size_t> scales;
+  for (int i = 1; i < argc; ++i) {
+    scales.push_back(static_cast<size_t>(std::atoll(argv[i])));
+  }
+  if (scales.empty()) scales = {5000, 28000};
+  for (const size_t tables : scales) BenchScale(tables);
+  return 0;
+}

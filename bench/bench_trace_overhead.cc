@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/tegra.h"
+#include "corpus/column_index.h"
 #include "corpus/corpus_stats.h"
 #include "synth/corpus_gen.h"
 #include "synth/list_gen.h"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# End-to-end corruption drill for the TGRAIDX2 snapshot format, run in CI:
+#
+#   1. build a synthetic corpus snapshot with tegra_corpusctl
+#   2. `verify` must accept the pristine file
+#   3. flip exactly one byte somewhere in the payload
+#   4. `verify` must now FAIL and name Corruption
+#
+# This proves the integrity chain end to end through the *shipped binaries*,
+# not just the unit tests: writer -> checksums -> verifier.
+#
+# Usage: scripts/verify_snapshot_corruption.sh BUILD_DIR [SPEC]
+#   BUILD_DIR  a cmake build tree containing tools/tegra_corpusctl
+#   SPEC       corpus spec, default web:500:1
+
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: verify_snapshot_corruption.sh BUILD_DIR [SPEC]}"
+SPEC="${2:-web:500:1}"
+CORPUSCTL="$BUILD_DIR/tools/tegra_corpusctl"
+
+if [[ ! -x "$CORPUSCTL" ]]; then
+  echo "FATAL: $CORPUSCTL not found (build the tegra_corpusctl target first)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+SNAP="$WORK/corpus.idx2"
+
+echo "== build =="
+"$CORPUSCTL" build "$SPEC" "$SNAP"
+
+echo "== verify (pristine) =="
+"$CORPUSCTL" verify "$SNAP"
+
+# Flip one byte at 2/3 of the file — deep inside the section payloads, past
+# the header and section table, so the failure must come from a section CRC
+# or deep-decode check rather than trivial structural validation.
+SIZE="$(stat -c %s "$SNAP")"
+OFFSET="$((SIZE * 2 / 3))"
+echo "== corrupt: flipping one byte at offset $OFFSET of $SIZE =="
+ORIGINAL="$(dd if="$SNAP" bs=1 skip="$OFFSET" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')"
+FLIPPED="$((ORIGINAL ^ 0x40))"
+printf "$(printf '\\%03o' "$FLIPPED")" |
+  dd of="$SNAP" bs=1 seek="$OFFSET" count=1 conv=notrunc 2>/dev/null
+
+echo "== verify (corrupted) must fail with Corruption =="
+set +e
+OUTPUT="$("$CORPUSCTL" verify "$SNAP" 2>&1)"
+STATUS=$?
+set -e
+echo "$OUTPUT"
+if [[ "$STATUS" -eq 0 ]]; then
+  echo "FATAL: verifier accepted a corrupted snapshot" >&2
+  exit 1
+fi
+if ! grep -q "Corruption" <<< "$OUTPUT"; then
+  echo "FATAL: verifier failed but did not report Corruption" >&2
+  exit 1
+fi
+
+echo "OK: single-byte corruption detected and reported as Corruption."

@@ -233,7 +233,7 @@ Result<BaselineResult> ListExtract::ExtractWithExamples(
     token_lines.push_back(tokenizer.Tokenize(line));
   }
 
-  const ColumnIndex* index = stats_ ? &stats_->index() : nullptr;
+  const CorpusView* index = stats_ ? &stats_->index() : nullptr;
   ListContext ctx(std::move(token_lines), index);
   const size_t n = ctx.num_lines();
   const uint32_t cap = static_cast<uint32_t>(options_.max_cell_tokens);

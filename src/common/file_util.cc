@@ -1,0 +1,105 @@
+#include "common/file_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace tegra {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+/// Directory component of `path` ("." when there is none).
+std::string ParentDirectory(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for reading", path));
+  }
+  std::string out;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    out.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buf[1 << 16];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  const bool read_failed = n < 0;
+  ::close(fd);
+  if (read_failed) {
+    return Status::IOError(ErrnoMessage("read failed for", path));
+  }
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for writing", tmp));
+  }
+
+  auto fail = [&](const std::string& what) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage(what, tmp));
+  };
+
+  size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail("short write to");
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Data must be durable *before* the rename publishes it; otherwise a crash
+  // can leave the published name pointing at garbage — exactly the torn-file
+  // hazard this function exists to rule out.
+  if (::fsync(fd) != 0) return fail("fsync failed for");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("close failed for", tmp));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("rename failed for", tmp));
+  }
+  // Durability of the rename itself: fsync the parent directory. Best-effort
+  // (some filesystems refuse O_RDONLY directory fsync); the data is already
+  // safe, only the name's durability window is affected.
+  const int dir_fd = ::open(ParentDirectory(path).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("cannot stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+}  // namespace tegra

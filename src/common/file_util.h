@@ -1,0 +1,36 @@
+// Filesystem helpers with explicit durability semantics.
+//
+// AtomicWriteFile is the crash-safe publication primitive used by every
+// on-disk artifact in tegra (the v1 corpus cache and the v2 TGRAIDX2
+// snapshots): content is written to a `<path>.tmp` sibling, fsync'd, and
+// atomically renamed into place, so a reader can never observe a torn or
+// truncated file at the published path — it sees either the old content or
+// the complete new content.
+
+#ifndef TEGRA_COMMON_FILE_UTIL_H_
+#define TEGRA_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tegra {
+
+/// \brief Reads the entire file at `path` into a string. IOError when the
+/// file cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Durably and atomically replaces `path` with `contents`.
+///
+/// Writes to `<path>.tmp`, fsyncs the data, renames over `path`, then fsyncs
+/// the parent directory so the rename itself survives a crash. On any
+/// failure the temp file is removed and `path` is left untouched.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief Returns the size of the file at `path`, or IOError.
+Result<uint64_t> FileSize(const std::string& path);
+
+}  // namespace tegra
+
+#endif  // TEGRA_COMMON_FILE_UTIL_H_

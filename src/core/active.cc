@@ -29,7 +29,7 @@ Result<std::vector<RowUncertainty>> RankRowsByUncertainty(
   // CellDistance is reconstructed from the extractor's options; the corpus
   // is reachable through its stats pointer.
   const CorpusStats* stats = extractor.stats();
-  const ColumnIndex* index = stats ? &stats->index() : nullptr;
+  const CorpusView* index = stats ? &stats->index() : nullptr;
   ListContext ctx(std::move(token_lines), index);
   for (size_t j = 0; j < n; ++j) {
     uint32_t max_w = 0;

@@ -7,7 +7,7 @@
 namespace tegra {
 
 ListContext::ListContext(std::vector<std::vector<std::string>> token_lines,
-                         const ColumnIndex* index)
+                         const CorpusView* index)
     : lines_(std::move(token_lines)), catalog_(index) {
   registered_width_.resize(lines_.size(), 0);
   cell_ids_.resize(lines_.size());

@@ -23,9 +23,9 @@ namespace tegra {
 class ListContext {
  public:
   /// \param token_lines tokenized input lines (one vector of tokens each).
-  /// \param index background corpus index for semantic features; may be null.
+  /// \param index background corpus view for semantic features; may be null.
   ListContext(std::vector<std::vector<std::string>> token_lines,
-              const ColumnIndex* index);
+              const CorpusView* index);
 
   size_t num_lines() const { return lines_.size(); }
   uint32_t line_length(size_t line) const {

@@ -154,7 +154,7 @@ Result<ExtractionResult> TegraExtractor::ExtractTokens(
   TEGRA_TRACE_SPAN("extract", "extract", "extract.phase.total");
   trace::Span list_context_span(&trace::Tracer::Global(), "list_context",
                                 "extract", "extract.phase.list_context");
-  const ColumnIndex* index = stats_ ? &stats_->index() : nullptr;
+  const CorpusView* index = stats_ ? &stats_->index() : nullptr;
   ListContext ctx(std::move(token_lines), index);
   list_context_span.End();
 

@@ -7,6 +7,10 @@
 // cell value gets an interned value id with a sorted postings list of column
 // ids. Intersections use galloping search so that a popular value
 // ("USA", 100k postings) intersects a rare one in O(rare * log popular).
+//
+// ColumnIndex is the heap-materialized *build-side* implementation of the
+// CorpusView interface; for serving at scale, convert it to an mmap-backed
+// TGRAIDX2 snapshot (src/store/) that opens in milliseconds.
 
 #ifndef TEGRA_CORPUS_COLUMN_INDEX_H_
 #define TEGRA_CORPUS_COLUMN_INDEX_H_
@@ -18,18 +22,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "corpus/corpus_view.h"
 #include "corpus/table.h"
 
 namespace tegra {
-
-/// Interned id of a distinct cell value. kInvalidValueId means "not in the
-/// corpus at all".
-using ValueId = uint32_t;
-inline constexpr ValueId kInvalidValueId = 0xffffffff;
-
-/// \brief Normalizes a cell value for corpus matching: trim + lowercase +
-/// whitespace collapse. "New  York " and "new york" index identically.
-std::string NormalizeValue(std::string_view s);
 
 /// \brief Inverted index from cell values to the corpus columns containing
 /// them.
@@ -37,7 +33,7 @@ std::string NormalizeValue(std::string_view s);
 /// Construction: call AddColumn once per corpus column, then Finalize().
 /// Lookup methods require a finalized index. The index is immutable (and
 /// thus freely shareable across threads) after Finalize().
-class ColumnIndex {
+class ColumnIndex : public CorpusView {
  public:
   ColumnIndex() = default;
 
@@ -56,33 +52,33 @@ class ColumnIndex {
   bool finalized() const { return finalized_; }
 
   /// Total number of corpus columns ingested (the N of §2.3.1).
-  uint64_t TotalColumns() const { return next_column_id_; }
+  uint64_t TotalColumns() const override { return next_column_id_; }
 
   /// Number of distinct values in the index.
-  size_t NumValues() const { return postings_.size(); }
+  size_t NumValues() const override { return postings_.size(); }
 
   /// Looks up the interned id for a (raw, unnormalized) value, or
   /// kInvalidValueId if the value never occurs in the corpus.
-  ValueId Lookup(std::string_view value) const;
+  ValueId Lookup(std::string_view value) const override;
 
   /// |C(s)| for an interned value id.
-  uint32_t ColumnCount(ValueId id) const {
+  uint32_t ColumnCount(ValueId id) const override {
     return static_cast<uint32_t>(postings_[id].size());
   }
 
   /// |C(s1) ∩ C(s2)| via galloping intersection of sorted postings.
-  uint32_t CoOccurrenceCount(ValueId a, ValueId b) const;
-
-  /// |C(s1) ∪ C(s2)| (for the Jaccard alternative of Appendix H).
-  uint32_t UnionCount(ValueId a, ValueId b) const {
-    return ColumnCount(a) + ColumnCount(b) - CoOccurrenceCount(a, b);
-  }
+  uint32_t CoOccurrenceCount(ValueId a, ValueId b) const override;
 
   /// The normalized string for an interned id (for diagnostics and
   /// serialization).
-  const std::string& ValueString(ValueId id) const { return values_[id]; }
+  std::string ValueString(ValueId id) const override { return values_[id]; }
 
-  /// Read access to a postings list (used by serialization).
+  const char* FormatName() const override { return "heap-v1"; }
+  size_t HeapBytes() const override { return MemoryUsageBytes(); }
+  size_t MappedBytes() const override { return 0; }
+
+  /// Read access to a postings list (used by serialization and the TGRAIDX2
+  /// snapshot writer).
   const std::vector<uint32_t>& Postings(ValueId id) const {
     return postings_[id];
   }

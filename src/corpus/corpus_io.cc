@@ -1,40 +1,16 @@
 #include "corpus/corpus_io.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
 #include <vector>
+
+#include "common/file_util.h"
+#include "common/varint.h"
 
 namespace tegra {
 
 namespace {
 
 constexpr char kMagic[8] = {'T', 'G', 'R', 'A', 'I', 'D', 'X', '1'};
-
-void PutVarint(std::string* out, uint64_t v) {
-  while (v >= 0x80) {
-    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  out->push_back(static_cast<char>(v));
-}
-
-/// Reads a varint from buf at *pos; returns false on truncation/overflow.
-bool GetVarint(const std::string& buf, size_t* pos, uint64_t* out) {
-  uint64_t result = 0;
-  int shift = 0;
-  while (*pos < buf.size() && shift <= 63) {
-    uint8_t byte = static_cast<uint8_t>(buf[*pos]);
-    ++(*pos);
-    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
-    if ((byte & 0x80) == 0) {
-      *out = result;
-      return true;
-    }
-    shift += 7;
-  }
-  return false;
-}
 
 }  // namespace
 
@@ -47,7 +23,7 @@ Status SaveColumnIndex(const ColumnIndex& index, const std::string& path) {
   PutVarint(&buf, index.TotalColumns());
   PutVarint(&buf, index.NumValues());
   for (ValueId id = 0; id < index.NumValues(); ++id) {
-    const std::string& value = index.ValueString(id);
+    const std::string value = index.ValueString(id);
     PutVarint(&buf, value.size());
     buf.append(value);
     const auto& plist = index.Postings(id);
@@ -59,41 +35,33 @@ Status SaveColumnIndex(const ColumnIndex& index, const std::string& path) {
     }
   }
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open for writing: " + path);
-  }
-  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-  if (!out) {
-    return Status::IOError("short write to: " + path);
-  }
-  return Status::OK();
+  // Durable publication: write <path>.tmp, fsync, rename. A crash mid-save
+  // can therefore never leave a truncated cache file at the published path —
+  // readers see either the previous index or the complete new one.
+  return AtomicWriteFile(path, buf);
 }
 
 Result<ColumnIndex> LoadColumnIndex(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) {
-    return Status::IOError("cannot open for reading: " + path);
-  }
-  const std::streamsize size = in.tellg();
-  in.seekg(0);
-  std::string buf(static_cast<size_t>(size), '\0');
-  if (!in.read(buf.data(), size)) {
-    return Status::IOError("short read from: " + path);
-  }
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  const std::string& buf = file.value();
 
   if (buf.size() < sizeof(kMagic) ||
       buf.compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("bad magic in: " + path);
   }
-  size_t pos = sizeof(kMagic);
+  ByteReader reader(buf.data() + sizeof(kMagic), buf.size() - sizeof(kMagic));
 
   uint64_t total_columns = 0;
   uint64_t num_values = 0;
-  if (!GetVarint(buf, &pos, &total_columns) ||
-      !GetVarint(buf, &pos, &num_values)) {
+  if (!reader.ReadVarint(&total_columns) || !reader.ReadVarint(&num_values)) {
     return Status::Corruption("truncated header in: " + path);
   }
+  if (total_columns > 0xffffffffULL) {
+    return Status::Corruption("implausible column count in: " + path);
+  }
+  // Each value costs at least 2 bytes (length + postings count), so a value
+  // count beyond the file size is corruption — reject before reserving.
   if (num_values > buf.size()) {
     return Status::Corruption("implausible value count in: " + path);
   }
@@ -104,31 +72,43 @@ Result<ColumnIndex> LoadColumnIndex(const std::string& path) {
   postings.reserve(num_values);
   for (uint64_t i = 0; i < num_values; ++i) {
     uint64_t len = 0;
-    if (!GetVarint(buf, &pos, &len) || pos + len > buf.size()) {
+    std::string_view value_bytes;
+    // ReadBytes bounds-checks against the remaining buffer, so an oversized
+    // varint length can never drive a read past the end (the old code's
+    // `pos + len` check could overflow for lengths near 2^64).
+    if (!reader.ReadVarint(&len) || len > reader.remaining() ||
+        !reader.ReadBytes(static_cast<size_t>(len), &value_bytes)) {
       return Status::Corruption("truncated value string in: " + path);
     }
-    values.emplace_back(buf.substr(pos, len));
-    pos += len;
+    values.emplace_back(value_bytes);
 
     uint64_t count = 0;
-    if (!GetVarint(buf, &pos, &count) || count > total_columns) {
+    if (!reader.ReadVarint(&count) || count > total_columns) {
       return Status::Corruption("bad postings count in: " + path);
     }
     std::vector<uint32_t> plist;
     plist.reserve(count);
-    uint32_t prev = 0;
+    uint64_t prev = 0;  // 64-bit accumulator: deltas cannot silently wrap.
     for (uint64_t k = 0; k < count; ++k) {
       uint64_t delta = 0;
-      if (!GetVarint(buf, &pos, &delta)) {
+      if (!reader.ReadVarint(&delta)) {
         return Status::Corruption("truncated postings in: " + path);
       }
-      prev += static_cast<uint32_t>(delta);
+      prev += delta;
       if (prev >= total_columns) {
         return Status::Corruption("posting out of range in: " + path);
       }
-      plist.push_back(prev);
+      if (k > 0 && delta == 0) {
+        return Status::Corruption("duplicate posting in: " + path);
+      }
+      plist.push_back(static_cast<uint32_t>(prev));
     }
     postings.push_back(std::move(plist));
+  }
+  // A well-formed cache is consumed exactly; trailing bytes mean the file
+  // was appended to or the counts above lied.
+  if (reader.remaining() != 0) {
+    return Status::Corruption("trailing garbage in: " + path);
   }
 
   ColumnIndex index;

@@ -8,13 +8,12 @@
 
 namespace tegra {
 
-CorpusStats::CorpusStats(const ColumnIndex* index, CorpusStatsOptions options)
+CorpusStats::CorpusStats(const CorpusView* index, CorpusStatsOptions options)
     : index_(index),
       options_(options),
       co_cache_(options.co_cache_capacity,
                 std::max<size_t>(1, options.co_cache_shards)) {
   assert(index_ != nullptr);
-  assert(index_->finalized());
   if (options_.metrics != nullptr) {
     co_lookups_ = options_.metrics->GetCounter("corpus.co_lookups_total");
     co_lookup_hits_ =

@@ -1,7 +1,8 @@
-// Co-occurrence statistics over a finalized ColumnIndex: PMI, NPMI (§2.3.1)
+// Co-occurrence statistics over a background CorpusView: PMI, NPMI (§2.3.1)
 // and the Jaccard alternative (Appendix H), plus a thread-safe memo cache.
 // This is the sole interface through which semantic distance consumes the
-// background corpus.
+// background corpus. The view may be a heap ColumnIndex or an mmap-backed
+// TGRAIDX2 snapshot (src/store/mmap_corpus.h); results are bit-identical.
 
 #ifndef TEGRA_CORPUS_CORPUS_STATS_H_
 #define TEGRA_CORPUS_CORPUS_STATS_H_
@@ -9,7 +10,7 @@
 #include <cstdint>
 #include <string_view>
 
-#include "corpus/column_index.h"
+#include "corpus/corpus_view.h"
 #include "service/lru_cache.h"
 #include "service/metrics.h"
 
@@ -48,11 +49,12 @@ struct CorpusStatsOptions {
 /// are memoized in a bounded sharded LRU (see CorpusStatsOptions).
 class CorpusStats {
  public:
-  /// \param index a *finalized* column index. Not owned; must outlive this.
-  explicit CorpusStats(const ColumnIndex* index,
+  /// \param index an immutable corpus view (a finalized ColumnIndex or an
+  /// opened MmapCorpus). Not owned; must outlive this.
+  explicit CorpusStats(const CorpusView* index,
                        CorpusStatsOptions options = {});
 
-  const ColumnIndex& index() const { return *index_; }
+  const CorpusView& index() const { return *index_; }
 
   /// p(s) = |C(s)| / N. Returns 0 for values absent from the corpus.
   double Probability(ValueId id) const;
@@ -96,7 +98,7 @@ class CorpusStats {
   /// (a,b) and (b,a) share one entry.
   uint32_t CachedCoOccurrence(ValueId a, ValueId b) const;
 
-  const ColumnIndex* index_;
+  const CorpusView* index_;
   CorpusStatsOptions options_;
   /// Key = (min(a,b) << 32) | max(a,b).
   mutable ShardedLruCache<uint64_t, uint32_t> co_cache_;

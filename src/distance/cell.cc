@@ -2,7 +2,7 @@
 
 namespace tegra {
 
-CellCatalog::CellCatalog(const ColumnIndex* index) : index_(index) {
+CellCatalog::CellCatalog(const CorpusView* index) : index_(index) {
   // Slot 0: the null cell.
   CellInfo null_cell;
   null_cell.local_id = 0;

@@ -17,7 +17,7 @@
 #include <string_view>
 #include <unordered_map>
 
-#include "corpus/column_index.h"
+#include "corpus/corpus_view.h"
 #include "text/char_profile.h"
 #include "text/value_type.h"
 
@@ -44,7 +44,7 @@ class CellCatalog {
   /// \param index background corpus for semantic lookups; may be null, in
   /// which case every cell gets corpus_id = kInvalidValueId (pure-syntactic
   /// configurations).
-  explicit CellCatalog(const ColumnIndex* index);
+  explicit CellCatalog(const CorpusView* index);
 
   /// Interns `text` (with its known token count) and returns the cell.
   /// Registering the same text twice returns the same CellInfo.
@@ -58,7 +58,7 @@ class CellCatalog {
   size_t size() const { return cells_.size(); }
 
  private:
-  const ColumnIndex* index_;  // Not owned; may be null.
+  const CorpusView* index_;  // Not owned; may be null.
   std::unordered_map<std::string, uint32_t> ids_;
   // deque: stable addresses so returned references survive growth.
   std::deque<CellInfo> cells_;

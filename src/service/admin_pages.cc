@@ -131,7 +131,8 @@ JsonValue SlowlogToJson(const SlowRequestLog& slowlog) {
 }
 
 AdminPages::AdminPages(ExtractionService* service, trace::Tracer* tracer,
-                       const ColumnIndex* corpus, AdminPagesOptions options)
+                       const store::CorpusManager* corpus,
+                       AdminPagesOptions options)
     : service_(service),
       tracer_(tracer),
       corpus_(corpus),
@@ -143,6 +144,18 @@ AdminPages::AdminPages(ExtractionService* service, trace::Tracer* tracer,
 
 void AdminPages::set_queue_depth_fn(std::function<size_t()> fn) {
   queue_depth_fn_ = std::move(fn);
+}
+
+void AdminPages::RefreshCorpusGauges(MetricsRegistry* registry) {
+  if (corpus_ == nullptr || registry == nullptr) return;
+  registry->GetGauge("corpus.generation")
+      ->Set(static_cast<double>(corpus_->Generation()));
+  const std::shared_ptr<const CorpusView> view = corpus_->Current();
+  registry->GetGauge("corpus.mapped_bytes")
+      ->Set(view == nullptr ? 0.0
+                            : static_cast<double>(view->MappedBytes()));
+  registry->GetGauge("corpus.heap_bytes")
+      ->Set(view == nullptr ? 0.0 : static_cast<double>(view->HeapBytes()));
 }
 
 void AdminPages::RegisterAll(HttpAdminServer* server) {
@@ -178,6 +191,7 @@ HttpResponse AdminPages::Metrics(const HttpRequest&) {
     return HttpResponse::Text(503, "no metrics registry\n");
   }
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
+  RefreshCorpusGauges(registry);
   HttpResponse response =
       HttpResponse::Text(200, trace::ToPrometheusText(registry->Snapshot()));
   // The exposition-format content type Prometheus expects.
@@ -201,7 +215,7 @@ AdminPages::Readiness AdminPages::CheckReadiness() {
     result.reason = "service shutting down";
     return result;
   }
-  if (corpus_ == nullptr || !corpus_->finalized()) {
+  if (corpus_ == nullptr || corpus_->Current() == nullptr) {
     result.reason = "background corpus not loaded";
     return result;
   }
@@ -254,9 +268,23 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
     if (!options_.corpus_description.empty()) {
       Row(&body, "source", options_.corpus_description);
     }
-    RowCount(&body, "columns", corpus_->TotalColumns());
-    RowCount(&body, "distinct_values", corpus_->NumValues());
-    Row(&body, "finalized", corpus_->finalized() ? "yes" : "no");
+    if (!corpus_->path().empty()) Row(&body, "path", corpus_->path());
+    const std::shared_ptr<const CorpusView> view = corpus_->Current();
+    if (view != nullptr) {
+      Row(&body, "format", view->FormatName());
+      RowCount(&body, "columns", view->TotalColumns());
+      RowCount(&body, "distinct_values", view->NumValues());
+      RowCount(&body, "heap_bytes", view->HeapBytes());
+      RowCount(&body, "mapped_bytes", view->MappedBytes());
+    } else {
+      Row(&body, "format", "none (no generation loaded)");
+    }
+    RowCount(&body, "generation", corpus_->Generation());
+    RowCount(&body, "reloads", corpus_->ReloadCount());
+    RowCount(&body, "reload_errors", corpus_->ReloadErrorCount());
+    if (!corpus_->LastError().empty()) {
+      Row(&body, "last_reload_error", corpus_->LastError());
+    }
     body += "</table>\n";
   }
 
@@ -396,6 +424,7 @@ HttpResponse AdminPages::Varz(const HttpRequest&) {
     return HttpResponse::Text(503, "no metrics registry\n");
   }
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
+  RefreshCorpusGauges(registry);
   return HttpResponse::Json(registry->Snapshot().ToJson());
 }
 

@@ -26,11 +26,11 @@
 #include <string>
 #include <string_view>
 
-#include "corpus/column_index.h"
 #include "service/extraction_service.h"
 #include "service/http_admin.h"
 #include "service/serve_json.h"
 #include "service/slowlog.h"
+#include "store/corpus_manager.h"
 #include "trace/trace.h"
 
 namespace tegra {
@@ -52,9 +52,12 @@ struct AdminPagesOptions {
 class AdminPages {
  public:
   /// Any pointer may be null; the affected pages degrade gracefully
-  /// (/readyz reports 503, /statusz omits the section).
+  /// (/readyz reports 503, /statusz omits the section). The corpus manager
+  /// is the hot-reload handle: /statusz and /varz surface its generation,
+  /// format, byte footprint and reload outcome counters, and /readyz turns
+  /// 503 while no corpus generation is resident.
   AdminPages(ExtractionService* service, trace::Tracer* tracer,
-             const ColumnIndex* corpus, AdminPagesOptions options = {});
+             const store::CorpusManager* corpus, AdminPagesOptions options = {});
 
   /// Registers every page on `server`.
   void RegisterAll(HttpAdminServer* server);
@@ -81,9 +84,13 @@ class AdminPages {
   };
   Readiness CheckReadiness();
 
-  ExtractionService* service_;   // Not owned; may be null.
-  trace::Tracer* tracer_;        // Not owned; may be null.
-  const ColumnIndex* corpus_;    // Not owned; may be null.
+  /// Refreshes corpus gauges (generation, mapped/heap bytes) on `registry`
+  /// so /metrics and /varz reflect the current generation at scrape time.
+  void RefreshCorpusGauges(MetricsRegistry* registry);
+
+  ExtractionService* service_;          // Not owned; may be null.
+  trace::Tracer* tracer_;               // Not owned; may be null.
+  const store::CorpusManager* corpus_;  // Not owned; may be null.
   AdminPagesOptions options_;
   std::function<size_t()> queue_depth_fn_;
 };

@@ -43,7 +43,19 @@ uint64_t RequestCacheKey(const std::vector<std::string>& lines,
 ExtractionService::ExtractionService(const TegraExtractor* extractor,
                                      ServiceOptions options,
                                      MetricsRegistry* registry)
-    : extractor_(extractor),
+    : ExtractionService(
+          static_cast<const ExtractorSource*>(nullptr), options, registry) {
+  // Delegate first so all instruments and workers exist, then install the
+  // owned fixed source. Workers only dereference source_ while processing a
+  // request, and no request can be queued before this constructor returns.
+  owned_source_ = std::make_unique<FixedExtractorSource>(extractor);
+  source_ = owned_source_.get();
+}
+
+ExtractionService::ExtractionService(const ExtractorSource* source,
+                                     ServiceOptions options,
+                                     MetricsRegistry* registry)
+    : source_(source),
       options_(options),
       owned_registry_(registry == nullptr ? new MetricsRegistry() : nullptr),
       registry_(registry == nullptr ? owned_registry_.get() : registry),
@@ -208,11 +220,27 @@ void ExtractionService::Process(PendingRequest pending) {
     return;
   }
 
+  // Pin the current engine generation for the whole request: a corpus
+  // reload mid-extraction retires the old bundle only after this shared_ptr
+  // releases it, so in-flight requests never observe a torn corpus.
+  const EngineRef engine = source_->Acquire();
+  if (!engine) {
+    failed_total_->Increment();
+    response.status = Status::Unavailable("no extraction engine loaded");
+    finish("failed");
+    return;
+  }
+
   const ExtractionRequest& request = pending.request;
   const bool use_cache =
       !request.bypass_cache && result_cache_.capacity() > 0;
+  // The generation is part of the cache identity: results computed against
+  // a previous corpus generation can never be served after a reload.
   const uint64_t key =
-      use_cache ? RequestCacheKey(request.lines, request.num_columns) : 0;
+      use_cache ? HashCombine(RequestCacheKey(request.lines,
+                                              request.num_columns),
+                              engine.generation)
+                : 0;
 
   if (use_cache) {
     trace::Span cache_span(&tracer, "cache_probe", "serve");
@@ -232,8 +260,9 @@ void ExtractionService::Process(PendingRequest pending) {
   trace::Span execute_span(&tracer, "execute", "serve");
   Result<ExtractionResult> result =
       request.num_columns > 0
-          ? extractor_->ExtractWithColumns(request.lines, request.num_columns)
-          : extractor_->Extract(request.lines);
+          ? engine.extractor->ExtractWithColumns(request.lines,
+                                                 request.num_columns)
+          : engine.extractor->Extract(request.lines);
   execute_span.End();
   response.extract_seconds = Seconds(Clock::now() - start);
   extract_latency_->Observe(response.extract_seconds);
@@ -279,8 +308,11 @@ void ExtractionService::RefreshGauges() {
 
   // Surface the corpus-level co-occurrence cache through the same registry,
   // so one snapshot shows the full memory/caching picture of the process.
-  if (extractor_ != nullptr && extractor_->stats() != nullptr) {
-    const LruCacheStats co = extractor_->stats()->CoCacheStats();
+  const EngineRef engine = source_->Acquire();
+  registry_->GetGauge("service.engine_generation")
+      ->Set(static_cast<double>(engine.generation));
+  if (engine && engine.extractor->stats() != nullptr) {
+    const LruCacheStats co = engine.extractor->stats()->CoCacheStats();
     registry_->GetGauge("corpus.co_cache_size")
         ->Set(static_cast<double>(co.size));
     registry_->GetGauge("corpus.co_cache_capacity")

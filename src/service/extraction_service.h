@@ -44,6 +44,7 @@
 
 #include "common/status.h"
 #include "core/tegra.h"
+#include "service/extractor_source.h"
 #include "service/lru_cache.h"
 #include "service/metrics.h"
 #include "service/slowlog.h"
@@ -115,9 +116,19 @@ uint64_t RequestCacheKey(const std::vector<std::string>& lines,
 class ExtractionService {
  public:
   /// \param extractor the shared immutable engine (not owned; must outlive
-  /// this service).
+  /// this service). Convenience over the ExtractorSource constructor: wraps
+  /// the pointer in an owned FixedExtractorSource.
   /// \param registry metrics sink; when null the service owns a private one.
   explicit ExtractionService(const TegraExtractor* extractor,
+                             ServiceOptions options = {},
+                             MetricsRegistry* registry = nullptr);
+
+  /// \param source the engine provider consulted once per request (not
+  /// owned; must outlive this service). A hot-reloading deployment passes a
+  /// ReloadableEngine here; each request pins the engine generation it
+  /// started on, and the generation participates in the result-cache key so
+  /// reloads implicitly invalidate stale cached results.
+  explicit ExtractionService(const ExtractorSource* source,
                              ServiceOptions options = {},
                              MetricsRegistry* registry = nullptr);
   ~ExtractionService();
@@ -168,7 +179,9 @@ class ExtractionService {
   void Process(PendingRequest pending);
   void RefreshGauges();
 
-  const TegraExtractor* extractor_;  // Not owned.
+  /// Set when constructed from a raw extractor pointer (legacy signature).
+  std::unique_ptr<FixedExtractorSource> owned_source_;
+  const ExtractorSource* source_;  // Not owned (or owned_source_.get()).
   ServiceOptions options_;
 
   std::unique_ptr<MetricsRegistry> owned_registry_;

@@ -1,0 +1,50 @@
+#include "service/extractor_source.h"
+
+#include <utility>
+
+namespace tegra {
+namespace serve {
+
+ReloadableEngine::ReloadableEngine(store::CorpusManager* manager,
+                                   ReloadableEngineConfig config)
+    : manager_(manager), config_(std::move(config)) {
+  manager_->SetOnSwap(
+      [this](std::shared_ptr<const CorpusView> corpus, uint64_t generation) {
+        Rebuild(std::move(corpus), generation);
+      });
+  // A corpus may already be resident (manager seeded with an in-memory
+  // view, or loaded before this engine attached).
+  std::shared_ptr<const CorpusView> current = manager_->Current();
+  if (current != nullptr) {
+    Rebuild(std::move(current), manager_->Generation());
+  }
+}
+
+void ReloadableEngine::Rebuild(std::shared_ptr<const CorpusView> corpus,
+                               uint64_t generation) {
+  auto engine = std::make_shared<Engine>();
+  engine->corpus = std::move(corpus);
+  engine->stats =
+      std::make_unique<CorpusStats>(engine->corpus.get(), config_.stats);
+  engine->extractor =
+      std::make_unique<TegraExtractor>(engine->stats.get(), config_.tegra);
+  engine->generation = generation;
+  std::lock_guard<std::mutex> lock(mu_);
+  engine_ = std::move(engine);  // Prior generation retires when unpinned.
+}
+
+EngineRef ReloadableEngine::Acquire() const {
+  std::shared_ptr<const Engine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine = engine_;
+  }
+  if (engine == nullptr) return {};
+  // Aliasing shared_ptr: exposes the extractor, owns the whole bundle.
+  return {std::shared_ptr<const TegraExtractor>(engine,
+                                                engine->extractor.get()),
+          engine->generation};
+}
+
+}  // namespace serve
+}  // namespace tegra

@@ -1,0 +1,117 @@
+// ExtractorSource — how the serving path acquires its extraction engine.
+//
+// A long-lived daemon must be able to swap its background corpus without
+// restarting or failing in-flight work. The service therefore no longer
+// holds a raw TegraExtractor*; it asks an ExtractorSource for an EngineRef
+// at the top of each request. The returned shared_ptr *pins* the whole
+// engine bundle — corpus view (and its file mapping), CorpusStats with its
+// co-occurrence memo, extractor — for the lifetime of that request, so a
+// hot reload can retire a generation while requests on it are still
+// running; the old mapping is unmapped only when the last pinned request
+// releases it.
+//
+// Two implementations:
+//   FixedExtractorSource — wraps a borrowed immutable extractor (tests,
+//                          one-shot CLI paths). Generation is always 1.
+//   ReloadableEngine     — layered on store::CorpusManager; rebuilds the
+//                          {CorpusStats, TegraExtractor} bundle on every
+//                          corpus swap and publishes it atomically.
+//
+// The engine generation participates in the service's result-cache key, so
+// a reload implicitly invalidates all cached extractions from prior
+// generations without any explicit flush.
+
+#ifndef TEGRA_SERVICE_EXTRACTOR_SOURCE_H_
+#define TEGRA_SERVICE_EXTRACTOR_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/tegra.h"
+#include "corpus/corpus_stats.h"
+#include "store/corpus_manager.h"
+
+namespace tegra {
+namespace serve {
+
+/// \brief A pinned engine: holding `extractor` keeps the full bundle it was
+/// built from (corpus mapping included) alive.
+struct EngineRef {
+  std::shared_ptr<const TegraExtractor> extractor;
+  uint64_t generation = 0;
+
+  explicit operator bool() const { return extractor != nullptr; }
+};
+
+/// \brief Abstract provider of the current extraction engine.
+class ExtractorSource {
+ public:
+  virtual ~ExtractorSource() = default;
+
+  /// Returns the current engine (extractor may be null when no corpus has
+  /// been loaded yet). Thread-safe; O(1).
+  virtual EngineRef Acquire() const = 0;
+};
+
+/// \brief A source over a borrowed, never-changing extractor.
+class FixedExtractorSource : public ExtractorSource {
+ public:
+  /// \param extractor not owned; must outlive this source.
+  explicit FixedExtractorSource(const TegraExtractor* extractor)
+      : extractor_(extractor, [](const TegraExtractor*) {}) {}
+
+  EngineRef Acquire() const override { return {extractor_, 1}; }
+
+ private:
+  std::shared_ptr<const TegraExtractor> extractor_;
+};
+
+/// \brief Engine-construction knobs applied to every generation built by a
+/// ReloadableEngine. `stats.metrics` typically points at the shared serving
+/// registry so co-cache counters survive reloads in one place.
+struct ReloadableEngineConfig {
+  TegraOptions tegra;
+  CorpusStatsOptions stats;
+};
+
+/// \brief Hot-reloadable engine over a store::CorpusManager.
+///
+/// Subscribes to the manager's on-swap hook: each successful corpus reload
+/// rebuilds {CorpusStats, TegraExtractor} against the new view and
+/// atomically publishes the bundle. Acquire() returns an aliasing
+/// shared_ptr into the bundle, so requests pin exactly the generation they
+/// started on.
+class ReloadableEngine : public ExtractorSource {
+ public:
+  /// \param manager not owned; must outlive this engine. The engine
+  /// installs itself as the manager's on-swap callback and immediately
+  /// builds a bundle if a corpus is already resident.
+  ReloadableEngine(store::CorpusManager* manager,
+                   ReloadableEngineConfig config);
+
+  EngineRef Acquire() const override;
+
+ private:
+  /// One immutable generation bundle. Members are ordered so destruction
+  /// tears down extractor -> stats -> corpus view.
+  struct Engine {
+    std::shared_ptr<const CorpusView> corpus;
+    std::unique_ptr<CorpusStats> stats;
+    std::unique_ptr<TegraExtractor> extractor;
+    uint64_t generation = 0;
+  };
+
+  void Rebuild(std::shared_ptr<const CorpusView> corpus, uint64_t generation);
+
+  store::CorpusManager* manager_;  // Not owned.
+  ReloadableEngineConfig config_;
+
+  mutable std::mutex mu_;
+  std::shared_ptr<const Engine> engine_;  // Guarded by mu_.
+};
+
+}  // namespace serve
+}  // namespace tegra
+
+#endif  // TEGRA_SERVICE_EXTRACTOR_SOURCE_H_

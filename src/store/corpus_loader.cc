@@ -1,0 +1,172 @@
+#include "store/corpus_loader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/file_util.h"
+#include "corpus/column_index.h"
+#include "corpus/corpus_io.h"
+#include "store/crc32c.h"
+#include "store/format.h"
+#include "store/mmap_corpus.h"
+
+namespace tegra {
+namespace store {
+
+namespace {
+
+/// Reads just the leading magic. IOError when unreadable, empty string when
+/// the file is shorter than 8 bytes (callers turn that into Corruption).
+Result<std::string> ReadMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (in.gcount() != sizeof(magic)) return std::string();
+  return std::string(magic, sizeof(magic));
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / (1024.0 * 1024));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<LoadedCorpus> OpenCorpus(const std::string& path) {
+  Result<std::string> magic = ReadMagic(path);
+  if (!magic.ok()) return magic.status();
+
+  LoadedCorpus out;
+  out.path = path;
+  if (magic.value() == std::string(kMagicV2, sizeof(kMagicV2))) {
+    Result<std::unique_ptr<MmapCorpus>> v2 = MmapCorpus::Open(path);
+    if (!v2.ok()) return v2.status();
+    out.view = std::shared_ptr<const CorpusView>(std::move(v2.value()));
+    out.format = out.view->FormatName();
+    return out;
+  }
+  if (magic.value() == std::string(kMagicV1, sizeof(kMagicV1))) {
+    Result<ColumnIndex> v1 = LoadColumnIndex(path);
+    if (!v1.ok()) return v1.status();
+    auto index = std::make_shared<ColumnIndex>(std::move(v1.value()));
+    out.view = index;
+    out.format = out.view->FormatName();
+    return out;
+  }
+  return Status::Corruption("not a TGRAIDX1/TGRAIDX2 corpus file: " + path);
+}
+
+Result<CorpusFileInfo> DescribeCorpusFile(const std::string& path,
+                                          bool check_crc) {
+  Result<std::string> magic = ReadMagic(path);
+  if (!magic.ok()) return magic.status();
+  Result<uint64_t> size = FileSize(path);
+  if (!size.ok()) return size.status();
+
+  CorpusFileInfo info;
+  info.path = path;
+  info.file_bytes = size.value();
+
+  if (magic.value() == std::string(kMagicV2, sizeof(kMagicV2))) {
+    info.format = "TGRAIDX2";
+    Result<std::unique_ptr<MmapCorpus>> opened = MmapCorpus::Open(path);
+    if (!opened.ok()) {
+      // Open already failing means the header itself is unusable; surface
+      // the Corruption rather than a partial description.
+      return opened.status();
+    }
+    const MmapCorpus& c = *opened.value();
+    info.total_columns = c.header().total_columns;
+    info.num_values = c.header().num_values;
+    info.header_crc_ok = true;  // Open() verified it.
+    Result<std::string> bytes =
+        check_crc ? ReadFileToString(path) : Result<std::string>(std::string());
+    if (!bytes.ok()) return bytes.status();
+    for (uint32_t kind = 1; kind <= kSectionCount; ++kind) {
+      const SectionEntry& s = c.section(kind);
+      SectionSummary sum;
+      sum.name = SectionName(s.kind);
+      sum.offset = s.offset;
+      sum.length = s.length;
+      sum.crc = s.crc;
+      if (check_crc) {
+        sum.crc_checked = true;
+        sum.crc_ok =
+            MaskCrc(Crc32c(bytes.value().data() + s.offset, s.length)) == s.crc;
+      }
+      info.sections.push_back(std::move(sum));
+    }
+    return info;
+  }
+
+  if (magic.value() == std::string(kMagicV1, sizeof(kMagicV1))) {
+    info.format = "TGRAIDX1";
+    Result<ColumnIndex> v1 = LoadColumnIndex(path);
+    if (!v1.ok()) return v1.status();
+    info.total_columns = v1.value().TotalColumns();
+    info.num_values = v1.value().NumValues();
+    return info;
+  }
+  return Status::Corruption("not a TGRAIDX1/TGRAIDX2 corpus file: " + path);
+}
+
+std::string FormatCorpusFileInfo(const CorpusFileInfo& info) {
+  std::ostringstream out;
+  out << "corpus file:    " << info.path << "\n"
+      << "format:         " << info.format << "\n"
+      << "file size:      " << HumanBytes(info.file_bytes) << " ("
+      << info.file_bytes << " bytes)\n"
+      << "total columns:  " << info.total_columns << "\n"
+      << "distinct values:" << " " << info.num_values << "\n";
+  if (info.format == "TGRAIDX2") {
+    out << "header crc:     " << (info.header_crc_ok ? "ok" : "MISMATCH")
+        << "\n"
+        << "sections:\n";
+    for (const SectionSummary& s : info.sections) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "  %-16s offset=%-10llu length=%-10llu crc=0x%08x %s\n",
+                    s.name.c_str(), static_cast<unsigned long long>(s.offset),
+                    static_cast<unsigned long long>(s.length), s.crc,
+                    !s.crc_checked ? "(unchecked)"
+                                   : (s.crc_ok ? "ok" : "MISMATCH"));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+Status VerifyCorpusFile(const std::string& path) {
+  Result<std::string> magic = ReadMagic(path);
+  if (!magic.ok()) return magic.status();
+  if (magic.value() == std::string(kMagicV2, sizeof(kMagicV2))) {
+    Result<std::unique_ptr<MmapCorpus>> opened = MmapCorpus::Open(path);
+    if (!opened.ok()) return opened.status();
+    return opened.value()->Verify();
+  }
+  if (magic.value() == std::string(kMagicV1, sizeof(kMagicV1))) {
+    // The hardened v1 loader is itself a complete validation pass.
+    Result<ColumnIndex> v1 = LoadColumnIndex(path);
+    return v1.ok() ? Status::OK() : v1.status();
+  }
+  return Status::Corruption("not a TGRAIDX1/TGRAIDX2 corpus file: " + path);
+}
+
+}  // namespace store
+}  // namespace tegra

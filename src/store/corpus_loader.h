@@ -1,0 +1,73 @@
+// Format-sniffing corpus opener plus the shared describe / verify helpers
+// behind `tegra_corpusctl` and `corpus_inspector` (one implementation, so
+// the two tools cannot drift).
+//
+// OpenCorpus reads the 8-byte magic and dispatches:
+//   "TGRAIDX1" -> heap ColumnIndex via the hardened v1 loader.
+//   "TGRAIDX2" -> zero-copy MmapCorpus.
+// Anything else is Corruption.
+
+#ifndef TEGRA_STORE_CORPUS_LOADER_H_
+#define TEGRA_STORE_CORPUS_LOADER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/corpus_view.h"
+
+namespace tegra {
+namespace store {
+
+/// \brief An opened corpus plus its provenance.
+struct LoadedCorpus {
+  std::shared_ptr<const CorpusView> view;
+  std::string path;
+  std::string format;  ///< "heap-v1" or "mmap-v2".
+};
+
+/// \brief Opens a corpus file of either format (magic-sniffed).
+Result<LoadedCorpus> OpenCorpus(const std::string& path);
+
+/// \brief Per-section summary for v2 snapshots.
+struct SectionSummary {
+  std::string name;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  /// Only meaningful when the describe call checked CRCs.
+  bool crc_checked = false;
+  bool crc_ok = false;
+};
+
+/// \brief Format-independent summary of a corpus file.
+struct CorpusFileInfo {
+  std::string path;
+  std::string format;  ///< "TGRAIDX1" or "TGRAIDX2".
+  uint64_t file_bytes = 0;
+  uint64_t total_columns = 0;
+  uint64_t num_values = 0;
+  /// v2 only: the section table (empty for v1).
+  std::vector<SectionSummary> sections;
+  bool header_crc_ok = true;  ///< v2 only; v1 has no header CRC.
+};
+
+/// \brief Inspects a corpus file of either format. For v2, `check_crc`
+/// additionally recomputes every section checksum (O(file size)).
+Result<CorpusFileInfo> DescribeCorpusFile(const std::string& path,
+                                          bool check_crc);
+
+/// \brief Renders `info` as the human-readable report shared by
+/// `tegra_corpusctl stats` and `corpus_inspector`.
+std::string FormatCorpusFileInfo(const CorpusFileInfo& info);
+
+/// \brief Full integrity verification. v2: header + section CRCs and a deep
+/// decode of the dictionary, hash table and every posting list. v1: the
+/// hardened loader's complete parse. Returns Corruption on any defect.
+Status VerifyCorpusFile(const std::string& path);
+
+}  // namespace store
+}  // namespace tegra
+
+#endif  // TEGRA_STORE_CORPUS_LOADER_H_

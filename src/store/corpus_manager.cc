@@ -1,0 +1,95 @@
+#include "store/corpus_manager.h"
+
+#include <utility>
+
+#include "store/corpus_loader.h"
+
+namespace tegra {
+namespace store {
+
+CorpusManager::CorpusManager(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  if (options_.metrics != nullptr) {
+    reload_total_ = options_.metrics->GetCounter("store.reload_total");
+    reload_errors_total_ =
+        options_.metrics->GetCounter("store.reload_errors_total");
+    generation_gauge_ = options_.metrics->GetGauge("corpus.generation");
+  }
+}
+
+CorpusManager::CorpusManager(std::shared_ptr<const CorpusView> initial,
+                             std::string path, Options options)
+    : CorpusManager(std::move(path), options) {
+  if (initial != nullptr) Publish(std::move(initial));
+}
+
+void CorpusManager::Publish(std::shared_ptr<const CorpusView> view) {
+  std::function<void(std::shared_ptr<const CorpusView>, uint64_t)> cb;
+  uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = std::move(view);
+    gen = ++generation_;
+    ++reloads_;
+    cb = on_swap_;
+  }
+  if (reload_total_ != nullptr) reload_total_->Increment();
+  if (generation_gauge_ != nullptr) {
+    generation_gauge_->Set(static_cast<double>(gen));
+  }
+  if (cb) cb(Current(), gen);
+}
+
+Status CorpusManager::Reload() {
+  // One reload at a time; the hot Current() path never blocks on this.
+  std::lock_guard<std::mutex> reload_lock(reload_mu_);
+  if (path_.empty()) {
+    return Status::InvalidArgument(
+        "corpus manager has no backing path to reload from");
+  }
+  Result<LoadedCorpus> loaded = OpenCorpus(path_);
+  if (!loaded.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++reload_errors_;
+      last_error_ = loaded.status().ToString();
+    }
+    if (reload_errors_total_ != nullptr) reload_errors_total_->Increment();
+    return loaded.status();
+  }
+  Publish(std::move(loaded.value().view));
+  return Status::OK();
+}
+
+std::shared_ptr<const CorpusView> CorpusManager::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t CorpusManager::Generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::string CorpusManager::CurrentFormat() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? "none" : current_->FormatName();
+}
+
+uint64_t CorpusManager::ReloadCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reloads_;
+}
+
+uint64_t CorpusManager::ReloadErrorCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reload_errors_;
+}
+
+std::string CorpusManager::LastError() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+}  // namespace store
+}  // namespace tegra

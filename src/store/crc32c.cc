@@ -1,0 +1,66 @@
+#include "store/crc32c.h"
+
+#include <array>
+
+namespace tegra {
+namespace store {
+
+namespace {
+
+// Four 256-entry tables for slice-by-4, generated once at static init from
+// the reflected Castagnoli polynomial.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xff];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xff];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xff];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const auto& tab = Tables().t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Head: align to 4 bytes.
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 3) != 0) {
+    crc = (crc >> 8) ^ tab[0][(crc ^ *p++) & 0xff];
+    --n;
+  }
+  // Body: 4 bytes per step.
+  while (n >= 4) {
+    uint32_t word;
+    __builtin_memcpy(&word, p, 4);
+    crc ^= word;
+    crc = tab[3][crc & 0xff] ^ tab[2][(crc >> 8) & 0xff] ^
+          tab[1][(crc >> 16) & 0xff] ^ tab[0][(crc >> 24) & 0xff];
+    p += 4;
+    n -= 4;
+  }
+  // Tail.
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tab[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+}  // namespace store
+}  // namespace tegra

@@ -1,0 +1,498 @@
+#include "store/mmap_corpus.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/varint.h"
+#include "store/crc32c.h"
+
+namespace tegra {
+namespace store {
+
+namespace {
+
+Status Corrupt(const std::string& path, const char* what) {
+  return Status::Corruption(std::string(what) + " in: " + path);
+}
+
+/// A cursor over one encoded posting list that decodes 128-entry blocks into
+/// a caller-owned stack buffer on demand. Supports sequential advance and
+/// galloping SeekGE via the skip table. Never heap-allocates.
+class PostingCursor {
+ public:
+  /// `bytes` is the raw encoding, `count` the number of postings.
+  PostingCursor(std::string_view bytes, uint32_t count) : count_(count) {
+    if (count_ == 0) {
+      exhausted_ = true;
+      return;
+    }
+    if (count_ <= kPostingBlockSize) {
+      num_blocks_ = 1;
+      skip_ = nullptr;
+      streams_ = bytes.data();
+      streams_len_ = bytes.size();
+    } else {
+      // u32 num_blocks, skip entries, then streams.
+      num_blocks_ = ReadU32LE(bytes.data());
+      skip_ = bytes.data() + 4;
+      streams_ = skip_ + static_cast<size_t>(num_blocks_) * 8;
+      streams_len_ = bytes.size() - 4 - static_cast<size_t>(num_blocks_) * 8;
+    }
+    LoadBlock(0);
+  }
+
+  bool exhausted() const { return exhausted_; }
+  uint32_t value() const { return buf_[pos_]; }
+
+  /// Advances one posting; sets exhausted() at the end.
+  void Next() {
+    if (++pos_ < block_len_) return;
+    if (block_ + 1 < num_blocks_) {
+      LoadBlock(block_ + 1);
+    } else {
+      exhausted_ = true;
+    }
+  }
+
+  /// Advances to the first posting >= target (galloping over skip entries,
+  /// then binary search within the decoded block). Never moves backwards.
+  void SeekGE(uint32_t target) {
+    if (exhausted_ || buf_[pos_] >= target) return;
+    // Beyond the current block? Binary-search the skip table for the last
+    // block whose first_docid <= target.
+    if (buf_[block_len_ - 1] < target) {
+      uint32_t lo = block_ + 1, hi = num_blocks_;  // [lo, hi)
+      if (lo >= num_blocks_) {
+        exhausted_ = true;
+        return;
+      }
+      while (lo + 1 < hi) {
+        const uint32_t mid = lo + (hi - lo) / 2;
+        if (BlockFirstId(mid) <= target) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      LoadBlock(lo);
+    }
+    // Binary search within the decoded block.
+    const uint32_t* begin = buf_ + pos_;
+    const uint32_t* end = buf_ + block_len_;
+    const uint32_t* it = std::lower_bound(begin, end, target);
+    if (it == end) {
+      if (block_ + 1 < num_blocks_) {
+        LoadBlock(block_ + 1);  // First id of next block is > target - 1.
+        // buf_[0] may still be < target only if skip ids were consistent;
+        // guard anyway for robustness against odd (but valid) encodings.
+        if (buf_[0] < target) SeekGE(target);
+      } else {
+        exhausted_ = true;
+      }
+    } else {
+      pos_ = static_cast<uint32_t>(it - buf_);
+    }
+  }
+
+ private:
+  uint32_t BlockFirstId(uint32_t b) const {
+    if (skip_ == nullptr) return buf_[0];
+    return ReadU32LE(skip_ + static_cast<size_t>(b) * 8);
+  }
+
+  void LoadBlock(uint32_t b) {
+    block_ = b;
+    pos_ = 0;
+    const size_t lo = static_cast<size_t>(b) * kPostingBlockSize;
+    const size_t hi =
+        std::min<size_t>(count_, lo + kPostingBlockSize);
+    block_len_ = static_cast<uint32_t>(hi - lo);
+    const uint8_t* p;
+    const uint8_t* end;
+    uint32_t prev;
+    uint32_t first_decoded;
+    if (skip_ == nullptr) {
+      p = reinterpret_cast<const uint8_t*>(streams_);
+      end = p + streams_len_;
+      prev = 0;
+      first_decoded = 0;  // All block_len_ entries come from the stream.
+    } else {
+      const uint32_t byte_off = ReadU32LE(skip_ + static_cast<size_t>(b) * 8 + 4);
+      const uint32_t byte_end =
+          (b + 1 < num_blocks_)
+              ? ReadU32LE(skip_ + static_cast<size_t>(b + 1) * 8 + 4)
+              : static_cast<uint32_t>(streams_len_);
+      p = reinterpret_cast<const uint8_t*>(streams_) + byte_off;
+      end = reinterpret_cast<const uint8_t*>(streams_) + byte_end;
+      buf_[0] = BlockFirstId(b);
+      prev = buf_[0];
+      first_decoded = 1;  // Entry 0 lives in the skip table.
+    }
+    for (uint32_t i = first_decoded; i < block_len_; ++i) {
+      uint64_t delta = 0;
+      p = GetVarint(p, end, &delta);
+      if (p == nullptr) {
+        // Structurally validated at open + CRC-guarded; treat a short block
+        // as an empty suffix rather than reading out of bounds.
+        block_len_ = i;
+        break;
+      }
+      prev += static_cast<uint32_t>(delta);
+      buf_[i] = prev;
+    }
+    if (block_len_ == 0) exhausted_ = true;
+  }
+
+  uint32_t count_;
+  uint32_t num_blocks_ = 0;
+  const char* skip_ = nullptr;     ///< Skip entries, 8 bytes each; null when
+                                   ///< the list is a single implicit block.
+  const char* streams_ = nullptr;  ///< Concatenated block varint streams.
+  size_t streams_len_ = 0;
+
+  uint32_t buf_[kPostingBlockSize];  ///< Decoded current block (stack-sized).
+  uint32_t block_ = 0;
+  uint32_t block_len_ = 0;
+  uint32_t pos_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<MmapCorpus>> MmapCorpus::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open snapshot: " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat failed: " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kHeaderBytes + kSectionCount * kSectionEntryBytes) {
+    ::close(fd);
+    return Corrupt(path, "snapshot smaller than header + section table");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (map == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path + ": " +
+                           std::strerror(errno));
+  }
+
+  std::unique_ptr<MmapCorpus> corpus(new MmapCorpus());
+  corpus->path_ = path;
+  corpus->data_ = static_cast<const char*>(map);
+  corpus->map_size_ = size;
+  const char* d = corpus->data_;
+
+  // ---- Header ----
+  if (std::memcmp(d, kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Corrupt(path, "bad magic");
+  }
+  SnapshotHeader& h = corpus->header_;
+  h.version = ReadU32LE(d + 8);
+  h.section_count = ReadU32LE(d + 12);
+  h.total_columns = ReadU64LE(d + 16);
+  h.num_values = ReadU64LE(d + 24);
+  h.dict_block_size = ReadU32LE(d + 32);
+  h.posting_block_size = ReadU32LE(d + 36);
+  h.file_bytes = ReadU64LE(d + 40);
+  h.header_crc = ReadU32LE(d + kHeaderBytes - 4);
+  if (h.version != kFormatVersion) {
+    return Corrupt(path, "unsupported snapshot version");
+  }
+  if (h.section_count != kSectionCount) {
+    return Corrupt(path, "unexpected section count");
+  }
+  if (h.file_bytes != size) {
+    return Corrupt(path, "file size mismatch (truncated or padded snapshot)");
+  }
+  if (h.dict_block_size != kDictBlockSize ||
+      h.posting_block_size != kPostingBlockSize) {
+    return Corrupt(path, "unsupported block geometry");
+  }
+  if (h.total_columns > 0xffffffffULL || h.num_values > 0xffffffffULL) {
+    return Corrupt(path, "implausible corpus cardinality");
+  }
+
+  // Header CRC covers header[0:60) + the section table: any flipped bit in
+  // either is caught before offsets are trusted.
+  const char* table = d + kHeaderBytes;
+  const size_t table_len = kSectionCount * kSectionEntryBytes;
+  uint32_t crc = Crc32cExtend(0, d, kHeaderBytes - 4);
+  crc = Crc32cExtend(crc, table, table_len);
+  if (MaskCrc(crc) != h.header_crc) {
+    return Corrupt(path, "header checksum mismatch");
+  }
+
+  // ---- Section table ----
+  uint64_t min_offset = kHeaderBytes + table_len;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const char* e = table + i * kSectionEntryBytes;
+    SectionEntry& s = corpus->sections_[i];
+    s.kind = ReadU32LE(e);
+    s.offset = ReadU64LE(e + 8);
+    s.length = ReadU64LE(e + 16);
+    s.crc = ReadU32LE(e + 24);
+    if (s.kind != i + 1) return Corrupt(path, "section kinds out of order");
+    if (s.offset % 8 != 0) return Corrupt(path, "misaligned section");
+    if (s.offset < min_offset || s.offset > size ||
+        s.length > size - s.offset) {
+      return Corrupt(path, "section out of bounds");
+    }
+    min_offset = s.offset + s.length;
+  }
+
+  // ---- Structural validation of each section ----
+  const uint64_t nv = h.num_values;
+  const uint64_t num_dict_blocks = (nv + kDictBlockSize - 1) / kDictBlockSize;
+  const SectionEntry& s_doff = corpus->sections_[kDictOffsets - 1];
+  const SectionEntry& s_dblob = corpus->sections_[kDictBlob - 1];
+  const SectionEntry& s_hash = corpus->sections_[kHash - 1];
+  const SectionEntry& s_poff = corpus->sections_[kPostingOffsets - 1];
+  const SectionEntry& s_pcnt = corpus->sections_[kPostingCounts - 1];
+  const SectionEntry& s_pblob = corpus->sections_[kPostingBlob - 1];
+
+  if (s_doff.length != num_dict_blocks * 4) {
+    return Corrupt(path, "dict_offsets length mismatch");
+  }
+  if (s_poff.length != (nv + 1) * 8) {
+    return Corrupt(path, "posting_offsets length mismatch");
+  }
+  if (s_pcnt.length != nv * 4) {
+    return Corrupt(path, "posting_counts length mismatch");
+  }
+  if (s_hash.length < 8) return Corrupt(path, "hash section too small");
+  const uint64_t slot_count = ReadU64LE(d + s_hash.offset);
+  if (slot_count == 0 || (slot_count & (slot_count - 1)) != 0 ||
+      s_hash.length != 8 + slot_count * 8) {
+    return Corrupt(path, "hash slot table malformed");
+  }
+
+  corpus->dict_offsets_ = d + s_doff.offset;
+  corpus->dict_blob_ = d + s_dblob.offset;
+  corpus->dict_blob_len_ = s_dblob.length;
+  corpus->hash_slots_ = d + s_hash.offset + 8;
+  corpus->hash_slot_count_ = slot_count;
+  corpus->post_offsets_ = d + s_poff.offset;
+  corpus->post_counts_ = d + s_pcnt.offset;
+  corpus->post_blob_ = d + s_pblob.offset;
+  corpus->post_blob_len_ = s_pblob.length;
+
+  // Offset arrays must be monotone and end exactly at their blob lengths.
+  // Linear scans over a few MB of u64s — microseconds, not milliseconds.
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i <= nv; ++i) {
+    const uint64_t off = ReadU64LE(corpus->post_offsets_ + i * 8);
+    if (off < prev || off > s_pblob.length) {
+      return Corrupt(path, "posting offsets not monotone");
+    }
+    prev = off;
+  }
+  if (prev != s_pblob.length) {
+    return Corrupt(path, "posting blob length mismatch");
+  }
+  prev = 0;
+  for (uint64_t b = 0; b < num_dict_blocks; ++b) {
+    const uint64_t off = ReadU32LE(corpus->dict_offsets_ + b * 4);
+    if (off < prev || off >= std::max<uint64_t>(1, s_dblob.length)) {
+      return Corrupt(path, "dict offsets not monotone");
+    }
+    prev = off;
+  }
+
+  return corpus;
+}
+
+MmapCorpus::~MmapCorpus() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), map_size_);
+  }
+}
+
+const SectionEntry& MmapCorpus::section(uint32_t kind) const {
+  return sections_[kind - 1];
+}
+
+std::string_view MmapCorpus::PostingBytes(ValueId id) const {
+  const uint64_t lo = ReadU64LE(post_offsets_ + static_cast<uint64_t>(id) * 8);
+  const uint64_t hi =
+      ReadU64LE(post_offsets_ + (static_cast<uint64_t>(id) + 1) * 8);
+  return std::string_view(post_blob_ + lo, hi - lo);
+}
+
+bool MmapCorpus::DecodeValue(ValueId id, std::string* out) const {
+  if (id >= header_.num_values) return false;
+  const uint64_t block = id / kDictBlockSize;
+  const uint32_t within = id % kDictBlockSize;
+  const uint64_t start = ReadU32LE(dict_offsets_ + block * 4);
+  const uint8_t* p =
+      reinterpret_cast<const uint8_t*>(dict_blob_) + start;
+  const uint8_t* end =
+      reinterpret_cast<const uint8_t*>(dict_blob_) + dict_blob_len_;
+  // Block-leading entry: full string.
+  uint64_t len = 0;
+  p = GetVarint(p, end, &len);
+  if (p == nullptr || len > static_cast<uint64_t>(end - p)) return false;
+  out->assign(reinterpret_cast<const char*>(p), len);
+  p += len;
+  // Apply front-coded deltas up to the requested entry.
+  for (uint32_t i = 1; i <= within; ++i) {
+    uint64_t shared = 0, suffix = 0;
+    p = GetVarint(p, end, &shared);
+    if (p == nullptr) return false;
+    p = GetVarint(p, end, &suffix);
+    if (p == nullptr || shared > out->size() ||
+        suffix > static_cast<uint64_t>(end - p)) {
+      return false;
+    }
+    out->resize(shared);
+    out->append(reinterpret_cast<const char*>(p), suffix);
+    p += suffix;
+  }
+  return true;
+}
+
+ValueId MmapCorpus::Lookup(std::string_view value) const {
+  if (header_.num_values == 0) return kInvalidValueId;
+  const std::string norm = NormalizeValue(value);
+  const uint64_t h = Fnv1a64(norm);
+  const uint64_t fp = h >> 32;
+  const uint64_t mask = hash_slot_count_ - 1;
+  std::string candidate;
+  uint64_t idx = h & mask;
+  // Probe count is bounded by the table size so a corrupted (full) slot
+  // table cannot spin forever; the writer keeps the table at most half full.
+  for (uint64_t probes = 0; probes < hash_slot_count_;
+       ++probes, idx = (idx + 1) & mask) {
+    const uint64_t slot = ReadU64LE(hash_slots_ + idx * 8);
+    if (slot == 0) return kInvalidValueId;  // Empty slot ends the probe run.
+    if ((slot >> 32) != fp) continue;
+    const ValueId id = static_cast<ValueId>((slot & 0xffffffffULL) - 1);
+    // 32-bit fingerprints collide; confirm against the dictionary.
+    if (DecodeValue(id, &candidate) && candidate == norm) return id;
+  }
+  return kInvalidValueId;
+}
+
+uint32_t MmapCorpus::ColumnCount(ValueId id) const {
+  if (id >= header_.num_values) return 0;
+  return ReadU32LE(post_counts_ + static_cast<uint64_t>(id) * 4);
+}
+
+uint32_t MmapCorpus::CoOccurrenceCount(ValueId a, ValueId b) const {
+  if (a >= header_.num_values || b >= header_.num_values) return 0;
+  if (a == b) return ColumnCount(a);
+  // Drive from the rarer list; gallop within the denser one.
+  uint32_t ca = ColumnCount(a), cb = ColumnCount(b);
+  if (ca > cb) {
+    std::swap(a, b);
+    std::swap(ca, cb);
+  }
+  if (ca == 0) return 0;
+  PostingCursor rare(PostingBytes(a), ca);
+  PostingCursor dense(PostingBytes(b), cb);
+  uint32_t hits = 0;
+  while (!rare.exhausted() && !dense.exhausted()) {
+    const uint32_t target = rare.value();
+    dense.SeekGE(target);
+    if (dense.exhausted()) break;
+    if (dense.value() == target) {
+      ++hits;
+      dense.Next();
+    }
+    rare.Next();
+  }
+  return hits;
+}
+
+std::string MmapCorpus::ValueString(ValueId id) const {
+  std::string out;
+  if (!DecodeValue(id, &out)) return std::string();
+  return out;
+}
+
+Status MmapCorpus::Verify() const {
+  // 1. Section payload CRCs.
+  for (const SectionEntry& s : sections_) {
+    const uint32_t crc = Crc32c(data_ + s.offset, s.length);
+    if (MaskCrc(crc) != s.crc) {
+      return Status::Corruption(std::string("section '") +
+                                SectionName(s.kind) +
+                                "' checksum mismatch in: " + path_);
+    }
+  }
+  // 1b. Alignment padding (between section payloads and after the last one)
+  //     is written as zero bytes and covered by no checksum — require it to
+  //     still be zero so *every* byte of the file is integrity-checked.
+  uint64_t covered = kHeaderBytes + kSectionCount * kSectionEntryBytes;
+  for (const SectionEntry& s : sections_) {
+    for (uint64_t i = covered; i < s.offset; ++i) {
+      if (data_[i] != '\0') {
+        return Corrupt(path_, "nonzero alignment padding");
+      }
+    }
+    covered = s.offset + s.length;
+  }
+  for (uint64_t i = covered; i < header_.file_bytes; ++i) {
+    if (data_[i] != '\0') {
+      return Corrupt(path_, "nonzero alignment padding");
+    }
+  }
+  // 2. Deep decode: every dictionary entry materializes and is sorted;
+  //    every posting list decodes to exactly `count` strictly increasing
+  //    in-range column ids.
+  std::string prev_value, value;
+  for (uint64_t id = 0; id < header_.num_values; ++id) {
+    if (!DecodeValue(static_cast<ValueId>(id), &value)) {
+      return Corrupt(path_, "undecodable dictionary entry");
+    }
+    if (id > 0 && !(prev_value < value)) {
+      return Corrupt(path_, "dictionary not strictly sorted");
+    }
+    prev_value.swap(value);
+
+    const uint32_t count = ColumnCount(static_cast<ValueId>(id));
+    PostingCursor cur(PostingBytes(static_cast<ValueId>(id)), count);
+    uint64_t seen = 0;
+    uint64_t prev_id = 0;
+    bool first = true;
+    while (!cur.exhausted()) {
+      const uint32_t v = cur.value();
+      if (!first && v <= prev_id) {
+        return Corrupt(path_, "postings not strictly increasing");
+      }
+      if (v >= header_.total_columns) {
+        return Corrupt(path_, "posting column id out of range");
+      }
+      prev_id = v;
+      first = false;
+      ++seen;
+      cur.Next();
+    }
+    if (seen != count) {
+      return Corrupt(path_, "posting count mismatch");
+    }
+    // 3. The hash table must route every value back to its own id
+    //    (normalization is idempotent on already-normalized strings).
+    if (Lookup(prev_value) != static_cast<ValueId>(id)) {
+      return Corrupt(path_, "hash table does not resolve value");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace store
+}  // namespace tegra

@@ -1,0 +1,98 @@
+// Zero-copy CorpusView over an mmap'd TGRAIDX2 snapshot.
+//
+// Open() maps the file read-only and performs *structural* validation only
+// (magic, version, header CRC over the 64-byte header + section table,
+// section bounds / alignment / ordering, offset-array monotonicity) so a
+// multi-GB corpus opens in milliseconds; payload checksums are verified
+// on demand by Verify() — `tegra_corpusctl verify` runs it, the serving
+// open path does not.
+//
+// All lookups operate directly on the mapped bytes:
+//   Lookup            O(1): open-address hash probe + front-coded decode of
+//                     one dictionary block to confirm the candidate.
+//   ColumnCount       O(1): the posting_counts array.
+//   CoOccurrenceCount galloping intersection that seeks via the per-list
+//                     skip tables and decodes only the touched 128-entry
+//                     blocks into stack buffers — no heap allocation, no
+//                     materialized posting vectors.
+//
+// The class is immutable after Open and safe for concurrent readers.
+
+#ifndef TEGRA_STORE_MMAP_CORPUS_H_
+#define TEGRA_STORE_MMAP_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "corpus/corpus_view.h"
+#include "store/format.h"
+
+namespace tegra {
+namespace store {
+
+class MmapCorpus : public CorpusView {
+ public:
+  /// \brief Maps the snapshot at `path`. Structural validation only; a
+  /// malformed file yields Status::Corruption, never UB.
+  static Result<std::unique_ptr<MmapCorpus>> Open(const std::string& path);
+
+  ~MmapCorpus() override;
+  MmapCorpus(const MmapCorpus&) = delete;
+  MmapCorpus& operator=(const MmapCorpus&) = delete;
+
+  // CorpusView -------------------------------------------------------------
+  uint64_t TotalColumns() const override { return header_.total_columns; }
+  size_t NumValues() const override {
+    return static_cast<size_t>(header_.num_values);
+  }
+  ValueId Lookup(std::string_view value) const override;
+  uint32_t ColumnCount(ValueId id) const override;
+  uint32_t CoOccurrenceCount(ValueId a, ValueId b) const override;
+  std::string ValueString(ValueId id) const override;
+  const char* FormatName() const override { return "mmap-v2"; }
+  size_t HeapBytes() const override { return sizeof(*this); }
+  size_t MappedBytes() const override { return map_size_; }
+
+  // Snapshot-specific ------------------------------------------------------
+
+  /// \brief Full integrity check: recomputes every section CRC32C and
+  /// deep-decodes the dictionary and all posting lists. Returns Corruption
+  /// on the first mismatch. O(file size); not run by Open().
+  Status Verify() const;
+
+  const std::string& path() const { return path_; }
+  const SnapshotHeader& header() const { return header_; }
+  const SectionEntry& section(uint32_t kind) const;
+
+ private:
+  MmapCorpus() = default;
+
+  /// Raw bytes of one posting list: posting_blob[off[id], off[id+1]).
+  std::string_view PostingBytes(ValueId id) const;
+  /// Decodes the normalized string for rank `id` out of the dictionary.
+  bool DecodeValue(ValueId id, std::string* out) const;
+
+  std::string path_;
+  const char* data_ = nullptr;  ///< Mapping base.
+  size_t map_size_ = 0;
+  SnapshotHeader header_;
+  SectionEntry sections_[kSectionCount];
+  // Resolved section payload pointers (into the mapping).
+  const char* dict_offsets_ = nullptr;
+  const char* dict_blob_ = nullptr;
+  uint64_t dict_blob_len_ = 0;
+  const char* hash_slots_ = nullptr;
+  uint64_t hash_slot_count_ = 0;
+  const char* post_offsets_ = nullptr;
+  const char* post_counts_ = nullptr;
+  const char* post_blob_ = nullptr;
+  uint64_t post_blob_len_ = 0;
+};
+
+}  // namespace store
+}  // namespace tegra
+
+#endif  // TEGRA_STORE_MMAP_CORPUS_H_

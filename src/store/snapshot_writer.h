@@ -1,0 +1,31 @@
+// Serializes a finalized heap ColumnIndex into a TGRAIDX2 snapshot file.
+//
+// The writer re-interns values in lexicographic order of their normalized
+// strings (ids in the snapshot therefore generally differ from the heap
+// index's insertion-order ids — every statistic TEGRA consumes is invariant
+// under id relabeling), front-codes the dictionary, builds the open-address
+// hash, and block-compresses each posting list. Publication is atomic and
+// durable via AtomicWriteFile: a crash mid-write can never leave a torn
+// snapshot at the published path.
+
+#ifndef TEGRA_STORE_SNAPSHOT_WRITER_H_
+#define TEGRA_STORE_SNAPSHOT_WRITER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "corpus/column_index.h"
+
+namespace tegra {
+namespace store {
+
+/// \brief Serializes `index` (must be finalized) to TGRAIDX2 bytes.
+Result<std::string> EncodeSnapshot(const ColumnIndex& index);
+
+/// \brief Encodes and atomically publishes a snapshot at `path`.
+Status WriteSnapshot(const ColumnIndex& index, const std::string& path);
+
+}  // namespace store
+}  // namespace tegra
+
+#endif  // TEGRA_STORE_SNAPSHOT_WRITER_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <string>
+#include "corpus/column_index.h"
 
 namespace tegra::synth {
 

@@ -12,6 +12,7 @@
 #include "service/metrics.h"
 #include "synth/corpus_gen.h"
 #include "synth/list_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

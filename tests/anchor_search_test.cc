@@ -16,6 +16,7 @@
 #include "core/slgr.h"
 #include "synth/corpus_gen.h"
 #include "synth/list_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

@@ -7,6 +7,7 @@
 #include "eval/experiment.h"
 #include "eval/lists_data.h"
 #include "synth/corpus_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

@@ -9,6 +9,7 @@
 #include "baselines/listextract.h"
 #include "synth/corpus_gen.h"
 #include "synth/knowledge_base.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

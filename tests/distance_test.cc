@@ -11,6 +11,7 @@
 #include "distance/cell.h"
 #include "distance/distance.h"
 #include "synth/corpus_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

@@ -4,6 +4,7 @@
 
 #include "core/header.h"
 #include "corpus/corpus_stats.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

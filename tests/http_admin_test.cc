@@ -21,8 +21,10 @@
 #include "service/admin_pages.h"
 #include "service/extraction_service.h"
 #include "service/serve_json.h"
+#include "store/corpus_manager.h"
 #include "synth/corpus_gen.h"
 #include "trace/trace.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace serve {
@@ -242,11 +244,18 @@ class AdminPagesTest : public ::testing::Test {
         synth::CorpusProfile::kWeb, /*num_tables=*/800, /*seed=*/404));
     stats_ = new CorpusStats(index_);
     extractor_ = new TegraExtractor(stats_);
+    // AdminPages consumes the corpus through a CorpusManager; wrap the
+    // fixture index in a non-owning view (no file backing, generation 1).
+    manager_ = new store::CorpusManager(
+        std::shared_ptr<const CorpusView>(index_, [](const CorpusView*) {}),
+        /*path=*/"");
   }
   static void TearDownTestSuite() {
+    delete manager_;
     delete extractor_;
     delete stats_;
     delete index_;
+    manager_ = nullptr;
     extractor_ = nullptr;
     stats_ = nullptr;
     index_ = nullptr;
@@ -271,17 +280,19 @@ class AdminPagesTest : public ::testing::Test {
   static ColumnIndex* index_;
   static CorpusStats* stats_;
   static TegraExtractor* extractor_;
+  static store::CorpusManager* manager_;
 };
 
 ColumnIndex* AdminPagesTest::index_ = nullptr;
 CorpusStats* AdminPagesTest::stats_ = nullptr;
 TegraExtractor* AdminPagesTest::extractor_ = nullptr;
+store::CorpusManager* AdminPagesTest::manager_ = nullptr;
 
 TEST_F(AdminPagesTest, AllPagesRespondOverSockets) {
   MetricsRegistry registry;
   ScopedBindMetrics bind(&registry);
   ExtractionService service(extractor_, {}, &registry);
-  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  AdminPages pages(&service, &trace::Tracer::Global(), manager_);
   HttpAdminServer server({}, &registry);
   pages.RegisterAll(&server);
   ASSERT_TRUE(server.Start().ok());
@@ -344,7 +355,7 @@ TEST_F(AdminPagesTest, ReadyzReports503WhenQueueSaturated) {
   ServiceOptions service_options;
   service_options.max_queue_depth = 4;
   ExtractionService service(extractor_, service_options, &registry);
-  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  AdminPages pages(&service, &trace::Tracer::Global(), manager_);
 
   // Healthy: ready.
   HttpResponse ready = pages.Readyz(HttpRequest());
@@ -379,7 +390,7 @@ TEST_F(AdminPagesTest, ReadyzReports503WithoutServiceOrCorpus) {
 TEST_F(AdminPagesTest, ReadyzReports503DuringShutdown) {
   MetricsRegistry registry;
   auto* service = new ExtractionService(extractor_, {}, &registry);
-  AdminPages pages(service, nullptr, index_);
+  AdminPages pages(service, nullptr, manager_);
   EXPECT_EQ(pages.Readyz(HttpRequest()).status, 200);
   service->Shutdown();
   HttpResponse response = pages.Readyz(HttpRequest());
@@ -394,7 +405,7 @@ TEST_F(AdminPagesTest, StatuszShowsBuildCorpusAndQuality) {
   ExtractionService service(extractor_, {}, &registry);
   AdminPagesOptions options;
   options.corpus_description = "synthetic web:800:404";
-  AdminPages pages(&service, &trace::Tracer::Global(), index_, options);
+  AdminPages pages(&service, &trace::Tracer::Global(), manager_, options);
 
   const ExtractionResponse response = service.SubmitAndWait(MakeRequest(1));
   ASSERT_TRUE(response.ok());
@@ -419,7 +430,7 @@ TEST_F(AdminPagesTest, ConcurrentScrapesDuringExtractions) {
   ServiceOptions service_options;
   service_options.num_workers = 2;
   ExtractionService service(extractor_, service_options, &registry);
-  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  AdminPages pages(&service, &trace::Tracer::Global(), manager_);
   HttpAdminServer server({}, &registry);
   pages.RegisterAll(&server);
   ASSERT_TRUE(server.Start().ok());
@@ -482,7 +493,7 @@ TEST_F(AdminPagesTest, ConcurrentScrapesDuringExtractions) {
 TEST_F(AdminPagesTest, StopWhileClientsAreFetching) {
   MetricsRegistry registry;
   ExtractionService service(extractor_, {}, &registry);
-  AdminPages pages(&service, &trace::Tracer::Global(), index_);
+  AdminPages pages(&service, &trace::Tracer::Global(), manager_);
   HttpAdminServer server({}, &registry);
   pages.RegisterAll(&server);
   ASSERT_TRUE(server.Start().ok());

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "common/random.h"
+#include "corpus/column_index.h"
 #include "core/anchor_search.h"
 #include "core/objective.h"
 #include "core/slgr.h"

@@ -9,168 +9,16 @@
 
 #include <gtest/gtest.h>
 
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <cstdio>
-#include <cstring>
-#include <deque>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "serve_process_util.h"
 #include "service/http_admin.h"
 #include "service/serve_json.h"
-
-#ifndef TEGRA_SERVE_BINARY
-#error "TEGRA_SERVE_BINARY must be defined to the tegra_serve binary path"
-#endif
 
 namespace tegra {
 namespace serve {
 namespace {
-
-/// A running tegra_serve child: NDJSON in via `WriteLine`, NDJSON out via
-/// `NextLine` (fed by a reader thread so the child can never block on a full
-/// stdout pipe).
-class ServeProcess {
- public:
-  bool Start(const std::vector<std::string>& extra_args) {
-    int in_pipe[2];   // parent writes -> child stdin
-    int out_pipe[2];  // child stdout -> parent reads
-    if (::pipe(in_pipe) != 0 || ::pipe(out_pipe) != 0) return false;
-    pid_ = ::fork();
-    if (pid_ < 0) return false;
-    if (pid_ == 0) {
-      // Child: wire the pipes and exec the daemon.
-      ::dup2(in_pipe[0], STDIN_FILENO);
-      ::dup2(out_pipe[1], STDOUT_FILENO);
-      ::close(in_pipe[0]);
-      ::close(in_pipe[1]);
-      ::close(out_pipe[0]);
-      ::close(out_pipe[1]);
-      std::vector<std::string> args = {TEGRA_SERVE_BINARY};
-      args.insert(args.end(), extra_args.begin(), extra_args.end());
-      std::vector<char*> argv;
-      argv.reserve(args.size() + 1);
-      for (std::string& a : args) argv.push_back(a.data());
-      argv.push_back(nullptr);
-      ::execv(TEGRA_SERVE_BINARY, argv.data());
-      ::_exit(127);  // exec failed
-    }
-    ::close(in_pipe[0]);
-    ::close(out_pipe[1]);
-    stdin_fd_ = in_pipe[1];
-    stdout_fd_ = out_pipe[0];
-    reader_ = std::thread([this] { ReaderLoop(); });
-    return true;
-  }
-
-  ~ServeProcess() {
-    CloseStdin();
-    if (reader_.joinable()) reader_.join();
-    if (pid_ > 0) {
-      int status = 0;
-      if (::waitpid(pid_, &status, WNOHANG) == 0) {
-        ::kill(pid_, SIGKILL);
-        ::waitpid(pid_, &status, 0);
-      }
-    }
-  }
-
-  bool WriteLine(const std::string& line) {
-    const std::string data = line + "\n";
-    size_t off = 0;
-    while (off < data.size()) {
-      const ssize_t n =
-          ::write(stdin_fd_, data.data() + off, data.size() - off);
-      if (n <= 0) return false;
-      off += static_cast<size_t>(n);
-    }
-    return true;
-  }
-
-  /// Next stdout line, or empty string after `timeout_ms` / EOF.
-  std::string NextLine(int timeout_ms = 30000) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                 [this] { return !lines_.empty() || eof_; });
-    if (lines_.empty()) return "";
-    std::string line = std::move(lines_.front());
-    lines_.pop_front();
-    return line;
-  }
-
-  void CloseStdin() {
-    if (stdin_fd_ >= 0) {
-      ::close(stdin_fd_);
-      stdin_fd_ = -1;
-    }
-  }
-
-  /// Waits for the child to exit and returns its exit code (-1 on abnormal
-  /// termination).
-  int Wait() {
-    if (pid_ <= 0) return -1;
-    int status = 0;
-    ::waitpid(pid_, &status, 0);
-    pid_ = -1;
-    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  }
-
- private:
-  void ReaderLoop() {
-    std::string buf;
-    char chunk[4096];
-    ssize_t n;
-    while ((n = ::read(stdout_fd_, chunk, sizeof(chunk))) > 0) {
-      buf.append(chunk, static_cast<size_t>(n));
-      size_t pos;
-      while ((pos = buf.find('\n')) != std::string::npos) {
-        std::lock_guard<std::mutex> lock(mu_);
-        lines_.push_back(buf.substr(0, pos));
-        buf.erase(0, pos + 1);
-        cv_.notify_all();
-      }
-    }
-    ::close(stdout_fd_);
-    std::lock_guard<std::mutex> lock(mu_);
-    eof_ = true;
-    cv_.notify_all();
-  }
-
-  pid_t pid_ = -1;
-  int stdin_fd_ = -1;
-  int stdout_fd_ = -1;
-  std::thread reader_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::string> lines_;
-  bool eof_ = false;
-};
-
-std::string ExtractionRequestLine(int id, size_t num_lines, size_t rotate) {
-  static const std::vector<std::string> base = {
-      "Boston Massachusetts 645,966",    "Worcester Massachusetts 182,544",
-      "Providence Rhode Island 178,042", "Hartford Connecticut 124,775",
-      "Springfield Massachusetts 153,060", "Bridgeport Connecticut 144,229",
-      "New Haven Connecticut 129,779",   "Stamford Connecticut 122,643",
-  };
-  JsonValue request = JsonValue::Object();
-  request.Set("id", JsonValue::Number(id));
-  JsonValue lines = JsonValue::Array();
-  for (size_t i = 0; i < num_lines; ++i) {
-    lines.Append(JsonValue::Str(base[(rotate + i) % base.size()]));
-  }
-  request.Set("lines", std::move(lines));
-  request.Set("bypass_cache", JsonValue::Bool(true));
-  return request.Dump();
-}
 
 TEST(ServeAdminE2eTest, FullAdminPlaneAgainstRealDaemon) {
   ServeProcess daemon;

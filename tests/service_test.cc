@@ -15,6 +15,7 @@
 
 #include "corpus/corpus_stats.h"
 #include "synth/corpus_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace serve {

@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "common/random.h"
+#include "corpus/column_index.h"
 #include "core/slgr.h"
 #include "synth/corpus_gen.h"
 

@@ -1,0 +1,571 @@
+// tegra::store test suite.
+//
+//  * Round-trip equivalence: every statistic TEGRA consumes (|C(s)|,
+//    co-occurrence, union, PMI/NPMI/Jaccard/angular distances) is
+//    bit-identical between a heap ColumnIndex and the TGRAIDX2 snapshot
+//    built from it, under the snapshot's relabeled (sorted) value ids.
+//  * Corruption matrix: every truncation point and a sweep of single-bit
+//    flips must surface as Status::Corruption from Open() or Verify() —
+//    never UB, never a crash, never silently wrong data.
+//  * v1 hardening: the TGRAIDX1 loader rejects truncated and mutated
+//    caches with Corruption.
+//  * Durability: publication is atomic — no `.tmp` debris, old content
+//    survives a failed write.
+//  * CorpusManager: generation bumping, failed-reload semantics, and
+//    concurrent readers racing a hot swap (the TSan target of the suite).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/file_util.h"
+#include "corpus/column_index.h"
+#include "corpus/corpus_io.h"
+#include "corpus/corpus_stats.h"
+#include "corpus/corpus_view.h"
+#include "store/corpus_loader.h"
+#include "store/corpus_manager.h"
+#include "store/crc32c.h"
+#include "store/format.h"
+#include "store/mmap_corpus.h"
+#include "store/snapshot_writer.h"
+#include "synth/corpus_gen.h"
+
+namespace tegra {
+namespace store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "store_test_" + std::to_string(::getpid()) +
+         "_" + name;
+}
+
+ColumnIndex BuildCorpus(size_t tables = 400, uint64_t seed = 3) {
+  return synth::BuildBackgroundIndex(synth::CorpusProfile::kWeb, tables, seed);
+}
+
+/// Writes raw bytes (non-atomically; tests that need torn files use this).
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+class StoreRoundTripTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    heap_ = new ColumnIndex(BuildCorpus());
+    path_ = new std::string(TempPath("roundtrip.idx2"));
+    const Status written = WriteSnapshot(*heap_, *path_);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+    auto opened = MmapCorpus::Open(*path_);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    mmap_ = opened.value().release();
+  }
+
+  static void TearDownTestSuite() {
+    delete mmap_;
+    mmap_ = nullptr;
+    std::remove(path_->c_str());
+    delete path_;
+    path_ = nullptr;
+    delete heap_;
+    heap_ = nullptr;
+  }
+
+  static ColumnIndex* heap_;
+  static MmapCorpus* mmap_;
+  static std::string* path_;
+};
+
+ColumnIndex* StoreRoundTripTest::heap_ = nullptr;
+MmapCorpus* StoreRoundTripTest::mmap_ = nullptr;
+std::string* StoreRoundTripTest::path_ = nullptr;
+
+TEST_F(StoreRoundTripTest, CardinalitiesMatch) {
+  EXPECT_EQ(mmap_->TotalColumns(), heap_->TotalColumns());
+  EXPECT_EQ(mmap_->NumValues(), heap_->NumValues());
+  EXPECT_STREQ(mmap_->FormatName(), "mmap-v2");
+  EXPECT_GT(mmap_->MappedBytes(), 0u);
+  // Zero-copy: the resident heap cost of the view is the object itself, not
+  // any materialized postings or dictionary.
+  EXPECT_EQ(mmap_->HeapBytes(), sizeof(MmapCorpus));
+}
+
+TEST_F(StoreRoundTripTest, EveryValueRoundTripsThroughLookup) {
+  // heap id -> string -> mmap id -> string must close the loop, and the
+  // O(1) ColumnCount must agree for every single value.
+  for (ValueId heap_id = 0; heap_id < heap_->NumValues(); ++heap_id) {
+    const std::string value = heap_->ValueString(heap_id);
+    const ValueId mmap_id = mmap_->Lookup(value);
+    ASSERT_NE(mmap_id, kInvalidValueId) << "lost value: " << value;
+    EXPECT_EQ(mmap_->ValueString(mmap_id), value);
+    EXPECT_EQ(mmap_->ColumnCount(mmap_id), heap_->ColumnCount(heap_id))
+        << value;
+  }
+  EXPECT_EQ(mmap_->Lookup("value that is definitely not in the corpus"),
+            kInvalidValueId);
+  // Lookup normalizes exactly like the heap index does.
+  const std::string value = heap_->ValueString(0);
+  EXPECT_EQ(mmap_->Lookup("  " + value + "  "), mmap_->Lookup(value));
+}
+
+TEST_F(StoreRoundTripTest, StatisticsBitIdenticalAcrossRepresentations) {
+  // Pair the most popular values (postings > 128 exercise the skip-block
+  // path) with each other and with a spread of rare values. All derived
+  // statistics must be bit-identical doubles, since they are computed from
+  // identical integer counts by identical code.
+  std::vector<ValueId> heap_ids(heap_->NumValues());
+  for (size_t i = 0; i < heap_ids.size(); ++i) {
+    heap_ids[i] = static_cast<ValueId>(i);
+  }
+  std::sort(heap_ids.begin(), heap_ids.end(), [&](ValueId a, ValueId b) {
+    return heap_->ColumnCount(a) > heap_->ColumnCount(b);
+  });
+  ASSERT_GT(heap_->ColumnCount(heap_ids[0]), kPostingBlockSize)
+      << "corpus too small to exercise block-compressed postings";
+
+  std::vector<ValueId> sample(heap_ids.begin(),
+                              heap_ids.begin() + std::min<size_t>(
+                                                     40, heap_ids.size()));
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<size_t> pick(0, heap_ids.size() - 1);
+  for (int i = 0; i < 40; ++i) sample.push_back(heap_ids[pick(rng)]);
+
+  CorpusStats heap_stats(heap_);
+  CorpusStats mmap_stats(mmap_);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); j += 7) {
+      const ValueId ha = sample[i];
+      const ValueId hb = sample[j];
+      const ValueId ma = mmap_->Lookup(heap_->ValueString(ha));
+      const ValueId mb = mmap_->Lookup(heap_->ValueString(hb));
+      ASSERT_NE(ma, kInvalidValueId);
+      ASSERT_NE(mb, kInvalidValueId);
+      EXPECT_EQ(mmap_->CoOccurrenceCount(ma, mb),
+                heap_->CoOccurrenceCount(ha, hb));
+      EXPECT_EQ(mmap_->UnionCount(ma, mb), heap_->UnionCount(ha, hb));
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(mmap_stats.Pmi(ma, mb), heap_stats.Pmi(ha, hb));
+      EXPECT_EQ(mmap_stats.Npmi(ma, mb), heap_stats.Npmi(ha, hb));
+      EXPECT_EQ(mmap_stats.SemanticDistance(ma, mb),
+                heap_stats.SemanticDistance(ha, hb));
+      EXPECT_EQ(
+          mmap_stats.SemanticDistance(ma, mb, SemanticMeasure::kJaccard),
+          heap_stats.SemanticDistance(ha, hb, SemanticMeasure::kJaccard));
+      EXPECT_EQ(
+          mmap_stats.SemanticDistance(ma, mb, SemanticMeasure::kAngular),
+          heap_stats.SemanticDistance(ha, hb, SemanticMeasure::kAngular));
+    }
+  }
+}
+
+TEST_F(StoreRoundTripTest, VerifyAcceptsIntactSnapshot) {
+  EXPECT_TRUE(mmap_->Verify().ok());
+  EXPECT_TRUE(VerifyCorpusFile(*path_).ok());
+}
+
+TEST_F(StoreRoundTripTest, DescribeReportsAllSectionsChecksummed) {
+  auto info = DescribeCorpusFile(*path_, /*check_crc=*/true);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format, "TGRAIDX2");
+  EXPECT_TRUE(info->header_crc_ok);
+  EXPECT_EQ(info->total_columns, heap_->TotalColumns());
+  EXPECT_EQ(info->num_values, heap_->NumValues());
+  ASSERT_EQ(info->sections.size(), kSectionCount);
+  uint64_t described_bytes = 0;
+  for (const SectionSummary& section : info->sections) {
+    EXPECT_TRUE(section.crc_checked) << section.name;
+    EXPECT_TRUE(section.crc_ok) << section.name;
+    described_bytes = std::max(described_bytes,
+                               section.offset + section.length);
+  }
+  EXPECT_LE(described_bytes, info->file_bytes);
+  const std::string report = FormatCorpusFileInfo(info.value());
+  EXPECT_NE(report.find("TGRAIDX2"), std::string::npos);
+  EXPECT_NE(report.find("posting_blob"), std::string::npos);
+}
+
+TEST_F(StoreRoundTripTest, OpenCorpusAutodetectsBothFormats) {
+  const std::string v1_path = TempPath("autodetect.idx");
+  ASSERT_TRUE(SaveColumnIndex(*heap_, v1_path).ok());
+
+  auto v1 = OpenCorpus(v1_path);
+  ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+  EXPECT_EQ(v1->format, "heap-v1");
+  auto v2 = OpenCorpus(*path_);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(v2->format, "mmap-v2");
+  EXPECT_EQ(v1->view->NumValues(), v2->view->NumValues());
+
+  const std::string junk_path = TempPath("autodetect.junk");
+  WriteRaw(junk_path, "NOTANIDX file of some other kind entirely");
+  auto junk = OpenCorpus(junk_path);
+  EXPECT_FALSE(junk.ok());
+  EXPECT_EQ(junk.status().code(), StatusCode::kCorruption);
+
+  std::remove(v1_path.c_str());
+  std::remove(junk_path.c_str());
+}
+
+// ---- Corruption matrix -----------------------------------------------------
+
+class StoreCorruptionTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const ColumnIndex heap = BuildCorpus(200, 5);
+    auto encoded = EncodeSnapshot(heap);
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    bytes_ = new std::string(std::move(encoded.value()));
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+
+  /// True when the mutated bytes are rejected with Corruption by Open() or,
+  /// failing that, by Verify(). Any other outcome (acceptance, crash, a
+  /// different status code) fails the calling test.
+  static bool RejectedAsCorruption(const std::string& mutated,
+                                   const std::string& tag) {
+    const std::string path = TempPath("corrupt_" + tag);
+    WriteRaw(path, mutated);
+    auto opened = MmapCorpus::Open(path);
+    Status status = Status::OK();
+    if (!opened.ok()) {
+      status = opened.status();
+    } else {
+      status = opened.value()->Verify();
+      opened.value().reset();  // Unmap before unlink.
+    }
+    std::remove(path.c_str());
+    if (status.ok()) {
+      ADD_FAILURE() << tag << ": corruption went undetected";
+      return false;
+    }
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << tag << ": " << status.ToString();
+    return status.code() == StatusCode::kCorruption;
+  }
+
+  static std::string* bytes_;
+};
+
+std::string* StoreCorruptionTest::bytes_ = nullptr;
+
+TEST_F(StoreCorruptionTest, EveryTruncationPointIsRejected) {
+  // A sweep of prefixes: inside the header, inside the section table, at
+  // section boundaries, and a stride through the payloads. file_bytes in
+  // the header pins the exact length, so every strict prefix must fail.
+  std::vector<size_t> cuts = {0, 1, 7, 8, 12, 63, 64, 96,
+                              kHeaderBytes + kSectionCount * kSectionEntryBytes,
+                              bytes_->size() - 1};
+  for (size_t cut = 128; cut < bytes_->size(); cut += bytes_->size() / 41) {
+    cuts.push_back(cut);
+  }
+  for (const size_t cut : cuts) {
+    ASSERT_LE(cut, bytes_->size());
+    RejectedAsCorruption(bytes_->substr(0, cut),
+                         "truncate_" + std::to_string(cut));
+  }
+}
+
+TEST_F(StoreCorruptionTest, AppendedGarbageIsRejected) {
+  RejectedAsCorruption(*bytes_ + std::string(17, '\xee'), "appended");
+}
+
+TEST_F(StoreCorruptionTest, SingleBitFlipsAreRejectedEverywhere) {
+  // Deterministic sweep of single-bit flips across the whole file: header,
+  // section table, and a sample of every payload region. Each must trip a
+  // structural check at Open() or a checksum / deep-decode check in
+  // Verify().
+  std::mt19937 rng(2026);
+  std::uniform_int_distribution<size_t> pick_byte(0, bytes_->size() - 1);
+  std::uniform_int_distribution<int> pick_bit(0, 7);
+  std::vector<std::pair<size_t, int>> flips;
+  // Every byte of the header + section table is load-bearing; sample it
+  // densely, then spray the payloads.
+  const size_t table_end = kHeaderBytes + kSectionCount * kSectionEntryBytes;
+  for (size_t offset = 0; offset < table_end; offset += 9) {
+    flips.emplace_back(offset, static_cast<int>(offset) % 8);
+  }
+  for (int i = 0; i < 160; ++i) flips.emplace_back(pick_byte(rng),
+                                                   pick_bit(rng));
+  for (const auto& [offset, bit] : flips) {
+    std::string mutated = *bytes_;
+    mutated[offset] = static_cast<char>(
+        static_cast<unsigned char>(mutated[offset]) ^ (1u << bit));
+    RejectedAsCorruption(mutated, "bitflip_" + std::to_string(offset) + "_" +
+                                      std::to_string(bit));
+  }
+}
+
+TEST_F(StoreCorruptionTest, VerifyCorpusFileFlagsBitFlip) {
+  // The satellite CI check in miniature: publish, corrupt one payload byte,
+  // and the *file-level* verifier must report Corruption.
+  const std::string path = TempPath("ci_flip.idx2");
+  WriteRaw(path, *bytes_);
+  ASSERT_TRUE(VerifyCorpusFile(path).ok());
+  std::string mutated = *bytes_;
+  mutated[mutated.size() - 5] ^= 0x10;  // Deep inside posting_blob.
+  WriteRaw(path, mutated);
+  const Status status = VerifyCorpusFile(path);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(StoreV1HardeningTest, TruncationsAndMutationsAreRejected) {
+  const ColumnIndex heap = BuildCorpus(150, 11);
+  const std::string path = TempPath("v1.idx");
+  ASSERT_TRUE(SaveColumnIndex(heap, path).ok());
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::remove(path.c_str());
+
+  const std::string corrupt_path = TempPath("v1_corrupt.idx");
+  // Truncation sweep.
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{8}, size_t{20},
+                     bytes->size() / 2, bytes->size() - 1}) {
+    WriteRaw(corrupt_path, bytes->substr(0, cut));
+    auto loaded = LoadColumnIndex(corrupt_path);
+    EXPECT_FALSE(loaded.ok()) << "cut=" << cut;
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << "cut=" << cut << ": " << loaded.status().ToString();
+    }
+  }
+  // Oversized varint counts / absurd lengths from byte mutations must be
+  // caught by bounds checks, not trusted. Flip high bytes early in the
+  // stream where the cardinalities live.
+  for (size_t offset : {size_t{8}, size_t{9}, size_t{10}, size_t{12}}) {
+    std::string mutated = *bytes;
+    mutated[offset] = static_cast<char>(0xff);
+    WriteRaw(corrupt_path, mutated);
+    auto loaded = LoadColumnIndex(corrupt_path);
+    // Either rejected outright, or the mutation happened to be a valid
+    // re-encoding — but it must never crash and never return a half-parsed
+    // index silently (the loader validates totals at the end).
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption)
+          << "offset=" << offset << ": " << loaded.status().ToString();
+    }
+  }
+  // Trailing garbage is a hard error.
+  WriteRaw(corrupt_path, *bytes + "extra");
+  auto trailing = LoadColumnIndex(corrupt_path);
+  EXPECT_FALSE(trailing.ok());
+  std::remove(corrupt_path.c_str());
+}
+
+// ---- Durability ------------------------------------------------------------
+
+TEST(StoreDurabilityTest, PublicationLeavesNoTempDebris) {
+  const ColumnIndex heap = BuildCorpus(100, 2);
+  const std::string v1_path = TempPath("durable.idx");
+  const std::string v2_path = TempPath("durable.idx2");
+  ASSERT_TRUE(SaveColumnIndex(heap, v1_path).ok());
+  ASSERT_TRUE(WriteSnapshot(heap, v2_path).ok());
+  for (const std::string& path : {v1_path, v2_path}) {
+    EXPECT_FALSE(ReadFileToString(path + ".tmp").ok())
+        << path << ".tmp left behind";
+    EXPECT_TRUE(FileSize(path).ok());
+  }
+  // Overwrite-in-place republishes atomically over existing content.
+  ASSERT_TRUE(WriteSnapshot(heap, v2_path).ok());
+  EXPECT_TRUE(VerifyCorpusFile(v2_path).ok());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+}
+
+TEST(StoreDurabilityTest, FailedWriteKeepsOldContentIntact) {
+  const ColumnIndex heap = BuildCorpus(100, 2);
+  const std::string path = TempPath("keepold.idx2");
+  ASSERT_TRUE(WriteSnapshot(heap, path).ok());
+  const auto before = ReadFileToString(path);
+  ASSERT_TRUE(before.ok());
+  // Writing into a nonexistent directory must fail without touching `path`.
+  EXPECT_FALSE(WriteSnapshot(heap, "/nonexistent-dir/x.idx2").ok());
+  const auto after = ReadFileToString(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, *before);
+  std::remove(path.c_str());
+}
+
+// ---- Edge cases ------------------------------------------------------------
+
+TEST(StoreEdgeCaseTest, EmptyCorpusRoundTrips) {
+  ColumnIndex empty;
+  empty.Finalize();
+  const std::string path = TempPath("empty.idx2");
+  ASSERT_TRUE(WriteSnapshot(empty, path).ok());
+  auto opened = MmapCorpus::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->NumValues(), 0u);
+  EXPECT_EQ((*opened)->TotalColumns(), 0u);
+  EXPECT_EQ((*opened)->Lookup("anything"), kInvalidValueId);
+  EXPECT_TRUE((*opened)->Verify().ok());
+  opened.value().reset();
+  std::remove(path.c_str());
+}
+
+TEST(StoreEdgeCaseTest, UnfinalizedIndexIsRefused) {
+  ColumnIndex unfinalized;
+  unfinalized.AddColumn({"a", "b"});
+  auto encoded = EncodeSnapshot(unfinalized);
+  EXPECT_FALSE(encoded.ok());
+  EXPECT_EQ(encoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreEdgeCaseTest, Crc32cKnownVectorsAndMasking) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  // Incremental == one-shot.
+  const std::string data = "tegra snapshot bytes";
+  uint32_t incremental = Crc32cExtend(0, data.data(), 7);
+  incremental = Crc32cExtend(incremental, data.data() + 7, data.size() - 7);
+  EXPECT_EQ(incremental, Crc32c(data.data(), data.size()));
+  // Masking round-trips and actually changes the value.
+  const uint32_t crc = Crc32c(data.data(), data.size());
+  EXPECT_EQ(UnmaskCrc(MaskCrc(crc)), crc);
+  EXPECT_NE(MaskCrc(crc), crc);
+}
+
+// ---- CorpusManager ---------------------------------------------------------
+
+TEST(CorpusManagerTest, GenerationBumpsAndFailedReloadKeepsServing) {
+  const ColumnIndex heap = BuildCorpus(120, 4);
+  const std::string path = TempPath("manager.idx2");
+  ASSERT_TRUE(WriteSnapshot(heap, path).ok());
+
+  MetricsRegistry registry;
+  CorpusManagerOptions options;
+  options.metrics = &registry;
+  CorpusManager manager(path, options);
+  EXPECT_EQ(manager.Generation(), 0u);
+  EXPECT_EQ(manager.Current(), nullptr);
+  EXPECT_EQ(manager.CurrentFormat(), "none");
+
+  uint64_t swap_generation = 0;
+  manager.SetOnSwap([&](std::shared_ptr<const CorpusView> view,
+                        uint64_t generation) {
+    ASSERT_NE(view, nullptr);
+    swap_generation = generation;
+  });
+
+  ASSERT_TRUE(manager.Reload().ok());
+  EXPECT_EQ(manager.Generation(), 1u);
+  EXPECT_EQ(swap_generation, 1u);
+  EXPECT_EQ(manager.CurrentFormat(), "mmap-v2");
+  const auto generation1 = manager.Current();
+  ASSERT_NE(generation1, nullptr);
+
+  ASSERT_TRUE(manager.Reload().ok());
+  EXPECT_EQ(manager.Generation(), 2u);
+  EXPECT_EQ(manager.ReloadCount(), 2u);
+  // The old pin stays valid after the swap.
+  EXPECT_EQ(generation1->NumValues(), manager.Current()->NumValues());
+
+  // Corrupt the file: reload fails, generation and view are unchanged.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("TGRAIDX2garbage", f);
+    std::fclose(f);
+  }
+  const auto generation2 = manager.Current();
+  const Status failed = manager.Reload();
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(manager.Generation(), 2u);
+  EXPECT_EQ(manager.Current(), generation2);
+  EXPECT_EQ(manager.ReloadErrorCount(), 1u);
+  EXPECT_FALSE(manager.LastError().empty());
+
+  const auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("store.reload_total"), 2u);
+  EXPECT_EQ(snap.counters.at("store.reload_errors_total"), 1u);
+  EXPECT_EQ(snap.gauges.at("corpus.generation"), 2.0);
+
+  std::remove(path.c_str());
+}
+
+TEST(CorpusManagerTest, ReloadWithoutPathIsInvalidArgument) {
+  const auto heap = std::make_shared<ColumnIndex>(BuildCorpus(60, 1));
+  CorpusManager manager(heap, /*path=*/"");
+  EXPECT_EQ(manager.Generation(), 1u);
+  EXPECT_EQ(manager.CurrentFormat(), "heap-v1");
+  const Status status = manager.Reload();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager.Generation(), 1u);
+}
+
+TEST(CorpusManagerTest, ConcurrentReadersRaceHotSwaps) {
+  // The TSan target: readers continuously acquire the current generation
+  // and hammer lookups/intersections while the main thread republishes and
+  // swaps. Every reader pin must stay fully usable for its whole scope.
+  const ColumnIndex corpus_a = BuildCorpus(150, 21);
+  const ColumnIndex corpus_b = BuildCorpus(170, 22);
+  const std::string path = TempPath("swapstress.idx2");
+  ASSERT_TRUE(WriteSnapshot(corpus_a, path).ok());
+
+  CorpusManager manager(path);
+  ASSERT_TRUE(manager.Reload().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&manager, &stop, &reads] {
+      std::mt19937 rng(reads.fetch_add(1) + 99);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::shared_ptr<const CorpusView> view = manager.Current();
+        ASSERT_NE(view, nullptr);
+        const size_t n = view->NumValues();
+        ASSERT_GT(n, 0u);
+        std::uniform_int_distribution<ValueId> pick(
+            0, static_cast<ValueId>(n - 1));
+        for (int i = 0; i < 64; ++i) {
+          const ValueId a = pick(rng);
+          const ValueId b = pick(rng);
+          const uint32_t ca = view->ColumnCount(a);
+          const uint32_t cb = view->ColumnCount(b);
+          const uint32_t both = view->CoOccurrenceCount(a, b);
+          ASSERT_LE(both, std::min(ca, cb));
+          ASSERT_EQ(view->Lookup(view->ValueString(a)), a);
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Alternate publications while the readers run.
+  for (int swap = 0; swap < 10; ++swap) {
+    ASSERT_TRUE(
+        WriteSnapshot(swap % 2 == 0 ? corpus_b : corpus_a, path).ok());
+    ASSERT_TRUE(manager.Reload().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(manager.Generation(), 11u);
+  EXPECT_GT(reads.load(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace tegra

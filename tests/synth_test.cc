@@ -14,6 +14,7 @@
 #include "synth/vocab.h"
 #include "text/tokenizer.h"
 #include "text/value_type.h"
+#include "corpus/column_index.h"
 
 namespace tegra::synth {
 namespace {

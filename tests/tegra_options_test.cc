@@ -6,6 +6,7 @@
 #include "core/tegra.h"
 #include "distance/distance.h"
 #include "synth/corpus_gen.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace {

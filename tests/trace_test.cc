@@ -29,6 +29,7 @@
 #include "trace/chrome_trace.h"
 #include "trace/log.h"
 #include "trace/prometheus.h"
+#include "corpus/column_index.h"
 
 namespace tegra {
 namespace trace {

@@ -2,8 +2,14 @@
 // postings distribution, the most frequent values, and interactive-style
 // pairwise queries (PMI / NPMI / semantic distance between two values).
 //
+// `--corpus` auto-detects the on-disk format (TGRAIDX1 heap cache or
+// TGRAIDX2 mmap snapshot) and prints the file report — section table with
+// sizes and per-section checksum status — before the corpus statistics.
+// The report is shared with `tegra_corpusctl stats`.
+//
 // Examples:
 //   ./corpus_inspector --corpus /tmp/tegra_cache/bweb_20000.idx
+//   ./corpus_inspector --corpus /tmp/tegra_cache/bweb_20000.idx2
 //   ./corpus_inspector --build web:5000:1 --top 20
 //   ./corpus_inspector --build web:5000:1 --pair "toronto" "los angeles"
 
@@ -11,19 +17,23 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
-#include "corpus/corpus_io.h"
+#include "corpus/column_index.h"
 #include "corpus/corpus_stats.h"
+#include "corpus/corpus_view.h"
+#include "store/corpus_loader.h"
 #include "synth/corpus_gen.h"
 
 namespace {
 
 void PrintUsage() {
   std::fputs(R"(usage: corpus_inspector [options]
-  --corpus PATH        load a serialized index
+  --corpus PATH        load a serialized index (TGRAIDX1 or TGRAIDX2)
   --build SPEC         build synthetic corpus (profile:tables:seed)
   --top N              show the N most frequent values (default 15)
   --pair "A" "B"       show co-occurrence statistics for a value pair
@@ -60,9 +70,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  tegra::Result<tegra::ColumnIndex> index = [&]() ->
-      tegra::Result<tegra::ColumnIndex> {
-    if (!corpus_path.empty()) return tegra::LoadColumnIndex(corpus_path);
+  // Resolve the corpus: either a file (any supported format) or a synthetic
+  // build. Everything below operates on the abstract CorpusView, so the heap
+  // index and the mmap snapshot are inspected identically.
+  std::shared_ptr<const tegra::CorpusView> view;
+  if (!corpus_path.empty()) {
+    auto loaded = tegra::store::OpenCorpus(corpus_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    view = loaded->view;
+
+    // File-level report: format, section table, checksum status.
+    auto info = tegra::store::DescribeCorpusFile(corpus_path,
+                                                 /*check_crc=*/true);
+    if (info.ok()) {
+      std::fputs(tegra::store::FormatCorpusFileInfo(info.value()).c_str(),
+                 stdout);
+      std::printf("\n");
+    }
+  } else {
     const auto parts = tegra::SplitExact(build_spec, ":");
     tegra::synth::CorpusProfile profile =
         parts[0] == "enterprise" ? tegra::synth::CorpusProfile::kEnterprise
@@ -70,39 +98,40 @@ int main(int argc, char** argv) {
                                  : tegra::synth::CorpusProfile::kWeb;
     const size_t tables = parts.size() > 1 ? std::atoll(parts[1].c_str()) : 5000;
     const uint64_t seed = parts.size() > 2 ? std::atoll(parts[2].c_str()) : 1;
-    return tegra::synth::BuildBackgroundIndex(profile, tables, seed);
-  }();
-  if (!index.ok()) {
-    std::fprintf(stderr, "%s\n", index.status().ToString().c_str());
-    return 1;
+    view = std::make_shared<tegra::ColumnIndex>(
+        tegra::synth::BuildBackgroundIndex(profile, tables, seed));
   }
-  tegra::CorpusStats stats(&index.value());
+  const tegra::CorpusView& index = *view;
+  tegra::CorpusStats stats(&index);
 
   std::printf("corpus summary\n");
+  std::printf("  format:           %s\n", index.FormatName());
   std::printf("  columns:          %llu\n",
-              static_cast<unsigned long long>(index->TotalColumns()));
-  std::printf("  distinct values:  %zu\n", index->NumValues());
-  std::printf("  memory (approx):  %.1f MiB\n",
-              static_cast<double>(index->MemoryUsageBytes()) / (1 << 20));
+              static_cast<unsigned long long>(index.TotalColumns()));
+  std::printf("  distinct values:  %zu\n", index.NumValues());
+  std::printf("  heap (approx):    %.1f MiB\n",
+              static_cast<double>(index.HeapBytes()) / (1 << 20));
+  std::printf("  mapped:           %.1f MiB\n",
+              static_cast<double>(index.MappedBytes()) / (1 << 20));
 
   // Top values by column frequency.
-  std::vector<tegra::ValueId> ids(index->NumValues());
+  std::vector<tegra::ValueId> ids(index.NumValues());
   for (size_t i = 0; i < ids.size(); ++i) ids[i] = static_cast<uint32_t>(i);
   std::partial_sort(ids.begin(),
                     ids.begin() + std::min<size_t>(top, ids.size()),
                     ids.end(), [&](tegra::ValueId a, tegra::ValueId b) {
-                      return index->ColumnCount(a) > index->ColumnCount(b);
+                      return index.ColumnCount(a) > index.ColumnCount(b);
                     });
   std::printf("\ntop %d values by |C(s)|\n", top);
   for (int i = 0; i < top && i < static_cast<int>(ids.size()); ++i) {
-    std::printf("  %6u  %s\n", index->ColumnCount(ids[i]),
-                index->ValueString(ids[i]).c_str());
+    std::printf("  %6u  %s\n", index.ColumnCount(ids[i]),
+                index.ValueString(ids[i]).c_str());
   }
 
   if (histogram) {
     size_t buckets[8] = {0};  // 1, 2-3, 4-7, ..., 128+
-    for (tegra::ValueId id = 0; id < index->NumValues(); ++id) {
-      const uint32_t n = index->ColumnCount(id);
+    for (tegra::ValueId id = 0; id < index.NumValues(); ++id) {
+      const uint32_t n = index.ColumnCount(id);
       int b = 0;
       while ((1u << (b + 1)) <= n && b < 7) ++b;
       ++buckets[b];
@@ -116,16 +145,16 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& [a, b] : pairs) {
-    const tegra::ValueId ia = index->Lookup(a);
-    const tegra::ValueId ib = index->Lookup(b);
+    const tegra::ValueId ia = index.Lookup(a);
+    const tegra::ValueId ib = index.Lookup(b);
     std::printf("\npair: \"%s\" vs \"%s\"\n", a.c_str(), b.c_str());
     if (ia == tegra::kInvalidValueId || ib == tegra::kInvalidValueId) {
       std::printf("  (at least one value is not in the corpus)\n");
       continue;
     }
     std::printf("  |C(a)| = %u, |C(b)| = %u, |C(a) ∩ C(b)| = %u\n",
-                index->ColumnCount(ia), index->ColumnCount(ib),
-                index->CoOccurrenceCount(ia, ib));
+                index.ColumnCount(ia), index.ColumnCount(ib),
+                index.CoOccurrenceCount(ia, ib));
     std::printf("  PMI   = %.4f\n", stats.Pmi(ia, ib));
     std::printf("  NPMI  = %.4f\n", stats.Npmi(ia, ib));
     std::printf("  d_sem = %.4f (npmi)  %.4f (jaccard)  %.4f (angular)\n",

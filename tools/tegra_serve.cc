@@ -20,6 +20,13 @@
 //                               (inline "body", or {"file":"path"} —
 //                               loadable in ui.perfetto.dev)
 //   {"cmd": "slowlog"}       -> the N slowest requests with span trees
+//   {"cmd": "corpus_reload"} -> reopen --corpus (TGRAIDX1 or TGRAIDX2) and
+//                               atomically swap the engine to the new
+//                               generation; in-flight requests finish on the
+//                               generation they started with. Replies
+//                               {"ok":true,"generation":G,"format":...} or
+//                               {"ok":false,...} with the old corpus kept.
+//                               SIGHUP triggers the same reload out-of-band.
 //   {"cmd": "quit"}          -> drain in-flight work and exit
 //
 // With --admin-port the same telemetry is served over HTTP (zPages:
@@ -39,23 +46,35 @@
 // is answered with a structured error object and counted in
 // `serve.bad_request` rather than silently dropped.
 
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/build_info.h"
 #include "common/string_util.h"
+#include "corpus/column_index.h"
 #include "corpus/corpus_io.h"
 #include "corpus/corpus_stats.h"
 #include "service/admin_pages.h"
 #include "service/extraction_service.h"
+#include "service/extractor_source.h"
 #include "service/http_admin.h"
 #include "service/serve_json.h"
+#include "store/corpus_manager.h"
 #include "synth/corpus_gen.h"
 #include "trace/chrome_trace.h"
 #include "trace/log.h"
@@ -74,7 +93,10 @@ void PrintUsage() {
 Long-lived TEGRA extraction service over stdin/stdout (NDJSON).
 
 options:
-  --corpus PATH           load a serialized background index
+  --corpus PATH           load a background index — TGRAIDX1 (heap) or
+                          TGRAIDX2 (mmap snapshot, see tegra_corpusctl);
+                          {"cmd":"corpus_reload"} or SIGHUP re-opens it and
+                          hot-swaps the engine without dropping requests
   --build-corpus SPEC     build a synthetic corpus; SPEC = profile:tables:seed
                           with profile in {web, wiki, enterprise}
                           (default: web:5000:1 when --corpus is not given)
@@ -193,11 +215,8 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
   return true;
 }
 
-tegra::Result<tegra::ColumnIndex> BuildOrLoadCorpus(
+tegra::Result<tegra::ColumnIndex> BuildSyntheticCorpus(
     const ServeCliOptions& opts) {
-  if (!opts.corpus_path.empty()) {
-    return tegra::LoadColumnIndex(opts.corpus_path);
-  }
   const std::string spec =
       opts.build_spec.empty() ? "web:5000:1" : opts.build_spec;
   const auto parts = tegra::SplitExact(spec, ":");
@@ -326,6 +345,20 @@ void EmitBody(const JsonValue& request, const char* format,
   Emit(out.Dump());
 }
 
+// ---- SIGHUP -> corpus reload (sigwait) -------------------------------------
+// SIGHUP is blocked process-wide before any thread is spawned; a dedicated
+// reloader thread consumes it synchronously with sigwait(2) and performs the
+// reload in ordinary thread context. No async signal handler exists at all,
+// so the signal can never interrupt the main loop's blocking stdin read (and
+// sanitizer runtimes, which defer handlers while a thread is parked in a
+// restarting syscall, have nothing to defer).
+sigset_t SighupSet() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGHUP);
+  return set;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -333,6 +366,15 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opts)) {
     PrintUsage();
     return 2;
+  }
+
+  // When a reloadable corpus path exists, block SIGHUP *now* — before the
+  // worker pool, admin plane or reloader exist — so every thread inherits
+  // the mask and the dedicated reloader thread below is the only consumer.
+  const bool sighup_reload = !opts.corpus_path.empty();
+  if (sighup_reload) {
+    sigset_t hup = SighupSet();
+    pthread_sigmask(SIG_BLOCK, &hup, nullptr);
   }
 
   // One registry for the whole process: service accounting, corpus cache
@@ -343,19 +385,75 @@ int main(int argc, char** argv) {
   tracer.BindMetrics(&registry);
   tracer.SetEnabled(opts.trace_enabled && tegra::trace::kCompiledIn);
 
-  auto corpus = BuildOrLoadCorpus(opts);
-  if (!corpus.ok()) {
-    tegra::trace::LogError("corpus load failed",
-                           {{"status", corpus.status().ToString()}});
-    return 1;
+  // Corpus lifecycle: the manager owns the current generation; the
+  // reloadable engine rebuilds {CorpusStats, TegraExtractor} on every swap;
+  // the service pins a generation per request. Declaration order matters —
+  // the service (declared last) must drain before the engine and manager go.
+  tegra::store::CorpusManagerOptions manager_options;
+  manager_options.metrics = &registry;
+  std::unique_ptr<tegra::store::CorpusManager> manager;
+  if (!opts.corpus_path.empty()) {
+    // TGRAIDX1 or TGRAIDX2, magic-sniffed; corpus_reload / SIGHUP re-open
+    // the same path.
+    manager = std::make_unique<tegra::store::CorpusManager>(opts.corpus_path,
+                                                            manager_options);
+    const tegra::Status loaded = manager->Reload();
+    if (!loaded.ok()) {
+      tegra::trace::LogError("corpus load failed",
+                             {{"status", loaded.ToString()}});
+      return 1;
+    }
+    tegra::trace::LogInfo("corpus loaded",
+                          {{"path", opts.corpus_path},
+                           {"format", manager->CurrentFormat()},
+                           {"generation", manager->Generation()}});
+  } else {
+    auto built = BuildSyntheticCorpus(opts);
+    if (!built.ok()) {
+      tegra::trace::LogError("corpus build failed",
+                             {{"status", built.status().ToString()}});
+      return 1;
+    }
+    manager = std::make_unique<tegra::store::CorpusManager>(
+        std::make_shared<tegra::ColumnIndex>(std::move(built.value())),
+        /*path=*/"", manager_options);
   }
-  tegra::CorpusStatsOptions stats_options;
-  stats_options.co_cache_capacity = opts.co_cache_capacity;
-  stats_options.metrics = &registry;
-  tegra::CorpusStats stats(&corpus.value(), stats_options);
-  tegra::TegraExtractor extractor(&stats, opts.tegra);
-  tegra::serve::ExtractionService service(&extractor, opts.service, &registry);
+
+  tegra::serve::ReloadableEngineConfig engine_config;
+  engine_config.tegra = opts.tegra;
+  engine_config.stats.co_cache_capacity = opts.co_cache_capacity;
+  engine_config.stats.metrics = &registry;
+  tegra::serve::ReloadableEngine engine(manager.get(), engine_config);
+  tegra::serve::ExtractionService service(&engine, opts.service, &registry);
   tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
+
+  // SIGHUP -> reload, only when a reloadable path exists. SIGHUP is already
+  // blocked in every thread (see the pthread_sigmask call above); this thread
+  // alone consumes it, synchronously, with sigwait.
+  std::atomic<bool> reloader_quit{false};
+  std::thread reloader;
+  if (sighup_reload) {
+    reloader = std::thread([&manager, &reloader_quit] {
+      const sigset_t hup = SighupSet();
+      while (true) {
+        int sig = 0;
+        if (sigwait(&hup, &sig) != 0) break;
+        if (reloader_quit.load(std::memory_order_acquire)) break;
+        tegra::trace::LogInfo("SIGHUP: reloading corpus",
+                              {{"path", manager->path()}});
+        const tegra::Status status = manager->Reload();
+        if (status.ok()) {
+          tegra::trace::LogInfo("corpus reloaded",
+                                {{"generation", manager->Generation()},
+                                 {"format", manager->CurrentFormat()}});
+        } else {
+          tegra::trace::LogError(
+              "corpus reload failed; keeping previous generation",
+              {{"status", status.ToString()}});
+        }
+      }
+    });
+  }
 
   // Optional HTTP admin plane. Declared after the service so it is stopped
   // (and destroyed) first; AdminPages only borrows the subsystems above.
@@ -366,7 +464,7 @@ int main(int argc, char** argv) {
           : "synthetic " +
                 (opts.build_spec.empty() ? std::string("web:5000:1")
                                          : opts.build_spec);
-  tegra::serve::AdminPages pages(&service, &tracer, &corpus.value(),
+  tegra::serve::AdminPages pages(&service, &tracer, manager.get(),
                                  pages_options);
   tegra::serve::HttpAdminOptions admin_options;
   admin_options.port = opts.admin_port < 0 ? 0 : opts.admin_port;
@@ -405,7 +503,17 @@ int main(int argc, char** argv) {
   std::deque<InFlight> inflight;
 
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (true) {
+    errno = 0;
+    if (!std::getline(std::cin, line)) {
+      // A signal (SIGHUP -> corpus reload) may interrupt the blocking stdin
+      // read; EINTR is not end-of-input. Recover the stream and keep serving.
+      if (errno == EINTR && !std::cin.eof()) {
+        std::cin.clear();
+        continue;
+      }
+      break;
+    }
     if (tegra::Trim(line).empty()) continue;
     auto parsed = tegra::serve::ParseJson(line);
     if (!parsed.ok()) {
@@ -442,6 +550,38 @@ int main(int argc, char** argv) {
       Emit(out.Dump());
       continue;
     }
+    if (cmd == "corpus_reload") {
+      // Deliberately reload BEFORE flushing: the swap happens while queued
+      // and in-flight extractions are live, which is exactly the hot-reload
+      // contract being exercised (each request finishes on the generation
+      // it acquired). The response is emitted after the flush so stdout
+      // stays in submission order.
+      const tegra::Status status = manager->Reload();
+      Flush(&inflight, 0);
+      JsonValue out = JsonValue::Object();
+      if (request.Has("id")) out.Set("id", request["id"]);
+      if (status.ok()) {
+        out.Set("ok", JsonValue::Bool(true));
+        out.Set("generation",
+                JsonValue::Number(static_cast<double>(manager->Generation())));
+        out.Set("format", JsonValue::Str(manager->CurrentFormat()));
+        tegra::trace::LogInfo("corpus reloaded",
+                              {{"generation", manager->Generation()},
+                               {"format", manager->CurrentFormat()}});
+      } else {
+        out.Set("ok", JsonValue::Bool(false));
+        out.Set("code", JsonValue::Str(
+                            tegra::StatusCodeToString(status.code())));
+        out.Set("error", JsonValue::Str(status.message()));
+        out.Set("generation",
+                JsonValue::Number(static_cast<double>(manager->Generation())));
+        tegra::trace::LogError(
+            "corpus reload failed; keeping previous generation",
+            {{"status", status.ToString()}});
+      }
+      Emit(out.Dump());
+      continue;
+    }
     if (!cmd.empty()) {
       Flush(&inflight, 0);
       EmitBadRequest(request["id"], "unknown cmd: " + cmd, bad_requests);
@@ -465,6 +605,13 @@ int main(int argc, char** argv) {
     Flush(&inflight, pipeline_depth);
   }
   Flush(&inflight, 0);
+  // Tear down the SIGHUP reloader before the manager can go away: raise the
+  // quit flag, then poke the thread out of sigwait with a directed SIGHUP.
+  if (reloader.joinable()) {
+    reloader_quit.store(true, std::memory_order_release);
+    pthread_kill(reloader.native_handle(), SIGHUP);
+    reloader.join();
+  }
   // Stop the admin plane before the service drains so probes see the
   // process disappear (connection refused) rather than a half-dead server.
   admin.Stop();
