@@ -9,10 +9,12 @@
 #   2. trace-off      — TEGRA_TRACE=OFF (spans compile to no-op stubs); the
 #                       full suite must still pass, proving nothing depends
 #                       on tracing being compiled in
-#   3. tsan           — TEGRA_SANITIZE=thread; runs the `service`, `trace`
-#                       and `store` ctest labels plus the metrics/stress
-#                       tests, the suites with real cross-thread traffic
-#                       (store_test races readers against corpus hot swaps)
+#   3. tsan           — TEGRA_SANITIZE=thread; runs the `service`, `trace`,
+#                       `store` and `net` ctest labels plus the
+#                       metrics/stress tests, the suites with real
+#                       cross-thread traffic (store_test races readers
+#                       against corpus hot swaps; the net suite runs the
+#                       event loop against concurrent clients)
 #
 # Usage:
 #   scripts/check.sh            # all three configurations
@@ -58,12 +60,14 @@ if [[ "$ONLY" == "all" || "$ONLY" == "tsan" ]]; then
   # TSan build: run the suites with genuine multi-threaded traffic. The
   # trace label covers the span ring + cross-thread context handoff; the
   # service label covers the worker pool, caches and metrics; the store
-  # label races concurrent corpus readers against hot-reload swaps;
-  # stress_test and metrics_test hammer the histogram CAS paths.
+  # label races concurrent corpus readers against hot-reload swaps; the
+  # net label drives the event-loop HTTP server with concurrent clients
+  # and foreign-thread completions; stress_test and metrics_test hammer
+  # the histogram CAS paths.
   configure_and_build tsan -DTEGRA_SANITIZE=thread -DTEGRA_TRACE=ON
-  echo "=== [tsan] test (service + trace + store labels, metrics/stress) ==="
+  echo "=== [tsan] test (service/trace/store/net labels, metrics/stress) ==="
   (cd "$ROOT/build-check-tsan" &&
-    run ctest --output-on-failure --timeout 600 -L 'service|trace|store' &&
+    run ctest --output-on-failure --timeout 600 -L 'service|trace|store|net' &&
     run ctest --output-on-failure --timeout 600 -R 'metrics_test|stress_test')
   echo "=== [tsan] OK ==="
 fi

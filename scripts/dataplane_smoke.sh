@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Data-plane smoke drill: boot tegra_serve with an ephemeral --port, run a
+# short open-loop tegra_loadgen sweep against POST /v1/extract, and require
+#   (a) a non-zero count of successful (HTTP 2xx, "ok":true) extractions,
+#   (b) zero transport errors (saturation must surface as 503, not resets),
+#   (c) a clean daemon shutdown via {"cmd":"quit"} (exit code 0).
+# The latency curves land in BENCH_dataplane.json next to the build dir so
+# CI can archive them.
+#
+# Usage: scripts/dataplane_smoke.sh [build-dir]
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+BENCH="$BUILD/BENCH_dataplane.json"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkfifo "$WORK/stdin"
+"$BUILD/tools/tegra_serve" --build-corpus web:300:1 --port 0 --workers 4 \
+  < "$WORK/stdin" > "$WORK/stdout.ndjson" 2> "$WORK/stderr.log" &
+SERVE_PID=$!
+# Hold the fifo's write end open so the daemon's stdin never sees EOF
+# before we send quit.
+exec 9> "$WORK/stdin"
+
+# Wait for the {"event":"data_ready","port":N} announcement.
+PORT=""
+for _ in $(seq 1 150); do
+  PORT=$(python3 -c '
+import json, sys
+try:
+    for line in open(sys.argv[1]):
+        obj = json.loads(line)
+        if obj.get("event") == "data_ready":
+            print(obj["port"])
+            break
+except (FileNotFoundError, ValueError):
+    pass
+' "$WORK/stdout.ndjson")
+  [[ -n "$PORT" ]] && break
+  sleep 0.2
+done
+if [[ -z "$PORT" ]]; then
+  echo "FAIL: no data_ready event from tegra_serve" >&2
+  cat "$WORK/stderr.log" >&2
+  exit 1
+fi
+echo "data plane up on port $PORT"
+
+"$BUILD/tools/tegra_loadgen" --port "$PORT" --qps 50,200 --duration-s 2 \
+  --connections 8 --out "$BENCH"
+
+python3 -c '
+import json, sys
+bench = json.load(open(sys.argv[1]))
+ok = sum(step["http_2xx"] for step in bench["steps"])
+errors = sum(step["transport_errors"] for step in bench["steps"])
+assert ok > 0, "no successful extractions served"
+assert errors == 0, "%d transport errors (expected explicit 503s)" % errors
+print("smoke OK: %d successful extractions, p99 %.2fms at %d qps"
+      % (ok, bench["steps"][-1]["p99_ms"], bench["steps"][-1]["offered_qps"]))
+' "$BENCH"
+
+# Clean shutdown: quit drains in-flight work and must exit 0.
+echo '{"cmd":"quit"}' >&9
+exec 9>&-
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "clean shutdown OK"

@@ -1,0 +1,90 @@
+// tegra::net::HttpClient — a minimal blocking HTTP/1.1 client with
+// keep-alive connection reuse.
+//
+// This is the counterpart of the data-plane server, used by the e2e tests
+// and by tools/tegra_loadgen. It is deliberately simple: one connection per
+// client object, blocking I/O with a socket timeout, responses framed by
+// Content-Length only (which is all our server emits). A client object is
+// NOT thread-safe; loadgen uses one per worker thread.
+//
+// Connection reuse: after a response arrives with "Connection: keep-alive"
+// the socket stays open and the next request rides the same connection;
+// after "Connection: close" (or any transport error) the socket is closed
+// and the next request reconnects transparently.
+
+#ifndef TEGRA_NET_HTTP_CLIENT_H_
+#define TEGRA_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tegra {
+namespace net {
+
+/// \brief One parsed HTTP response as seen by the client.
+struct ClientResponse {
+  int status = 0;
+  /// Response headers, keys lower-cased.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string Header(const std::string& key,
+                     const std::string& fallback = std::string()) const {
+    const auto it = headers.find(key);
+    return it == headers.end() ? fallback : it->second;
+  }
+};
+
+/// \brief Blocking HTTP/1.1 client bound to one host:port. Reconnects
+/// transparently; reuses the connection across requests when the server
+/// allows it.
+class HttpClient {
+ public:
+  HttpClient(std::string host, int port, int timeout_ms = 10000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// GET `target` (path + optional query).
+  Result<ClientResponse> Get(const std::string& target);
+
+  /// POST `body` to `target`.
+  Result<ClientResponse> Post(const std::string& target,
+                              const std::string& body,
+                              const std::string& content_type =
+                                  "application/json");
+
+  /// Sends a raw, caller-framed request blob and reads one response.
+  /// Exposed so tests can send deliberately malformed or partial requests.
+  Result<ClientResponse> RoundTrip(const std::string& raw_request);
+
+  /// True while a keep-alive connection is open from a previous request.
+  bool connected() const { return fd_ >= 0; }
+
+  /// Number of times Connect() actually dialed (reuse diagnostics).
+  uint64_t connects() const { return connects_; }
+
+  void Close();
+
+ private:
+  Status Connect();
+  Status SendAll(std::string_view data);
+  Result<ClientResponse> ReadResponse();
+
+  std::string host_;
+  int port_;
+  int timeout_ms_;
+  int fd_ = -1;
+  uint64_t connects_ = 0;
+  std::string leftover_;  ///< Bytes read past the previous response.
+};
+
+}  // namespace net
+}  // namespace tegra
+
+#endif  // TEGRA_NET_HTTP_CLIENT_H_

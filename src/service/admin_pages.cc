@@ -231,6 +231,18 @@ AdminPages::Readiness AdminPages::CheckReadiness() {
                     std::to_string(threshold) + ")";
     return result;
   }
+  // The data plane sheds whole connections at max_connections; while that is
+  // happening a load balancer should stop routing here, exactly like queue
+  // saturation.
+  if (data_plane_ != nullptr && data_plane_->running() &&
+      data_plane_->saturated()) {
+    result.reason =
+        "data plane saturated (" +
+        std::to_string(data_plane_->active_connections()) + "/" +
+        std::to_string(data_plane_->options().max_connections) +
+        " connections); shedding new clients";
+    return result;
+  }
   result.ready = true;
   return result;
 }
@@ -346,6 +358,27 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
     }
     RowCount(&body, "low_confidence_total",
              CounterOr0(snap, "extract.low_confidence_total"));
+    body += "</table>\n";
+  }
+
+  if (data_plane_ != nullptr) {
+    const net::HttpServerStats stats = data_plane_->Stats();
+    body += "<h2>data plane</h2>\n<table>\n";
+    Row(&body, "listening",
+        data_plane_->running()
+            ? "yes (port " + std::to_string(data_plane_->port()) + ")"
+            : "no");
+    RowCount(&body, "connections_active", stats.connections_active);
+    RowCount(&body, "max_connections",
+             data_plane_->options().max_connections);
+    Row(&body, "saturated", stats.saturated ? "YES (shedding)" : "no");
+    RowCount(&body, "connections_total", stats.connections_total);
+    RowCount(&body, "requests_total", stats.requests_total);
+    RowCount(&body, "shed_connections_total", stats.shed_connections_total);
+    RowCount(&body, "bad_requests_total", stats.bad_requests_total);
+    RowCount(&body, "read_timeouts_total", stats.read_timeouts_total);
+    RowCount(&body, "write_timeouts_total", stats.write_timeouts_total);
+    RowCount(&body, "handler_timeouts_total", stats.handler_timeouts_total);
     body += "</table>\n";
   }
 

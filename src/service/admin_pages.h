@@ -26,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/http_server.h"
 #include "service/extraction_service.h"
 #include "service/http_admin.h"
 #include "service/serve_json.h"
@@ -77,6 +78,13 @@ class AdminPages {
   /// deterministically.
   void set_queue_depth_fn(std::function<size_t()> fn);
 
+  /// Attaches the net data plane (borrowed; may be null). /readyz then
+  /// reports 503 while the listener sheds at max_connections, and /statusz
+  /// gains a data-plane section with connection/request/timeout counters.
+  void set_data_plane(const net::HttpServer* data_plane) {
+    data_plane_ = data_plane;
+  }
+
  private:
   struct Readiness {
     bool ready = false;
@@ -91,6 +99,7 @@ class AdminPages {
   ExtractionService* service_;          // Not owned; may be null.
   trace::Tracer* tracer_;               // Not owned; may be null.
   const store::CorpusManager* corpus_;  // Not owned; may be null.
+  const net::HttpServer* data_plane_ = nullptr;  // Not owned; may be null.
   AdminPagesOptions options_;
   std::function<size_t()> queue_depth_fn_;
 };

@@ -1,0 +1,265 @@
+#include "service/data_plane.h"
+
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tegra {
+namespace serve {
+
+namespace {
+
+/// Renders `payload` with the HTTP status derived from the extraction
+/// outcome; 503s carry Retry-After so clients and proxies back off politely.
+net::HttpResponse JsonWithStatus(const Status& status, JsonValue payload) {
+  net::HttpResponse response =
+      net::HttpResponse::JsonStatus(HttpStatusForExtraction(status),
+                                    payload.Dump() + "\n");
+  if (response.status == 503) {
+    response.extra_headers.emplace_back("Retry-After", "1");
+  }
+  return response;
+}
+
+/// A 400 with the NDJSON bad-request object shape.
+net::HttpResponse BadRequest(const std::string& message) {
+  JsonValue err = JsonValue::Object();
+  err.Set("ok", JsonValue::Bool(false));
+  err.Set("code", JsonValue::Str("InvalidArgument"));
+  err.Set("error", JsonValue::Str(message));
+  return net::HttpResponse::JsonStatus(400, err.Dump() + "\n");
+}
+
+/// Cross-thread aggregation of one batch: items complete on arbitrary
+/// worker threads (or inline on rejection); the last one renders and sends.
+struct BatchState {
+  std::mutex mu;
+  std::vector<JsonValue> ids;
+  std::vector<ExtractionResponse> responses;
+  size_t remaining = 0;
+  net::ResponseCallback done;
+};
+
+void FinishBatch(BatchState* state) {
+  JsonValue out = JsonValue::Object();
+  JsonValue items = JsonValue::Array();
+  bool all_unavailable = !state->responses.empty();
+  for (size_t i = 0; i < state->responses.size(); ++i) {
+    const JsonValue* id = state->ids[i].is_null() ? nullptr : &state->ids[i];
+    items.Append(ExtractionResponseToJson(id, state->responses[i]));
+    if (state->responses[i].status.code() != StatusCode::kUnavailable) {
+      all_unavailable = false;
+    }
+  }
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("responses", std::move(items));
+  // A batch that was shed in its entirety reports the same overload signal
+  // as a shed single request, so retry logic needs one code path.
+  net::HttpResponse response = net::HttpResponse::JsonStatus(
+      all_unavailable ? 503 : 200, out.Dump() + "\n");
+  if (response.status == 503) {
+    response.extra_headers.emplace_back("Retry-After", "1");
+  }
+  state->done(std::move(response));
+}
+
+}  // namespace
+
+int HttpStatusForExtraction(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kNotImplemented:
+      return 501;
+    default:
+      return 500;
+  }
+}
+
+JsonValue ExtractionResponseToJson(const JsonValue* id,
+                                   const ExtractionResponse& resp) {
+  JsonValue out = JsonValue::Object();
+  if (id != nullptr && !id->is_null()) out.Set("id", *id);
+  if (!resp.ok()) {
+    out.Set("ok", JsonValue::Bool(false));
+    out.Set("code", JsonValue::Str(StatusCodeToString(resp.status.code())));
+    out.Set("error", JsonValue::Str(resp.status.message()));
+    out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
+    out.Set("total_ms", JsonValue::Number(resp.total_seconds * 1e3));
+    return out;
+  }
+  const ExtractionResult& result = *resp.result;
+  out.Set("ok", JsonValue::Bool(true));
+  out.Set("columns", JsonValue::Number(result.num_columns));
+  JsonValue rows = JsonValue::Array();
+  for (const auto& row : result.table.rows()) {
+    JsonValue cells = JsonValue::Array();
+    for (const auto& cell : row) cells.Append(JsonValue::Str(cell));
+    rows.Append(std::move(cells));
+  }
+  out.Set("rows", std::move(rows));
+  out.Set("sp", JsonValue::Number(result.sp));
+  out.Set("per_column_objective",
+          JsonValue::Number(result.per_column_objective));
+  out.Set("cache_hit", JsonValue::Bool(resp.cache_hit));
+  out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
+  out.Set("extract_ms", JsonValue::Number(resp.extract_seconds * 1e3));
+  out.Set("total_ms", JsonValue::Number(resp.total_seconds * 1e3));
+  return out;
+}
+
+DataPlane::DataPlane(ExtractionService* service, DataPlaneOptions options,
+                     MetricsRegistry* registry)
+    : service_(service),
+      options_(std::move(options)),
+      server_(options_.server, registry) {
+  if (registry != nullptr) {
+    extract_total_ = registry->GetCounter("dataplane.extract_total");
+    batch_total_ = registry->GetCounter("dataplane.batch_total");
+    batch_items_total_ = registry->GetCounter("dataplane.batch_items_total");
+    rejected_total_ = registry->GetCounter("dataplane.rejected_total");
+  }
+  server_.set_handler([this](const net::HttpRequest& request,
+                             net::ResponseCallback done) {
+    HandleHttp(request, std::move(done));
+  });
+}
+
+Status DataPlane::Start() {
+  if (service_ == nullptr) {
+    return Status::InvalidArgument("data plane has no extraction service");
+  }
+  return server_.Start();
+}
+
+void DataPlane::Stop() { server_.Stop(); }
+
+void DataPlane::HandleHttp(const net::HttpRequest& request,
+                           net::ResponseCallback done) {
+  if (request.path == "/v1/extract") {
+    if (request.method != "POST") {
+      done(net::HttpResponse::Text(405, "use POST /v1/extract\n"));
+      return;
+    }
+    HandleExtract(request, std::move(done));
+    return;
+  }
+  done(net::HttpResponse::Text(
+      404, "404 not found: " + request.path + "\n\nendpoints:\n"
+           "  POST /v1/extract   single {\"lines\":[...]} or batch "
+           "{\"requests\":[...]}\n"));
+}
+
+Status DataPlane::ParseExtraction(const JsonValue& body,
+                                  ExtractionRequest* out) {
+  if (!body.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  if (!body.Has("lines") || body["lines"].AsArray().empty()) {
+    return Status::InvalidArgument("request has no \"lines\"");
+  }
+  for (const JsonValue& item : body["lines"].AsArray()) {
+    out->lines.push_back(item.AsString());
+  }
+  out->num_columns = static_cast<int>(body["columns"].AsNumber(0));
+  out->deadline_seconds = body["deadline_ms"].AsNumber(0) / 1e3;
+  out->bypass_cache = body["bypass_cache"].AsBool(false);
+  return Status::OK();
+}
+
+void DataPlane::HandleExtract(const net::HttpRequest& request,
+                              net::ResponseCallback done) {
+  auto parsed = ParseJson(request.body);
+  if (!parsed.ok()) {
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    done(BadRequest(parsed.status().message()));
+    return;
+  }
+  const JsonValue& body = *parsed;
+
+  // Batch body: {"requests": [ ... ]}.
+  if (body.Has("requests")) {
+    if (batch_total_ != nullptr) batch_total_->Increment();
+    const std::vector<JsonValue>& items = body["requests"].AsArray();
+    if (items.empty()) {
+      if (rejected_total_ != nullptr) rejected_total_->Increment();
+      done(BadRequest("\"requests\" must be a non-empty array"));
+      return;
+    }
+    if (items.size() > options_.max_batch_items) {
+      if (rejected_total_ != nullptr) rejected_total_->Increment();
+      done(BadRequest("batch of " + std::to_string(items.size()) +
+                      " exceeds limit of " +
+                      std::to_string(options_.max_batch_items)));
+      return;
+    }
+
+    // Every item must parse before any is admitted, so a malformed batch
+    // never does half its work.
+    std::vector<ExtractionRequest> requests(items.size());
+    auto state = std::make_shared<BatchState>();
+    state->ids.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      const Status status = ParseExtraction(items[i], &requests[i]);
+      if (!status.ok()) {
+        if (rejected_total_ != nullptr) rejected_total_->Increment();
+        done(BadRequest("requests[" + std::to_string(i) +
+                        "]: " + status.message()));
+        return;
+      }
+      state->ids.push_back(items[i]["id"]);
+    }
+    if (batch_items_total_ != nullptr) {
+      batch_items_total_->Increment(items.size());
+    }
+    state->responses.resize(items.size());
+    state->remaining = items.size();
+    state->done = std::move(done);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      service_->SubmitWithCallback(
+          std::move(requests[i]), [state, i](ExtractionResponse response) {
+            bool last = false;
+            {
+              std::lock_guard<std::mutex> lock(state->mu);
+              state->responses[i] = std::move(response);
+              last = --state->remaining == 0;
+            }
+            if (last) FinishBatch(state.get());
+          });
+    }
+    return;
+  }
+
+  // Single body.
+  if (extract_total_ != nullptr) extract_total_->Increment();
+  ExtractionRequest extraction;
+  const Status status = ParseExtraction(body, &extraction);
+  if (!status.ok()) {
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    done(BadRequest(status.message()));
+    return;
+  }
+  // The id must survive until the worker completes; capture by value.
+  auto id = std::make_shared<JsonValue>(body["id"]);
+  Counter* rejected = rejected_total_;
+  service_->SubmitWithCallback(
+      std::move(extraction),
+      [id, rejected, done = std::move(done)](ExtractionResponse response) {
+        if (!response.ok() && rejected != nullptr) rejected->Increment();
+        const JsonValue* id_ptr = id->is_null() ? nullptr : id.get();
+        done(JsonWithStatus(response.status,
+                            ExtractionResponseToJson(id_ptr, response)));
+      });
+}
+
+}  // namespace serve
+}  // namespace tegra

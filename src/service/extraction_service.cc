@@ -92,8 +92,8 @@ void ExtractionService::Shutdown() {
   cv_.notify_all();
   for (PendingRequest& pending : drained) {
     rejected_total_->Increment();
-    pending.promise.set_value(
-        RejectedResponse(Status::Unavailable("service shutting down")));
+    Deliver(&pending,
+            RejectedResponse(Status::Unavailable("service shutting down")));
   }
   // Serialize the join phase so concurrent Shutdown calls (e.g. an explicit
   // Shutdown racing the destructor) cannot both walk workers_.
@@ -104,11 +104,17 @@ void ExtractionService::Shutdown() {
   workers_.clear();
 }
 
-std::future<ExtractionResponse> ExtractionService::Submit(
-    ExtractionRequest request) {
+void ExtractionService::Deliver(PendingRequest* pending,
+                                ExtractionResponse response) {
+  if (pending->callback) {
+    pending->callback(std::move(response));
+  } else {
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+void ExtractionService::Enqueue(PendingRequest pending) {
   requests_total_->Increment();
-  PendingRequest pending;
-  pending.request = std::move(request);
   pending.enqueue_time = Clock::now();
   const double deadline_s = pending.request.deadline_seconds > 0
                                 ? pending.request.deadline_seconds
@@ -119,26 +125,45 @@ std::future<ExtractionResponse> ExtractionService::Submit(
         pending.enqueue_time + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double>(deadline_s));
   }
-  std::future<ExtractionResponse> future = pending.promise.get_future();
+  // Shedding decisions happen under the lock; the rejection itself is
+  // delivered outside it, so a callback that re-enters the service (or
+  // takes its own locks) cannot deadlock against mu_.
+  Status reject = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      rejected_total_->Increment();
-      pending.promise.set_value(
-          RejectedResponse(Status::Unavailable("service is shut down")));
-      return future;
-    }
-    if (queue_.size() >= options_.max_queue_depth) {
-      rejected_total_->Increment();
-      pending.promise.set_value(RejectedResponse(Status::Unavailable(
+      reject = Status::Unavailable("service is shut down");
+    } else if (queue_.size() >= options_.max_queue_depth) {
+      reject = Status::Unavailable(
           "queue full (" + std::to_string(queue_.size()) + "/" +
-          std::to_string(options_.max_queue_depth) + "); try again later")));
-      return future;
+          std::to_string(options_.max_queue_depth) + "); try again later");
+    } else {
+      queue_.push_back(std::move(pending));
     }
-    queue_.push_back(std::move(pending));
+  }
+  if (!reject.ok()) {
+    rejected_total_->Increment();
+    Deliver(&pending, RejectedResponse(std::move(reject)));
+    return;
   }
   cv_.notify_one();
+}
+
+std::future<ExtractionResponse> ExtractionService::Submit(
+    ExtractionRequest request) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  std::future<ExtractionResponse> future = pending.promise.get_future();
+  Enqueue(std::move(pending));
   return future;
+}
+
+void ExtractionService::SubmitWithCallback(ExtractionRequest request,
+                                           ResponseCallback done) {
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.callback = std::move(done);
+  Enqueue(std::move(pending));
 }
 
 ExtractionResponse ExtractionService::SubmitAndWait(ExtractionRequest request) {
@@ -206,7 +231,7 @@ void ExtractionService::Process(PendingRequest pending) {
       record.spans = trace_ctx.Events();
       slowlog_.Add(std::move(record));
     }
-    pending.promise.set_value(std::move(response));
+    Deliver(&pending, std::move(response));
   };
 
   // Deadline check at dequeue: don't spend extraction CPU on a request whose

@@ -142,6 +142,15 @@ class ExtractionService {
   /// in the queue, otherwise with the extraction outcome.
   std::future<ExtractionResponse> Submit(ExtractionRequest request);
 
+  /// Completion callback flavor of Submit, for callers that must not block
+  /// on a future (the net data plane's event loop). `done` is invoked
+  /// exactly once — inline from the submitting thread on immediate
+  /// rejection (queue full / shutdown), otherwise from a worker thread —
+  /// with the same response a Submit future would carry. The callback must
+  /// be safe to run on any of those threads.
+  using ResponseCallback = std::function<void(ExtractionResponse)>;
+  void SubmitWithCallback(ExtractionRequest request, ResponseCallback done);
+
   /// Convenience: Submit + wait.
   ExtractionResponse SubmitAndWait(ExtractionRequest request);
 
@@ -170,11 +179,17 @@ class ExtractionService {
   struct PendingRequest {
     ExtractionRequest request;
     std::promise<ExtractionResponse> promise;
+    ResponseCallback callback;  // When set, delivery bypasses the promise.
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;  // time_point::max() = none
     bool has_deadline = false;
   };
 
+  /// Shared admission path of Submit / SubmitWithCallback: stamps the
+  /// enqueue time and deadline, sheds on overload, queues otherwise.
+  void Enqueue(PendingRequest pending);
+  /// Satisfies a pending request through whichever channel it carries.
+  static void Deliver(PendingRequest* pending, ExtractionResponse response);
   void WorkerLoop();
   void Process(PendingRequest pending);
   void RefreshGauges();

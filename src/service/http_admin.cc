@@ -30,40 +30,6 @@ void SetSocketTimeouts(int fd, int timeout_ms) {
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
-int HexValue(char c) {
-  if (c >= '0' && c <= '9') return c - '0';
-  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
-  return -1;
-}
-
-/// Percent-decodes `in` ('+' also becomes space, as in form encoding).
-/// Malformed escapes are passed through literally.
-std::string PercentDecode(std::string_view in) {
-  std::string out;
-  out.reserve(in.size());
-  for (size_t i = 0; i < in.size(); ++i) {
-    if (in[i] == '+') {
-      out += ' ';
-    } else if (in[i] == '%' && i + 2 < in.size() &&
-               HexValue(in[i + 1]) >= 0 && HexValue(in[i + 2]) >= 0) {
-      out += static_cast<char>(HexValue(in[i + 1]) * 16 + HexValue(in[i + 2]));
-      i += 2;
-    } else {
-      out += in[i];
-    }
-  }
-  return out;
-}
-
-std::string ToLowerAscii(std::string_view s) {
-  std::string out(s);
-  for (char& c : out) {
-    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
-  }
-  return out;
-}
-
 std::string_view TrimView(std::string_view s) {
   while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
     s.remove_prefix(1);
@@ -90,59 +56,13 @@ bool SendAll(int fd, const char* data, size_t size) {
   return true;
 }
 
-/// Serializes and sends one response with Content-Length framing.
+/// Serializes and sends one response (shared net framing).
 void SendResponse(int fd, const HttpResponse& response, bool keep_alive) {
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     HttpStatusReason(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += keep_alive ? "Connection: keep-alive\r\n" : "Connection: close\r\n";
-  head += "Cache-Control: no-store\r\n\r\n";
-  if (!SendAll(fd, head.data(), head.size())) return;
-  SendAll(fd, response.body.data(), response.body.size());
+  const std::string wire = net::SerializeResponse(response, keep_alive);
+  SendAll(fd, wire.data(), wire.size());
 }
 
 }  // namespace
-
-std::string HttpRequest::Param(const std::string& key,
-                               const std::string& fallback) const {
-  const auto it = params.find(key);
-  return it == params.end() ? fallback : it->second;
-}
-
-HttpResponse HttpResponse::Text(int status, std::string body) {
-  HttpResponse response;
-  response.status = status;
-  response.body = std::move(body);
-  return response;
-}
-
-HttpResponse HttpResponse::Html(std::string body) {
-  HttpResponse response;
-  response.content_type = "text/html; charset=utf-8";
-  response.body = std::move(body);
-  return response;
-}
-
-HttpResponse HttpResponse::Json(std::string body) {
-  HttpResponse response;
-  response.content_type = "application/json";
-  response.body = std::move(body);
-  return response;
-}
-
-const char* HttpStatusReason(int status) {
-  switch (status) {
-    case 200: return "OK";
-    case 400: return "Bad Request";
-    case 404: return "Not Found";
-    case 405: return "Method Not Allowed";
-    case 413: return "Payload Too Large";
-    case 500: return "Internal Server Error";
-    case 503: return "Service Unavailable";
-    default: return "Unknown";
-  }
-}
 
 HttpAdminServer::HttpAdminServer(HttpAdminOptions options,
                                  MetricsRegistry* registry)
@@ -332,119 +252,53 @@ void HttpAdminServer::HandlerLoop() {
 }
 
 void HttpAdminServer::ServeConnection(int fd) {
-  std::string buffer;
+  // One parser per connection: it owns the read buffer, so pipelined bytes
+  // carry over between requests. The shared parser also enforces the framing
+  // rejections the old head-only loop could not express: missing
+  // Content-Length on a body-bearing method (400), unknown
+  // Transfer-Encoding (501), header-count overflow (431).
+  net::HttpParserLimits limits;
+  limits.max_head_bytes = options_.max_request_bytes;
+  limits.max_body_bytes = options_.max_request_bytes;
+  net::HttpParser parser(limits);
+
   for (int served = 0; served < options_.max_requests_per_connection;
        ++served) {
-    // Read one request head (GET requests carry no body we care about).
-    size_t head_end;
-    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    while (!parser.done() && !parser.failed()) {
       if (!running_.load(std::memory_order_acquire)) return;
-      if (buffer.size() > options_.max_request_bytes) {
-        if (bad_requests_total_ != nullptr) bad_requests_total_->Increment();
-        SendResponse(fd, HttpResponse::Text(413, "request too large\n"),
-                     /*keep_alive=*/false);
-        return;
-      }
       char chunk[4096];
       const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
       if (n <= 0) return;  // closed, timed out, or shut down
-      buffer.append(chunk, static_cast<size_t>(n));
+      parser.Feed(std::string_view(chunk, static_cast<size_t>(n)));
     }
-    const std::string head = buffer.substr(0, head_end);
-    buffer.erase(0, head_end + 4);
 
     ScopedLatency latency(request_latency_);
     if (requests_total_ != nullptr) requests_total_->Increment();
 
-    HttpRequest request;
-    int error_status = 0;
-    std::string error_message;
-    if (!ParseRequest(head, &request, &error_status, &error_message)) {
+    if (parser.failed()) {
       if (bad_requests_total_ != nullptr) bad_requests_total_->Increment();
-      SendResponse(fd, HttpResponse::Text(error_status, error_message + "\n"),
+      SendResponse(fd,
+                   HttpResponse::Text(parser.error_status(),
+                                      parser.error_message() + "\n"),
+                   /*keep_alive=*/false);
+      return;
+    }
+    const HttpRequest& request = parser.request();
+    if (request.method != "GET") {
+      // The admin plane is strictly read-only; the data plane owns POST.
+      if (bad_requests_total_ != nullptr) bad_requests_total_->Increment();
+      SendResponse(fd, HttpResponse::Text(405, "admin plane is GET-only\n"),
                    /*keep_alive=*/false);
       return;
     }
 
-    const bool client_wants_close =
-        ToLowerAscii(request.headers.count("connection")
-                         ? request.headers.at("connection")
-                         : "") == "close";
-    const bool keep_alive = options_.keep_alive && !client_wants_close &&
+    const bool keep_alive = options_.keep_alive && request.WantsKeepAlive() &&
                             served + 1 < options_.max_requests_per_connection;
 
     SendResponse(fd, Dispatch(request), keep_alive);
     if (!keep_alive) return;
+    parser.Next();
   }
-}
-
-bool HttpAdminServer::ParseRequest(const std::string& head,
-                                   HttpRequest* request, int* error_status,
-                                   std::string* error_message) const {
-  const size_t line_end = head.find("\r\n");
-  const std::string request_line =
-      line_end == std::string::npos ? head : head.substr(0, line_end);
-
-  // METHOD SP TARGET SP VERSION
-  const size_t sp1 = request_line.find(' ');
-  const size_t sp2 =
-      sp1 == std::string::npos ? std::string::npos
-                               : request_line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    *error_status = 400;
-    *error_message = "malformed request line";
-    return false;
-  }
-  request->method = request_line.substr(0, sp1);
-  const std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const std::string version = request_line.substr(sp2 + 1);
-  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
-    *error_status = 400;
-    *error_message = "unsupported HTTP version: " + version;
-    return false;
-  }
-  if (request->method != "GET") {
-    *error_status = 405;
-    *error_message = "admin plane is GET-only";
-    return false;
-  }
-
-  const size_t qmark = target.find('?');
-  request->path = PercentDecode(
-      qmark == std::string::npos ? target : target.substr(0, qmark));
-  if (qmark != std::string::npos) {
-    request->query = target.substr(qmark + 1);
-    std::string_view rest = request->query;
-    while (!rest.empty()) {
-      const size_t amp = rest.find('&');
-      const std::string_view pair =
-          amp == std::string_view::npos ? rest : rest.substr(0, amp);
-      rest = amp == std::string_view::npos ? std::string_view()
-                                           : rest.substr(amp + 1);
-      if (pair.empty()) continue;
-      const size_t eq = pair.find('=');
-      if (eq == std::string_view::npos) {
-        request->params[PercentDecode(pair)] = "";
-      } else {
-        request->params[PercentDecode(pair.substr(0, eq))] =
-            PercentDecode(pair.substr(eq + 1));
-      }
-    }
-  }
-
-  // Header lines.
-  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
-  while (pos < head.size()) {
-    size_t eol = head.find("\r\n", pos);
-    if (eol == std::string::npos) eol = head.size();
-    const std::string_view line(head.data() + pos, eol - pos);
-    pos = eol + 2;
-    const size_t colon = line.find(':');
-    if (colon == std::string_view::npos) continue;  // tolerate junk headers
-    request->headers[ToLowerAscii(TrimView(line.substr(0, colon)))] =
-        std::string(TrimView(line.substr(colon + 1)));
-  }
-  return true;
 }
 
 HttpResponse HttpAdminServer::Dispatch(const HttpRequest& request) {
@@ -528,7 +382,7 @@ Result<HttpFetchResult> HttpGet(int port, const std::string& target,
     pos = eol + 2;
     const size_t colon = line.find(':');
     if (colon == std::string_view::npos) continue;
-    result.headers[ToLowerAscii(TrimView(line.substr(0, colon)))] =
+    result.headers[net::ToLowerAscii(TrimView(line.substr(0, colon)))] =
         std::string(TrimView(line.substr(colon + 1)));
   }
   return result;

@@ -45,40 +45,18 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/http_parser.h"
 #include "service/metrics.h"
 
 namespace tegra {
 namespace serve {
 
-/// \brief One parsed (GET) request.
-struct HttpRequest {
-  std::string method;  ///< "GET" (anything else is rejected before dispatch).
-  std::string path;    ///< Decoded path without the query string, e.g. "/metrics".
-  std::string query;   ///< Raw query string (no leading '?'); may be empty.
-  /// Parsed query parameters (percent-decoded, last key wins).
-  std::map<std::string, std::string> params;
-  /// Request headers, keys lower-cased.
-  std::map<std::string, std::string> headers;
-
-  /// Convenience: params lookup with default.
-  std::string Param(const std::string& key,
-                    const std::string& fallback = std::string()) const;
-};
-
-/// \brief One response. Handlers fill status/content type/body; the server
-/// adds Content-Length and Connection framing.
-struct HttpResponse {
-  int status = 200;
-  std::string content_type = "text/plain; charset=utf-8";
-  std::string body;
-
-  static HttpResponse Text(int status, std::string body);
-  static HttpResponse Html(std::string body);
-  static HttpResponse Json(std::string body);
-};
-
-/// \brief Standard reason phrase for an HTTP status code.
-const char* HttpStatusReason(int status);
+// The HTTP message types and the request parser moved to tegra::net so both
+// planes (this admin server and the net data plane) share one framing
+// implementation. The serve:: names remain the API of the admin plane.
+using HttpRequest = net::HttpRequest;
+using HttpResponse = net::HttpResponse;
+using net::HttpStatusReason;
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
@@ -145,10 +123,6 @@ class HttpAdminServer {
   void AcceptLoop();
   void HandlerLoop();
   void ServeConnection(int fd);
-  /// Parses one request head; returns false (and fills `error_status`) on
-  /// malformed input.
-  bool ParseRequest(const std::string& head, HttpRequest* request,
-                    int* error_status, std::string* error_message) const;
   HttpResponse Dispatch(const HttpRequest& request);
 
   HttpAdminOptions options_;

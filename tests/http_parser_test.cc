@@ -1,0 +1,266 @@
+// tegra::net::HttpParser — incremental framing under hostile and fragmented
+// input: truncated start lines, heads split across arbitrary read
+// boundaries, pipelined requests, oversized heads/bodies, bad
+// Transfer-Encoding, header-count bombs. The parser is the security
+// boundary of the data plane, so every rejection is asserted down to the
+// specific HTTP status it maps to.
+
+#include "net/http_parser.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tegra {
+namespace net {
+namespace {
+
+TEST(HttpParserTest, SimpleGet) {
+  HttpParser parser;
+  parser.Feed("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  EXPECT_EQ(parser.request().Header("host"), "x");
+  EXPECT_TRUE(parser.request().WantsKeepAlive());
+}
+
+TEST(HttpParserTest, PostBodyFramedByContentLength) {
+  HttpParser parser;
+  parser.Feed("POST /v1/extract HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, OneByteAtATime) {
+  // Every possible read boundary: feed the request a single byte per call.
+  const std::string raw =
+      "POST /v1/extract?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"a\": true}";
+  HttpParser parser;
+  for (char c : raw) {
+    ASSERT_FALSE(parser.failed());
+    parser.Feed(std::string_view(&c, 1));
+  }
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/v1/extract");
+  EXPECT_EQ(parser.request().Param("x"), "1");
+  EXPECT_EQ(parser.request().body, "{\"a\": true}");
+}
+
+TEST(HttpParserTest, HeadSplitAcrossReads) {
+  // The CRLFCRLF terminator itself straddles two reads.
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nHost: a\r");
+  EXPECT_FALSE(parser.done());
+  EXPECT_FALSE(parser.failed());
+  parser.Feed("\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().Header("host"), "a");
+}
+
+TEST(HttpParserTest, TruncatedStartLineIsNotAnError) {
+  // Half a request line is just "not done yet" — more bytes may come.
+  HttpParser parser;
+  parser.Feed("GET /ver");
+  EXPECT_FALSE(parser.done());
+  EXPECT_FALSE(parser.failed());
+  parser.Feed("y/long/path HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/very/long/path");
+}
+
+TEST(HttpParserTest, MalformedStartLine400) {
+  HttpParser parser;
+  parser.Feed("this is not http\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, UnsupportedVersion400) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/2.0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, MissingContentLengthOnPost400) {
+  HttpParser parser;
+  parser.Feed("POST /v1/extract HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, BadContentLength400) {
+  for (const char* bad : {"banana", "-3", "12banana"}) {
+    HttpParser parser;
+    parser.Feed(std::string("POST / HTTP/1.1\r\nContent-Length: ") + bad +
+                "\r\n\r\n");
+    ASSERT_TRUE(parser.failed()) << bad;
+    EXPECT_EQ(parser.error_status(), 400) << bad;
+  }
+}
+
+TEST(HttpParserTest, ChunkedTransferEncoding501) {
+  // Chunked framing is deliberately unimplemented; the rejection must be
+  // explicit (501), not a hang or a misframed body.
+  HttpParser parser;
+  parser.Feed(
+      "POST /v1/extract HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "5\r\nhello\r\n0\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, IdentityTransferEncodingAccepted) {
+  HttpParser parser;
+  parser.Feed(
+      "POST / HTTP/1.1\r\n"
+      "Transfer-Encoding: identity\r\n"
+      "Content-Length: 2\r\n"
+      "\r\n"
+      "ok");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().body, "ok");
+}
+
+TEST(HttpParserTest, OversizedHead413) {
+  HttpParserLimits limits;
+  limits.max_head_bytes = 128;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad: " + std::string(4096, 'a') +
+              "\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, OversizedHeadDetectedBeforeTerminator) {
+  // The limit fires while the head is still streaming in — a client slowly
+  // pumping an endless header can never make the parser buffer it all.
+  HttpParserLimits limits;
+  limits.max_head_bytes = 64;
+  HttpParser parser(limits);
+  parser.Feed("GET / HTTP/1.1\r\nX-Pad: ");
+  for (int i = 0; i < 100 && !parser.failed(); ++i) {
+    parser.Feed(std::string(16, 'a'));
+    ASSERT_LE(parser.buffered_bytes(), 200u);  // Bounded, not accumulating.
+  }
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, OversizedDeclaredBody413) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 1024;
+  HttpParser parser(limits);
+  // Rejected on the declaration alone; no body byte is ever accepted.
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 1048576\r\n\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, TooManyHeaders431) {
+  HttpParserLimits limits;
+  limits.max_header_count = 8;
+  HttpParser parser(limits);
+  std::string head = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 20; ++i) {
+    head += "X-H" + std::to_string(i) + ": v\r\n";
+  }
+  parser.Feed(head + "\r\n");
+  ASSERT_TRUE(parser.failed());
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, PipelinedRequestsShareOneBuffer) {
+  HttpParser parser;
+  parser.Feed(
+      "POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nonePOST /b HTTP/1.1\r\n"
+      "Content-Length: 3\r\n\r\ntwo");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().path, "/a");
+  EXPECT_EQ(parser.request().body, "one");
+  EXPECT_GT(parser.buffered_bytes(), 0u);
+
+  parser.Next();
+  ASSERT_TRUE(parser.done());  // Second request completes from the surplus.
+  EXPECT_EQ(parser.request().path, "/b");
+  EXPECT_EQ(parser.request().body, "two");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+
+  parser.Next();
+  EXPECT_FALSE(parser.done());  // Nothing buffered: back to kHead.
+  EXPECT_FALSE(parser.failed());
+}
+
+TEST(HttpParserTest, QueryStringDecoding) {
+  HttpParser parser;
+  parser.Feed("GET /search?q=a%20b%2Bc&n=3 HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().Param("q"), "a b+c");
+  EXPECT_EQ(parser.request().Param("n"), "3");
+  EXPECT_EQ(parser.request().Param("missing", "dflt"), "dflt");
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.request().WantsKeepAlive());
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_FALSE(parser.request().WantsKeepAlive());
+  }
+  {
+    HttpParser parser;
+    parser.Feed("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+    ASSERT_TRUE(parser.done());
+    EXPECT_TRUE(parser.request().WantsKeepAlive());
+  }
+}
+
+TEST(HttpParserTest, HeaderKeysLowerCasedValuesTrimmed) {
+  HttpParser parser;
+  parser.Feed("GET / HTTP/1.1\r\nX-MiXeD-CaSe:   padded value  \r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_EQ(parser.request().Header("x-mixed-case"), "padded value");
+}
+
+TEST(HttpParserTest, ZeroLengthBodyCompletesImmediately) {
+  HttpParser parser;
+  parser.Feed("POST / HTTP/1.1\r\nContent-Length: 0\r\n\r\n");
+  ASSERT_TRUE(parser.done());
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, SerializeResponseRoundTrip) {
+  HttpResponse response = HttpResponse::Json("{\"ok\":true}\n");
+  response.extra_headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 12\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}\n"), std::string::npos);
+
+  const std::string closing =
+      SerializeResponse(HttpResponse::Text(503, "busy\n"), false);
+  EXPECT_NE(closing.find("HTTP/1.1 503 Service Unavailable\r\n"),
+            std::string::npos);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tegra

@@ -1,0 +1,330 @@
+// tegra_loadgen — an open-loop load generator for the tegra_serve data
+// plane (POST /v1/extract), producing latency-vs-offered-load curves.
+//
+// Open-loop means arrivals are scheduled on a fixed clock, NOT gated on
+// responses: worker i sends the k-th request at t0 + k/qps regardless of
+// whether earlier requests have completed. A closed-loop client (send,
+// wait, send) silently slows its own arrival rate when the server stalls
+// and therefore under-reports tail latency ("coordinated omission"); here
+// latency is measured from the *scheduled* arrival time, so queueing delay
+// the client itself experienced is part of the number — exactly what a
+// user behind a load balancer would see.
+//
+//   $ ./tegra_serve --build-corpus web:200:1 --port 0 &   # note data_ready
+//   $ ./tegra_loadgen --port 41873 --qps 50,100,200,400 --duration-s 5
+//       (writes BENCH_dataplane.json; see --out)
+//
+// Each sweep step reports offered vs achieved QPS, HTTP status breakdown
+// and p50/p90/p99/max latency, on stderr as it runs and as one JSON
+// document at the end (BENCH_dataplane.json by convention).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_client.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void PrintUsage() {
+  std::fputs(R"(usage: tegra_loadgen --port N [options]
+
+Open-loop QPS sweep against a tegra_serve data plane (POST /v1/extract).
+
+options:
+  --host HOST        server address (default 127.0.0.1)
+  --port N           data-plane port (required; see the data_ready event)
+  --qps LIST         comma-separated offered-QPS steps (default 25,50,100,200)
+  --duration-s D     seconds per step (default 5)
+  --connections N    concurrent client connections / worker threads
+                     (default 16)
+  --batch N          items per batch body; 0 = single bodies (default 0)
+  --bypass-cache     set "bypass_cache":true so every request extracts
+  --timeout-ms D     client socket timeout (default 10000)
+  --out PATH         JSON results file (default BENCH_dataplane.json)
+  --help             this text
+)",
+             stderr);
+}
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::vector<double> qps_steps = {25, 50, 100, 200};
+  double duration_s = 5;
+  int connections = 16;
+  int batch = 0;
+  bool bypass_cache = false;
+  int timeout_ms = 10000;
+  std::string out_path = "BENCH_dataplane.json";
+};
+
+bool ParseQpsList(const char* list, std::vector<double>* out) {
+  out->clear();
+  const char* p = list;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const double qps = std::strtod(p, &end);
+    if (end == p || qps <= 0) return false;
+    out->push_back(qps);
+    p = end;
+    if (*p == ',') ++p;
+  }
+  return !out->empty();
+}
+
+bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else if (arg == "--host") {
+      if (!(v = need_value(i))) return false;
+      opts->host = v;
+    } else if (arg == "--port") {
+      if (!(v = need_value(i))) return false;
+      opts->port = std::atoi(v);
+    } else if (arg == "--qps") {
+      if (!(v = need_value(i))) return false;
+      if (!ParseQpsList(v, &opts->qps_steps)) {
+        std::fprintf(stderr, "bad --qps list: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--duration-s") {
+      if (!(v = need_value(i))) return false;
+      opts->duration_s = std::atof(v);
+    } else if (arg == "--connections") {
+      if (!(v = need_value(i))) return false;
+      opts->connections = std::atoi(v);
+    } else if (arg == "--batch") {
+      if (!(v = need_value(i))) return false;
+      opts->batch = std::atoi(v);
+    } else if (arg == "--bypass-cache") {
+      opts->bypass_cache = true;
+    } else if (arg == "--timeout-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->timeout_ms = std::atoi(v);
+    } else if (arg == "--out") {
+      if (!(v = need_value(i))) return false;
+      opts->out_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts->port <= 0 || opts->port > 65535) {
+    std::fprintf(stderr, "--port is required\n");
+    return false;
+  }
+  if (opts->duration_s <= 0 || opts->connections <= 0) {
+    std::fprintf(stderr, "--duration-s and --connections must be positive\n");
+    return false;
+  }
+  return true;
+}
+
+/// One request body. The lines are a small city/state/population list the
+/// synthetic web corpus aligns well, so "ok":true responses dominate and a
+/// 5xx means genuine overload, not a content problem. The arrival index is
+/// echoed as "id" to keep bodies distinct on the wire.
+std::string RequestBody(const LoadgenOptions& opts, uint64_t arrival) {
+  std::string single = "{\"id\":" + std::to_string(arrival) +
+                       ",\"lines\":[\"Boston Massachusetts 645,966\","
+                       "\"Worcester Massachusetts 182,544\","
+                       "\"Springfield Massachusetts 153,060\"]";
+  if (opts.bypass_cache) single += ",\"bypass_cache\":true";
+  single += "}";
+  if (opts.batch <= 0) return single;
+  std::string body = "{\"requests\":[";
+  for (int i = 0; i < opts.batch; ++i) {
+    if (i > 0) body += ",";
+    body += single;
+  }
+  body += "]}";
+  return body;
+}
+
+/// Everything measured in one sweep step, merged across workers.
+struct StepResult {
+  double offered_qps = 0;
+  double elapsed_s = 0;
+  uint64_t sent = 0;
+  uint64_t http_2xx = 0;
+  uint64_t http_4xx = 0;
+  uint64_t http_503 = 0;
+  uint64_t http_other = 0;
+  uint64_t transport_errors = 0;
+  std::vector<double> latencies_ms;  ///< From scheduled arrival, completed only.
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const size_t idx = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(idx, sorted->size() - 1)];
+}
+
+StepResult RunStep(const LoadgenOptions& opts, double qps) {
+  const uint64_t total =
+      static_cast<uint64_t>(qps * opts.duration_s + 0.5);
+  std::atomic<uint64_t> next_arrival{0};
+  const Clock::time_point t0 = Clock::now();
+  const std::chrono::nanoseconds interval(
+      static_cast<int64_t>(1e9 / qps));
+
+  struct WorkerResult {
+    uint64_t sent = 0, h2xx = 0, h4xx = 0, h503 = 0, hother = 0, errors = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<WorkerResult> per_worker(opts.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(opts.connections);
+  for (int w = 0; w < opts.connections; ++w) {
+    workers.emplace_back([&, w] {
+      tegra::net::HttpClient client(opts.host, opts.port, opts.timeout_ms);
+      WorkerResult& result = per_worker[w];
+      while (true) {
+        const uint64_t k = next_arrival.fetch_add(1);
+        if (k >= total) break;
+        const Clock::time_point arrival = t0 + interval * k;
+        std::this_thread::sleep_until(arrival);
+        const std::string body = RequestBody(opts, k);
+        auto response = client.Post("/v1/extract", body);
+        // Latency from the *scheduled* arrival: client-side queueing counts.
+        const double ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - arrival)
+                              .count();
+        ++result.sent;
+        if (!response.ok()) {
+          ++result.errors;
+          continue;
+        }
+        result.latencies_ms.push_back(ms);
+        const int status = response.value().status;
+        if (status == 503) {
+          ++result.h503;
+        } else if (status >= 200 && status < 300) {
+          ++result.h2xx;
+        } else if (status >= 400 && status < 500) {
+          ++result.h4xx;
+        } else {
+          ++result.hother;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  StepResult step;
+  step.offered_qps = qps;
+  step.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  for (const WorkerResult& result : per_worker) {
+    step.sent += result.sent;
+    step.http_2xx += result.h2xx;
+    step.http_4xx += result.h4xx;
+    step.http_503 += result.h503;
+    step.http_other += result.hother;
+    step.transport_errors += result.errors;
+    step.latencies_ms.insert(step.latencies_ms.end(),
+                             result.latencies_ms.begin(),
+                             result.latencies_ms.end());
+  }
+  std::sort(step.latencies_ms.begin(), step.latencies_ms.end());
+  return step;
+}
+
+void AppendStepJson(std::string* out, const StepResult& step) {
+  std::vector<double> sorted = step.latencies_ms;  // Already sorted.
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"offered_qps\": %.1f, \"achieved_qps\": %.1f, "
+      "\"duration_s\": %.2f, \"sent\": %llu, \"http_2xx\": %llu, "
+      "\"http_4xx\": %llu, \"http_503\": %llu, \"http_other\": %llu, "
+      "\"transport_errors\": %llu, \"p50_ms\": %.3f, \"p90_ms\": %.3f, "
+      "\"p99_ms\": %.3f, \"max_ms\": %.3f}",
+      step.offered_qps,
+      step.elapsed_s > 0 ? step.sent / step.elapsed_s : 0.0, step.elapsed_s,
+      static_cast<unsigned long long>(step.sent),
+      static_cast<unsigned long long>(step.http_2xx),
+      static_cast<unsigned long long>(step.http_4xx),
+      static_cast<unsigned long long>(step.http_503),
+      static_cast<unsigned long long>(step.http_other),
+      static_cast<unsigned long long>(step.transport_errors),
+      Percentile(&sorted, 0.50), Percentile(&sorted, 0.90),
+      Percentile(&sorted, 0.99),
+      sorted.empty() ? 0.0 : sorted.back());
+  *out += buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "tegra_loadgen: %s:%d POST /v1/extract, %d connections, "
+               "%.0fs/step%s\n",
+               opts.host.c_str(), opts.port, opts.connections,
+               opts.duration_s, opts.batch > 0 ? " (batch bodies)" : "");
+
+  std::string json = "{\n  \"bench\": \"dataplane\",\n";
+  json += "  \"target\": \"POST /v1/extract\",\n";
+  json += "  \"connections\": " + std::to_string(opts.connections) + ",\n";
+  json += "  \"batch\": " + std::to_string(opts.batch) + ",\n";
+  json += "  \"steps\": [\n";
+
+  bool any_ok = false;
+  for (size_t i = 0; i < opts.qps_steps.size(); ++i) {
+    const StepResult step = RunStep(opts, opts.qps_steps[i]);
+    std::vector<double> sorted = step.latencies_ms;
+    std::fprintf(stderr,
+                 "  qps %7.1f: sent %llu  2xx %llu  503 %llu  err %llu  "
+                 "p50 %.2fms  p99 %.2fms\n",
+                 step.offered_qps,
+                 static_cast<unsigned long long>(step.sent),
+                 static_cast<unsigned long long>(step.http_2xx),
+                 static_cast<unsigned long long>(step.http_503),
+                 static_cast<unsigned long long>(step.transport_errors),
+                 Percentile(&sorted, 0.50), Percentile(&sorted, 0.99));
+    if (step.http_2xx > 0) any_ok = true;
+    if (i > 0) json += ",\n";
+    AppendStepJson(&json, step);
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(opts.out_path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", opts.out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "tegra_loadgen: wrote %s\n", opts.out_path.c_str());
+
+  // Exit status reflects whether the sweep saw any successful extraction,
+  // so CI can assert the data plane actually served traffic.
+  return any_ok ? 0 : 1;
+}

@@ -37,6 +37,12 @@
 // is emitted on stdout before any responses — with `--admin-port 0` (bind an
 // ephemeral port) this line is how drivers learn the actual port.
 //
+// With --port the extraction write path itself is served over HTTP: an
+// epoll-driven keep-alive data plane answering POST /v1/extract with single
+// ({"lines":[...]}) and batch ({"requests":[...]}) bodies (see
+// docs/SERVING.md). It announces itself the same way:
+//   {"event":"data_ready","port":N}
+//
 // Response objects (id echoed):
 //   {"id":1,"ok":true,"columns":3,"rows":[[...],...],"sp":...,
 //    "cache_hit":false,"queue_ms":...,"extract_ms":...,"total_ms":...}
@@ -70,6 +76,7 @@
 #include "corpus/corpus_io.h"
 #include "corpus/corpus_stats.h"
 #include "service/admin_pages.h"
+#include "service/data_plane.h"
 #include "service/extraction_service.h"
 #include "service/extractor_source.h"
 #include "service/http_admin.h"
@@ -117,6 +124,19 @@ options:
                           the startup log. Omit the flag to disable (default)
   --admin-bind ADDR       admin plane bind address (default 127.0.0.1;
                           use 0.0.0.0 to expose beyond loopback)
+  --port N                serve the extraction data plane — an event-loop
+                          HTTP/1.1 server answering POST /v1/extract with
+                          single and batch JSON bodies — on N; N=0 binds an
+                          ephemeral port reported via the
+                          {"event":"data_ready","port":N} stdout line.
+                          Omit the flag to disable (default)
+  --bind ADDR             data plane bind address (default 127.0.0.1)
+  --max-connections N     data plane concurrent-connection cap; clients
+                          beyond it are shed with 503 + Retry-After
+                          (default 1024)
+  --io-timeout-ms D       data plane per-connection read/write deadline in
+                          milliseconds; a stalled mid-request read gets 408
+                          (default 10000)
   --log-format text|json  stderr log rendering (default text)
   --log-level LEVEL       debug|info|warn|error (default info)
   --help                  this text
@@ -132,6 +152,11 @@ struct ServeCliOptions {
   /// -1 = admin plane disabled; 0 = ephemeral port; >0 = fixed port.
   int admin_port = -1;
   std::string admin_bind = "127.0.0.1";
+  /// -1 = data plane disabled; 0 = ephemeral port; >0 = fixed port.
+  int data_port = -1;
+  std::string data_bind = "127.0.0.1";
+  size_t max_connections = 1024;
+  int io_timeout_ms = 10000;
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -193,6 +218,30 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
     } else if (arg == "--admin-bind") {
       if (!(v = need_value(i))) return false;
       opts->admin_bind = v;
+    } else if (arg == "--port") {
+      if (!(v = need_value(i))) return false;
+      opts->data_port = std::atoi(v);
+      if (opts->data_port < 0 || opts->data_port > 65535) {
+        std::fprintf(stderr, "bad --port: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--bind") {
+      if (!(v = need_value(i))) return false;
+      opts->data_bind = v;
+    } else if (arg == "--max-connections") {
+      if (!(v = need_value(i))) return false;
+      opts->max_connections = static_cast<size_t>(std::atoll(v));
+      if (opts->max_connections == 0) {
+        std::fprintf(stderr, "bad --max-connections: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--io-timeout-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->io_timeout_ms = std::atoi(v);
+      if (opts->io_timeout_ms <= 0) {
+        std::fprintf(stderr, "bad --io-timeout-ms: %s\n", v);
+        return false;
+      }
     } else if (arg == "--log-format") {
       if (!(v = need_value(i))) return false;
       tegra::trace::Logger::Global().SetFormat(
@@ -455,6 +504,17 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Optional HTTP data plane (POST /v1/extract over the tegra::net event
+  // loop). Declared after the service so it is stopped and destroyed first —
+  // its handlers only borrow the service, and in-flight HTTP exchanges
+  // complete before the worker pool can drain away underneath them.
+  tegra::serve::DataPlaneOptions plane_options;
+  plane_options.server.port = opts.data_port < 0 ? 0 : opts.data_port;
+  plane_options.server.bind_address = opts.data_bind;
+  plane_options.server.max_connections = opts.max_connections;
+  plane_options.server.io_timeout_ms = opts.io_timeout_ms;
+  tegra::serve::DataPlane plane(&service, plane_options, &registry);
+
   // Optional HTTP admin plane. Declared after the service so it is stopped
   // (and destroyed) first; AdminPages only borrows the subsystems above.
   tegra::serve::AdminPagesOptions pages_options;
@@ -466,6 +526,10 @@ int main(int argc, char** argv) {
                                          : opts.build_spec);
   tegra::serve::AdminPages pages(&service, &tracer, manager.get(),
                                  pages_options);
+  if (opts.data_port >= 0) {
+    // /readyz reports data-plane saturation; /statusz gains its stats table.
+    pages.set_data_plane(&plane.server());
+  }
   tegra::serve::HttpAdminOptions admin_options;
   admin_options.port = opts.admin_port < 0 ? 0 : opts.admin_port;
   admin_options.bind_address = opts.admin_bind;
@@ -488,6 +552,27 @@ int main(int argc, char** argv) {
                           {{"bind", opts.admin_bind}, {"port", admin.port()}});
   }
 
+  if (opts.data_port >= 0) {
+    const tegra::Status started = plane.Start();
+    if (!started.ok()) {
+      tegra::trace::LogError("data plane failed to start",
+                             {{"status", started.ToString()}});
+      return 1;
+    }
+    // Same discovery contract as admin_ready: with `--port 0` this stdout
+    // line is how drivers learn the ephemeral port.
+    JsonValue ready = JsonValue::Object();
+    ready.Set("event", JsonValue::Str("data_ready"));
+    ready.Set("port", JsonValue::Number(plane.port()));
+    Emit(ready.Dump());
+    tegra::trace::LogInfo(
+        "data plane listening",
+        {{"bind", opts.data_bind},
+         {"port", plane.port()},
+         {"max_connections", plane_options.server.max_connections},
+         {"io_timeout_ms", plane_options.server.io_timeout_ms}});
+  }
+
   tegra::trace::LogInfo(
       "tegra_serve ready",
       {{"workers", service.options().num_workers},
@@ -495,7 +580,8 @@ int main(int argc, char** argv) {
        {"cache_capacity", service.options().result_cache_capacity},
        {"slowlog_capacity", service.options().slowlog_capacity},
        {"trace", tracer.enabled()},
-       {"admin", opts.admin_port >= 0 ? "on" : "off"}});
+       {"admin", opts.admin_port >= 0 ? "on" : "off"},
+       {"data_plane", opts.data_port >= 0 ? "on" : "off"}});
 
   // Keep at most pipeline_depth requests in flight so admission control is
   // exercised by fast producers while stdout stays in submission order.
@@ -612,8 +698,11 @@ int main(int argc, char** argv) {
     pthread_kill(reloader.native_handle(), SIGHUP);
     reloader.join();
   }
-  // Stop the admin plane before the service drains so probes see the
-  // process disappear (connection refused) rather than a half-dead server.
+  // Stop the data plane before the service drains: the listener closes,
+  // in-flight HTTP exchanges finish (or hit the drain timeout), and only
+  // then may the worker pool go away. The admin plane follows so probes see
+  // the process disappear (connection refused), not a half-dead server.
+  plane.Stop();
   admin.Stop();
   tegra::trace::LogInfo("tegra_serve exiting",
                         {{"spans_recorded", tracer.spans_recorded()},
