@@ -10,11 +10,12 @@
 #                       full suite must still pass, proving nothing depends
 #                       on tracing being compiled in
 #   3. tsan           — TEGRA_SANITIZE=thread; runs the `service`, `trace`,
-#                       `store` and `net` ctest labels plus the
+#                       `store`, `net` and `prof` ctest labels plus the
 #                       metrics/stress tests, the suites with real
 #                       cross-thread traffic (store_test races readers
 #                       against corpus hot swaps; the net suite runs the
-#                       event loop against concurrent clients)
+#                       event loop against concurrent clients; the prof
+#                       suite fires SIGPROF into a live thread pool)
 #
 # Usage:
 #   scripts/check.sh            # all three configurations
@@ -63,11 +64,12 @@ if [[ "$ONLY" == "all" || "$ONLY" == "tsan" ]]; then
   # label races concurrent corpus readers against hot-reload swaps; the
   # net label drives the event-loop HTTP server with concurrent clients
   # and foreign-thread completions; stress_test and metrics_test hammer
-  # the histogram CAS paths.
+  # the histogram CAS paths; the prof label delivers SIGPROF into busy
+  # worker threads while captures drain the sample rings.
   configure_and_build tsan -DTEGRA_SANITIZE=thread -DTEGRA_TRACE=ON
-  echo "=== [tsan] test (service/trace/store/net labels, metrics/stress) ==="
+  echo "=== [tsan] test (service/trace/store/net/prof labels, metrics/stress) ==="
   (cd "$ROOT/build-check-tsan" &&
-    run ctest --output-on-failure --timeout 600 -L 'service|trace|store|net' &&
+    run ctest --output-on-failure --timeout 600 -L 'service|trace|store|net|prof' &&
     run ctest --output-on-failure --timeout 600 -R 'metrics_test|stress_test')
   echo "=== [tsan] OK ==="
 fi

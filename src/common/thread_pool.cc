@@ -1,14 +1,40 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 namespace tegra {
+
+namespace {
+
+// The hook is read by freshly spawned workers and written from setup code;
+// shared_ptr + atomic load keeps a concurrent spawn safe against a swap.
+std::mutex g_hook_mu;
+std::shared_ptr<const std::function<void(size_t)>> g_thread_start_hook;
+
+std::shared_ptr<const std::function<void(size_t)>> LoadHook() {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  return g_thread_start_hook;
+}
+
+}  // namespace
+
+void ThreadPool::SetThreadStartHook(std::function<void(size_t)> hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  if (hook) {
+    g_thread_start_hook =
+        std::make_shared<const std::function<void(size_t)>>(std::move(hook));
+  } else {
+    g_thread_start_hook.reset();
+  }
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -27,7 +53,8 @@ void ThreadPool::BeginShutdown() {
   cv_.notify_all();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  if (auto hook = LoadHook()) (*hook)(worker_index);
   while (true) {
     std::function<void()> task;
     {

@@ -76,8 +76,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// \brief Process-wide hook run once at the top of every worker thread
+  /// (existing workers are unaffected; set it before pools spawn). Used by
+  /// the profiling layer to register pool threads for full stack capture —
+  /// a function hook rather than a direct call because tegra_common sits
+  /// below tegra_prof in the link order.
+  static void SetThreadStartHook(std::function<void(size_t worker_index)> hook);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -52,6 +52,10 @@ struct HttpRequest {
   std::map<std::string, std::string> headers;
   /// Request body (Content-Length framed; empty for bodyless requests).
   std::string body;
+  /// Server-assigned per-process request id (stamped by HttpServer at
+  /// dispatch, 0 until then). Threads the request through the service layer
+  /// so wide events, exemplars and responses all name the same request.
+  uint64_t request_id = 0;
 
   /// Convenience: params lookup with default.
   std::string Param(const std::string& key,

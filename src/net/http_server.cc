@@ -20,6 +20,7 @@
 #include <cstring>
 #include <utility>
 
+#include "prof/profiler.h"
 #include "trace/log.h"
 #include "trace/trace.h"
 
@@ -330,6 +331,7 @@ HttpServerStats HttpServer::Stats() const {
 // ---- Event loop ------------------------------------------------------------
 
 void HttpServer::EventLoop() {
+  prof::EnsureThreadRegistered("net-loop");
   std::vector<Poller::Event> events;
   bool drain_started = false;
   Clock::time_point drain_deadline;
@@ -510,6 +512,12 @@ void HttpServer::OnRequestParsed(Connection* conn) {
 void HttpServer::DispatchRequest(Connection* conn) {
   stat_requests_total_.fetch_add(1, std::memory_order_relaxed);
   if (requests_total_ != nullptr) requests_total_->Increment();
+  // Stamp the per-process request id (loop thread only, so a plain counter
+  // would do; atomic keeps multiple HttpServer instances in one process
+  // from sharing ids).
+  static std::atomic<uint64_t> next_request_id{1};
+  conn->parser.mutable_request().request_id =
+      next_request_id.fetch_add(1, std::memory_order_relaxed);
   conn->phase = Connection::Phase::kHandling;
   // No read interest while a request is in flight: pipelined bytes stay in
   // the kernel buffer (TCP backpressure) instead of growing ours, and the

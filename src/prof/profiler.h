@@ -1,0 +1,129 @@
+// tegra::prof — an always-on, dependency-free sampling CPU profiler.
+//
+// A POSIX interval timer (timer_create(CLOCK_PROCESS_CPUTIME_ID), with a
+// setitimer(ITIMER_PROF) fallback) delivers SIGPROF at `hz` per second of
+// consumed process CPU. The signal handler walks the interrupted thread's
+// frame-pointer chain (the whole tree builds with -fno-omit-frame-pointer)
+// and appends the raw PCs to a per-thread single-producer/single-consumer
+// sample ring — no locks, no allocation, nothing async-signal-unsafe.
+//
+// Threads opt into full stack capture with EnsureThreadRegistered(), which
+// records the thread's stack bounds (pthread_getattr_np) so the handler can
+// validate every frame pointer before dereferencing it. Samples landing on
+// unregistered threads degrade to PC-only entries in a shared overflow ring
+// rather than being lost.
+//
+// Capture(seconds) drains the rings for a window, aggregates identical
+// stacks, and symbolizes the PCs with dladdr() + __cxa_demangle (executables
+// are linked -rdynamic via CMAKE_ENABLE_EXPORTS). The result renders as
+// collapsed/folded stacks — `frame;frame;...;leaf count` — the format every
+// flamegraph tool ingests directly. Served as GET /pprof/profile?seconds=N
+// on the admin plane and via the tegra_serve `profile` control command.
+//
+// The profiler is orthogonal to TEGRA_TRACE: spans can be compiled out while
+// CPU profiles remain available.
+
+#ifndef TEGRA_PROF_PROFILER_H_
+#define TEGRA_PROF_PROFILER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tegra {
+namespace prof {
+
+/// \brief One registered thread, as seen by the runtime-stats collector.
+struct RegisteredThread {
+  int tid = 0;         ///< Kernel task id (gettid), for /proc/self/task/...
+  std::string name;    ///< Short role name ("worker0", "net-loop", ...).
+};
+
+/// \brief Registers the calling thread for full-stack sampling under `name`.
+/// Idempotent; the slot is recycled automatically at thread exit. Threads
+/// that never register still get PC-only samples.
+void EnsureThreadRegistered(const std::string& name);
+
+/// \brief All currently registered threads (for per-thread CPU telemetry).
+std::vector<RegisteredThread> RegisteredThreads();
+
+/// \brief An aggregated CPU profile over one capture window.
+struct Profile {
+  /// Collapsed stacks: "root;caller;...;leaf" -> sample count.
+  std::map<std::string, uint64_t> folded;
+  uint64_t total_samples = 0;  ///< Samples aggregated into `folded`.
+  uint64_t dropped = 0;        ///< Samples lost to ring overflow.
+  int hz = 0;                  ///< Sampling frequency during the window.
+  double seconds = 0;          ///< Wall-clock length of the window.
+
+  /// Renders one "stack count" line per entry, highest count first —
+  /// directly consumable by flamegraph.pl / speedscope / pprof.
+  std::string ToFolded() const;
+};
+
+/// \brief Process-wide sampling profiler. One instance (Global()); Start is
+/// cheap enough to leave on for the life of the server.
+class CpuProfiler {
+ public:
+  static CpuProfiler& Global();
+
+  /// Arms the SIGPROF handler and starts the interval timer at `hz`
+  /// samples per second of process CPU time. Idempotent while running
+  /// (returns Ok without rearming).
+  Status Start(int hz = 99);
+
+  /// Disarms the timer. Registered threads keep their slots.
+  void Stop();
+
+  bool running() const;
+  int hz() const;
+
+  /// Collects samples for `seconds` of wall time and returns the aggregated,
+  /// symbolized profile. If the profiler is not running it is started for
+  /// the duration of the capture (at the default 99 Hz) and stopped again.
+  /// Captures serialize on an internal mutex; the sampling hot path never
+  /// blocks on a capture. Note the timer counts *CPU* time: an idle process
+  /// produces an empty (but valid) profile.
+  Result<Profile> Capture(double seconds);
+
+  /// Lifetime totals across all capture windows and between them.
+  uint64_t samples_total() const;
+  uint64_t dropped_total() const;
+
+ private:
+  CpuProfiler() = default;
+};
+
+/// \brief Installs the histogram exemplar source: every histogram
+/// observation made inside a live TraceContext records that context's trace
+/// id plus the current request id (below) next to its latency bucket, and
+/// /metrics?format=openmetrics emits them as OpenMetrics exemplars. With
+/// TEGRA_TRACE=OFF no context ever installs itself, so the hook finds no
+/// trace id and exemplars quietly never fire — zero #ifdefs at call sites.
+void InstallExemplarSource();
+
+/// \brief Thread-local request id, stamped by the serving layer for the
+/// duration of one request so exemplars and profiles can name the exact
+/// request behind an observation. 0 means "not inside a request".
+uint64_t CurrentRequestId();
+
+/// \brief RAII setter for the thread-local request id.
+class ScopedRequestId {
+ public:
+  explicit ScopedRequestId(uint64_t id);
+  ~ScopedRequestId();
+
+  ScopedRequestId(const ScopedRequestId&) = delete;
+  ScopedRequestId& operator=(const ScopedRequestId&) = delete;
+
+ private:
+  uint64_t prev_;
+};
+
+}  // namespace prof
+}  // namespace tegra
+
+#endif  // TEGRA_PROF_PROFILER_H_

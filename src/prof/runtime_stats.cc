@@ -1,0 +1,163 @@
+#include "prof/runtime_stats.h"
+
+#include <dirent.h>
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "prof/profiler.h"
+
+namespace tegra {
+namespace prof {
+
+namespace {
+
+// Parses a /proc/<...>/stat line. Field 2 (comm) is parenthesized and may
+// itself contain spaces/parens, so split from the *last* ')'. Returns the
+// space-separated fields after comm, i.e. out[0] is stat field 3 ("state").
+bool StatFieldsAfterComm(const std::string& line,
+                         std::vector<std::string>* out) {
+  const size_t close = line.rfind(')');
+  if (close == std::string::npos) return false;
+  std::istringstream rest(line.substr(close + 1));
+  std::string field;
+  out->clear();
+  while (rest >> field) out->push_back(field);
+  return !out->empty();
+}
+
+double ToDouble(const std::string& s) {
+  return std::strtod(s.c_str(), nullptr);
+}
+
+size_t CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t n = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++n;
+  }
+  closedir(dir);
+  // The opendir itself holds one fd; don't report it.
+  return n > 0 ? n - 1 : 0;
+}
+
+}  // namespace
+
+RuntimeStatsCollector::RuntimeStatsCollector(MetricsRegistry* registry,
+                                             double period_seconds)
+    : registry_(registry), period_seconds_(period_seconds) {}
+
+RuntimeStatsCollector::~RuntimeStatsCollector() { Stop(); }
+
+void RuntimeStatsCollector::Start() {
+  if (running_.exchange(true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void RuntimeStatsCollector::Stop() {
+  if (!running_.exchange(false)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void RuntimeStatsCollector::Loop() {
+  SampleOnce();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::duration<double>(period_seconds_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void RuntimeStatsCollector::SampleOnce() {
+  if (registry_ == nullptr) return;
+  const double page = static_cast<double>(sysconf(_SC_PAGESIZE));
+  const double tick = static_cast<double>(sysconf(_SC_CLK_TCK));
+
+  // Memory from /proc/self/statm: total program size and resident set,
+  // both in pages.
+  {
+    std::ifstream statm("/proc/self/statm");
+    double vsz_pages = 0, rss_pages = 0;
+    if (statm >> vsz_pages >> rss_pages) {
+      registry_->GetGauge("process.vsz_bytes")->Set(vsz_pages * page);
+      registry_->GetGauge("process.rss_bytes")->Set(rss_pages * page);
+    }
+  }
+
+  // Thread count from /proc/self/stat (field 20 = num_threads, which is
+  // field 18 counting from after the comm).
+  {
+    std::ifstream stat("/proc/self/stat");
+    std::string line;
+    std::vector<std::string> fields;
+    if (std::getline(stat, line) && StatFieldsAfterComm(line, &fields) &&
+        fields.size() > 17) {
+      registry_->GetGauge("process.threads")->Set(ToDouble(fields[17]));
+    }
+  }
+
+  // CPU, faults and context switches from getrusage — authoritative and
+  // cheaper than re-parsing /proc.
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    const double user = static_cast<double>(ru.ru_utime.tv_sec) +
+                        static_cast<double>(ru.ru_utime.tv_usec) * 1e-6;
+    const double sys = static_cast<double>(ru.ru_stime.tv_sec) +
+                       static_cast<double>(ru.ru_stime.tv_usec) * 1e-6;
+    registry_->GetGauge("process.cpu_user_seconds")->Set(user);
+    registry_->GetGauge("process.cpu_system_seconds")->Set(sys);
+    registry_->GetGauge("process.ctx_switches_voluntary")
+        ->Set(static_cast<double>(ru.ru_nvcsw));
+    registry_->GetGauge("process.ctx_switches_involuntary")
+        ->Set(static_cast<double>(ru.ru_nivcsw));
+    registry_->GetGauge("process.major_faults")
+        ->Set(static_cast<double>(ru.ru_majflt));
+    registry_->GetGauge("process.minor_faults")
+        ->Set(static_cast<double>(ru.ru_minflt));
+  }
+
+  registry_->GetGauge("process.open_fds")
+      ->Set(static_cast<double>(CountOpenFds()));
+
+  // Per-thread CPU for every profiler-registered thread: utime+stime are
+  // stat fields 14/15 (12/13 after the comm), in clock ticks.
+  for (const RegisteredThread& t : RegisteredThreads()) {
+    std::ostringstream path;
+    path << "/proc/self/task/" << t.tid << "/stat";
+    std::ifstream stat(path.str());
+    std::string line;
+    std::vector<std::string> fields;
+    if (!std::getline(stat, line) || !StatFieldsAfterComm(line, &fields) ||
+        fields.size() < 13 || tick <= 0) {
+      continue;
+    }
+    const double cpu = (ToDouble(fields[11]) + ToDouble(fields[12])) / tick;
+    registry_->GetGauge("process.thread." + t.name + ".cpu_seconds")
+        ->Set(cpu);
+  }
+}
+
+}  // namespace prof
+}  // namespace tegra

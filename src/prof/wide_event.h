@@ -1,0 +1,98 @@
+// Wide-event request logging: one structured JSON line per data-plane
+// request, carrying everything needed to debug that request after the fact
+// — timings, cache disposition, corpus generation, quality score, sizes,
+// status, and the trace id linking it to /slowlogz and exemplars.
+//
+// Logging every request at high QPS is unaffordable, so the log is
+// *tail-sampled*: errors and slow requests are always kept (they are the
+// ones someone will ask about), ordinary requests are kept with a
+// deterministic per-request-id probability. The sink is a buffered FILE*
+// flushed explicitly on shutdown (and periodically by libc's buffering);
+// Record never blocks on disk in the common case.
+
+#ifndef TEGRA_PROF_WIDE_EVENT_H_
+#define TEGRA_PROF_WIDE_EVENT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace tegra {
+namespace prof {
+
+/// \brief Everything we know about one completed data-plane request.
+struct WideEvent {
+  uint64_t request_id = 0;
+  uint64_t trace_id = 0;         ///< 0 when tracing is off / not sampled.
+  std::string endpoint;          ///< e.g. "/v1/extract"
+  std::string outcome;           ///< "ok", "rejected", "deadline_exceeded",
+                                 ///< "failed", "bad_request"
+  int http_status = 200;
+  bool cache_hit = false;
+  bool batch = false;
+  int items = 1;                 ///< tables in the request (batch size)
+  uint64_t corpus_generation = 0;
+  double queue_seconds = 0;
+  double extract_seconds = 0;
+  double total_seconds = 0;
+  double sp_score = 0;           ///< per-pair SP objective (quality proxy)
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  std::string ToJson() const;
+};
+
+/// \brief Tail-sampled JSON-lines sink for WideEvents. Thread-safe.
+class WideEventLog {
+ public:
+  struct Options {
+    /// Probability of keeping an ordinary (non-error, non-slow) request.
+    double sample = 1.0;
+    /// Requests at or above this total latency are always kept.
+    double slow_ms = 100.0;
+  };
+
+  WideEventLog() = default;
+  ~WideEventLog();
+
+  WideEventLog(const WideEventLog&) = delete;
+  WideEventLog& operator=(const WideEventLog&) = delete;
+
+  /// Opens `path` for appending ("stderr" selects stderr). Replaces any
+  /// previously open sink.
+  Status Open(const std::string& path, Options options);
+
+  /// Points the log at an already-open stream (tests). Not owned.
+  void SetSink(FILE* sink, Options options);
+
+  /// Decides keep/drop and, when kept, writes one JSON line. Returns
+  /// whether the event was written. Safe to call with no sink (drops).
+  bool Record(const WideEvent& event);
+
+  /// Flushes the sink; part of the daemon's ordered shutdown.
+  void Flush();
+
+  /// True when the tail-sampling policy alone would keep this event —
+  /// exposed so the sampling decision is unit-testable without I/O.
+  bool WouldKeep(const WideEvent& event) const;
+
+  uint64_t written() const { return written_; }
+  uint64_t sampled_out() const { return sampled_out_; }
+  bool enabled() const { return sink_ != nullptr; }
+
+ private:
+  mutable std::mutex mu_;
+  FILE* sink_ = nullptr;
+  bool owns_sink_ = false;
+  Options options_;
+  uint64_t written_ = 0;
+  uint64_t sampled_out_ = 0;
+};
+
+}  // namespace prof
+}  // namespace tegra
+
+#endif  // TEGRA_PROF_WIDE_EVENT_H_

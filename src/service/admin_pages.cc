@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <utility>
 
 #include "common/build_info.h"
 #include "common/string_util.h"
+#include "prof/profiler.h"
 #include "trace/chrome_trace.h"
 #include "trace/prometheus.h"
 
@@ -52,6 +54,7 @@ std::string NavLinks() {
          "<a href=\"/varz\">varz</a> | "
          "<a href=\"/tracez\">tracez</a> | "
          "<a href=\"/slowlogz\">slowlogz</a> | "
+         "<a href=\"/pprof/profile?seconds=2\">pprof</a> | "
          "<a href=\"/healthz\">healthz</a> | "
          "<a href=\"/readyz\">readyz</a></p>\n";
 }
@@ -158,6 +161,19 @@ void AdminPages::RefreshCorpusGauges(MetricsRegistry* registry) {
       ->Set(view == nullptr ? 0.0 : static_cast<double>(view->HeapBytes()));
 }
 
+void AdminPages::RefreshTraceGauges(MetricsRegistry* registry) {
+  if (tracer_ == nullptr || registry == nullptr) return;
+  // Distinct names from any bound counters: these are point-in-time reads of
+  // the ring, refreshed at scrape, so a Prometheus rule can alert on
+  // increase(tegra_trace_ring_dropped[5m]) > 0 (span evidence is being lost).
+  registry->GetGauge("trace.ring.dropped")
+      ->Set(static_cast<double>(tracer_->dropped()));
+  registry->GetGauge("trace.ring.spans")
+      ->Set(static_cast<double>(tracer_->spans_recorded()));
+  registry->GetGauge("trace.ring.capacity")
+      ->Set(static_cast<double>(tracer_->ring_capacity()));
+}
+
 void AdminPages::RegisterAll(HttpAdminServer* server) {
   server->Handle("/", [this](const HttpRequest& r) { return Index(r); });
   server->Handle("/metrics",
@@ -171,6 +187,8 @@ void AdminPages::RegisterAll(HttpAdminServer* server) {
   server->Handle("/slowlogz",
                  [this](const HttpRequest& r) { return Slowlogz(r); });
   server->Handle("/varz", [this](const HttpRequest& r) { return Varz(r); });
+  server->Handle("/pprof/profile",
+                 [this](const HttpRequest& r) { return PprofProfile(r); });
 }
 
 HttpResponse AdminPages::Index(const HttpRequest&) {
@@ -182,7 +200,7 @@ HttpResponse AdminPages::Index(const HttpRequest&) {
   return HttpResponse::Html(std::move(body));
 }
 
-HttpResponse AdminPages::Metrics(const HttpRequest&) {
+HttpResponse AdminPages::Metrics(const HttpRequest& request) {
   MetricsRegistry* registry =
       service_ != nullptr
           ? service_->metrics()  // refreshes queue/cache gauges
@@ -192,6 +210,22 @@ HttpResponse AdminPages::Metrics(const HttpRequest&) {
   }
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
   RefreshCorpusGauges(registry);
+  RefreshTraceGauges(registry);
+  // Content negotiation: a Prometheus >=2.43 scraper (or a human with
+  // ?format=openmetrics) gets OpenMetrics with histogram exemplars; the
+  // default stays the classic 0.0.4 text format so existing scrapers and
+  // tests see byte-identical output.
+  const bool openmetrics =
+      request.Param("format") == "openmetrics" ||
+      request.Header("accept").find("application/openmetrics-text") !=
+          std::string::npos;
+  if (openmetrics) {
+    HttpResponse response =
+        HttpResponse::Text(200, trace::ToOpenMetricsText(registry->Snapshot()));
+    response.content_type =
+        "application/openmetrics-text; version=1.0.0; charset=utf-8";
+    return response;
+  }
   HttpResponse response =
       HttpResponse::Text(200, trace::ToPrometheusText(registry->Snapshot()));
   // The exposition-format content type Prometheus expects.
@@ -388,6 +422,34 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
     RowCount(&body, "spans_recorded", tracer_->spans_recorded());
     RowCount(&body, "spans_dropped", tracer_->dropped());
     RowCount(&body, "ring_capacity", tracer_->ring_capacity());
+    // Span loss means /slowlogz and /tracez are missing evidence; surface
+    // the ratio loudly instead of burying an absolute counter.
+    const uint64_t recorded = tracer_->spans_recorded();
+    const uint64_t dropped = tracer_->dropped();
+    if (dropped > 0) {
+      const double ratio =
+          static_cast<double>(dropped) /
+          static_cast<double>(recorded + dropped);
+      body += "<tr><th>drop_ratio</th><td class=\"warn\">" +
+              FormatDouble(ratio * 100.0, 2) + "% (span evidence lost)" +
+              "</td></tr>\n";
+    } else {
+      Row(&body, "drop_ratio", "0%");
+    }
+    body += "</table>\n";
+  }
+
+  {
+    prof::CpuProfiler& profiler = prof::CpuProfiler::Global();
+    body += "<h2>profiler</h2>\n<table>\n";
+    Row(&body, "running", profiler.running() ? "yes" : "no");
+    if (profiler.running()) RowCount(&body, "hz", profiler.hz());
+    RowCount(&body, "samples_total", profiler.samples_total());
+    RowCount(&body, "samples_dropped", profiler.dropped_total());
+    RowCount(&body, "registered_threads",
+             prof::RegisteredThreads().size());
+    body += "<tr><th>profile</th><td><a href=\"/pprof/profile?seconds=2\">"
+            "capture 2s (folded)</a></td></tr>\n";
     body += "</table>\n";
   }
 
@@ -458,7 +520,34 @@ HttpResponse AdminPages::Varz(const HttpRequest&) {
   }
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
   RefreshCorpusGauges(registry);
+  RefreshTraceGauges(registry);
   return HttpResponse::Json(registry->Snapshot().ToJson());
+}
+
+HttpResponse AdminPages::PprofProfile(const HttpRequest& request) {
+  double seconds = 2.0;
+  const std::string param = request.Param("seconds");
+  if (!param.empty()) {
+    char* end = nullptr;
+    const double parsed = std::strtod(param.c_str(), &end);
+    if (end == param.c_str() || !std::isfinite(parsed)) {
+      return HttpResponse::Text(400, "bad seconds parameter\n");
+    }
+    seconds = parsed;
+  }
+  // Clamp instead of reject: a scraper asking for 600s should not be able to
+  // pin an admin handler thread for 10 minutes.
+  seconds = std::min(30.0, std::max(0.1, seconds));
+  Result<prof::Profile> profile =
+      prof::CpuProfiler::Global().Capture(seconds);
+  if (!profile.ok()) {
+    return HttpResponse::Text(503,
+                              "profiler unavailable: " +
+                                  profile.status().message() + "\n");
+  }
+  // Folded-stack format ("frame;frame;frame count"), the lingua franca of
+  // flamegraph tooling: flamegraph.pl, inferno, speedscope all ingest it.
+  return HttpResponse::Text(200, profile.value().ToFolded());
 }
 
 }  // namespace serve

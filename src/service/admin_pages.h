@@ -3,7 +3,10 @@
 //
 //   /          index: endpoint directory
 //   /metrics   Prometheus text exposition (scrape-ready; includes the
-//              extract.sp_score quality histogram and tegra_build_info)
+//              extract.sp_score quality histogram and tegra_build_info).
+//              ?format=openmetrics (or an Accept header naming
+//              application/openmetrics-text) switches to OpenMetrics with
+//              histogram exemplars carrying trace/request ids.
 //   /healthz   liveness: 200 as long as the process can answer at all
 //   /readyz    readiness: 200 only when the corpus is loaded, the service
 //              accepts work and the queue is not saturated; 503 + reason
@@ -14,6 +17,10 @@
 //   /tracez    Chrome trace_event JSON of the span ring (open in Perfetto)
 //   /slowlogz  the N slowest requests with span trees (HTML; ?format=json)
 //   /varz      raw JSON metrics snapshot (self-identifying via "build")
+//   /pprof/profile  on-demand CPU profile from the always-on SIGPROF
+//              sampler: blocks for ?seconds=N (default 2, clamped to
+//              [0.1, 30]) and answers folded stacks ("a;b;c N" per line),
+//              ready for a flamegraph tool
 //
 // The pages are plain handler methods over non-owned pointers, so tests can
 // call them directly without sockets, and the daemon can register them on an
@@ -72,6 +79,7 @@ class AdminPages {
   HttpResponse Tracez(const HttpRequest& request);
   HttpResponse Slowlogz(const HttpRequest& request);
   HttpResponse Varz(const HttpRequest& request);
+  HttpResponse PprofProfile(const HttpRequest& request);
 
   /// Test hook: substitute the queue-depth probe consulted by /readyz (the
   /// default reads service->QueueDepth()), so saturation is testable
@@ -95,6 +103,11 @@ class AdminPages {
   /// Refreshes corpus gauges (generation, mapped/heap bytes) on `registry`
   /// so /metrics and /varz reflect the current generation at scrape time.
   void RefreshCorpusGauges(MetricsRegistry* registry);
+
+  /// Bridges the live span-ring counters (recorded/dropped/capacity) into
+  /// `registry` as trace.ring.* gauges at scrape time, so a scraper can
+  /// alert on span loss without polling /statusz HTML.
+  void RefreshTraceGauges(MetricsRegistry* registry);
 
   ExtractionService* service_;          // Not owned; may be null.
   trace::Tracer* tracer_;               // Not owned; may be null.

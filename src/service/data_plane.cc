@@ -1,5 +1,6 @@
 #include "service/data_plane.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -31,6 +32,22 @@ net::HttpResponse BadRequest(const std::string& message) {
   return net::HttpResponse::JsonStatus(400, err.Dump() + "\n");
 }
 
+/// Human-readable outcome label for the wide-event access log.
+const char* OutcomeForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kUnavailable:
+      return "rejected";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kInvalidArgument:
+      return "bad_request";
+    default:
+      return "failed";
+  }
+}
+
 /// Cross-thread aggregation of one batch: items complete on arbitrary
 /// worker threads (or inline on rejection); the last one renders and sends.
 struct BatchState {
@@ -39,6 +56,9 @@ struct BatchState {
   std::vector<ExtractionResponse> responses;
   size_t remaining = 0;
   net::ResponseCallback done;
+  prof::WideEventLog* wide = nullptr;  // Not owned; may be null.
+  uint64_t request_id = 0;
+  uint64_t bytes_in = 0;
 };
 
 void FinishBatch(BatchState* state) {
@@ -61,6 +81,43 @@ void FinishBatch(BatchState* state) {
   if (response.status == 503) {
     response.extra_headers.emplace_back("Retry-After", "1");
   }
+
+  // One wide event per HTTP exchange: the batch aggregates to the shape of
+  // its worst item so tail sampling keys off the same signals as a single
+  // request (any error, slowest item).
+  if (state->wide != nullptr && state->wide->enabled()) {
+    prof::WideEvent event;
+    event.request_id = state->request_id;
+    event.endpoint = "/v1/extract";
+    event.http_status = response.status;
+    event.batch = true;
+    event.items = static_cast<int>(state->responses.size());
+    event.bytes_in = state->bytes_in;
+    event.bytes_out = response.body.size();
+    event.cache_hit = !state->responses.empty();
+    bool any_failed = false;
+    for (const ExtractionResponse& r : state->responses) {
+      event.cache_hit = event.cache_hit && r.cache_hit;
+      event.extract_seconds += r.extract_seconds;
+      event.queue_seconds = std::max(event.queue_seconds, r.queue_seconds);
+      if (r.total_seconds > event.total_seconds) {
+        event.total_seconds = r.total_seconds;
+        event.trace_id = r.trace_id;  // the slowest item's trace
+      }
+      if (r.corpus_generation != 0) {
+        event.corpus_generation = r.corpus_generation;
+      }
+      if (r.result != nullptr) {
+        event.sp_score = std::max(event.sp_score,
+                                  r.result->per_pair_objective);
+      }
+      if (!r.ok()) any_failed = true;
+    }
+    event.outcome =
+        all_unavailable ? "rejected" : (any_failed ? "partial" : "ok");
+    state->wide->Record(event);
+  }
+
   state->done(std::move(response));
 }
 
@@ -176,12 +233,28 @@ Status DataPlane::ParseExtraction(const JsonValue& body,
   return Status::OK();
 }
 
+void DataPlane::RecordBadRequest(const net::HttpRequest& request,
+                                 const net::HttpResponse& response) {
+  if (wide_events_ == nullptr || !wide_events_->enabled()) return;
+  prof::WideEvent event;
+  event.request_id = request.request_id;
+  event.endpoint = request.path;
+  event.outcome = "bad_request";
+  event.http_status = response.status;
+  event.items = 0;
+  event.bytes_in = request.body.size();
+  event.bytes_out = response.body.size();
+  wide_events_->Record(event);
+}
+
 void DataPlane::HandleExtract(const net::HttpRequest& request,
                               net::ResponseCallback done) {
   auto parsed = ParseJson(request.body);
   if (!parsed.ok()) {
     if (rejected_total_ != nullptr) rejected_total_->Increment();
-    done(BadRequest(parsed.status().message()));
+    net::HttpResponse response = BadRequest(parsed.status().message());
+    RecordBadRequest(request, response);
+    done(std::move(response));
     return;
   }
   const JsonValue& body = *parsed;
@@ -192,14 +265,20 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
     const std::vector<JsonValue>& items = body["requests"].AsArray();
     if (items.empty()) {
       if (rejected_total_ != nullptr) rejected_total_->Increment();
-      done(BadRequest("\"requests\" must be a non-empty array"));
+      net::HttpResponse response =
+          BadRequest("\"requests\" must be a non-empty array");
+      RecordBadRequest(request, response);
+      done(std::move(response));
       return;
     }
     if (items.size() > options_.max_batch_items) {
       if (rejected_total_ != nullptr) rejected_total_->Increment();
-      done(BadRequest("batch of " + std::to_string(items.size()) +
-                      " exceeds limit of " +
-                      std::to_string(options_.max_batch_items)));
+      net::HttpResponse response =
+          BadRequest("batch of " + std::to_string(items.size()) +
+                     " exceeds limit of " +
+                     std::to_string(options_.max_batch_items));
+      RecordBadRequest(request, response);
+      done(std::move(response));
       return;
     }
 
@@ -212,10 +291,13 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
       const Status status = ParseExtraction(items[i], &requests[i]);
       if (!status.ok()) {
         if (rejected_total_ != nullptr) rejected_total_->Increment();
-        done(BadRequest("requests[" + std::to_string(i) +
-                        "]: " + status.message()));
+        net::HttpResponse response = BadRequest(
+            "requests[" + std::to_string(i) + "]: " + status.message());
+        RecordBadRequest(request, response);
+        done(std::move(response));
         return;
       }
+      requests[i].request_id = request.request_id;
       state->ids.push_back(items[i]["id"]);
     }
     if (batch_items_total_ != nullptr) {
@@ -224,6 +306,9 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
     state->responses.resize(items.size());
     state->remaining = items.size();
     state->done = std::move(done);
+    state->wide = wide_events_;
+    state->request_id = request.request_id;
+    state->bytes_in = request.body.size();
     for (size_t i = 0; i < requests.size(); ++i) {
       service_->SubmitWithCallback(
           std::move(requests[i]), [state, i](ExtractionResponse response) {
@@ -245,19 +330,45 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
   const Status status = ParseExtraction(body, &extraction);
   if (!status.ok()) {
     if (rejected_total_ != nullptr) rejected_total_->Increment();
-    done(BadRequest(status.message()));
+    net::HttpResponse response = BadRequest(status.message());
+    RecordBadRequest(request, response);
+    done(std::move(response));
     return;
   }
+  extraction.request_id = request.request_id;
   // The id must survive until the worker completes; capture by value.
   auto id = std::make_shared<JsonValue>(body["id"]);
   Counter* rejected = rejected_total_;
+  prof::WideEventLog* wide = wide_events_;
+  const uint64_t bytes_in = request.body.size();
   service_->SubmitWithCallback(
       std::move(extraction),
-      [id, rejected, done = std::move(done)](ExtractionResponse response) {
+      [id, rejected, wide, bytes_in,
+       done = std::move(done)](ExtractionResponse response) {
         if (!response.ok() && rejected != nullptr) rejected->Increment();
         const JsonValue* id_ptr = id->is_null() ? nullptr : id.get();
-        done(JsonWithStatus(response.status,
-                            ExtractionResponseToJson(id_ptr, response)));
+        net::HttpResponse http = JsonWithStatus(
+            response.status, ExtractionResponseToJson(id_ptr, response));
+        if (wide != nullptr && wide->enabled()) {
+          prof::WideEvent event;
+          event.request_id = response.request_id;
+          event.trace_id = response.trace_id;
+          event.endpoint = "/v1/extract";
+          event.outcome = OutcomeForStatus(response.status);
+          event.http_status = http.status;
+          event.cache_hit = response.cache_hit;
+          event.corpus_generation = response.corpus_generation;
+          event.queue_seconds = response.queue_seconds;
+          event.extract_seconds = response.extract_seconds;
+          event.total_seconds = response.total_seconds;
+          if (response.result != nullptr) {
+            event.sp_score = response.result->per_pair_objective;
+          }
+          event.bytes_in = bytes_in;
+          event.bytes_out = http.body.size();
+          wide->Record(event);
+        }
+        done(std::move(http));
       });
 }
 

@@ -48,6 +48,7 @@
 
 #include "common/status.h"
 #include "net/http_server.h"
+#include "prof/wide_event.h"
 #include "service/extraction_service.h"
 #include "service/metrics.h"
 #include "service/serve_json.h"
@@ -99,6 +100,13 @@ class DataPlane {
 
   const DataPlaneOptions& options() const { return options_; }
 
+  /// Wires the wide-event access log (not owned; must outlive the plane, or
+  /// be detached with nullptr before it dies). When set, every completed
+  /// /v1/extract exchange — including parse rejections — emits one
+  /// tail-sampled JSON line. Set before Start(); not thread-safe against
+  /// in-flight requests.
+  void set_wide_events(prof::WideEventLog* log) { wide_events_ = log; }
+
  private:
   void HandleHttp(const net::HttpRequest& request,
                   net::ResponseCallback done);
@@ -109,9 +117,15 @@ class DataPlane {
   static Status ParseExtraction(const JsonValue& body,
                                 ExtractionRequest* out);
 
+  /// Emits the "request was rejected before admission" wide event (parse
+  /// failures, oversized batches) so the access log covers every exchange.
+  void RecordBadRequest(const net::HttpRequest& request,
+                        const net::HttpResponse& response);
+
   ExtractionService* service_;  // Not owned.
   DataPlaneOptions options_;
   net::HttpServer server_;
+  prof::WideEventLog* wide_events_ = nullptr;  // Not owned.
 
   Counter* extract_total_ = nullptr;
   Counter* batch_total_ = nullptr;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/hash.h"
+#include "prof/profiler.h"
 
 namespace tegra {
 namespace serve {
@@ -76,7 +77,7 @@ ExtractionService::ExtractionService(const ExtractorSource* source,
   const int workers = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -170,7 +171,10 @@ ExtractionResponse ExtractionService::SubmitAndWait(ExtractionRequest request) {
   return Submit(std::move(request)).get();
 }
 
-void ExtractionService::WorkerLoop() {
+void ExtractionService::WorkerLoop(int worker_index) {
+  // Full-stack CPU samples for extraction workers: these threads are where
+  // the corpus-statistics hot path (Fig 9) actually burns cycles.
+  prof::EnsureThreadRegistered("svc-worker" + std::to_string(worker_index));
   while (true) {
     PendingRequest pending;
     {
@@ -190,13 +194,17 @@ void ExtractionService::WorkerLoop() {
 void ExtractionService::Process(PendingRequest pending) {
   const Clock::time_point start = Clock::now();
   const double queue_seconds = Seconds(start - pending.enqueue_time);
-  queue_latency_->Observe(queue_seconds);
 
   // Request-scoped trace: every span completed while this worker (and any
   // extractor ThreadPool task holding a ScopedContext) runs this request is
-  // tagged with one trace id and collected for the slow-request log.
+  // tagged with one trace id and collected for the slow-request log. The
+  // prof request id rides alongside so every histogram observation made on
+  // this thread (including queue_latency_ just below) carries an exemplar
+  // naming this exact request.
+  prof::ScopedRequestId request_id_scope(pending.request.request_id);
   trace::Tracer& tracer = trace::Tracer::Global();
   TEGRA_TRACE_CONTEXT(trace_ctx, "serve.request");
+  queue_latency_->Observe(queue_seconds);
 
   // The queue wait happened before this worker existed in the trace; record
   // it manually so the request's span tree starts at Submit, not dequeue.
@@ -209,6 +217,8 @@ void ExtractionService::Process(PendingRequest pending) {
 
   ExtractionResponse response;
   response.queue_seconds = queue_seconds;
+  response.request_id = pending.request.request_id;
+  response.trace_id = trace_ctx.trace_id();
 
   // One exit path: finalize timings, retain into the slow-request log with
   // the captured span tree, then satisfy the promise.
@@ -255,6 +265,7 @@ void ExtractionService::Process(PendingRequest pending) {
     finish("failed");
     return;
   }
+  response.corpus_generation = engine.generation;
 
   const ExtractionRequest& request = pending.request;
   const bool use_cache =

@@ -84,6 +84,10 @@ struct ExtractionRequest {
   double deadline_seconds = 0;
   /// Skip the result cache for this request (both lookup and fill).
   bool bypass_cache = false;
+  /// Caller-assigned request id (the data plane passes the HTTP request id).
+  /// Installed as the thread-local prof request id while the request runs,
+  /// so histogram exemplars and wide events can name it. 0 = anonymous.
+  uint64_t request_id = 0;
 };
 
 /// \brief One extraction response.
@@ -98,6 +102,14 @@ struct ExtractionResponse {
   double queue_seconds = 0;    ///< Time spent waiting for a worker.
   double extract_seconds = 0;  ///< Time inside the extractor (0 on cache hit).
   double total_seconds = 0;    ///< Submit-to-completion wall clock.
+  uint64_t request_id = 0;     ///< Echo of ExtractionRequest::request_id.
+  /// TraceContext id of this request's span tree (0 when tracing is off or
+  /// the request was rejected before reaching a worker). Joins the response
+  /// to /slowlogz, /tracez and OpenMetrics exemplars.
+  uint64_t trace_id = 0;
+  /// Corpus generation the request executed against (0 before an engine was
+  /// acquired).
+  uint64_t corpus_generation = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -190,7 +202,7 @@ class ExtractionService {
   void Enqueue(PendingRequest pending);
   /// Satisfies a pending request through whichever channel it carries.
   static void Deliver(PendingRequest* pending, ExtractionResponse response);
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
   void Process(PendingRequest pending);
   void RefreshGauges();
 

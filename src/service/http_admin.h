@@ -121,7 +121,7 @@ class HttpAdminServer {
 
  private:
   void AcceptLoop();
-  void HandlerLoop();
+  void HandlerLoop(int handler_index);
   void ServeConnection(int fd);
   HttpResponse Dispatch(const HttpRequest& request);
 

@@ -59,9 +59,16 @@ std::vector<double> Histogram::LinearBounds(double start, double width,
   return bounds;
 }
 
+std::atomic<Histogram::ExemplarSourceFn> Histogram::exemplar_source_{nullptr};
+
+void Histogram::SetExemplarSource(ExemplarSourceFn fn) {
+  exemplar_source_.store(fn, std::memory_order_release);
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(bounds.empty() ? DefaultLatencyBounds() : std::move(bounds)),
       buckets_(bounds_.size() + 1),
+      exemplar_slots_(new ExemplarSlot[bounds_.size() + 1]),
       min_(std::numeric_limits<double>::infinity()),
       max_(-std::numeric_limits<double>::infinity()) {}
 
@@ -80,6 +87,29 @@ void Histogram::Observe(double value) {
   AtomicMax(&max_, value);
   buckets_[idx].fetch_add(1, std::memory_order_release);
   count_.fetch_add(1, std::memory_order_release);
+
+  // Exemplar: if a source is installed and the calling thread is inside an
+  // identified request, stake this observation as the bucket's exemplar.
+  // One CAS claims the seqlock; losers simply skip (a recent exemplar is as
+  // good as the latest one), so the hot path never spins here.
+  const ExemplarSourceFn source =
+      exemplar_source_.load(std::memory_order_acquire);
+  if (source != nullptr) {
+    uint64_t trace_id = 0;
+    uint64_t request_id = 0;
+    if (source(&trace_id, &request_id) && trace_id != 0) {
+      ExemplarSlot& slot = exemplar_slots_[idx];
+      uint32_t seq = slot.seq.load(std::memory_order_relaxed);
+      if ((seq & 1) == 0 &&
+          slot.seq.compare_exchange_strong(seq, seq + 1,
+                                           std::memory_order_acquire)) {
+        slot.value.store(value, std::memory_order_relaxed);
+        slot.trace_id.store(trace_id, std::memory_order_relaxed);
+        slot.request_id.store(request_id, std::memory_order_relaxed);
+        slot.seq.store(seq + 2, std::memory_order_release);
+      }
+    }
+  }
 }
 
 double Histogram::PercentileLocked(const std::vector<uint64_t>& counts,
@@ -146,6 +176,25 @@ HistogramSnapshot Histogram::Snapshot() const {
   }
   snap.bounds = bounds_;
   snap.bucket_counts = std::move(counts);
+  // Exemplars: seqlock read per bucket. A torn write (odd or changed seq)
+  // just leaves that bucket's exemplar unset for this snapshot.
+  snap.exemplars.resize(snap.bucket_counts.size());
+  for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+    ExemplarSlot& slot = exemplar_slots_[i];
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const uint32_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == 0 || (s1 & 1) != 0) break;  // never written / mid-write
+      Exemplar ex;
+      ex.value = slot.value.load(std::memory_order_relaxed);
+      ex.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+      ex.request_id = slot.request_id.load(std::memory_order_relaxed);
+      const uint32_t s2 = slot.seq.load(std::memory_order_acquire);
+      if (s1 == s2) {
+        snap.exemplars[i] = ex;
+        break;
+      }
+    }
+  }
   return snap;
 }
 

@@ -44,6 +44,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// \brief One recent observation pinned to a histogram bucket, carrying the
+/// identifiers needed to find the request behind it (OpenMetrics exemplar).
+/// trace_id == 0 means "no exemplar recorded for this bucket".
+struct Exemplar {
+  double value = 0;
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+};
+
 /// \brief Percentile summary of a histogram at snapshot time.
 struct HistogramSnapshot {
   uint64_t count = 0;
@@ -58,6 +67,9 @@ struct HistogramSnapshot {
   /// implicit +inf bucket). Consumed by the Prometheus exposition.
   std::vector<double> bounds;
   std::vector<uint64_t> bucket_counts;
+  /// Per-bucket exemplars, same length as bucket_counts (empty when no
+  /// exemplar source is installed). Entries with trace_id == 0 are unset.
+  std::vector<Exemplar> exemplars;
 
   double Mean() const { return count == 0 ? 0.0 : sum / count; }
 };
@@ -92,16 +104,39 @@ class Histogram {
 
   const std::vector<double>& bounds() const { return bounds_; }
 
+  /// \brief Process-wide exemplar source hook. When installed (non-null),
+  /// every Observe asks it for the identifiers of the in-flight request;
+  /// on success the observation is recorded as that bucket's exemplar. The
+  /// hook must be cheap (thread-local reads) and is called outside any
+  /// lock. Installed by prof::InstallExemplarSource(); the indirection
+  /// exists because tegra_metrics sits *below* tegra_trace in the link
+  /// order and cannot reach the trace context itself.
+  using ExemplarSourceFn = bool (*)(uint64_t* trace_id, uint64_t* request_id);
+  static void SetExemplarSource(ExemplarSourceFn fn);
+
  private:
+  /// Per-bucket exemplar storage: a seqlock (seq odd = write in progress)
+  /// over three relaxed atomics, so one writer wins per update and readers
+  /// always see a consistent triple. All-atomic fields keep it TSan-clean.
+  struct ExemplarSlot {
+    std::atomic<uint32_t> seq{0};
+    std::atomic<double> value{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> request_id{0};
+  };
+
   double PercentileLocked(const std::vector<uint64_t>& counts, uint64_t total,
                           double q) const;
 
   std::vector<double> bounds_;
   std::vector<std::atomic<uint64_t>> buckets_;  // bounds_.size() + 1
+  std::unique_ptr<ExemplarSlot[]> exemplar_slots_;  // buckets_.size() entries
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   std::atomic<double> min_;  // +inf until the first observation.
   std::atomic<double> max_;  // -inf until the first observation.
+
+  static std::atomic<ExemplarSourceFn> exemplar_source_;
 };
 
 /// \brief A full registry snapshot, suitable for rendering.

@@ -144,7 +144,15 @@ void Logger::Log(LogLevel level, std::string_view message,
   if (out_ == nullptr) return;
   std::fputs(line.c_str(), out_);
   std::fputc('\n', out_);
-  std::fflush(out_);
+  // Warnings and errors are what operators grep for during an incident;
+  // push those through the stdio buffer immediately. Info/debug lines stay
+  // buffered (cheap) and are drained by Flush() on ordered shutdown.
+  if (level >= LogLevel::kWarn) std::fflush(out_);
+}
+
+void Logger::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ != nullptr) std::fflush(out_);
 }
 
 void LogDebug(std::string_view message,

@@ -84,9 +84,16 @@ class Logger {
   /// FILE*. Pass nullptr to restore FILE output.
   void SetCallback(std::function<void(LogLevel, const std::string&)> callback);
 
-  /// Emits one record (no-op below the minimum level).
+  /// Emits one record (no-op below the minimum level). Records at kWarn and
+  /// above are flushed to the sink immediately; lower levels ride the
+  /// stdio buffer (stderr is unbuffered anyway; file sinks need Flush()).
   void Log(LogLevel level, std::string_view message,
            std::initializer_list<LogField> fields = {});
+
+  /// Flushes the output sink. Part of the daemon's ordered shutdown so a
+  /// buffered file sink (e.g. JSON logs redirected to disk) never loses its
+  /// tail on SIGTERM.
+  void Flush();
 
   /// Renders a record to one line without emitting it (exposed for tests).
   std::string Render(LogLevel level, std::string_view message,

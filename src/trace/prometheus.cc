@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <string_view>
 
 #include "common/build_info.h"
 
@@ -88,6 +89,62 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot,
   // Every exposition is stamped with the build identity, so a scraped series
   // can always be joined against the exact revision that produced it.
   out << BuildInfoPrometheusText(prefix);
+  return out.str();
+}
+
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot,
+                              const std::string& prefix) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    // OpenMetrics mandates the `_total` sample suffix on counters; the
+    // metric *family* name drops it, so `extract.requests_total` becomes
+    // family tegra_extract_requests with sample tegra_extract_requests_total
+    // rather than doubling the suffix.
+    std::string family = PrometheusName(name, prefix);
+    constexpr std::string_view kTotal = "_total";
+    if (family.size() > kTotal.size() &&
+        family.compare(family.size() - kTotal.size(), kTotal.size(),
+                       kTotal) == 0) {
+      family.resize(family.size() - kTotal.size());
+    }
+    out << "# TYPE " << family << " counter\n";
+    out << family << "_total " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string pname = PrometheusName(name, prefix);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " " << Num(value) << "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string pname = PrometheusName(name, prefix);
+    out << "# TYPE " << pname << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.bucket_counts.size(); ++i) {
+      cumulative += hist.bucket_counts[i];
+      out << pname << "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        out << Num(hist.bounds[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative;
+      // Exemplar: ` # {labels} value` after the bucket sample. A p99 spike
+      // in Grafana then links straight to the trace behind it (/slowlogz).
+      if (i < hist.exemplars.size() && hist.exemplars[i].trace_id != 0) {
+        const Exemplar& ex = hist.exemplars[i];
+        out << " # {trace_id=\"" << ex.trace_id << "\",request_id=\""
+            << ex.request_id << "\"} " << Num(ex.value);
+      }
+      out << "\n";
+    }
+    if (hist.bucket_counts.empty()) {
+      out << pname << "_bucket{le=\"+Inf\"} " << hist.count << "\n";
+    }
+    out << pname << "_sum " << Num(hist.sum) << "\n";
+    out << pname << "_count " << hist.count << "\n";
+  }
+  out << BuildInfoPrometheusText(prefix);
+  out << "# EOF\n";
   return out.str();
 }
 

@@ -41,6 +41,15 @@ std::string BuildInfoPrometheusText(const std::string& prefix = "tegra_");
 std::string ToPrometheusText(const MetricsSnapshot& snapshot,
                              const std::string& prefix = "tegra_");
 
+/// \brief Renders the snapshot in OpenMetrics 1.0 text format: counters get
+/// the mandated `_total` sample suffix, histogram buckets carry exemplars
+/// (`# {trace_id="...",request_id="..."} value`) when the snapshot has them,
+/// and the exposition ends with `# EOF`. Served by the admin plane at
+/// `/metrics?format=openmetrics` (or via Accept negotiation); trace ids are
+/// rendered in decimal, matching /slowlogz and /tracez.
+std::string ToOpenMetricsText(const MetricsSnapshot& snapshot,
+                              const std::string& prefix = "tegra_");
+
 }  // namespace trace
 }  // namespace tegra
 

@@ -51,6 +51,12 @@ options:
   --bypass-cache     set "bypass_cache":true so every request extracts
   --timeout-ms D     client socket timeout (default 10000)
   --out PATH         JSON results file (default BENCH_dataplane.json)
+  --admin-port N     tegra_serve admin-plane port; enables --profile-*
+  --profile-seconds D  while the sweep runs, capture a D-second CPU profile
+                     via GET /pprof/profile on the admin plane (default 0 =
+                     no profile)
+  --profile-out PATH where to write the folded stacks
+                     (default BENCH_profile.folded)
   --help             this text
 )",
              stderr);
@@ -66,6 +72,9 @@ struct LoadgenOptions {
   bool bypass_cache = false;
   int timeout_ms = 10000;
   std::string out_path = "BENCH_dataplane.json";
+  int admin_port = -1;
+  double profile_seconds = 0;
+  std::string profile_out = "BENCH_profile.folded";
 };
 
 bool ParseQpsList(const char* list, std::vector<double>* out) {
@@ -125,6 +134,15 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
     } else if (arg == "--out") {
       if (!(v = need_value(i))) return false;
       opts->out_path = v;
+    } else if (arg == "--admin-port") {
+      if (!(v = need_value(i))) return false;
+      opts->admin_port = std::atoi(v);
+    } else if (arg == "--profile-seconds") {
+      if (!(v = need_value(i))) return false;
+      opts->profile_seconds = std::atof(v);
+    } else if (arg == "--profile-out") {
+      if (!(v = need_value(i))) return false;
+      opts->profile_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -136,6 +154,11 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
   }
   if (opts->duration_s <= 0 || opts->connections <= 0) {
     std::fprintf(stderr, "--duration-s and --connections must be positive\n");
+    return false;
+  }
+  if (opts->profile_seconds > 0 &&
+      (opts->admin_port <= 0 || opts->admin_port > 65535)) {
+    std::fprintf(stderr, "--profile-seconds requires --admin-port\n");
     return false;
   }
   return true;
@@ -290,6 +313,33 @@ int main(int argc, char** argv) {
                opts.host.c_str(), opts.port, opts.connections,
                opts.duration_s, opts.batch > 0 ? " (batch bodies)" : "");
 
+  // Concurrent profile capture: the admin plane blocks the GET for the
+  // capture window, so the fetch runs on its own thread while the sweep
+  // offers load — the profile shows the server *under* that load.
+  std::thread profile_fetch;
+  std::string profile_body;
+  std::string profile_error;
+  if (opts.profile_seconds > 0) {
+    profile_fetch = std::thread([&] {
+      const int timeout_ms =
+          static_cast<int>(opts.profile_seconds * 1000.0) + 15000;
+      tegra::net::HttpClient client(opts.host, opts.admin_port, timeout_ms);
+      char target[64];
+      std::snprintf(target, sizeof(target), "/pprof/profile?seconds=%.1f",
+                    opts.profile_seconds);
+      auto response = client.Get(target);
+      if (!response.ok()) {
+        profile_error = response.status().ToString();
+        return;
+      }
+      if (response.value().status != 200) {
+        profile_error = "HTTP " + std::to_string(response.value().status);
+        return;
+      }
+      profile_body = std::move(response.value().body);
+    });
+  }
+
   std::string json = "{\n  \"bench\": \"dataplane\",\n";
   json += "  \"target\": \"POST /v1/extract\",\n";
   json += "  \"connections\": " + std::to_string(opts.connections) + ",\n";
@@ -323,6 +373,25 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "tegra_loadgen: wrote %s\n", opts.out_path.c_str());
+
+  if (profile_fetch.joinable()) {
+    profile_fetch.join();
+    if (!profile_error.empty()) {
+      std::fprintf(stderr, "tegra_loadgen: profile fetch failed: %s\n",
+                   profile_error.c_str());
+    } else {
+      std::FILE* pf = std::fopen(opts.profile_out.c_str(), "wb");
+      if (pf == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", opts.profile_out.c_str());
+      } else {
+        std::fwrite(profile_body.data(), 1, profile_body.size(), pf);
+        std::fclose(pf);
+        std::fprintf(stderr,
+                     "tegra_loadgen: wrote %s (%zu bytes of folded stacks)\n",
+                     opts.profile_out.c_str(), profile_body.size());
+      }
+    }
+  }
 
   // Exit status reflects whether the sweep saw any successful extraction,
   // so CI can assert the data plane actually served traffic.

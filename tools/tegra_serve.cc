@@ -27,6 +27,12 @@
 //                               {"ok":true,"generation":G,"format":...} or
 //                               {"ok":false,...} with the old corpus kept.
 //                               SIGHUP triggers the same reload out-of-band.
+//   {"cmd": "profile", "seconds": N}
+//                            -> block for N seconds (default 2) and reply
+//                               with a folded-stack CPU profile from the
+//                               always-on SIGPROF sampler (inline "body", or
+//                               {"file":"path"}); same data as
+//                               GET /pprof/profile on the admin plane
 //   {"cmd": "quit"}          -> drain in-flight work and exit
 //
 // With --admin-port the same telemetry is served over HTTP (zPages:
@@ -51,11 +57,18 @@
 // Malformed input (unparsable JSON, missing/empty "lines", unknown "cmd")
 // is answered with a structured error object and counted in
 // `serve.bad_request` rather than silently dropped.
+//
+// SIGTERM and SIGINT trigger the same graceful drain as {"cmd":"quit"}:
+// stop accepting, finish in-flight work, flush the access log and the
+// structured logger, exit 0. Signals are consumed synchronously by a
+// dedicated thread (sigwait) — no async handler exists in the process.
 
+#include <poll.h>
 #include <pthread.h>
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <csignal>
@@ -72,7 +85,11 @@
 
 #include "common/build_info.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "corpus/column_index.h"
+#include "prof/profiler.h"
+#include "prof/runtime_stats.h"
+#include "prof/wide_event.h"
 #include "corpus/corpus_io.h"
 #include "corpus/corpus_stats.h"
 #include "service/admin_pages.h"
@@ -139,6 +156,17 @@ options:
                           (default 10000)
   --log-format text|json  stderr log rendering (default text)
   --log-level LEVEL       debug|info|warn|error (default info)
+  --profile-hz N          always-on SIGPROF sampling frequency (default 99;
+                          0 disables the CPU profiler — /pprof/profile and
+                          {"cmd":"profile"} then arm it per capture)
+  --access-log PATH       wide-event request log: one tail-sampled JSON line
+                          per completed /v1/extract exchange ("stderr" logs
+                          to stderr). Omit to disable (default)
+  --access-log-sample X   keep probability for ordinary requests in [0,1]
+                          (default 1.0; errors and slow requests are always
+                          kept regardless)
+  --access-log-slow-ms D  requests at or above D ms total latency are always
+                          kept (default 100)
   --help                  this text
 )",
              stderr);
@@ -157,6 +185,13 @@ struct ServeCliOptions {
   std::string data_bind = "127.0.0.1";
   size_t max_connections = 1024;
   int io_timeout_ms = 10000;
+  /// SIGPROF sampling frequency; 0 leaves the profiler disarmed until a
+  /// capture asks for it.
+  int profile_hz = 99;
+  /// Wide-event access log destination; empty = disabled, "stderr" = stderr.
+  std::string access_log_path;
+  double access_log_sample = 1.0;
+  double access_log_slow_ms = 100.0;
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -242,6 +277,26 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
         std::fprintf(stderr, "bad --io-timeout-ms: %s\n", v);
         return false;
       }
+    } else if (arg == "--profile-hz") {
+      if (!(v = need_value(i))) return false;
+      opts->profile_hz = std::atoi(v);
+      if (opts->profile_hz < 0 || opts->profile_hz > 1000) {
+        std::fprintf(stderr, "bad --profile-hz: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--access-log") {
+      if (!(v = need_value(i))) return false;
+      opts->access_log_path = v;
+    } else if (arg == "--access-log-sample") {
+      if (!(v = need_value(i))) return false;
+      opts->access_log_sample = std::atof(v);
+      if (opts->access_log_sample < 0 || opts->access_log_sample > 1) {
+        std::fprintf(stderr, "bad --access-log-sample: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--access-log-slow-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->access_log_slow_ms = std::atof(v);
     } else if (arg == "--log-format") {
       if (!(v = need_value(i))) return false;
       tegra::trace::Logger::Global().SetFormat(
@@ -394,17 +449,23 @@ void EmitBody(const JsonValue& request, const char* format,
   Emit(out.Dump());
 }
 
-// ---- SIGHUP -> corpus reload (sigwait) -------------------------------------
-// SIGHUP is blocked process-wide before any thread is spawned; a dedicated
-// reloader thread consumes it synchronously with sigwait(2) and performs the
-// reload in ordinary thread context. No async signal handler exists at all,
-// so the signal can never interrupt the main loop's blocking stdin read (and
+// ---- signals: SIGHUP -> reload, SIGTERM/SIGINT -> drain (sigwait) ----------
+// All handled signals are blocked process-wide before any thread is spawned;
+// a dedicated signal thread consumes them synchronously with sigwait(2).
+// SIGHUP performs a corpus reload in ordinary thread context; SIGTERM and
+// SIGINT write one byte to a self-pipe the main loop polls alongside stdin,
+// turning delivery into an ordered graceful drain. No async signal handler
+// exists at all, so nothing can interrupt the main loop's stdin read (and
 // sanitizer runtimes, which defer handlers while a thread is parked in a
-// restarting syscall, have nothing to defer).
-sigset_t SighupSet() {
+// restarting syscall, have nothing to defer). SIGPROF is not in this set:
+// the sampling profiler's handler is the one deliberate async handler in
+// the process and is async-signal-safe by construction.
+sigset_t HandledSignalSet() {
   sigset_t set;
   sigemptyset(&set);
   sigaddset(&set, SIGHUP);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
   return set;
 }
 
@@ -417,13 +478,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // When a reloadable corpus path exists, block SIGHUP *now* — before the
-  // worker pool, admin plane or reloader exist — so every thread inherits
-  // the mask and the dedicated reloader thread below is the only consumer.
+  // Block every handled signal *now* — before the worker pool, admin plane
+  // or signal thread exist — so every thread inherits the mask and the
+  // dedicated signal thread below is the only consumer. SIGHUP only
+  // triggers a reload when a reloadable corpus path exists; SIGTERM/SIGINT
+  // always mean "drain gracefully".
   const bool sighup_reload = !opts.corpus_path.empty();
-  if (sighup_reload) {
-    sigset_t hup = SighupSet();
-    pthread_sigmask(SIG_BLOCK, &hup, nullptr);
+  {
+    sigset_t handled = HandledSignalSet();
+    pthread_sigmask(SIG_BLOCK, &handled, nullptr);
+  }
+
+  // The self-pipe bridging the signal thread to the main loop's poll():
+  // one byte per shutdown signal. Created before any thread so it always
+  // exists when the signal thread runs.
+  int shutdown_pipe[2] = {-1, -1};
+  if (::pipe(shutdown_pipe) != 0) {
+    std::perror("pipe");
+    return 1;
   }
 
   // One registry for the whole process: service accounting, corpus cache
@@ -433,6 +505,44 @@ int main(int argc, char** argv) {
   tegra::trace::Tracer& tracer = tegra::trace::Tracer::Global();
   tracer.BindMetrics(&registry);
   tracer.SetEnabled(opts.trace_enabled && tegra::trace::kCompiledIn);
+
+  // Continuous profiling + request evidence. The main thread registers for
+  // full-stack sampling; every pool/worker/handler thread registers itself
+  // (the ThreadPool hook covers per-extraction anchor pools). Exemplars ride
+  // on whatever tracing mode is active — with --trace off (or TEGRA_TRACE=OFF
+  // builds) the source finds no context and exemplars quietly never fire.
+  tegra::prof::EnsureThreadRegistered("main");
+  tegra::prof::InstallExemplarSource();
+  tegra::ThreadPool::SetThreadStartHook([](size_t worker_index) {
+    tegra::prof::EnsureThreadRegistered("pool" + std::to_string(worker_index));
+  });
+  if (opts.profile_hz > 0) {
+    const tegra::Status armed =
+        tegra::prof::CpuProfiler::Global().Start(opts.profile_hz);
+    if (!armed.ok()) {
+      tegra::trace::LogWarn("cpu profiler unavailable",
+                            {{"status", armed.ToString()}});
+    }
+  }
+  tegra::prof::RuntimeStatsCollector runtime_stats(&registry,
+                                                   /*period_seconds=*/5.0);
+  runtime_stats.Start();
+
+  // Wide-event access log (one JSON line per completed data-plane request).
+  tegra::prof::WideEventLog access_log;
+  if (!opts.access_log_path.empty()) {
+    tegra::prof::WideEventLog::Options log_options;
+    log_options.sample = opts.access_log_sample;
+    log_options.slow_ms = opts.access_log_slow_ms;
+    const tegra::Status opened =
+        access_log.Open(opts.access_log_path, log_options);
+    if (!opened.ok()) {
+      tegra::trace::LogError("cannot open --access-log",
+                             {{"path", opts.access_log_path},
+                              {"status", opened.ToString()}});
+      return 1;
+    }
+  }
 
   // Corpus lifecycle: the manager owns the current generation; the
   // reloadable engine rebuilds {CorpusStats, TegraExtractor} on every swap;
@@ -476,33 +586,48 @@ int main(int argc, char** argv) {
   tegra::serve::ExtractionService service(&engine, opts.service, &registry);
   tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
 
-  // SIGHUP -> reload, only when a reloadable path exists. SIGHUP is already
-  // blocked in every thread (see the pthread_sigmask call above); this thread
-  // alone consumes it, synchronously, with sigwait.
-  std::atomic<bool> reloader_quit{false};
-  std::thread reloader;
-  if (sighup_reload) {
-    reloader = std::thread([&manager, &reloader_quit] {
-      const sigset_t hup = SighupSet();
-      while (true) {
-        int sig = 0;
-        if (sigwait(&hup, &sig) != 0) break;
-        if (reloader_quit.load(std::memory_order_acquire)) break;
-        tegra::trace::LogInfo("SIGHUP: reloading corpus",
-                              {{"path", manager->path()}});
-        const tegra::Status status = manager->Reload();
-        if (status.ok()) {
-          tegra::trace::LogInfo("corpus reloaded",
-                                {{"generation", manager->Generation()},
-                                 {"format", manager->CurrentFormat()}});
-        } else {
-          tegra::trace::LogError(
-              "corpus reload failed; keeping previous generation",
-              {{"status", status.ToString()}});
+  // The signal thread: every handled signal is blocked in every thread (see
+  // the pthread_sigmask call above); this thread alone consumes them,
+  // synchronously, with sigwait. SIGHUP -> corpus reload (when a reloadable
+  // path exists), SIGTERM/SIGINT -> one byte down the self-pipe so the main
+  // loop starts the same graceful drain as {"cmd":"quit"}.
+  std::atomic<bool> signal_thread_quit{false};
+  const int shutdown_write_fd = shutdown_pipe[1];
+  std::thread signal_thread(
+      [&manager, &signal_thread_quit, sighup_reload, shutdown_write_fd] {
+        const sigset_t handled = HandledSignalSet();
+        while (true) {
+          int sig = 0;
+          if (sigwait(&handled, &sig) != 0) break;
+          if (signal_thread_quit.load(std::memory_order_acquire)) break;
+          if (sig == SIGTERM || sig == SIGINT) {
+            tegra::trace::LogInfo("shutdown signal: draining",
+                                  {{"signal", sig == SIGTERM ? "SIGTERM"
+                                                             : "SIGINT"}});
+            const char byte = 1;
+            // A full pipe just means a drain is already pending.
+            (void)!::write(shutdown_write_fd, &byte, 1);
+            continue;
+          }
+          // SIGHUP.
+          if (!sighup_reload) {
+            tegra::trace::LogInfo("SIGHUP ignored (no --corpus path)", {});
+            continue;
+          }
+          tegra::trace::LogInfo("SIGHUP: reloading corpus",
+                                {{"path", manager->path()}});
+          const tegra::Status status = manager->Reload();
+          if (status.ok()) {
+            tegra::trace::LogInfo("corpus reloaded",
+                                  {{"generation", manager->Generation()},
+                                   {"format", manager->CurrentFormat()}});
+          } else {
+            tegra::trace::LogError(
+                "corpus reload failed; keeping previous generation",
+                {{"status", status.ToString()}});
+          }
         }
-      }
-    });
-  }
+      });
 
   // Optional HTTP data plane (POST /v1/extract over the tegra::net event
   // loop). Declared after the service so it is stopped and destroyed first —
@@ -514,6 +639,7 @@ int main(int argc, char** argv) {
   plane_options.server.max_connections = opts.max_connections;
   plane_options.server.io_timeout_ms = opts.io_timeout_ms;
   tegra::serve::DataPlane plane(&service, plane_options, &registry);
+  if (access_log.enabled()) plane.set_wide_events(&access_log);
 
   // Optional HTTP admin plane. Declared after the service so it is stopped
   // (and destroyed) first; AdminPages only borrows the subsystems above.
@@ -581,60 +707,68 @@ int main(int argc, char** argv) {
        {"slowlog_capacity", service.options().slowlog_capacity},
        {"trace", tracer.enabled()},
        {"admin", opts.admin_port >= 0 ? "on" : "off"},
-       {"data_plane", opts.data_port >= 0 ? "on" : "off"}});
+       {"data_plane", opts.data_port >= 0 ? "on" : "off"},
+       {"profile_hz", opts.profile_hz},
+       {"access_log",
+        opts.access_log_path.empty() ? "off" : opts.access_log_path}});
 
   // Keep at most pipeline_depth requests in flight so admission control is
   // exercised by fast producers while stdout stays in submission order.
   const size_t pipeline_depth = opts.service.max_queue_depth + 16;
   std::deque<InFlight> inflight;
 
-  std::string line;
-  while (true) {
-    errno = 0;
-    if (!std::getline(std::cin, line)) {
-      // A signal (SIGHUP -> corpus reload) may interrupt the blocking stdin
-      // read; EINTR is not end-of-input. Recover the stream and keep serving.
-      if (errno == EINTR && !std::cin.eof()) {
-        std::cin.clear();
-        continue;
-      }
-      break;
-    }
-    if (tegra::Trim(line).empty()) continue;
+  // Processes one NDJSON input line; returns false on {"cmd":"quit"}.
+  auto handle_line = [&](const std::string& line) -> bool {
+    if (tegra::Trim(line).empty()) return true;
     auto parsed = tegra::serve::ParseJson(line);
     if (!parsed.ok()) {
       Flush(&inflight, 0);  // Keep output ordered even for parse errors.
       EmitBadRequest(JsonValue(), parsed.status().message(), bad_requests);
-      continue;
+      return true;
     }
     const JsonValue& request = *parsed;
     const std::string& cmd = request["cmd"].AsString();
-    if (cmd == "quit") break;
+    if (cmd == "quit") return false;
     if (cmd == "metrics") {
       Flush(&inflight, 0);
       Emit(service.metrics()->Snapshot().ToJson());
-      continue;
+      return true;
     }
     if (cmd == "metrics_prom") {
       Flush(&inflight, 0);
       EmitBody(request, "prometheus",
                tegra::trace::ToPrometheusText(service.metrics()->Snapshot()),
                bad_requests);
-      continue;
+      return true;
     }
     if (cmd == "trace_dump") {
       Flush(&inflight, 0);
       EmitBody(request, "chrome_trace",
                tegra::trace::ToChromeTraceJson(tracer.RingSnapshot()),
                bad_requests);
-      continue;
+      return true;
     }
     if (cmd == "slowlog") {
       Flush(&inflight, 0);
       JsonValue out = SlowlogToJson(service.slowlog());
       if (request.Has("id")) out.Set("id", request["id"]);
       Emit(out.Dump());
-      continue;
+      return true;
+    }
+    if (cmd == "profile") {
+      // Blocks this (control) thread for the capture window; extraction
+      // workers and both HTTP planes keep running underneath it.
+      Flush(&inflight, 0);
+      double seconds = request["seconds"].AsNumber(2.0);
+      seconds = std::min(30.0, std::max(0.1, seconds));
+      auto profile = tegra::prof::CpuProfiler::Global().Capture(seconds);
+      if (!profile.ok()) {
+        EmitBadRequest(request["id"], profile.status().message(),
+                       bad_requests);
+        return true;
+      }
+      EmitBody(request, "folded", profile.value().ToFolded(), bad_requests);
+      return true;
     }
     if (cmd == "corpus_reload") {
       // Deliberately reload BEFORE flushing: the swap happens while queued
@@ -666,17 +800,17 @@ int main(int argc, char** argv) {
             {{"status", status.ToString()}});
       }
       Emit(out.Dump());
-      continue;
+      return true;
     }
     if (!cmd.empty()) {
       Flush(&inflight, 0);
       EmitBadRequest(request["id"], "unknown cmd: " + cmd, bad_requests);
-      continue;
+      return true;
     }
     if (!request.Has("lines") || request["lines"].AsArray().empty()) {
       Flush(&inflight, 0);
       EmitBadRequest(request["id"], "request has no \"lines\"", bad_requests);
-      continue;
+      return true;
     }
 
     ExtractionRequest extraction;
@@ -689,23 +823,90 @@ int main(int argc, char** argv) {
     inflight.push_back(
         InFlight{request["id"], service.Submit(std::move(extraction))});
     Flush(&inflight, pipeline_depth);
+    return true;
+  };
+
+  // The main loop polls stdin *and* the shutdown self-pipe, so a SIGTERM
+  // delivered while no input is arriving still starts the drain promptly.
+  // Input is read raw and split into lines here (std::getline would block
+  // past the poll and miss the pipe).
+  std::string input_buffer;
+  bool stdin_eof = false;
+  bool signal_drain = false;
+  while (!signal_drain) {
+    size_t newline;
+    bool quit = false;
+    while ((newline = input_buffer.find('\n')) != std::string::npos) {
+      const std::string line = input_buffer.substr(0, newline);
+      input_buffer.erase(0, newline + 1);
+      if (!handle_line(line)) {
+        quit = true;
+        break;
+      }
+    }
+    if (quit) break;
+    if (stdin_eof) {
+      // A trailing unterminated line still counts as input.
+      if (!input_buffer.empty()) {
+        const std::string line = std::move(input_buffer);
+        input_buffer.clear();
+        handle_line(line);
+      }
+      break;
+    }
+    struct pollfd fds[2];
+    fds[0].fd = STDIN_FILENO;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    fds[1].fd = shutdown_pipe[0];
+    fds[1].events = POLLIN;
+    fds[1].revents = 0;
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[1].revents != 0) {
+      signal_drain = true;
+      break;
+    }
+    if (fds[0].revents != 0) {
+      char chunk[4096];
+      const ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+      if (n > 0) {
+        input_buffer.append(chunk, static_cast<size_t>(n));
+      } else if (n == 0 || errno != EINTR) {
+        stdin_eof = true;
+      }
+    }
   }
   Flush(&inflight, 0);
-  // Tear down the SIGHUP reloader before the manager can go away: raise the
+  // Tear down the signal thread before the manager can go away: raise the
   // quit flag, then poke the thread out of sigwait with a directed SIGHUP.
-  if (reloader.joinable()) {
-    reloader_quit.store(true, std::memory_order_release);
-    pthread_kill(reloader.native_handle(), SIGHUP);
-    reloader.join();
-  }
-  // Stop the data plane before the service drains: the listener closes,
-  // in-flight HTTP exchanges finish (or hit the drain timeout), and only
-  // then may the worker pool go away. The admin plane follows so probes see
-  // the process disappear (connection refused), not a half-dead server.
+  signal_thread_quit.store(true, std::memory_order_release);
+  pthread_kill(signal_thread.native_handle(), SIGHUP);
+  signal_thread.join();
+  // Ordered graceful drain. Stop the data plane before the service drains:
+  // the listener closes, in-flight HTTP exchanges finish (or hit the drain
+  // timeout), and only then may the worker pool go away. The admin plane
+  // follows so probes see the process disappear (connection refused), not a
+  // half-dead server. Only after every request that could emit evidence has
+  // finished do the telemetry threads stop and the buffered sinks flush —
+  // a SIGTERM never loses buffered access-log lines or log records.
   plane.Stop();
   admin.Stop();
+  service.Shutdown();
+  runtime_stats.Stop();
+  tegra::prof::CpuProfiler::Global().Stop();
+  access_log.Flush();
+  ::close(shutdown_pipe[0]);
+  ::close(shutdown_pipe[1]);
   tegra::trace::LogInfo("tegra_serve exiting",
                         {{"spans_recorded", tracer.spans_recorded()},
-                         {"spans_dropped", tracer.dropped()}});
+                         {"spans_dropped", tracer.dropped()},
+                         {"access_log_lines", access_log.written()},
+                         {"profile_samples",
+                          tegra::prof::CpuProfiler::Global().samples_total()},
+                         {"drain", signal_drain ? "signal" : "stdin"}});
+  tegra::trace::Logger::Global().Flush();
   return 0;
 }
