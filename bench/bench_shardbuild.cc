@@ -1,0 +1,196 @@
+// bench_shardbuild — the sharded-vs-monolithic corpus construction benchmark
+// behind docs/STORAGE.md "Sharded corpora & delta overlays":
+//
+//   * build wall-time    single-pass ColumnIndex + EncodeSnapshot publish vs
+//                        ShardBuilder at 1/4/8 shards (merge phase on a
+//                        4-thread pool), same tables, digest cross-checked
+//   * overlay append     AppendOverlay latency for a small delta — must not
+//                        scale with the base corpus
+//   * reload             ShardedCorpus::Open cold (previous = nullptr) vs
+//                        warm (previous generation handed in) after an
+//                        overlay append; the warm open remaps only the
+//                        overlay, which is the O(delta) hot-reload claim
+//
+// Results land in BENCH_shardbuild.json (override with --out PATH) so CI can
+// archive them next to the other BENCH_*.json artifacts.
+//
+// Usage: bench_shardbuild [--out PATH] [tables]   (default 4000 tables)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/thread_pool.h"
+#include "corpus/column_index.h"
+#include "corpus/table.h"
+#include "service/serve_json.h"
+#include "shard/shard_builder.h"
+#include "store/corpus_loader.h"
+#include "store/manifest.h"
+#include "store/sharded_corpus.h"
+#include "store/snapshot_writer.h"
+#include "synth/corpus_gen.h"
+
+#include <chrono>
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string TempRoot() {
+  const char* env = std::getenv("TMPDIR");
+  std::string root = env != nullptr ? env : "/tmp";
+  return root + "/bench_shardbuild_" + std::to_string(::getpid());
+}
+
+void Die(const std::string& message) {
+  std::fprintf(stderr, "FATAL: %s\n", message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_shardbuild.json";
+  size_t tables = 4000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      tables = static_cast<size_t>(std::atoll(argv[i]));
+    }
+  }
+  const size_t delta_tables = std::max<size_t>(1, tables / 40);
+
+  std::printf("bench_shardbuild: %zu base tables, %zu delta tables\n", tables,
+              delta_tables);
+  tegra::synth::TableGenerator gen(tegra::synth::CorpusProfile::kWeb, 1);
+  const std::vector<tegra::Table> base = gen.GenerateMany(tables);
+  tegra::synth::TableGenerator delta_gen(tegra::synth::CorpusProfile::kWeb, 2);
+  const std::vector<tegra::Table> delta = delta_gen.GenerateMany(delta_tables);
+
+  const std::string root = TempRoot();
+  if (!tegra::EnsureDirectory(root).ok()) Die("cannot create " + root);
+
+  tegra::serve::JsonValue report = tegra::serve::JsonValue::Object();
+  report.Set("tables", tegra::serve::JsonValue::Number(
+                           static_cast<double>(tables)));
+  report.Set("delta_tables", tegra::serve::JsonValue::Number(
+                                 static_cast<double>(delta_tables)));
+
+  // -- Monolithic baseline: heap build + snapshot publish. ------------------
+  uint64_t mono_digest = 0;
+  double mono_ms = 0;
+  {
+    const auto start = Clock::now();
+    tegra::ColumnIndex index;
+    for (const tegra::Table& t : base) index.AddTable(t);
+    index.Finalize();
+    auto bytes = tegra::store::EncodeSnapshot(index);
+    if (!bytes.ok()) Die("encode failed");
+    const std::string path = root + "/mono.idx2";
+    if (!tegra::AtomicWriteFile(path, bytes.value()).ok()) {
+      Die("mono publish failed");
+    }
+    mono_ms = MsSince(start);
+    mono_digest = tegra::store::ComputeCorpusDigest(index).digest;
+    std::printf("monolithic      build+publish %9.1f ms  (digest %016llx)\n",
+                mono_ms, static_cast<unsigned long long>(mono_digest));
+  }
+  report.Set("monolithic_build_ms", tegra::serve::JsonValue::Number(mono_ms));
+
+  // -- ShardBuilder at 1/4/8 shards, merge phase on a 4-thread pool. --------
+  tegra::ThreadPool pool(4);
+  tegra::serve::JsonValue sharded = tegra::serve::JsonValue::Array();
+  std::string four_shard_dir;
+  for (const uint32_t num_shards : {1u, 4u, 8u}) {
+    const std::string dir = root + "/s" + std::to_string(num_shards);
+    const auto start = Clock::now();
+    tegra::shardbuild::ShardBuildOptions options;
+    options.num_shards = num_shards;
+    options.pool = &pool;
+    tegra::shardbuild::ShardBuilder builder(dir, options);
+    for (const tegra::Table& t : base) builder.AddTable(t);
+    const auto stats = builder.Finish();
+    if (!stats.ok()) Die("sharded build failed: " + stats.status().ToString());
+    const double ms = MsSince(start);
+    auto view = tegra::store::ShardedCorpus::Open(
+        tegra::store::ManifestPathFor(dir), nullptr);
+    if (!view.ok()) Die("sharded open failed: " + view.status().ToString());
+    const uint64_t digest =
+        tegra::store::ComputeCorpusDigest(**view).digest;
+    if (digest != mono_digest) {
+      Die("sharded digest mismatch at " + std::to_string(num_shards) +
+          " shards");
+    }
+    std::printf("sharded x%-2u    build+publish %9.1f ms  (%1.2fx mono, "
+                "digest ok)\n",
+                num_shards, ms, ms / mono_ms);
+    tegra::serve::JsonValue row = tegra::serve::JsonValue::Object();
+    row.Set("num_shards", tegra::serve::JsonValue::Number(num_shards));
+    row.Set("build_ms", tegra::serve::JsonValue::Number(ms));
+    sharded.Append(std::move(row));
+    if (num_shards == 4) four_shard_dir = dir;
+  }
+  report.Set("sharded_builds", std::move(sharded));
+
+  // -- Overlay append + reload: cold vs O(delta) warm. ----------------------
+  const std::string manifest =
+      tegra::store::ManifestPathFor(four_shard_dir);
+  auto gen1 = tegra::store::ShardedCorpus::Open(manifest, nullptr);
+  if (!gen1.ok()) Die("gen1 open failed");
+
+  double append_ms = 0;
+  {
+    tegra::ColumnIndex delta_index;
+    for (const tegra::Table& t : delta) delta_index.AddTable(t);
+    delta_index.Finalize();
+    const auto start = Clock::now();
+    const tegra::Status status =
+        tegra::shardbuild::AppendOverlay(four_shard_dir, delta_index);
+    append_ms = MsSince(start);
+    if (!status.ok()) Die("overlay append failed: " + status.ToString());
+  }
+  std::printf("overlay append  %9.1f ms\n", append_ms);
+  report.Set("overlay_append_ms", tegra::serve::JsonValue::Number(append_ms));
+
+  double cold_ms = 0;
+  double warm_ms = 0;
+  uint64_t reused = 0;
+  {
+    const auto cold_start = Clock::now();
+    auto cold = tegra::store::ShardedCorpus::Open(manifest, nullptr);
+    cold_ms = MsSince(cold_start);
+    if (!cold.ok()) Die("cold reload failed");
+
+    const auto warm_start = Clock::now();
+    auto warm = tegra::store::ShardedCorpus::Open(manifest, gen1.value());
+    warm_ms = MsSince(warm_start);
+    if (!warm.ok()) Die("warm reload failed");
+    reused = warm.value()->reused_parts();
+    if (reused != 4) Die("warm reload did not reuse all 4 base shards");
+  }
+  std::printf("reload          cold %7.2f ms   warm %7.2f ms  "
+              "(%llu/4 shards reused)\n",
+              cold_ms, warm_ms, static_cast<unsigned long long>(reused));
+  report.Set("reload_cold_ms", tegra::serve::JsonValue::Number(cold_ms));
+  report.Set("reload_warm_ms", tegra::serve::JsonValue::Number(warm_ms));
+  report.Set("reload_parts_reused",
+             tegra::serve::JsonValue::Number(static_cast<double>(reused)));
+
+  if (!tegra::AtomicWriteFile(out_path, report.Dump() + "\n").ok()) {
+    Die("cannot write " + out_path);
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  ::system(("rm -rf " + root).c_str());
+  return 0;
+}

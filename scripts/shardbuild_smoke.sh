@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Sharded-corpus lifecycle drill, run in CI through the *shipped binaries*:
+#
+#   1. build a monolithic snapshot of specs A+B and take its digest
+#   2. build a sharded directory of spec A only, then `append` spec B as a
+#      delta overlay — digest must now equal the monolithic build
+#   3. `verify` and `stats` must accept the sharded directory
+#   4. `compact` folds the overlay into the shards — digest unchanged,
+#      overlay count back to zero
+#
+# This proves the bit-identity contract (sharded + overlays == monolithic)
+# end to end through tegra_corpusctl, complementing shard_test's unit-level
+# digest checks.
+#
+# Usage: scripts/shardbuild_smoke.sh BUILD_DIR [SPEC_A] [SPEC_B]
+
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: shardbuild_smoke.sh BUILD_DIR [SPEC_A] [SPEC_B]}"
+SPEC_A="${2:-web:300:1}"
+SPEC_B="${3:-web:60:2}"
+CORPUSCTL="$BUILD_DIR/tools/tegra_corpusctl"
+
+if [[ ! -x "$CORPUSCTL" ]]; then
+  echo "FATAL: $CORPUSCTL not found (build the tegra_corpusctl target first)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== monolithic build ($SPEC_A,$SPEC_B) =="
+"$CORPUSCTL" build "$SPEC_A,$SPEC_B" "$WORK/mono.idx2"
+MONO_DIGEST="$("$CORPUSCTL" digest "$WORK/mono.idx2")"
+echo "$MONO_DIGEST"
+
+echo "== sharded build ($SPEC_A) + overlay append ($SPEC_B) =="
+"$CORPUSCTL" build-sharded "$SPEC_A" "$WORK/sharded" --shards 4
+"$CORPUSCTL" append "$WORK/sharded" "$SPEC_B"
+
+echo "== verify + stats (sharded directory) =="
+"$CORPUSCTL" verify "$WORK/sharded"
+"$CORPUSCTL" stats "$WORK/sharded"
+
+echo "== digest diff: sharded+overlay vs monolithic =="
+SHARDED_DIGEST="$("$CORPUSCTL" digest "$WORK/sharded")"
+echo "$SHARDED_DIGEST"
+if [[ "$MONO_DIGEST" != "$SHARDED_DIGEST" ]]; then
+  echo "FATAL: sharded+overlay digest differs from monolithic" >&2
+  exit 1
+fi
+
+echo "== compact =="
+"$CORPUSCTL" compact "$WORK/sharded"
+if ls "$WORK/sharded" | grep -q '^overlay-'; then
+  echo "FATAL: compact left overlay files behind" >&2
+  exit 1
+fi
+COMPACT_DIGEST="$("$CORPUSCTL" digest "$WORK/sharded")"
+echo "$COMPACT_DIGEST"
+if [[ "$MONO_DIGEST" != "$COMPACT_DIGEST" ]]; then
+  echo "FATAL: compaction changed the corpus digest" >&2
+  exit 1
+fi
+"$CORPUSCTL" verify "$WORK/sharded"
+
+echo "OK: sharded + overlay + compacted builds are all digest-identical to the monolithic snapshot."

@@ -6,6 +6,11 @@
 #   3. flip exactly one byte somewhere in the payload
 #   4. `verify` must now FAIL and name Corruption
 #
+# The same drill then runs against a *sharded* corpus directory (with a
+# delta overlay): one flipped byte in a shard body, in the overlay body, or
+# in MANIFEST.tgrs must each make `verify` fail with Corruption, and the
+# restored directory must verify clean again.
+#
 # This proves the integrity chain end to end through the *shipped binaries*,
 # not just the unit tests: writer -> checksums -> verifier.
 #
@@ -61,3 +66,53 @@ if ! grep -q "Corruption" <<< "$OUTPUT"; then
 fi
 
 echo "OK: single-byte corruption detected and reported as Corruption."
+
+# ---------------------------------------------------------------------------
+# Sharded-directory drills: the same one-byte guarantee must hold for every
+# file class in a sharded corpus (shard body, overlay body, manifest).
+# ---------------------------------------------------------------------------
+
+SHARDED="$WORK/sharded"
+echo "== build sharded + overlay =="
+"$CORPUSCTL" build-sharded "$SPEC" "$SHARDED" --shards 4
+"$CORPUSCTL" append "$SHARDED" web:50:2
+
+echo "== verify (pristine sharded directory) =="
+"$CORPUSCTL" verify "$SHARDED"
+
+# Flips one byte at 2/3 of FILE, requires verify to fail with Corruption,
+# then restores the original bytes and requires verify to pass again.
+corrupt_drill() {
+  local file="$1" label="$2"
+  local size offset original flipped output status
+  size="$(stat -c %s "$file")"
+  offset="$((size * 2 / 3))"
+  echo "== corrupt ($label): flipping one byte at offset $offset of $size =="
+  cp "$file" "$file.pristine"
+  original="$(dd if="$file" bs=1 skip="$offset" count=1 2>/dev/null |
+    od -An -tu1 | tr -d ' ')"
+  flipped="$((original ^ 0x40))"
+  printf "$(printf '\\%03o' "$flipped")" |
+    dd of="$file" bs=1 seek="$offset" count=1 conv=notrunc 2>/dev/null
+  set +e
+  output="$("$CORPUSCTL" verify "$SHARDED" 2>&1)"
+  status=$?
+  set -e
+  echo "$output"
+  if [[ "$status" -eq 0 ]]; then
+    echo "FATAL: verifier accepted a sharded corpus with a corrupted $label" >&2
+    exit 1
+  fi
+  if ! grep -q "Corruption" <<< "$output"; then
+    echo "FATAL: $label corruption detected but not reported as Corruption" >&2
+    exit 1
+  fi
+  mv "$file.pristine" "$file"
+  "$CORPUSCTL" verify "$SHARDED"
+}
+
+corrupt_drill "$(ls "$SHARDED"/shard-00001-*.idx2)" "shard body"
+corrupt_drill "$(ls "$SHARDED"/overlay-*.idx2)" "overlay body"
+corrupt_drill "$SHARDED/MANIFEST.tgrs" "manifest"
+
+echo "OK: shard, overlay, and manifest corruption all detected and reported as Corruption."

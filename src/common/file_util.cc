@@ -24,7 +24,21 @@ std::string ParentDirectory(const std::string& path) {
   return path.substr(0, slash);
 }
 
+/// Test-only fault-injection hook (see SetFileOpHookForTest). Plain global:
+/// installed/cleared only from single-threaded test setup.
+std::function<int(const FileOpEvent&)> g_file_op_hook;
+
+/// Returns the injected errno for `event` (0 = run the real syscall).
+int HookErrno(FileOpEvent::Kind kind, const std::string& path) {
+  if (!g_file_op_hook) return 0;
+  return g_file_op_hook(FileOpEvent{kind, path});
+}
+
 }  // namespace
+
+void SetFileOpHookForTest(std::function<int(const FileOpEvent&)> hook) {
+  g_file_op_hook = std::move(hook);
+}
 
 Result<std::string> ReadFileToString(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -74,22 +88,49 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   // Data must be durable *before* the rename publishes it; otherwise a crash
   // can leave the published name pointing at garbage — exactly the torn-file
   // hazard this function exists to rule out.
+  int injected = HookErrno(FileOpEvent::kFsyncFile, tmp);
+  if (injected != 0) {
+    errno = injected;
+    return fail("fsync failed for");
+  }
   if (::fsync(fd) != 0) return fail("fsync failed for");
   if (::close(fd) != 0) {
     ::unlink(tmp.c_str());
     return Status::IOError(ErrnoMessage("close failed for", tmp));
   }
+  injected = HookErrno(FileOpEvent::kRename, path);
+  if (injected != 0) {
+    errno = injected;
+    ::unlink(tmp.c_str());
+    return Status::IOError(ErrnoMessage("rename failed for", tmp));
+  }
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
     return Status::IOError(ErrnoMessage("rename failed for", tmp));
   }
-  // Durability of the rename itself: fsync the parent directory. Best-effort
-  // (some filesystems refuse O_RDONLY directory fsync); the data is already
-  // safe, only the name's durability window is affected.
-  const int dir_fd = ::open(ParentDirectory(path).c_str(), O_RDONLY);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
-    ::close(dir_fd);
+  // Durability of the rename itself: fsync the parent directory, or a crash
+  // can lose the *name* even though the data blocks are safe. EINVAL/ENOTSUP
+  // are tolerated (filesystems that refuse directory fsync make it a no-op);
+  // anything else is reported — the new content is published but its
+  // durability window is open, and callers that chain publications (shard
+  // snapshots before a manifest) must know.
+  const std::string dir = ParentDirectory(path);
+  injected = HookErrno(FileOpEvent::kFsyncDir, dir);
+  int dir_errno = 0;
+  if (injected != 0) {
+    dir_errno = injected;
+  } else {
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) {
+      dir_errno = errno;
+    } else {
+      if (::fsync(dir_fd) != 0) dir_errno = errno;
+      ::close(dir_fd);
+    }
+  }
+  if (dir_errno != 0 && dir_errno != EINVAL && dir_errno != ENOTSUP) {
+    errno = dir_errno;
+    return Status::IOError(ErrnoMessage("directory fsync failed for", dir));
   }
   return Status::OK();
 }
@@ -100,6 +141,35 @@ Result<uint64_t> FileSize(const std::string& path) {
     return Status::IOError(ErrnoMessage("cannot stat", path));
   }
   return static_cast<uint64_t>(st.st_size);
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  // Create each missing component left to right (mkdir -p).
+  for (size_t i = 1; i <= path.size(); ++i) {
+    if (i != path.size() && path[i] != '/') continue;
+    const std::string prefix = path.substr(0, i);
+    if (prefix.empty()) continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IOError(ErrnoMessage("mkdir failed for", prefix));
+    }
+  }
+  if (!IsDirectory(path)) {
+    return Status::IOError("not a directory after mkdir: " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(ErrnoMessage("unlink failed for", path));
+  }
+  return Status::OK();
 }
 
 }  // namespace tegra

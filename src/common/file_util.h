@@ -10,6 +10,7 @@
 #ifndef TEGRA_COMMON_FILE_UTIL_H_
 #define TEGRA_COMMON_FILE_UTIL_H_
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -23,13 +24,48 @@ Result<std::string> ReadFileToString(const std::string& path);
 
 /// \brief Durably and atomically replaces `path` with `contents`.
 ///
-/// Writes to `<path>.tmp`, fsyncs the data, renames over `path`, then fsyncs
-/// the parent directory so the rename itself survives a crash. On any
-/// failure the temp file is removed and `path` is left untouched.
+/// Syscall order is part of the contract (asserted by a unit test through
+/// the observation hook below): write + fsync the temp file, rename it over
+/// `path`, then fsync the parent directory so the *name* survives a crash
+/// too — without the directory fsync a power loss after rename can resurrect
+/// the old file or leave no file at all, even though the data blocks were
+/// durable. A filesystem that refuses directory fsync (EINVAL/ENOTSUP) is
+/// tolerated; any other directory-fsync failure is a real IOError (the new
+/// content is in place but its durability is not guaranteed). On failures
+/// before the rename the temp file is removed and `path` is untouched.
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief One durability-relevant syscall inside AtomicWriteFile, surfaced
+/// to tests so the fsync-file -> rename -> fsync-dir order can be asserted
+/// without strace, and so individual steps can fail on demand.
+struct FileOpEvent {
+  enum Kind {
+    kFsyncFile,  ///< fsync of the temp file (path = temp file).
+    kRename,     ///< rename temp -> final (path = final path).
+    kFsyncDir,   ///< fsync of the parent directory (path = directory).
+  };
+  Kind kind;
+  std::string path;
+};
+
+/// \brief Test-only fault-injection / observation hook. Called before each
+/// durability syscall; a non-zero return is treated as that syscall failing
+/// with the returned errno (the real syscall is skipped). Pass nullptr to
+/// clear. Not thread-safe; install in single-threaded test setup only.
+void SetFileOpHookForTest(std::function<int(const FileOpEvent&)> hook);
 
 /// \brief Returns the size of the file at `path`, or IOError.
 Result<uint64_t> FileSize(const std::string& path);
+
+/// \brief True iff `path` exists and is a directory (false on any error).
+bool IsDirectory(const std::string& path);
+
+/// \brief mkdir -p: creates `path` and any missing parents (mode 0755).
+/// OK when the directory already exists.
+Status EnsureDirectory(const std::string& path);
+
+/// \brief Unlinks `path`. OK when the file is already gone.
+Status RemoveFile(const std::string& path);
 
 }  // namespace tegra
 

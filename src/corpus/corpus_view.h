@@ -21,6 +21,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -65,6 +66,19 @@ class CorpusView {
 
   /// The normalized string for an interned id (diagnostics, serialization).
   virtual std::string ValueString(ValueId id) const = 0;
+
+  /// Invokes `fn` once per distinct value with its id and normalized string,
+  /// in an unspecified order. Diagnostics / digest path, not a hot path.
+  /// The default assumes ids are dense in [0, NumValues()); representations
+  /// with a sparse id space (a sharded corpus with overlay aliases) must
+  /// override.
+  virtual void ForEachValue(
+      const std::function<void(ValueId, const std::string&)>& fn) const {
+    const size_t n = NumValues();
+    for (size_t id = 0; id < n; ++id) {
+      fn(static_cast<ValueId>(id), ValueString(static_cast<ValueId>(id)));
+    }
+  }
 
   /// Short identifier of the representation ("heap-v1", "mmap-v2").
   virtual const char* FormatName() const = 0;

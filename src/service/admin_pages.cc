@@ -8,6 +8,7 @@
 
 #include "common/build_info.h"
 #include "common/string_util.h"
+#include "store/sharded_corpus.h"
 #include "prof/profiler.h"
 #include "trace/chrome_trace.h"
 #include "trace/prometheus.h"
@@ -159,6 +160,24 @@ void AdminPages::RefreshCorpusGauges(MetricsRegistry* registry) {
                             : static_cast<double>(view->MappedBytes()));
   registry->GetGauge("corpus.heap_bytes")
       ->Set(view == nullptr ? 0.0 : static_cast<double>(view->HeapBytes()));
+  registry->GetGauge("corpus.values")
+      ->Set(view == nullptr ? 0.0 : static_cast<double>(view->NumValues()));
+  // Sharded-corpus geometry: overlays count the appended deltas awaiting
+  // compaction; parts_reused shows how much of the last reload was O(delta)
+  // (an overlay-only reload reuses every base shard mapping).
+  const auto* sharded =
+      dynamic_cast<const store::ShardedCorpus*>(view.get());
+  registry->GetGauge("corpus.shards")
+      ->Set(sharded == nullptr ? 0.0
+                               : static_cast<double>(sharded->num_shards()));
+  registry->GetGauge("corpus.overlays")
+      ->Set(sharded == nullptr
+                ? 0.0
+                : static_cast<double>(sharded->num_overlays()));
+  registry->GetGauge("corpus.parts_reused")
+      ->Set(sharded == nullptr
+                ? 0.0
+                : static_cast<double>(sharded->reused_parts()));
 }
 
 void AdminPages::RefreshTraceGauges(MetricsRegistry* registry) {
@@ -322,6 +341,14 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
       RowCount(&body, "distinct_values", view->NumValues());
       RowCount(&body, "heap_bytes", view->HeapBytes());
       RowCount(&body, "mapped_bytes", view->MappedBytes());
+      const auto* sharded =
+          dynamic_cast<const store::ShardedCorpus*>(view.get());
+      if (sharded != nullptr) {
+        RowCount(&body, "shards", sharded->num_shards());
+        RowCount(&body, "overlays", sharded->num_overlays());
+        RowCount(&body, "manifest_sequence", sharded->manifest().sequence);
+        RowCount(&body, "parts_reused_on_reload", sharded->reused_parts());
+      }
     } else {
       Row(&body, "format", "none (no generation loaded)");
     }

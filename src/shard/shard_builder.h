@@ -1,0 +1,136 @@
+// tegra::shardbuild — sharded, external-memory corpus construction.
+//
+// ShardBuilder ingests corpus columns exactly like ColumnIndex::AddColumn
+// (same normalization, same within-column dedup, same global column-id
+// assignment) but partitions values by Fnv1a64(normalized) % num_shards and
+// keeps only a bounded working set in memory: when the buffered postings
+// exceed `memory_budget_bytes`, every shard buffer is spilled to a sorted
+// run file in the output directory. Spills happen only *between* columns,
+// so a (value, column) pair lives in exactly one run and per-value postings
+// stay sorted and unique when runs are concatenated in spill order.
+//
+// Finish() k-way-merges each shard's runs (in parallel on an optional
+// ThreadPool), serializes one TGRAIDX2 snapshot per shard — every shard
+// header carries the *global* column count, so column ids are absolute
+// across shard files — and atomically publishes a checksummed MANIFEST.tgrs
+// describing the directory. The result opens as one corpus through
+// store::ShardedCorpus and is statistic-for-statistic identical to the same
+// columns ingested into a single monolithic snapshot (shard_test.cc proves
+// digest equality).
+//
+// Peak memory: the ingest side is bounded by the budget; the merge side
+// materializes one shard at a time per worker, i.e. ~corpus/num_shards per
+// concurrent merge task.
+//
+// Delta overlays:
+//   AppendOverlay publishes a small standalone snapshot of newly appended
+//   tables (local column ids; ShardedCorpus rebases them past the base
+//   columns) and bumps the manifest — O(delta), never touching shard files.
+//   Compact folds all overlays back into the shards at a new sequence
+//   number and prunes the replaced files, returning the directory to the
+//   overlay-free steady state.
+
+#ifndef TEGRA_SHARD_SHARD_BUILDER_H_
+#define TEGRA_SHARD_SHARD_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/column_index.h"
+#include "corpus/table.h"
+
+namespace tegra {
+
+class ThreadPool;
+
+namespace shardbuild {
+
+struct ShardBuildOptions {
+  /// Number of hash partitions. Fixed for the lifetime of the directory
+  /// (changing it requires a rebuild; Lookup routing depends on it).
+  uint32_t num_shards = 4;
+  /// Ingest-side working-set bound. Buffered postings beyond this trigger a
+  /// spill of every shard buffer to sorted run files.
+  size_t memory_budget_bytes = 256ull << 20;
+  /// Optional pool for the per-shard merge/serialize phase; null = serial.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief Build telemetry (bench_shardbuild reports these).
+struct ShardBuildStats {
+  uint32_t num_shards = 0;
+  uint64_t total_columns = 0;
+  uint64_t total_values = 0;  ///< Sum of per-shard distinct values.
+  uint32_t spill_epochs = 0;  ///< Spill rounds, including the final flush.
+  uint64_t run_files = 0;
+  uint64_t run_bytes = 0;
+};
+
+/// \brief Streaming builder for a sharded corpus directory.
+///
+/// Usage: construct, AddColumn/AddTable for the whole corpus, Finish() once.
+/// Not thread-safe (ingestion is inherently ordered by column id); the
+/// *merge* phase inside Finish() parallelizes across shards.
+class ShardBuilder {
+ public:
+  ShardBuilder(std::string out_dir, ShardBuildOptions options = {});
+
+  /// Ingests one corpus column; returns its global column id. Mirrors
+  /// ColumnIndex::AddColumn bit-for-bit (normalize, drop empties,
+  /// de-duplicate within the column).
+  uint32_t AddColumn(const std::vector<std::string>& values);
+
+  /// Ingests every column of `table`.
+  void AddTable(const Table& table);
+
+  /// Merges runs, writes the per-shard snapshots and publishes the
+  /// manifest (sequence 1). The builder is spent afterwards.
+  Result<ShardBuildStats> Finish();
+
+  uint64_t total_columns() const { return next_column_id_; }
+
+ private:
+  /// One shard's in-memory buffer between spills.
+  struct ShardBuffer {
+    std::unordered_map<std::string, std::vector<uint32_t>> postings;
+  };
+
+  void SpillAll();
+  Status SpillShard(uint32_t shard);
+  Status BuildShard(uint32_t shard, std::string* name, uint64_t* file_bytes,
+                    uint32_t* header_crc, uint64_t* num_values);
+
+  std::string out_dir_;
+  ShardBuildOptions options_;
+  uint32_t next_column_id_ = 0;
+  std::vector<ShardBuffer> buffers_;
+  std::vector<std::vector<std::string>> run_paths_;  ///< Per shard, in order.
+  size_t buffered_bytes_ = 0;
+  uint32_t spill_epochs_ = 0;
+  uint64_t run_bytes_ = 0;
+  Status deferred_error_;  ///< First spill failure, surfaced by Finish().
+  bool finished_ = false;
+};
+
+/// \brief Publishes `delta` (a finalized heap index of appended tables) as a
+/// new overlay of the sharded corpus directory `dir` and bumps the manifest
+/// sequence. O(|delta|): shard files are not touched. The overlay snapshot
+/// keeps delta-local column ids; ShardedCorpus rebases them at query time,
+/// which reproduces exactly the ids a monolithic rebuild would have
+/// assigned (base columns first, then the delta's, in order).
+Status AppendOverlay(const std::string& dir, const ColumnIndex& delta);
+
+/// \brief Folds every overlay into the base shards at a new manifest
+/// sequence and removes the replaced files. Queries against the compacted
+/// directory are bit-identical to the overlaid one. Live readers of the old
+/// generation are unaffected (they hold the old mappings). No-op when the
+/// directory has no overlays.
+Status Compact(const std::string& dir, ThreadPool* pool = nullptr);
+
+}  // namespace shardbuild
+}  // namespace tegra
+
+#endif  // TEGRA_SHARD_SHARD_BUILDER_H_

@@ -5,6 +5,8 @@
 // OpenCorpus reads the 8-byte magic and dispatches:
 //   "TGRAIDX1" -> heap ColumnIndex via the hardened v1 loader.
 //   "TGRAIDX2" -> zero-copy MmapCorpus.
+//   "TGRSMAN1" -> ShardedCorpus (a directory path resolves to its
+//                 MANIFEST.tgrs first).
 // Anything else is Corruption.
 
 #ifndef TEGRA_STORE_CORPUS_LOADER_H_
@@ -24,11 +26,16 @@ namespace store {
 struct LoadedCorpus {
   std::shared_ptr<const CorpusView> view;
   std::string path;
-  std::string format;  ///< "heap-v1" or "mmap-v2".
+  std::string format;  ///< "heap-v1", "mmap-v2" or "sharded-v2".
 };
 
-/// \brief Opens a corpus file of either format (magic-sniffed).
-Result<LoadedCorpus> OpenCorpus(const std::string& path);
+/// \brief Opens a corpus of any format (magic-sniffed; a directory is
+/// opened through its MANIFEST.tgrs). `previous` — the outgoing
+/// generation's view on a reload — lets a sharded corpus adopt unchanged
+/// shard mappings so reload cost is O(changed parts), not O(corpus).
+Result<LoadedCorpus> OpenCorpus(
+    const std::string& path,
+    const std::shared_ptr<const CorpusView>& previous = nullptr);
 
 /// \brief Per-section summary for v2 snapshots.
 struct SectionSummary {
@@ -41,16 +48,32 @@ struct SectionSummary {
   bool crc_ok = false;
 };
 
+/// \brief Per-part summary for sharded corpora (one line per shard/overlay
+/// in `tegra_corpusctl stats`).
+struct ShardPartSummary {
+  std::string name;
+  bool overlay = false;
+  uint64_t file_bytes = 0;
+  uint64_t num_values = 0;
+  uint64_t num_columns = 0;
+  uint64_t posting_entries = 0;  ///< Sum of |C(s)| over the part's values.
+};
+
 /// \brief Format-independent summary of a corpus file.
 struct CorpusFileInfo {
   std::string path;
-  std::string format;  ///< "TGRAIDX1" or "TGRAIDX2".
+  std::string format;  ///< "TGRAIDX1", "TGRAIDX2" or "TGRS-MANIFEST".
   uint64_t file_bytes = 0;
   uint64_t total_columns = 0;
   uint64_t num_values = 0;
   /// v2 only: the section table (empty for v1).
   std::vector<SectionSummary> sections;
   bool header_crc_ok = true;  ///< v2 only; v1 has no header CRC.
+  /// Sharded only: manifest geometry + per-part counts.
+  uint32_t num_shards = 0;
+  uint32_t num_overlays = 0;
+  uint64_t sequence = 0;
+  std::vector<ShardPartSummary> parts;
 };
 
 /// \brief Inspects a corpus file of either format. For v2, `check_crc`
@@ -64,8 +87,25 @@ std::string FormatCorpusFileInfo(const CorpusFileInfo& info);
 
 /// \brief Full integrity verification. v2: header + section CRCs and a deep
 /// decode of the dictionary, hash table and every posting list. v1: the
-/// hardened loader's complete parse. Returns Corruption on any defect.
+/// hardened loader's complete parse. Sharded: the manifest plus every shard
+/// and overlay, including shard-routing checks. Returns Corruption on any
+/// defect.
 Status VerifyCorpusFile(const std::string& path);
+
+/// \brief Deterministic, representation-independent fingerprint of the
+/// *statistics* a corpus serves: every (value, |C(s)|) pair (iterated in
+/// sorted value order) plus a deterministic sample of CoOccurrenceCount
+/// pairs, TotalColumns and NumValues. Two corpora answer every NPMI /
+/// Jaccard / co-occurrence query identically iff their digests match —
+/// heap vs snapshot vs sharded(+overlays) builds of the same tables all
+/// collapse to one digest. Used by CI to diff a sharded build against a
+/// monolithic one.
+struct CorpusDigest {
+  uint64_t digest = 0;
+  uint64_t num_values = 0;
+  uint64_t total_columns = 0;
+};
+CorpusDigest ComputeCorpusDigest(const CorpusView& view);
 
 }  // namespace store
 }  // namespace tegra

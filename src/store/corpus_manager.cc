@@ -47,7 +47,9 @@ Status CorpusManager::Reload() {
     return Status::InvalidArgument(
         "corpus manager has no backing path to reload from");
   }
-  Result<LoadedCorpus> loaded = OpenCorpus(path_);
+  // Hand the outgoing view to the loader: a sharded corpus reuses the
+  // mappings of unchanged parts, making an overlay-only reload O(delta).
+  Result<LoadedCorpus> loaded = OpenCorpus(path_, Current());
   if (!loaded.ok()) {
     {
       std::lock_guard<std::mutex> lock(mu_);

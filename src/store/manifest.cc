@@ -1,0 +1,156 @@
+#include "store/manifest.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/file_util.h"
+#include "common/varint.h"
+#include "store/crc32c.h"
+#include "store/format.h"
+
+namespace tegra {
+namespace store {
+
+namespace {
+
+Status Corrupt(const std::string& origin, const char* what) {
+  return Status::Corruption(std::string(what) + " in manifest: " + origin);
+}
+
+}  // namespace
+
+uint64_t ShardManifest::TotalColumns() const {
+  uint64_t total = total_base_columns;
+  for (size_t i = num_shards; i < entries.size(); ++i) {
+    total += entries[i].num_columns;
+  }
+  return total;
+}
+
+std::string EncodeManifest(const ShardManifest& manifest) {
+  std::string out;
+  out.append(kManifestMagic, sizeof(kManifestMagic));
+  PutFixed32(&out, manifest.version);
+  PutFixed32(&out, manifest.num_shards);
+  PutFixed64(&out, manifest.sequence);
+  PutFixed64(&out, manifest.total_base_columns);
+  PutFixed32(&out, static_cast<uint32_t>(manifest.entries.size()));
+  for (const ManifestEntry& e : manifest.entries) {
+    out.push_back(static_cast<char>(e.kind));
+    PutVarint(&out, e.name.size());
+    out.append(e.name);
+    PutFixed64(&out, e.file_bytes);
+    PutFixed32(&out, e.header_crc);
+    PutFixed64(&out, e.num_values);
+    PutFixed64(&out, e.num_columns);
+  }
+  PutFixed32(&out, MaskCrc(Crc32c(out.data(), out.size())));
+  return out;
+}
+
+Result<ShardManifest> DecodeManifest(const std::string& bytes,
+                                     const std::string& origin) {
+  if (bytes.size() < sizeof(kManifestMagic) + 4 + 4 + 8 + 8 + 4 + 4) {
+    return Corrupt(origin, "truncated header");
+  }
+  if (std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    return Corrupt(origin, "bad magic");
+  }
+  // Trailing CRC covers everything before it; check before trusting fields.
+  const uint32_t stored_crc = ReadU32LE(bytes.data() + bytes.size() - 4);
+  const uint32_t actual =
+      MaskCrc(Crc32c(bytes.data(), bytes.size() - 4));
+  if (stored_crc != actual) return Corrupt(origin, "checksum mismatch");
+
+  ByteReader r(bytes.data() + sizeof(kManifestMagic),
+               bytes.size() - sizeof(kManifestMagic) - 4);
+  ShardManifest m;
+  uint32_t num_entries = 0;
+  if (!r.ReadFixed32(&m.version) || !r.ReadFixed32(&m.num_shards) ||
+      !r.ReadFixed64(&m.sequence) || !r.ReadFixed64(&m.total_base_columns) ||
+      !r.ReadFixed32(&num_entries)) {
+    return Corrupt(origin, "truncated header");
+  }
+  if (m.version != kManifestVersion) {
+    return Corrupt(origin, "unsupported version");
+  }
+  if (m.num_shards == 0 || num_entries < m.num_shards ||
+      num_entries > 1u << 20) {
+    return Corrupt(origin, "implausible entry counts");
+  }
+  m.entries.reserve(num_entries);
+  for (uint32_t i = 0; i < num_entries; ++i) {
+    ManifestEntry e;
+    std::string_view kind_byte;
+    if (!r.ReadBytes(1, &kind_byte)) return Corrupt(origin, "truncated entry");
+    e.kind = static_cast<uint8_t>(kind_byte[0]);
+    const bool want_shard = i < m.num_shards;
+    if (e.kind != (want_shard ? ManifestEntry::kShard
+                              : ManifestEntry::kOverlay)) {
+      return Corrupt(origin, "entry kinds out of order");
+    }
+    uint64_t name_len = 0;
+    std::string_view name;
+    if (!r.ReadVarint(&name_len) || name_len == 0 || name_len > 4096 ||
+        !r.ReadBytes(static_cast<size_t>(name_len), &name)) {
+      return Corrupt(origin, "bad entry name");
+    }
+    // Names are plain file names inside the manifest's own directory; a
+    // path separator would let a corrupt manifest map arbitrary files.
+    if (name.find('/') != std::string_view::npos) {
+      return Corrupt(origin, "entry name contains a path separator");
+    }
+    e.name.assign(name);
+    if (!r.ReadFixed64(&e.file_bytes) || !r.ReadFixed32(&e.header_crc) ||
+        !r.ReadFixed64(&e.num_values) || !r.ReadFixed64(&e.num_columns)) {
+      return Corrupt(origin, "truncated entry");
+    }
+    if (want_shard && e.num_columns != m.total_base_columns) {
+      return Corrupt(origin, "shard column count mismatch");
+    }
+    m.entries.push_back(std::move(e));
+  }
+  if (!r.exhausted()) return Corrupt(origin, "trailing bytes");
+  return m;
+}
+
+Result<ShardManifest> LoadManifest(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeManifest(bytes.value(), path);
+}
+
+Status WriteManifest(const ShardManifest& manifest, const std::string& path) {
+  return AtomicWriteFile(path, EncodeManifest(manifest));
+}
+
+std::string ManifestPathFor(const std::string& path) {
+  if (!IsDirectory(path)) return path;
+  if (!path.empty() && path.back() == '/') return path + kManifestFileName;
+  return path + "/" + kManifestFileName;
+}
+
+std::string ManifestDirectory(const std::string& manifest_path) {
+  const size_t slash = manifest_path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return manifest_path.substr(0, slash);
+}
+
+std::string ShardFileName(uint32_t shard, uint32_t num_shards,
+                          uint64_t sequence) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "shard-%05u-of-%05u-s%06llu.idx2", shard,
+                num_shards, static_cast<unsigned long long>(sequence));
+  return buf;
+}
+
+std::string OverlayFileName(uint32_t overlay_index, uint64_t sequence) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "overlay-%03u-s%06llu.idx2", overlay_index,
+                static_cast<unsigned long long>(sequence));
+  return buf;
+}
+
+}  // namespace store
+}  // namespace tegra

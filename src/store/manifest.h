@@ -1,0 +1,112 @@
+// MANIFEST.tgrs — the root of a *sharded* corpus directory.
+//
+// A sharded corpus is a directory of TGRAIDX2 snapshots (N hash-partitioned
+// shards plus zero or more delta overlays) tied together by one small,
+// checksummed manifest that is the *only* mutable name in the directory:
+//
+//   corpus.d/
+//     MANIFEST.tgrs                     <- atomically republished on change
+//     shard-00000-of-00004-s000001.idx2
+//     ...
+//     overlay-001-s000002.idx2         <- appended deltas (O(delta) reload)
+//
+// Layout (all integers little-endian):
+//
+//   magic "TGRSMAN1" (8)  u32 version  u32 num_shards
+//   u64 sequence          u64 total_base_columns
+//   u32 num_entries       (shards first, then overlays in append order)
+//   per entry:
+//     u8 kind (1 = shard, 2 = overlay)
+//     varint name_len, name bytes      (file name inside the directory)
+//     u64 file_bytes  u32 header_crc   (identity: reload reuses a live
+//                                       mapping iff name+bytes+crc match)
+//     u64 num_values  u64 num_columns  (shard: == total_base_columns;
+//                                       overlay: its local column count)
+//   u32 masked CRC32C of every preceding byte
+//
+// Snapshot files are immutable and content-named by build sequence, so a
+// republished manifest can only ever reference complete files; readers that
+// hold mappings of superseded files are unaffected (unlink-after-publish is
+// safe on POSIX). Publication goes through AtomicWriteFile: tmp + fsync +
+// rename + parent-dir fsync.
+
+#ifndef TEGRA_STORE_MANIFEST_H_
+#define TEGRA_STORE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tegra {
+namespace store {
+
+inline constexpr char kManifestMagic[8] = {'T', 'G', 'R', 'S', 'M', 'A',
+                                           'N', '1'};
+inline constexpr uint32_t kManifestVersion = 1;
+inline constexpr char kManifestFileName[] = "MANIFEST.tgrs";
+
+/// \brief One snapshot file referenced from the manifest.
+struct ManifestEntry {
+  enum Kind : uint8_t { kShard = 1, kOverlay = 2 };
+
+  uint8_t kind = kShard;
+  std::string name;        ///< File name relative to the manifest directory.
+  uint64_t file_bytes = 0;
+  uint32_t header_crc = 0; ///< The snapshot's masked header CRC (identity).
+  uint64_t num_values = 0;
+  uint64_t num_columns = 0;
+};
+
+/// \brief Decoded manifest of a sharded corpus directory.
+struct ShardManifest {
+  uint32_t version = kManifestVersion;
+  uint32_t num_shards = 0;
+  /// Monotone build sequence; bumped by append and compact. Snapshot file
+  /// names embed the sequence that created them, so republished generations
+  /// never collide with files a live reader still has mapped.
+  uint64_t sequence = 0;
+  /// Columns covered by the base shards (the shared column-id space; every
+  /// shard snapshot's header carries this same total).
+  uint64_t total_base_columns = 0;
+  /// Shards first (exactly num_shards, in shard order), then overlays in
+  /// append order.
+  std::vector<ManifestEntry> entries;
+
+  size_t num_overlays() const { return entries.size() - num_shards; }
+  /// Global column count including overlays (the N of §2.3.1).
+  uint64_t TotalColumns() const;
+};
+
+/// \brief Serializes `manifest` (checksummed, ready for AtomicWriteFile).
+std::string EncodeManifest(const ShardManifest& manifest);
+
+/// \brief Parses and validates manifest bytes. Corruption on any defect
+/// (bad magic/version/CRC, truncation, entry-count mismatch).
+Result<ShardManifest> DecodeManifest(const std::string& bytes,
+                                     const std::string& origin);
+
+/// \brief Reads + decodes the manifest at `path`.
+Result<ShardManifest> LoadManifest(const std::string& path);
+
+/// \brief Atomically and durably publishes `manifest` at `path`.
+Status WriteManifest(const ShardManifest& manifest, const std::string& path);
+
+/// \brief Canonical manifest path for a user-supplied corpus path: a
+/// directory maps to `<path>/MANIFEST.tgrs`, anything else passes through.
+std::string ManifestPathFor(const std::string& path);
+
+/// \brief Directory component of a manifest path ("." when bare).
+std::string ManifestDirectory(const std::string& manifest_path);
+
+/// \brief Conventional immutable snapshot file names ("shard-00002-of-
+/// 00008-s000001.idx2", "overlay-003-s000007.idx2").
+std::string ShardFileName(uint32_t shard, uint32_t num_shards,
+                          uint64_t sequence);
+std::string OverlayFileName(uint32_t overlay_index, uint64_t sequence);
+
+}  // namespace store
+}  // namespace tegra
+
+#endif  // TEGRA_STORE_MANIFEST_H_

@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "common/varint.h"
 #include "store/crc32c.h"
+#include "store/posting_cursor.h"
 
 namespace tegra {
 namespace store {
@@ -21,148 +22,6 @@ namespace {
 Status Corrupt(const std::string& path, const char* what) {
   return Status::Corruption(std::string(what) + " in: " + path);
 }
-
-/// A cursor over one encoded posting list that decodes 128-entry blocks into
-/// a caller-owned stack buffer on demand. Supports sequential advance and
-/// galloping SeekGE via the skip table. Never heap-allocates.
-class PostingCursor {
- public:
-  /// `bytes` is the raw encoding, `count` the number of postings.
-  PostingCursor(std::string_view bytes, uint32_t count) : count_(count) {
-    if (count_ == 0) {
-      exhausted_ = true;
-      return;
-    }
-    if (count_ <= kPostingBlockSize) {
-      num_blocks_ = 1;
-      skip_ = nullptr;
-      streams_ = bytes.data();
-      streams_len_ = bytes.size();
-    } else {
-      // u32 num_blocks, skip entries, then streams.
-      num_blocks_ = ReadU32LE(bytes.data());
-      skip_ = bytes.data() + 4;
-      streams_ = skip_ + static_cast<size_t>(num_blocks_) * 8;
-      streams_len_ = bytes.size() - 4 - static_cast<size_t>(num_blocks_) * 8;
-    }
-    LoadBlock(0);
-  }
-
-  bool exhausted() const { return exhausted_; }
-  uint32_t value() const { return buf_[pos_]; }
-
-  /// Advances one posting; sets exhausted() at the end.
-  void Next() {
-    if (++pos_ < block_len_) return;
-    if (block_ + 1 < num_blocks_) {
-      LoadBlock(block_ + 1);
-    } else {
-      exhausted_ = true;
-    }
-  }
-
-  /// Advances to the first posting >= target (galloping over skip entries,
-  /// then binary search within the decoded block). Never moves backwards.
-  void SeekGE(uint32_t target) {
-    if (exhausted_ || buf_[pos_] >= target) return;
-    // Beyond the current block? Binary-search the skip table for the last
-    // block whose first_docid <= target.
-    if (buf_[block_len_ - 1] < target) {
-      uint32_t lo = block_ + 1, hi = num_blocks_;  // [lo, hi)
-      if (lo >= num_blocks_) {
-        exhausted_ = true;
-        return;
-      }
-      while (lo + 1 < hi) {
-        const uint32_t mid = lo + (hi - lo) / 2;
-        if (BlockFirstId(mid) <= target) {
-          lo = mid;
-        } else {
-          hi = mid;
-        }
-      }
-      LoadBlock(lo);
-    }
-    // Binary search within the decoded block.
-    const uint32_t* begin = buf_ + pos_;
-    const uint32_t* end = buf_ + block_len_;
-    const uint32_t* it = std::lower_bound(begin, end, target);
-    if (it == end) {
-      if (block_ + 1 < num_blocks_) {
-        LoadBlock(block_ + 1);  // First id of next block is > target - 1.
-        // buf_[0] may still be < target only if skip ids were consistent;
-        // guard anyway for robustness against odd (but valid) encodings.
-        if (buf_[0] < target) SeekGE(target);
-      } else {
-        exhausted_ = true;
-      }
-    } else {
-      pos_ = static_cast<uint32_t>(it - buf_);
-    }
-  }
-
- private:
-  uint32_t BlockFirstId(uint32_t b) const {
-    if (skip_ == nullptr) return buf_[0];
-    return ReadU32LE(skip_ + static_cast<size_t>(b) * 8);
-  }
-
-  void LoadBlock(uint32_t b) {
-    block_ = b;
-    pos_ = 0;
-    const size_t lo = static_cast<size_t>(b) * kPostingBlockSize;
-    const size_t hi =
-        std::min<size_t>(count_, lo + kPostingBlockSize);
-    block_len_ = static_cast<uint32_t>(hi - lo);
-    const uint8_t* p;
-    const uint8_t* end;
-    uint32_t prev;
-    uint32_t first_decoded;
-    if (skip_ == nullptr) {
-      p = reinterpret_cast<const uint8_t*>(streams_);
-      end = p + streams_len_;
-      prev = 0;
-      first_decoded = 0;  // All block_len_ entries come from the stream.
-    } else {
-      const uint32_t byte_off = ReadU32LE(skip_ + static_cast<size_t>(b) * 8 + 4);
-      const uint32_t byte_end =
-          (b + 1 < num_blocks_)
-              ? ReadU32LE(skip_ + static_cast<size_t>(b + 1) * 8 + 4)
-              : static_cast<uint32_t>(streams_len_);
-      p = reinterpret_cast<const uint8_t*>(streams_) + byte_off;
-      end = reinterpret_cast<const uint8_t*>(streams_) + byte_end;
-      buf_[0] = BlockFirstId(b);
-      prev = buf_[0];
-      first_decoded = 1;  // Entry 0 lives in the skip table.
-    }
-    for (uint32_t i = first_decoded; i < block_len_; ++i) {
-      uint64_t delta = 0;
-      p = GetVarint(p, end, &delta);
-      if (p == nullptr) {
-        // Structurally validated at open + CRC-guarded; treat a short block
-        // as an empty suffix rather than reading out of bounds.
-        block_len_ = i;
-        break;
-      }
-      prev += static_cast<uint32_t>(delta);
-      buf_[i] = prev;
-    }
-    if (block_len_ == 0) exhausted_ = true;
-  }
-
-  uint32_t count_;
-  uint32_t num_blocks_ = 0;
-  const char* skip_ = nullptr;     ///< Skip entries, 8 bytes each; null when
-                                   ///< the list is a single implicit block.
-  const char* streams_ = nullptr;  ///< Concatenated block varint streams.
-  size_t streams_len_ = 0;
-
-  uint32_t buf_[kPostingBlockSize];  ///< Decoded current block (stack-sized).
-  uint32_t block_ = 0;
-  uint32_t block_len_ = 0;
-  uint32_t pos_ = 0;
-  bool exhausted_ = false;
-};
 
 }  // namespace
 
@@ -395,27 +254,12 @@ uint32_t MmapCorpus::ColumnCount(ValueId id) const {
 uint32_t MmapCorpus::CoOccurrenceCount(ValueId a, ValueId b) const {
   if (a >= header_.num_values || b >= header_.num_values) return 0;
   if (a == b) return ColumnCount(a);
-  // Drive from the rarer list; gallop within the denser one.
-  uint32_t ca = ColumnCount(a), cb = ColumnCount(b);
-  if (ca > cb) {
-    std::swap(a, b);
-    std::swap(ca, cb);
-  }
-  if (ca == 0) return 0;
-  PostingCursor rare(PostingBytes(a), ca);
-  PostingCursor dense(PostingBytes(b), cb);
-  uint32_t hits = 0;
-  while (!rare.exhausted() && !dense.exhausted()) {
-    const uint32_t target = rare.value();
-    dense.SeekGE(target);
-    if (dense.exhausted()) break;
-    if (dense.value() == target) {
-      ++hits;
-      dense.Next();
-    }
-    rare.Next();
-  }
-  return hits;
+  return IntersectPostings(Postings(a), Postings(b));
+}
+
+PostingListRef MmapCorpus::Postings(ValueId id) const {
+  if (id >= header_.num_values) return PostingListRef{};
+  return PostingListRef{PostingBytes(id), ColumnCount(id)};
 }
 
 std::string MmapCorpus::ValueString(ValueId id) const {

@@ -29,6 +29,7 @@
 #include "common/status.h"
 #include "corpus/corpus_view.h"
 #include "store/format.h"
+#include "store/posting_cursor.h"
 
 namespace tegra {
 namespace store {
@@ -66,6 +67,12 @@ class MmapCorpus : public CorpusView {
   const std::string& path() const { return path_; }
   const SnapshotHeader& header() const { return header_; }
   const SectionEntry& section(uint32_t kind) const;
+
+  /// \brief Borrowed raw encoding + count of one posting list. Lets a
+  /// ShardedCorpus intersect lists across shard files (column ids are
+  /// absolute, so cross-file intersection is well-defined) without
+  /// materializing them. Returns an empty ref for out-of-range ids.
+  PostingListRef Postings(ValueId id) const;
 
  private:
   MmapCorpus() = default;

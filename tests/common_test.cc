@@ -2,12 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/hash.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -259,6 +263,129 @@ TEST(ThreadPoolTest, TrySubmitVersusShutdownRaceLosesNoAcceptedTask) {
     }
     EXPECT_EQ(executed.load(), accepted_count);
   }
+}
+
+
+// ---- file_util: AtomicWriteFile durability contract ---------------------
+
+std::string FileUtilTempDir() {
+  const std::string dir = ::testing::TempDir() + "common_test_fileutil_" +
+                          std::to_string(::getpid());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+/// Installs a fault-injection/observation hook for the scope of one test;
+/// always restored on destruction so failures cannot leak into later tests.
+class ScopedFileOpHook {
+ public:
+  explicit ScopedFileOpHook(std::function<int(const FileOpEvent&)> hook) {
+    SetFileOpHookForTest(std::move(hook));
+  }
+  ~ScopedFileOpHook() { SetFileOpHookForTest(nullptr); }
+};
+
+TEST(AtomicWriteFileTest, SyscallOrderIsFsyncFileRenameFsyncDir) {
+  const std::string dir = FileUtilTempDir();
+  const std::string path = dir + "/order.bin";
+  std::vector<FileOpEvent> events;
+  ScopedFileOpHook hook([&](const FileOpEvent& e) {
+    events.push_back(e);
+    return 0;
+  });
+  ASSERT_TRUE(AtomicWriteFile(path, "payload").ok());
+  // The durability contract, in order: temp-file fsync (data safe), rename
+  // (publication), parent-dir fsync (the *name* is safe).
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, FileOpEvent::kFsyncFile);
+  EXPECT_EQ(events[0].path, path + ".tmp");
+  EXPECT_EQ(events[1].kind, FileOpEvent::kRename);
+  EXPECT_EQ(events[1].path, path);
+  EXPECT_EQ(events[2].kind, FileOpEvent::kFsyncDir);
+  EXPECT_EQ(events[2].path, dir);
+  auto readback = ReadFileToString(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), "payload");
+}
+
+TEST(AtomicWriteFileTest, TempFsyncFailureLeavesPublishedPathUntouched) {
+  const std::string dir = FileUtilTempDir();
+  const std::string path = dir + "/fsync_fail.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "old content").ok());
+  ScopedFileOpHook hook([&](const FileOpEvent& e) {
+    return e.kind == FileOpEvent::kFsyncFile ? EIO : 0;
+  });
+  const Status failed = AtomicWriteFile(path, "new content");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  // Old content intact, temp file cleaned up.
+  auto readback = ReadFileToString(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), "old content");
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(AtomicWriteFileTest, RenameFailureLeavesPublishedPathUntouched) {
+  const std::string dir = FileUtilTempDir();
+  const std::string path = dir + "/rename_fail.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "old content").ok());
+  ScopedFileOpHook hook([&](const FileOpEvent& e) {
+    return e.kind == FileOpEvent::kRename ? EIO : 0;
+  });
+  ASSERT_FALSE(AtomicWriteFile(path, "new content").ok());
+  auto readback = ReadFileToString(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), "old content");
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+}
+
+TEST(AtomicWriteFileTest, DirFsyncFailureIsReportedButContentIsPublished) {
+  const std::string dir = FileUtilTempDir();
+  const std::string path = dir + "/dirsync_fail.bin";
+  ScopedFileOpHook hook([&](const FileOpEvent& e) {
+    return e.kind == FileOpEvent::kFsyncDir ? EIO : 0;
+  });
+  const Status failed = AtomicWriteFile(path, "content");
+  // The rename already happened: content is visible, but the caller must
+  // hear that its durability window is open.
+  ASSERT_FALSE(failed.ok());
+  EXPECT_NE(failed.ToString().find(dir), std::string::npos);
+  auto readback = ReadFileToString(path);
+  ASSERT_TRUE(readback.ok());
+  EXPECT_EQ(readback.value(), "content");
+}
+
+TEST(AtomicWriteFileTest, DirFsyncEinvalAndEnotsupAreTolerated) {
+  const std::string dir = FileUtilTempDir();
+  for (const int benign : {EINVAL, ENOTSUP}) {
+    const std::string path =
+        dir + "/benign_" + std::to_string(benign) + ".bin";
+    ScopedFileOpHook hook([&](const FileOpEvent& e) {
+      return e.kind == FileOpEvent::kFsyncDir ? benign : 0;
+    });
+    EXPECT_TRUE(AtomicWriteFile(path, "content").ok());
+  }
+}
+
+TEST(EnsureDirectoryTest, CreatesNestedAndIsIdempotent) {
+  const std::string root = FileUtilTempDir();
+  const std::string nested = root + "/a/b/c";
+  ASSERT_TRUE(EnsureDirectory(nested).ok());
+  EXPECT_TRUE(IsDirectory(nested));
+  EXPECT_TRUE(EnsureDirectory(nested).ok());
+  // A file in the way is an error, not a silent success.
+  const std::string file_path = root + "/a/b/c/file";
+  ASSERT_TRUE(AtomicWriteFile(file_path, "x").ok());
+  EXPECT_FALSE(EnsureDirectory(file_path).ok());
+}
+
+TEST(RemoveFileTest, RemovesAndToleratesMissing) {
+  const std::string dir = FileUtilTempDir();
+  const std::string path = dir + "/victim";
+  ASSERT_TRUE(AtomicWriteFile(path, "x").ok());
+  EXPECT_TRUE(RemoveFile(path).ok());
+  EXPECT_FALSE(ReadFileToString(path).ok());
+  EXPECT_TRUE(RemoveFile(path).ok());  // ENOENT is not an error.
 }
 
 }  // namespace

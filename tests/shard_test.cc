@@ -1,0 +1,418 @@
+// tegra::shardbuild + store::ShardedCorpus: sharded construction, delta
+// overlays, compaction, O(delta) reload reuse and the bit-identity
+// guarantee against monolithic snapshots.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "common/thread_pool.h"
+#include "corpus/column_index.h"
+#include "shard/shard_builder.h"
+#include "store/corpus_loader.h"
+#include "store/corpus_manager.h"
+#include "store/manifest.h"
+#include "store/sharded_corpus.h"
+#include "store/snapshot_writer.h"
+#include "synth/corpus_gen.h"
+
+namespace tegra {
+namespace {
+
+std::vector<Table> MakeTables(size_t n, uint64_t seed) {
+  synth::TableGenerator gen(synth::CorpusProfile::kWeb, seed);
+  return gen.GenerateMany(n);
+}
+
+ColumnIndex BuildMonolithic(const std::vector<std::vector<Table>>& batches) {
+  ColumnIndex index;
+  for (const auto& batch : batches) {
+    for (const Table& t : batch) index.AddTable(t);
+  }
+  index.Finalize();
+  return index;
+}
+
+std::string NewTempDir(const std::string& tag) {
+  static int counter = 0;
+  const std::string dir = ::testing::TempDir() + "shard_test_" +
+                          std::to_string(::getpid()) + "_" + tag + "_" +
+                          std::to_string(counter++);
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+/// Builds `tables` into `dir` as a sharded corpus and returns build stats.
+shardbuild::ShardBuildStats BuildSharded(const std::string& dir,
+                                         const std::vector<Table>& tables,
+                                         uint32_t num_shards,
+                                         size_t budget_bytes) {
+  shardbuild::ShardBuildOptions options;
+  options.num_shards = num_shards;
+  options.memory_budget_bytes = budget_bytes;
+  shardbuild::ShardBuilder builder(dir, options);
+  for (const Table& t : tables) builder.AddTable(t);
+  auto stats = builder.Finish();
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+  return stats.ok() ? stats.value() : shardbuild::ShardBuildStats{};
+}
+
+std::shared_ptr<const store::ShardedCorpus> OpenSharded(
+    const std::string& dir,
+    const std::shared_ptr<const CorpusView>& previous = nullptr) {
+  auto opened =
+      store::ShardedCorpus::Open(store::ManifestPathFor(dir), previous);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return opened.ok() ? opened.value() : nullptr;
+}
+
+void FlipByte(const std::string& path, size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte ^= 0x5a;
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+// ---- construction ------------------------------------------------------
+
+TEST(ShardBuilderTest, DigestMatchesMonolithicSnapshot) {
+  const auto tables = MakeTables(150, 1);
+  const ColumnIndex mono = BuildMonolithic({tables});
+
+  const std::string dir = NewTempDir("digest");
+  const auto stats = BuildSharded(dir, tables, 4, 256 << 20);
+  EXPECT_EQ(stats.num_shards, 4u);
+  EXPECT_EQ(stats.total_columns, mono.TotalColumns());
+
+  const auto sharded = OpenSharded(dir);
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->NumValues(), mono.NumValues());
+  EXPECT_EQ(sharded->TotalColumns(), mono.TotalColumns());
+
+  const store::CorpusDigest a = store::ComputeCorpusDigest(mono);
+  const store::CorpusDigest b = store::ComputeCorpusDigest(*sharded);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.num_values, b.num_values);
+  EXPECT_EQ(a.total_columns, b.total_columns);
+}
+
+TEST(ShardBuilderTest, EveryStatisticMatchesTheHeapIndex) {
+  const auto tables = MakeTables(80, 7);
+  const ColumnIndex mono = BuildMonolithic({tables});
+  const std::string dir = NewTempDir("stats");
+  BuildSharded(dir, tables, 3, 256 << 20);
+  const auto sharded = OpenSharded(dir);
+  ASSERT_NE(sharded, nullptr);
+
+  // Exhaustive |C(s)| + Lookup check, and a sampled pairwise check of
+  // co-occurrence and union counts (ids differ between representations;
+  // the statistics must not).
+  std::vector<std::string> values;
+  mono.ForEachValue([&](ValueId id, const std::string& value) {
+    const ValueId sharded_id = sharded->Lookup(value);
+    ASSERT_NE(sharded_id, kInvalidValueId) << value;
+    EXPECT_EQ(sharded->ColumnCount(sharded_id), mono.ColumnCount(id));
+    EXPECT_EQ(sharded->ValueString(sharded_id), value);
+    values.push_back(value);
+  });
+  for (size_t i = 0; i < values.size(); i += 37) {
+    for (size_t j = i; j < values.size(); j += 101) {
+      const ValueId ma = mono.Lookup(values[i]);
+      const ValueId mb = mono.Lookup(values[j]);
+      const ValueId sa = sharded->Lookup(values[i]);
+      const ValueId sb = sharded->Lookup(values[j]);
+      EXPECT_EQ(sharded->CoOccurrenceCount(sa, sb),
+                mono.CoOccurrenceCount(ma, mb));
+      EXPECT_EQ(sharded->UnionCount(sa, sb), mono.UnionCount(ma, mb));
+    }
+  }
+  EXPECT_EQ(sharded->Lookup("value that never occurs anywhere"),
+            kInvalidValueId);
+}
+
+TEST(ShardBuilderTest, SpillingProducesByteIdenticalShards) {
+  const auto tables = MakeTables(60, 3);
+  const std::string big = NewTempDir("big_budget");
+  const std::string tiny = NewTempDir("tiny_budget");
+  BuildSharded(big, tables, 4, 256 << 20);
+  // Budget 0: every column triggers a spill — maximal external-memory path.
+  const auto stats = BuildSharded(tiny, tables, 4, 0);
+  EXPECT_GT(stats.spill_epochs, 1u);
+  EXPECT_GT(stats.run_files, 4u);
+
+  for (uint32_t s = 0; s < 4; ++s) {
+    const std::string name = store::ShardFileName(s, 4, 1);
+    auto a = ReadFileToString(big + "/" + name);
+    auto b = ReadFileToString(tiny + "/" + name);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value()) << name;
+  }
+  // Run files are cleaned up after a successful build.
+  const auto manifest = store::LoadManifest(tiny + "/MANIFEST.tgrs");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest->entries.size(), 4u);
+}
+
+TEST(ShardBuilderTest, EmptyCorpusBuildsAndOpens) {
+  const std::string dir = NewTempDir("empty");
+  BuildSharded(dir, {}, 2, 1 << 20);
+  const auto sharded = OpenSharded(dir);
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->NumValues(), 0u);
+  EXPECT_EQ(sharded->TotalColumns(), 0u);
+  EXPECT_EQ(sharded->Lookup("anything"), kInvalidValueId);
+  EXPECT_TRUE(sharded->Verify().ok());
+}
+
+// ---- overlays ----------------------------------------------------------
+
+TEST(ShardedOverlayTest, OverlayQueriesMatchMonolithicRebuild) {
+  const auto base_tables = MakeTables(120, 1);
+  const auto delta_tables = MakeTables(30, 2);
+  // Ground truth: everything ingested into one heap index, in order.
+  const ColumnIndex mono = BuildMonolithic({base_tables, delta_tables});
+
+  const std::string dir = NewTempDir("overlay");
+  BuildSharded(dir, base_tables, 4, 256 << 20);
+  const ColumnIndex delta = BuildMonolithic({delta_tables});
+  ASSERT_TRUE(shardbuild::AppendOverlay(dir, delta).ok());
+
+  const auto sharded = OpenSharded(dir);
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->num_overlays(), 1u);
+  EXPECT_EQ(sharded->NumValues(), mono.NumValues());
+  EXPECT_EQ(sharded->TotalColumns(), mono.TotalColumns());
+
+  const store::CorpusDigest a = store::ComputeCorpusDigest(mono);
+  const store::CorpusDigest b = store::ComputeCorpusDigest(*sharded);
+  EXPECT_EQ(a.digest, b.digest);
+
+  // Values that exist only in the delta must resolve; values in both parts
+  // must sum their counts exactly as the monolithic rebuild does.
+  size_t overlay_only = 0;
+  size_t in_both = 0;
+  mono.ForEachValue([&](ValueId id, const std::string& value) {
+    const ValueId sid = sharded->Lookup(value);
+    ASSERT_NE(sid, kInvalidValueId) << value;
+    EXPECT_EQ(sharded->ColumnCount(sid), mono.ColumnCount(id)) << value;
+  });
+  const ColumnIndex base_only = BuildMonolithic({base_tables});
+  delta.ForEachValue([&](ValueId, const std::string& value) {
+    if (base_only.Lookup(value) == kInvalidValueId) {
+      ++overlay_only;
+    } else {
+      ++in_both;
+    }
+  });
+  EXPECT_GT(overlay_only, 0u);
+  EXPECT_GT(in_both, 0u);
+}
+
+TEST(ShardedOverlayTest, SecondOverlayStacksAndStillMatches) {
+  const auto base_tables = MakeTables(90, 1);
+  const auto delta1 = MakeTables(20, 2);
+  const auto delta2 = MakeTables(20, 5);
+  const ColumnIndex mono = BuildMonolithic({base_tables, delta1, delta2});
+
+  const std::string dir = NewTempDir("overlay2");
+  BuildSharded(dir, base_tables, 4, 256 << 20);
+  ASSERT_TRUE(shardbuild::AppendOverlay(dir, BuildMonolithic({delta1})).ok());
+  ASSERT_TRUE(shardbuild::AppendOverlay(dir, BuildMonolithic({delta2})).ok());
+
+  const auto sharded = OpenSharded(dir);
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->num_overlays(), 2u);
+  EXPECT_EQ(store::ComputeCorpusDigest(*sharded).digest,
+            store::ComputeCorpusDigest(mono).digest);
+}
+
+TEST(ShardedOverlayTest, CompactFoldsOverlaysAndPrunesOldFiles) {
+  const auto base_tables = MakeTables(100, 1);
+  const auto delta_tables = MakeTables(25, 2);
+  const std::string dir = NewTempDir("compact");
+  BuildSharded(dir, base_tables, 4, 256 << 20);
+  ASSERT_TRUE(
+      shardbuild::AppendOverlay(dir, BuildMonolithic({delta_tables})).ok());
+
+  const auto before = OpenSharded(dir);
+  ASSERT_NE(before, nullptr);
+  const uint64_t digest_before = store::ComputeCorpusDigest(*before).digest;
+  std::vector<std::string> old_files;
+  for (const auto& e : before->manifest().entries) old_files.push_back(e.name);
+
+  ThreadPool pool(2);
+  ASSERT_TRUE(shardbuild::Compact(dir, &pool).ok());
+
+  const auto after = OpenSharded(dir);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->num_overlays(), 0u);
+  EXPECT_EQ(after->manifest().sequence, before->manifest().sequence + 1);
+  EXPECT_EQ(store::ComputeCorpusDigest(*after).digest, digest_before);
+  EXPECT_TRUE(after->Verify().ok());
+  for (const std::string& name : old_files) {
+    EXPECT_FALSE(ReadFileToString(dir + "/" + name).ok()) << name;
+  }
+  // Compacting an overlay-free directory is a no-op.
+  ASSERT_TRUE(shardbuild::Compact(dir, &pool).ok());
+  EXPECT_EQ(OpenSharded(dir)->manifest().sequence,
+            after->manifest().sequence);
+}
+
+// ---- O(delta) reload ----------------------------------------------------
+
+TEST(ShardedReloadTest, UnchangedPartsAreReusedAcrossOpen) {
+  const auto tables = MakeTables(80, 1);
+  const std::string dir = NewTempDir("reuse");
+  BuildSharded(dir, tables, 4, 256 << 20);
+
+  const auto gen1 = OpenSharded(dir);
+  ASSERT_NE(gen1, nullptr);
+  EXPECT_EQ(gen1->reused_parts(), 0u);
+
+  // Overlay-only change: all four base shard mappings must be adopted.
+  ASSERT_TRUE(
+      shardbuild::AppendOverlay(dir, BuildMonolithic({MakeTables(10, 9)}))
+          .ok());
+  const auto gen2 = OpenSharded(dir, gen1);
+  ASSERT_NE(gen2, nullptr);
+  EXPECT_EQ(gen2->reused_parts(), 4u);
+  EXPECT_EQ(gen2->num_overlays(), 1u);
+
+  // No change at all: every part (4 shards + 1 overlay) is adopted.
+  const auto gen3 = OpenSharded(dir, gen2);
+  ASSERT_NE(gen3, nullptr);
+  EXPECT_EQ(gen3->reused_parts(), 5u);
+
+  // Compaction rewrites the shards: nothing can be reused.
+  ASSERT_TRUE(shardbuild::Compact(dir).ok());
+  const auto gen4 = OpenSharded(dir, gen3);
+  ASSERT_NE(gen4, nullptr);
+  EXPECT_EQ(gen4->reused_parts(), 0u);
+}
+
+TEST(ShardedReloadTest, CorpusManagerReloadReusesMappings) {
+  const auto tables = MakeTables(60, 1);
+  const std::string dir = NewTempDir("manager");
+  BuildSharded(dir, tables, 2, 256 << 20);
+
+  auto loaded = store::OpenCorpus(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  store::CorpusManager manager(loaded->view, dir, {});
+  ASSERT_TRUE(
+      shardbuild::AppendOverlay(dir, BuildMonolithic({MakeTables(8, 4)}))
+          .ok());
+  ASSERT_TRUE(manager.Reload().ok());
+  const auto* sharded =
+      dynamic_cast<const store::ShardedCorpus*>(manager.Current().get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->reused_parts(), 2u);
+  EXPECT_EQ(sharded->num_overlays(), 1u);
+  EXPECT_EQ(manager.Generation(), 2u);
+}
+
+// ---- corruption --------------------------------------------------------
+
+TEST(ShardedCorruptionTest, ManifestByteFlipIsDetectedAtOpen) {
+  const auto tables = MakeTables(40, 1);
+  const std::string dir = NewTempDir("corrupt_manifest");
+  BuildSharded(dir, tables, 2, 256 << 20);
+  FlipByte(dir + "/MANIFEST.tgrs", 24);
+  auto opened = store::ShardedCorpus::Open(dir + "/MANIFEST.tgrs");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ShardedCorruptionTest, ShardBodyByteFlipIsDetectedByVerify) {
+  const auto tables = MakeTables(40, 1);
+  const std::string dir = NewTempDir("corrupt_shard");
+  BuildSharded(dir, tables, 2, 256 << 20);
+  const std::string shard_path = dir + "/" + store::ShardFileName(0, 2, 1);
+  auto size = FileSize(shard_path);
+  ASSERT_TRUE(size.ok());
+  FlipByte(shard_path, size.value() / 2);  // Past the header: deep damage.
+  const Status verified = store::VerifyCorpusFile(dir);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_EQ(verified.code(), StatusCode::kCorruption);
+}
+
+TEST(ShardedCorruptionTest, TruncatedOverlayFailsIdentityCheck) {
+  const auto tables = MakeTables(40, 1);
+  const std::string dir = NewTempDir("corrupt_overlay");
+  BuildSharded(dir, tables, 2, 256 << 20);
+  ASSERT_TRUE(
+      shardbuild::AppendOverlay(dir, BuildMonolithic({MakeTables(6, 2)}))
+          .ok());
+  const auto manifest = store::LoadManifest(dir + "/MANIFEST.tgrs");
+  ASSERT_TRUE(manifest.ok());
+  const std::string overlay_path = dir + "/" + manifest->entries.back().name;
+  auto bytes = ReadFileToString(overlay_path);
+  ASSERT_TRUE(bytes.ok());
+  std::ofstream out(overlay_path, std::ios::binary | std::ios::trunc);
+  out.write(bytes->data(), static_cast<std::streamsize>(bytes->size() / 2));
+  out.close();
+  auto opened = store::ShardedCorpus::Open(dir + "/MANIFEST.tgrs");
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+// ---- manifest codec ----------------------------------------------------
+
+TEST(ManifestTest, RoundTripsAndRejectsTampering) {
+  store::ShardManifest manifest;
+  manifest.num_shards = 2;
+  manifest.sequence = 7;
+  manifest.total_base_columns = 123;
+  for (uint32_t s = 0; s < 2; ++s) {
+    store::ManifestEntry e;
+    e.kind = store::ManifestEntry::kShard;
+    e.name = store::ShardFileName(s, 2, 7);
+    e.file_bytes = 1000 + s;
+    e.header_crc = 0xabc0 + s;
+    e.num_values = 50 + s;
+    e.num_columns = 123;
+    manifest.entries.push_back(e);
+  }
+  store::ManifestEntry overlay;
+  overlay.kind = store::ManifestEntry::kOverlay;
+  overlay.name = store::OverlayFileName(0, 8);
+  overlay.file_bytes = 222;
+  overlay.header_crc = 0xdead;
+  overlay.num_values = 9;
+  overlay.num_columns = 4;
+  manifest.entries.push_back(overlay);
+  manifest.sequence = 8;
+
+  const std::string encoded = store::EncodeManifest(manifest);
+  auto decoded = store::DecodeManifest(encoded, "test");
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_shards, 2u);
+  EXPECT_EQ(decoded->sequence, 8u);
+  EXPECT_EQ(decoded->total_base_columns, 123u);
+  ASSERT_EQ(decoded->entries.size(), 3u);
+  EXPECT_EQ(decoded->num_overlays(), 1u);
+  EXPECT_EQ(decoded->TotalColumns(), 127u);
+  EXPECT_EQ(decoded->entries[2].name, overlay.name);
+
+  // Any flipped byte must be caught by the trailing CRC.
+  for (size_t off = 0; off < encoded.size(); off += 7) {
+    std::string tampered = encoded;
+    tampered[off] = static_cast<char>(tampered[off] ^ 0x40);
+    EXPECT_FALSE(store::DecodeManifest(tampered, "test").ok()) << off;
+  }
+  // Truncation too.
+  EXPECT_FALSE(
+      store::DecodeManifest(encoded.substr(0, encoded.size() - 5), "test")
+          .ok());
+}
+
+}  // namespace
+}  // namespace tegra
