@@ -1,0 +1,164 @@
+// bench_health_overhead — answers "what does the health layer cost the
+// serving path?": extraction throughput with the full recorder pipeline
+// (metrics snapshot -> time-series ingest -> SLO evaluation -> watchdog
+// scan, plus per-task heartbeat stamps) vs. --health-interval-ms=0. The
+// heartbeat stamps are two relaxed atomic stores per task and the recorder
+// runs off-thread once a second, so the budget documented in
+// docs/OBSERVABILITY.md is < 2% throughput delta.
+//
+//   ./bench_health_overhead [--seconds S] [--clients N] [--interval-ms MS]
+//                           [--rounds R]
+//
+// Rounds alternate baseline / recorded so thermal and cache drift hit both
+// arms equally; the report shows per-round and aggregate throughput.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/corpus_stats.h"
+#include "health/monitor.h"
+#include "service/extraction_service.h"
+#include "synth/corpus_gen.h"
+#include "trace/trace.h"
+#include "corpus/column_index.h"
+
+namespace {
+
+using tegra::serve::ExtractionRequest;
+using tegra::serve::ExtractionService;
+using tegra::serve::ServiceOptions;
+
+struct BenchConfig {
+  double seconds_per_round = 1.5;
+  int clients = 2;
+  double interval_ms = 1000.0;
+  int rounds = 3;  // Per arm; total rounds = 2 * rounds (alternating).
+};
+
+std::vector<std::string> MakeList(size_t rotate) {
+  static const std::vector<std::string> base = {
+      "Boston Massachusetts 645,966",    "Worcester Massachusetts 182,544",
+      "Providence Rhode Island 178,042", "Hartford Connecticut 124,775",
+      "Springfield Massachusetts 153,060", "Bridgeport Connecticut 144,229",
+      "New Haven Connecticut 129,779",   "Stamford Connecticut 122,643",
+  };
+  std::vector<std::string> lines;
+  for (size_t j = 0; j < base.size(); ++j) {
+    lines.push_back(base[(rotate + j) % base.size()]);
+  }
+  return lines;
+}
+
+/// One timed round of closed-loop extraction load; returns requests/second.
+double RunRound(ExtractionService* service, const BenchConfig& config) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        ExtractionRequest request;
+        request.lines = MakeList((static_cast<size_t>(c) * 131 + i++) % 8);
+        request.bypass_cache = true;  // Measure extraction, not the cache.
+        const auto response = service->SubmitAndWait(std::move(request));
+        if (response.ok()) completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(config.seconds_per_round));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return static_cast<double>(completed.load()) / elapsed;
+}
+
+double Mean(const std::vector<double>& v) {
+  return v.empty() ? 0.0
+                   : std::accumulate(v.begin(), v.end(), 0.0) /
+                         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0) {
+      config.seconds_per_round = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0) {
+      config.clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0) {
+      config.interval_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--rounds") == 0) {
+      config.rounds = std::atoi(argv[++i]);
+    }
+  }
+
+  std::fprintf(stderr, "building corpus...\n");
+  tegra::ColumnIndex index = tegra::synth::BuildBackgroundIndex(
+      tegra::synth::CorpusProfile::kWeb, /*num_tables=*/2000, /*seed=*/11);
+  tegra::CorpusStats stats(&index);
+  tegra::TegraExtractor extractor(&stats);
+
+  // Both arms run the same service construction: heartbeats registered,
+  // ScopedWork stamping every task. The treatment arm adds the recorder
+  // thread; the baseline leaves it stopped (interval 0, the daemon's
+  // --health-interval-ms=0 shape). This isolates exactly what the flag
+  // toggles in production.
+  tegra::MetricsRegistry registry;
+  tegra::trace::Tracer::Global().BindMetrics(&registry);
+
+  tegra::health::HealthOptions health_options;
+  health_options.interval_seconds = config.interval_ms / 1e3;
+  tegra::health::HealthMonitor monitor(&registry, std::move(health_options));
+
+  ServiceOptions service_options;
+  service_options.num_workers = 2;
+  service_options.result_cache_capacity = 0;
+  service_options.heartbeats = monitor.heartbeats();
+  ExtractionService service(&extractor, service_options, &registry);
+
+  // Warm-up: populate the co-occurrence cache so round 1 is not special.
+  RunRound(&service, config);
+
+  std::vector<double> baseline, recorded;
+  std::printf("round  arm        req/s\n");
+  for (int round = 0; round < config.rounds; ++round) {
+    monitor.Stop();
+    const double off = RunRound(&service, config);
+    baseline.push_back(off);
+    std::printf("%-6d baseline  %8.1f\n", round, off);
+
+    monitor.Start();
+    const double on = RunRound(&service, config);
+    recorded.push_back(on);
+    std::printf("%-6d recorded  %8.1f\n", round, on);
+    std::fflush(stdout);
+  }
+  monitor.Stop();
+
+  const double base_mean = Mean(baseline);
+  const double recorded_mean = Mean(recorded);
+  const double delta_pct =
+      base_mean > 0 ? 100.0 * (base_mean - recorded_mean) / base_mean : 0.0;
+  std::printf(
+      "\nbaseline %.1f req/s | recorder @ %.0f ms %.1f req/s | "
+      "delta %.2f%% | recorder ticks %llu\n",
+      base_mean, config.interval_ms, recorded_mean, delta_pct,
+      static_cast<unsigned long long>(monitor.store()->ticks()));
+  std::printf("budget: < 2%% throughput delta (docs/OBSERVABILITY.md)\n");
+  tegra::trace::Tracer::Global().BindMetrics(nullptr);
+  return 0;
+}

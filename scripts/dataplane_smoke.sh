@@ -3,9 +3,14 @@
 # short open-loop tegra_loadgen sweep against POST /v1/extract, and require
 #   (a) a non-zero count of successful (HTTP 2xx, "ok":true) extractions,
 #   (b) zero transport errors (saturation must surface as 503, not resets),
-#   (c) a clean daemon shutdown via {"cmd":"quit"} (exit code 0).
-# The latency curves land in BENCH_dataplane.json next to the build dir so
-# CI can archive them.
+#   (c) the health recorder saw the traffic: /timeseriesz carries a
+#       non-empty service.requests_total series and /alertz parses,
+#   (d) an injected worker stall trips the watchdog exactly once, with a
+#       folded stack archived as STALL_stack.folded,
+#   (e) a clean daemon shutdown via {"cmd":"quit"} (exit code 0).
+# The latency curves land in BENCH_dataplane.json, the client-side
+# per-second series in BENCH_dataplane_series.json, next to the build dir
+# so CI can archive them.
 #
 # Usage: scripts/dataplane_smoke.sh [build-dir]
 
@@ -13,6 +18,8 @@ set -euo pipefail
 
 BUILD="${1:-build}"
 BENCH="$BUILD/BENCH_dataplane.json"
+SERIES="$BUILD/BENCH_dataplane_series.json"
+STALL_STACK="$BUILD/STALL_stack.folded"
 WORK="$(mktemp -d)"
 SERVE_PID=""
 cleanup() {
@@ -23,38 +30,44 @@ trap cleanup EXIT
 
 mkfifo "$WORK/stdin"
 "$BUILD/tools/tegra_serve" --build-corpus web:300:1 --port 0 --workers 4 \
+  --admin-port 0 --health-interval-ms 200 --stall-threshold-ms 500 \
   < "$WORK/stdin" > "$WORK/stdout.ndjson" 2> "$WORK/stderr.log" &
 SERVE_PID=$!
 # Hold the fifo's write end open so the daemon's stdin never sees EOF
 # before we send quit.
 exec 9> "$WORK/stdin"
 
-# Wait for the {"event":"data_ready","port":N} announcement.
-PORT=""
-for _ in $(seq 1 150); do
-  PORT=$(python3 -c '
+# Wait for the data_ready / admin_ready announcements.
+read_port() {
+  python3 -c '
 import json, sys
 try:
     for line in open(sys.argv[1]):
         obj = json.loads(line)
-        if obj.get("event") == "data_ready":
+        if obj.get("event") == sys.argv[2]:
             print(obj["port"])
             break
 except (FileNotFoundError, ValueError):
     pass
-' "$WORK/stdout.ndjson")
-  [[ -n "$PORT" ]] && break
+' "$WORK/stdout.ndjson" "$1"
+}
+PORT=""
+ADMIN_PORT=""
+for _ in $(seq 1 150); do
+  PORT=$(read_port data_ready)
+  ADMIN_PORT=$(read_port admin_ready)
+  [[ -n "$PORT" && -n "$ADMIN_PORT" ]] && break
   sleep 0.2
 done
-if [[ -z "$PORT" ]]; then
-  echo "FAIL: no data_ready event from tegra_serve" >&2
+if [[ -z "$PORT" || -z "$ADMIN_PORT" ]]; then
+  echo "FAIL: no ready events from tegra_serve" >&2
   cat "$WORK/stderr.log" >&2
   exit 1
 fi
-echo "data plane up on port $PORT"
+echo "data plane up on port $PORT, admin on $ADMIN_PORT"
 
 "$BUILD/tools/tegra_loadgen" --port "$PORT" --qps 50,200 --duration-s 2 \
-  --connections 8 --out "$BENCH"
+  --connections 8 --out "$BENCH" --series-out "$SERIES"
 
 python3 -c '
 import json, sys
@@ -66,6 +79,78 @@ assert errors == 0, "%d transport errors (expected explicit 503s)" % errors
 print("smoke OK: %d successful extractions, p99 %.2fms at %d qps"
       % (ok, bench["steps"][-1]["p99_ms"], bench["steps"][-1]["offered_qps"]))
 ' "$BENCH"
+
+# The client-side per-second series must exist and cover the sweep.
+python3 -c '
+import json, sys
+series = json.load(open(sys.argv[1]))
+seconds = series["seconds"]
+assert seconds, "loadgen --series-out produced an empty series"
+sent = sum(s["sent"] for s in seconds)
+assert sent > 0, "series recorded no arrivals"
+print("series OK: %d seconds, %d arrivals" % (len(seconds), sent))
+' "$SERIES"
+
+# Health layer under load: the recorder must have folded the served traffic
+# into /timeseriesz, and /alertz must parse.
+python3 -c '
+import json, sys, urllib.request
+admin = sys.argv[1]
+def get(path):
+    url = "http://127.0.0.1:%s%s" % (admin, path)
+    with urllib.request.urlopen(url, timeout=5) as r:
+        return json.loads(r.read().decode())
+index = get("/timeseriesz?format=json")
+assert index["ticks"] > 0, "health recorder never ticked"
+assert len(index["series"]) > 0, "no time series registered"
+req = get("/timeseriesz?metric=service.requests_total&format=json")
+total = sum(req["values"])
+assert total > 0, "served traffic missing from service.requests_total series"
+alerts = get("/alertz?format=json")
+assert isinstance(alerts["alerts"], list), "/alertz json missing alerts list"
+print("health OK: %d ticks, %d series, %.0f requests recorded, %d slos"
+      % (index["ticks"], len(index["series"]), total, len(alerts["alerts"])))
+' "$ADMIN_PORT"
+
+# Inject a worker stall (sleep > --stall-threshold-ms) and require the
+# watchdog to trip exactly once, then archive the captured folded stack.
+echo '{"id":900,"cmd":"inject_stall","ms":1200}' >&9
+STALLS=""
+for _ in $(seq 1 100); do
+  STALLS=$(python3 -c '
+import json, sys, urllib.request
+url = "http://127.0.0.1:%s/varz" % sys.argv[1]
+with urllib.request.urlopen(url, timeout=5) as r:
+    varz = json.loads(r.read().decode())
+n = int(varz["counters"].get("health.stalls_total", 0))
+print(n if n > 0 else "")
+' "$ADMIN_PORT")
+  [[ -n "$STALLS" ]] && break
+  sleep 0.2
+done
+if [[ "$STALLS" != "1" ]]; then
+  echo "FAIL: watchdog stalls_total=${STALLS:-0}, expected exactly 1" >&2
+  exit 1
+fi
+# Let the stall episode drain; the edge trigger must not double-count it.
+sleep 1
+python3 -c '
+import json, sys, urllib.request
+admin = sys.argv[1]
+def get(path):
+    url = "http://127.0.0.1:%s%s" % (admin, path)
+    with urllib.request.urlopen(url, timeout=5) as r:
+        return json.loads(r.read().decode())
+varz = get("/varz")
+stalls = int(varz["counters"].get("health.stalls_total", 0))
+assert stalls == 1, "watchdog double-counted one stall episode: %d" % stalls
+stall = get("/alertz?format=json")["watchdog"]["last_stall"]
+stack = stall["stack"]
+assert stack and ";" in stack, "stall capture has no folded stack: %r" % stack
+open(sys.argv[2], "w").write(stack + "\n")
+print("watchdog OK: one stall on %s, stack archived (%d frames)"
+      % (stall["thread"], stack.count(";") + 1))
+' "$ADMIN_PORT" "$STALL_STACK"
 
 # Clean shutdown: quit drains in-flight work and must exit 0.
 echo '{"cmd":"quit"}' >&9

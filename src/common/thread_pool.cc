@@ -18,6 +18,21 @@ std::shared_ptr<const std::function<void(size_t)>> LoadHook() {
   return g_thread_start_hook;
 }
 
+// Task begin/end hooks share the same publication scheme. They are loaded
+// once per task (not once per worker) so an install after pools spawned
+// still takes effect — the health watchdog arms after the extractor pools
+// already exist.
+struct TaskHooks {
+  std::function<void(size_t)> begin;
+  std::function<void(size_t)> end;
+};
+std::shared_ptr<const TaskHooks> g_task_hooks;
+
+std::shared_ptr<const TaskHooks> LoadTaskHooks() {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  return g_task_hooks;
+}
+
 }  // namespace
 
 void ThreadPool::SetThreadStartHook(std::function<void(size_t)> hook) {
@@ -27,6 +42,19 @@ void ThreadPool::SetThreadStartHook(std::function<void(size_t)> hook) {
         std::make_shared<const std::function<void(size_t)>>(std::move(hook));
   } else {
     g_thread_start_hook.reset();
+  }
+}
+
+void ThreadPool::SetTaskHooks(std::function<void(size_t)> begin,
+                              std::function<void(size_t)> end) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  if (begin || end) {
+    auto hooks = std::make_shared<TaskHooks>();
+    hooks->begin = std::move(begin);
+    hooks->end = std::move(end);
+    g_task_hooks = std::move(hooks);
+  } else {
+    g_task_hooks.reset();
   }
 }
 
@@ -67,7 +95,10 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
       task = std::move(queue_.front());
       queue_.pop();
     }
+    const auto hooks = LoadTaskHooks();
+    if (hooks && hooks->begin) hooks->begin(worker_index);
     task();
+    if (hooks && hooks->end) hooks->end(worker_index);
   }
 }
 

@@ -83,6 +83,16 @@ class ThreadPool {
   /// below tegra_prof in the link order.
   static void SetThreadStartHook(std::function<void(size_t worker_index)> hook);
 
+  /// \brief Process-wide hooks run on the worker thread immediately before
+  /// and after every task it executes. Used by the health layer to stamp
+  /// per-worker heartbeats (busy-since on begin, cleared on end) so a
+  /// watchdog can tell a stuck task from an idle worker — again a function
+  /// hook because tegra_common sits below tegra_health in the link order.
+  /// Pass two empty functions to uninstall. Hooks must be cheap and must
+  /// not throw.
+  static void SetTaskHooks(std::function<void(size_t worker_index)> begin,
+                           std::function<void(size_t worker_index)> end);
+
  private:
   void WorkerLoop(size_t worker_index);
 

@@ -1,0 +1,117 @@
+#include "health/heartbeat.h"
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <chrono>
+
+namespace tegra {
+namespace health {
+
+namespace {
+
+int GetTid() { return static_cast<int>(::syscall(SYS_gettid)); }
+
+// Releases a pool thread's slot at thread exit (per-extraction ThreadPools
+// are created and joined per request, so their threads come and go).
+struct PoolSlotHandle {
+  HeartbeatRegistry* registry = nullptr;
+  Heartbeat* heartbeat = nullptr;
+  ~PoolSlotHandle() {
+    if (registry != nullptr && heartbeat != nullptr) {
+      registry->Release(heartbeat);
+    }
+  }
+};
+thread_local PoolSlotHandle t_pool_slot;
+
+}  // namespace
+
+uint64_t Heartbeat::NowMicros() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  return us == 0 ? 1 : us;
+}
+
+HeartbeatRegistry::HeartbeatRegistry() : slots_(kMaxSlots) {}
+
+HeartbeatRegistry::~HeartbeatRegistry() = default;
+
+Heartbeat* HeartbeatRegistry::Register(const std::string& name,
+                                       ThreadKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Heartbeat& slot : slots_) {
+    if (slot.claimed_.load(std::memory_order_relaxed)) continue;
+    slot.kind_ = kind;
+    slot.tid_ = GetTid();
+    slot.name_ = name;
+    slot.label_.store(nullptr, std::memory_order_relaxed);
+    slot.busy_since_us_.store(0, std::memory_order_relaxed);
+    slot.reported_marker_.store(0, std::memory_order_relaxed);
+    slot.last_beat_us_.store(Heartbeat::NowMicros(),
+                             std::memory_order_relaxed);
+    slot.claimed_.store(true, std::memory_order_release);
+    return &slot;
+  }
+  return nullptr;  // full: the thread simply goes unwatched
+}
+
+void HeartbeatRegistry::Release(Heartbeat* heartbeat) {
+  if (heartbeat == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  heartbeat->busy_since_us_.store(0, std::memory_order_relaxed);
+  heartbeat->claimed_.store(false, std::memory_order_release);
+}
+
+std::vector<HeartbeatSnapshot> HeartbeatRegistry::Snapshot() const {
+  std::vector<HeartbeatSnapshot> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Heartbeat& slot : slots_) {
+    if (!slot.claimed_.load(std::memory_order_acquire)) continue;
+    HeartbeatSnapshot snap;
+    snap.name = slot.name_;
+    snap.kind = slot.kind_;
+    snap.tid = slot.tid_;
+    snap.label = slot.label_.load(std::memory_order_relaxed);
+    snap.last_beat_us = slot.last_beat_us_.load(std::memory_order_relaxed);
+    snap.busy_since_us = slot.busy_since_us_.load(std::memory_order_acquire);
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+void HeartbeatRegistry::ForEach(const std::function<void(Heartbeat&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Heartbeat& slot : slots_) {
+    if (!slot.claimed_.load(std::memory_order_acquire)) continue;
+    fn(slot);
+  }
+}
+
+size_t HeartbeatRegistry::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const Heartbeat& slot : slots_) {
+    if (slot.claimed_.load(std::memory_order_relaxed)) ++n;
+  }
+  return n;
+}
+
+Heartbeat* HeartbeatRegistry::PoolThreadHeartbeat() {
+  // Revalidate against *this* registry: tests construct several registries
+  // in one process, and a pool thread may outlive the one it first met.
+  if (t_pool_slot.registry != this) {
+    if (t_pool_slot.registry != nullptr && t_pool_slot.heartbeat != nullptr) {
+      t_pool_slot.registry->Release(t_pool_slot.heartbeat);
+      t_pool_slot.heartbeat = nullptr;
+    }
+    t_pool_slot.registry = this;
+    t_pool_slot.heartbeat = Register("pool-" + std::to_string(GetTid()),
+                                     ThreadKind::kWorker);
+  }
+  return t_pool_slot.heartbeat;
+}
+
+}  // namespace health
+}  // namespace tegra

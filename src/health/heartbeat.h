@@ -1,0 +1,146 @@
+// Heartbeat stamps for the threads that must never silently stall: service
+// extraction workers, per-extraction ThreadPool workers, the net event loop,
+// and the reloader (signal) thread.
+//
+// Two liveness models, because "stuck" means different things:
+//  * kWorker — threads that alternate between idle (blocked on a queue,
+//    harmless) and running one task. They stamp busy_since at task start and
+//    clear it at task end; the watchdog alarms only when one *task* runs
+//    longer than the stall threshold, so an idle worker never false-alarms.
+//  * kLoop — threads that must keep iterating (the net event loop wakes at
+//    least every timer tick). They stamp last_beat every iteration; the
+//    watchdog alarms when the beat goes silent.
+//
+// The stamping paths are single relaxed atomic stores — cheap enough for a
+// per-request (worker) or per-100ms (loop) cadence. Registration and
+// snapshotting take a mutex; slots are fixed-capacity and recycled when a
+// thread releases its handle (per-extraction ThreadPools come and go).
+
+#ifndef TEGRA_HEALTH_HEARTBEAT_H_
+#define TEGRA_HEALTH_HEARTBEAT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tegra {
+namespace health {
+
+enum class ThreadKind {
+  kWorker,  ///< busy/idle: alarm when one task exceeds the stall threshold
+  kLoop,    ///< must keep beating: alarm when the beat goes silent
+};
+
+/// \brief One thread's liveness slot. Obtained from HeartbeatRegistry;
+/// stamping methods are lock-free and safe from the owning thread only.
+class Heartbeat {
+ public:
+  /// Loop threads: "I completed another iteration".
+  void Beat() { last_beat_us_.store(NowMicros(), std::memory_order_relaxed); }
+
+  /// Worker threads: one unit of work starts now. `label` must be a string
+  /// literal (or otherwise outlive the registry) — it is stored by pointer
+  /// so the stamp stays a pair of relaxed atomic stores.
+  void BeginWork(const char* label) {
+    label_.store(label, std::memory_order_relaxed);
+    busy_since_us_.store(NowMicros(), std::memory_order_release);
+  }
+
+  /// Worker threads: the unit of work finished (however it ended).
+  void EndWork() {
+    last_beat_us_.store(NowMicros(), std::memory_order_relaxed);
+    busy_since_us_.store(0, std::memory_order_release);
+  }
+
+  /// Monotonic microseconds (steady clock); 0 is never returned.
+  static uint64_t NowMicros();
+
+ private:
+  friend class HeartbeatRegistry;
+  friend class Watchdog;
+
+  std::atomic<bool> claimed_{false};
+  ThreadKind kind_ = ThreadKind::kWorker;
+  int tid_ = 0;
+  std::string name_;
+  std::atomic<const char*> label_{nullptr};
+  std::atomic<uint64_t> last_beat_us_{0};
+  std::atomic<uint64_t> busy_since_us_{0};  // 0 = idle
+  // Watchdog bookkeeping: the busy_since (worker) or last_beat (loop) value
+  // already reported as a stall, so each stall episode fires exactly once.
+  std::atomic<uint64_t> reported_marker_{0};
+};
+
+/// \brief Point-in-time view of one heartbeat, for /statusz and tests.
+struct HeartbeatSnapshot {
+  std::string name;
+  ThreadKind kind = ThreadKind::kWorker;
+  int tid = 0;
+  const char* label = nullptr;    ///< current work label (workers), may be null
+  uint64_t last_beat_us = 0;
+  uint64_t busy_since_us = 0;     ///< 0 = idle
+};
+
+/// \brief Fixed-capacity registry of heartbeats. Register/Release/Snapshot
+/// are mutex-protected (rare); the stamps themselves never touch the mutex.
+class HeartbeatRegistry {
+ public:
+  static constexpr size_t kMaxSlots = 128;
+
+  HeartbeatRegistry();
+  HeartbeatRegistry(const HeartbeatRegistry&) = delete;
+  HeartbeatRegistry& operator=(const HeartbeatRegistry&) = delete;
+  ~HeartbeatRegistry();
+
+  /// Claims a slot for the *calling* thread (the slot records its tid so the
+  /// watchdog can capture its stack). Returns nullptr when full. Loop slots
+  /// start with last_beat = now so a freshly registered loop isn't instantly
+  /// overdue.
+  Heartbeat* Register(const std::string& name, ThreadKind kind);
+
+  /// Returns the slot to the free pool. The caller must be done stamping.
+  void Release(Heartbeat* heartbeat);
+
+  std::vector<HeartbeatSnapshot> Snapshot() const;
+  size_t active() const;
+
+  /// Runs `fn` over every claimed slot under the registry mutex. Used by the
+  /// watchdog, which needs the live slots (for the per-episode reported
+  /// marker), not copies. `fn` must not call back into the registry.
+  void ForEach(const std::function<void(Heartbeat&)>& fn);
+
+  /// Per-thread heartbeat for ephemeral ThreadPool workers: registers the
+  /// calling thread against this registry on first use and releases the
+  /// slot automatically at thread exit. Returns nullptr when the registry
+  /// is full. Intended to be called from ThreadPool task hooks.
+  Heartbeat* PoolThreadHeartbeat();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Heartbeat> slots_;  // kMaxSlots, never resized
+};
+
+/// \brief RAII BeginWork/EndWork. Tolerates a null heartbeat.
+class ScopedWork {
+ public:
+  ScopedWork(Heartbeat* heartbeat, const char* label) : heartbeat_(heartbeat) {
+    if (heartbeat_ != nullptr) heartbeat_->BeginWork(label);
+  }
+  ~ScopedWork() {
+    if (heartbeat_ != nullptr) heartbeat_->EndWork();
+  }
+
+  ScopedWork(const ScopedWork&) = delete;
+  ScopedWork& operator=(const ScopedWork&) = delete;
+
+ private:
+  Heartbeat* heartbeat_;
+};
+
+}  // namespace health
+}  // namespace tegra
+
+#endif  // TEGRA_HEALTH_HEARTBEAT_H_

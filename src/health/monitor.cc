@@ -1,0 +1,93 @@
+#include "health/monitor.h"
+
+#include <chrono>
+#include <limits>
+
+#include "prof/profiler.h"
+
+namespace tegra {
+namespace health {
+
+double HealthMonitor::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+// The recorder cadence IS the store's sample spacing: keep the two in sync
+// so window math (SumOver, sparkline axes) reflects the real interval.
+HealthOptions Normalize(HealthOptions options) {
+  if (options.interval_seconds > 0) {
+    options.timeseries.interval_seconds = options.interval_seconds;
+  }
+  return options;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(MetricsRegistry* registry, HealthOptions options)
+    : registry_(registry),
+      options_(Normalize(std::move(options))),
+      store_(options_.timeseries),
+      slo_(options_.slos.empty() ? SloEngine::DefaultSpecs()
+                                 : options_.slos),
+      watchdog_(&heartbeats_, registry, options_.watchdog),
+      alerts_firing_gauge_(registry->GetGauge("health.alerts_firing")),
+      alerts_pending_gauge_(registry->GetGauge("health.alerts_pending")),
+      ticks_counter_(registry->GetCounter("health.recorder_ticks_total")) {}
+
+HealthMonitor::~HealthMonitor() { Stop(); }
+
+void HealthMonitor::Start() {
+  if (options_.interval_seconds <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recorder_.joinable()) return;
+  stop_ = false;
+  recorder_ = std::thread([this] { RecorderLoop(); });
+}
+
+void HealthMonitor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (recorder_.joinable()) recorder_.join();
+}
+
+void HealthMonitor::Tick(double now_seconds) {
+  if (options_.refresh_gauges) options_.refresh_gauges();
+  store_.Ingest(registry_->Snapshot(), now_seconds);
+  slo_.Evaluate(store_, now_seconds);
+  alerts_firing_gauge_->Set(static_cast<double>(slo_.firing()));
+  alerts_pending_gauge_->Set(static_cast<double>(slo_.pending()));
+  ticks_counter_->Increment();
+  watchdog_.Check();
+  last_tick_seconds_.store(NowSeconds(), std::memory_order_relaxed);
+}
+
+double HealthMonitor::staleness_seconds() const {
+  const double last = last_tick_seconds_.load(std::memory_order_relaxed);
+  if (last < 0) return std::numeric_limits<double>::infinity();
+  return NowSeconds() - last;
+}
+
+void HealthMonitor::RecorderLoop() {
+  prof::EnsureThreadRegistered("health-recorder");
+  const auto interval =
+      std::chrono::duration<double>(options_.interval_seconds);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // wait_for rather than wait_until: a slow Tick (stack capture inside
+    // the watchdog) simply delays the next sample instead of bunching up.
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    Tick(NowSeconds());
+    lock.lock();
+  }
+}
+
+}  // namespace health
+}  // namespace tegra

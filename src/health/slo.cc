@@ -1,0 +1,235 @@
+#include "health/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace tegra {
+namespace health {
+
+namespace {
+
+// Condition strength: none / partial (long window burning, pending-worthy) /
+// full (alert condition met).
+enum Level { kNone = 0, kPartial = 1, kFull = 2 };
+
+std::string FormatBurn(const BurnWindow& w, double burn_short,
+                       double burn_long) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "burn %.2fx/%.0fs, %.2fx/%.0fs (threshold %.1fx)",
+                burn_short, w.short_seconds, burn_long, w.long_seconds,
+                w.burn_threshold);
+  return buf;
+}
+
+}  // namespace
+
+const char* AlertStateName(AlertState state) {
+  switch (state) {
+    case AlertState::kInactive: return "inactive";
+    case AlertState::kPending: return "pending";
+    case AlertState::kFiring: return "firing";
+  }
+  return "?";
+}
+
+SloEngine::SloEngine(std::vector<SloSpec> specs) {
+  rules_.reserve(specs.size());
+  for (SloSpec& spec : specs) {
+    RuleState rule;
+    rule.spec = std::move(spec);
+    rules_.push_back(std::move(rule));
+  }
+}
+
+bool SloEngine::Condition(RuleState* rule, const TimeSeriesStore& store) const {
+  const SloSpec& spec = rule->spec;
+  rule->value = 0;
+
+  if (spec.kind == SloSpec::Kind::kErrorRatio) {
+    const double budget = std::max(1e-9, 1.0 - spec.objective);
+    int level = kNone;
+    for (const BurnWindow& window : spec.windows) {
+      auto burn_over = [&](double seconds) {
+        double bad = 0;
+        for (const std::string& series : spec.bad_series) {
+          bad += store.SumOver(series, seconds);
+        }
+        const double total = store.SumOver(spec.total_series, seconds);
+        if (total <= 0) return 0.0;
+        return (bad / total) / budget;
+      };
+      const double burn_short = burn_over(window.short_seconds);
+      const double burn_long = burn_over(window.long_seconds);
+      rule->value = std::max(rule->value, std::min(burn_short, burn_long));
+      if (burn_short > window.burn_threshold &&
+          burn_long > window.burn_threshold) {
+        rule->detail = FormatBurn(window, burn_short, burn_long);
+        return true;
+      }
+      if (burn_long > window.burn_threshold ||
+          burn_short > window.burn_threshold) {
+        level = kPartial;
+        rule->detail = FormatBurn(window, burn_short, burn_long);
+      }
+    }
+    if (level == kNone) rule->detail.clear();
+    return false;
+  }
+
+  // Gauge rules. NaN marks an unknown series; histograms report quantile 0
+  // while empty, so a kGaugeBelow floor ignores exact zeros rather than
+  // firing before the first observation.
+  const double value = store.LastValue(spec.series, std::nan(""));
+  rule->value = std::isnan(value) ? 0 : value;
+  if (std::isnan(value)) return false;
+  char buf[160];
+  if (spec.kind == SloSpec::Kind::kGaugeAbove) {
+    std::snprintf(buf, sizeof(buf), "%s = %.4g (ceiling %.4g)",
+                  spec.series.c_str(), value, spec.threshold);
+    rule->detail = buf;
+    return value > spec.threshold;
+  }
+  std::snprintf(buf, sizeof(buf), "%s = %.4g (floor %.4g)",
+                spec.series.c_str(), value, spec.threshold);
+  rule->detail = buf;
+  return value != 0 && value < spec.threshold;
+}
+
+void SloEngine::Evaluate(const TimeSeriesStore& store, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (RuleState& rule : rules_) {
+    const bool bad = Condition(&rule, store);
+    switch (rule.state) {
+      case AlertState::kInactive:
+        if (bad) {
+          rule.condition_started = now_seconds;
+          rule.last_bad = now_seconds;
+          if (rule.spec.for_seconds <= 0) {
+            rule.state = AlertState::kFiring;
+          } else {
+            rule.state = AlertState::kPending;
+          }
+          rule.since_seconds = now_seconds;
+        }
+        break;
+      case AlertState::kPending:
+        if (!bad) {
+          rule.state = AlertState::kInactive;
+          rule.since_seconds = now_seconds;
+        } else {
+          rule.last_bad = now_seconds;
+          if (now_seconds - rule.condition_started >= rule.spec.for_seconds) {
+            rule.state = AlertState::kFiring;
+            rule.since_seconds = now_seconds;
+          }
+        }
+        break;
+      case AlertState::kFiring:
+        if (bad) {
+          rule.last_bad = now_seconds;
+        } else if (now_seconds - rule.last_bad >= rule.spec.keep_seconds) {
+          // Resolve only after a sustained clear stretch: a signal that dips
+          // below threshold for one tick must not flap the alert.
+          rule.state = AlertState::kInactive;
+          rule.since_seconds = now_seconds;
+        }
+        break;
+    }
+  }
+}
+
+std::vector<AlertStatus> SloEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<AlertStatus> out;
+  out.reserve(rules_.size());
+  for (const RuleState& rule : rules_) {
+    AlertStatus status;
+    status.name = rule.spec.name;
+    status.kind = rule.spec.kind;
+    status.state = rule.state;
+    status.since_seconds = rule.since_seconds;
+    status.value = rule.value;
+    status.detail =
+        rule.detail.empty() ? rule.spec.description : rule.detail;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+size_t SloEngine::firing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const RuleState& rule : rules_) {
+    if (rule.state == AlertState::kFiring) ++n;
+  }
+  return n;
+}
+
+size_t SloEngine::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const RuleState& rule : rules_) {
+    if (rule.state == AlertState::kPending) ++n;
+  }
+  return n;
+}
+
+std::vector<SloSpec> SloEngine::DefaultSpecs() {
+  std::vector<SloSpec> specs;
+
+  {
+    SloSpec availability;
+    availability.name = "extract_availability";
+    availability.kind = SloSpec::Kind::kErrorRatio;
+    availability.description =
+        "99.9% of extraction requests complete successfully";
+    availability.bad_series = {"service.rejected_total",
+                               "service.failed_total",
+                               "service.deadline_exceeded_total"};
+    availability.total_series = "service.requests_total";
+    availability.objective = 0.999;
+    availability.windows = {{300, 3600, 14.4}, {1800, 21600, 6.0}};
+    availability.keep_seconds = 120;
+    specs.push_back(std::move(availability));
+  }
+  {
+    SloSpec p99;
+    p99.name = "extract_latency_p99";
+    p99.kind = SloSpec::Kind::kGaugeAbove;
+    p99.description = "p99 end-to-end extraction latency under 2s";
+    p99.series = "service.total_seconds.p99";
+    p99.threshold = 2.0;
+    p99.for_seconds = 60;
+    p99.keep_seconds = 120;
+    specs.push_back(std::move(p99));
+  }
+  {
+    SloSpec quality;
+    quality.name = "extract_quality_floor";
+    quality.kind = SloSpec::Kind::kGaugeBelow;
+    quality.description =
+        "median per-pair SP score stays above the quality floor";
+    quality.series = "extract.sp_score.p50";
+    quality.threshold = 0.30;
+    quality.for_seconds = 300;
+    quality.keep_seconds = 300;
+    specs.push_back(std::move(quality));
+  }
+  {
+    SloSpec queue;
+    queue.name = "queue_saturation";
+    queue.kind = SloSpec::Kind::kGaugeAbove;
+    queue.description = "admission queue under 75% of capacity";
+    queue.series = "service.queue_depth";
+    queue.threshold = 48;  // tegra_serve rescales to 0.75 * max_queue_depth
+    queue.for_seconds = 30;
+    queue.keep_seconds = 60;
+    specs.push_back(std::move(queue));
+  }
+  return specs;
+}
+
+}  // namespace health
+}  // namespace tegra

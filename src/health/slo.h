@@ -1,0 +1,125 @@
+// Declarative SLOs evaluated over the in-process time series, with
+// multi-window multi-burn-rate alerting (the SRE-workbook recipe).
+//
+// An error-ratio SLO ("99.9% of /v1/extract requests succeed") alerts on
+// *budget burn rate*: the observed error ratio over a window divided by the
+// budget (1 - objective). Burn 1.0 means "spending the budget exactly at the
+// rate that exhausts it at the period's end"; burn 14.4 over 1 hour means
+// "the whole 30-day budget gone in ~2 days". Each rule pairs a long window
+// (smooths noise, gates on sustained burn) with a short window (makes the
+// alert *resolve* quickly once the problem stops); both must exceed the
+// threshold to fire. The defaults are the canonical pairs:
+//
+//   fast  5m / 1h  @ 14.4x   — page-worthy burn, fires in minutes
+//   slow 30m / 6h  @  6x     — slow leak, fires within hours
+//
+// Gauge SLOs (p99 latency ceiling, sp_score floor, queue saturation) use a
+// plain threshold with pending/for hysteresis instead of burn rates.
+//
+// The state machine is shared: kInactive -> kPending (condition holds,
+// waiting out for_seconds) -> kFiring -> back to kInactive only after the
+// condition stays clear for keep_seconds (so a flapping signal does not
+// flap the alert). Evaluation is driven by the recorder tick and takes an
+// explicit `now`, so tests run it on a synthetic clock.
+
+#ifndef TEGRA_HEALTH_SLO_H_
+#define TEGRA_HEALTH_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "health/timeseries.h"
+
+namespace tegra {
+namespace health {
+
+/// \brief One long/short burn-rate window pair.
+struct BurnWindow {
+  double short_seconds = 300;
+  double long_seconds = 3600;
+  double burn_threshold = 14.4;
+};
+
+struct SloSpec {
+  enum class Kind {
+    kErrorRatio,  ///< burn-rate over bad/total counter series
+    kGaugeAbove,  ///< fire while a series sits above `threshold`
+    kGaugeBelow,  ///< fire while a series sits below `threshold`
+  };
+
+  std::string name;
+  Kind kind = Kind::kErrorRatio;
+  std::string description;
+
+  // kErrorRatio: bad events are the sum of `bad_series` deltas.
+  std::vector<std::string> bad_series;
+  std::string total_series;
+  double objective = 0.999;
+  std::vector<BurnWindow> windows;
+
+  // kGaugeAbove / kGaugeBelow.
+  std::string series;
+  double threshold = 0;
+  /// Condition must hold this long before firing (gauge rules; error-ratio
+  /// rules get their damping from the long window instead, default 0).
+  double for_seconds = 0;
+  /// Condition must stay clear this long before a firing alert resolves.
+  double keep_seconds = 60;
+};
+
+enum class AlertState { kInactive, kPending, kFiring };
+
+const char* AlertStateName(AlertState state);
+
+/// \brief Point-in-time alert status, for /alertz and the readyz annotation.
+struct AlertStatus {
+  std::string name;
+  SloSpec::Kind kind = SloSpec::Kind::kErrorRatio;
+  AlertState state = AlertState::kInactive;
+  double since_seconds = 0;   ///< when the current state was entered
+  double value = 0;           ///< worst burn rate, or the gauge value
+  std::string detail;         ///< human-readable condition summary
+};
+
+class SloEngine {
+ public:
+  explicit SloEngine(std::vector<SloSpec> specs);
+
+  /// Re-evaluates every rule against `store` at time `now_seconds` (same
+  /// clock the store was ingested with).
+  void Evaluate(const TimeSeriesStore& store, double now_seconds);
+
+  std::vector<AlertStatus> Snapshot() const;
+  size_t firing() const;
+  size_t pending() const;
+
+  /// The built-in rules: /v1/extract availability (burn-rate),
+  /// p99 total-latency ceiling, extract.sp_score floor, and queue
+  /// saturation — the signal surface the degradation ladder (ROADMAP
+  /// item 4) will consume.
+  static std::vector<SloSpec> DefaultSpecs();
+
+ private:
+  struct RuleState {
+    SloSpec spec;
+    AlertState state = AlertState::kInactive;
+    double since_seconds = 0;
+    double condition_started = 0;  ///< first eval where condition held
+    double last_bad = 0;           ///< last eval where condition held
+    double value = 0;
+    std::string detail;
+  };
+
+  /// True when the rule's raw condition holds; fills value/detail.
+  bool Condition(RuleState* rule, const TimeSeriesStore& store) const;
+
+  mutable std::mutex mu_;
+  std::vector<RuleState> rules_;
+};
+
+}  // namespace health
+}  // namespace tegra
+
+#endif  // TEGRA_HEALTH_SLO_H_

@@ -1,0 +1,251 @@
+#include "health/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tegra {
+namespace health {
+
+const char* SeriesKindName(SeriesKind kind) {
+  switch (kind) {
+    case SeriesKind::kCounter: return "counter";
+    case SeriesKind::kGauge: return "gauge";
+    case SeriesKind::kMax: return "max";
+  }
+  return "?";
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions options)
+    : options_(options) {}
+
+void TimeSeriesStore::Ring::Push(double v, size_t capacity) {
+  if (values.size() < capacity) values.resize(capacity, 0);
+  values[next] = v;
+  next = (next + 1) % capacity;
+  if (size < capacity) ++size;
+}
+
+std::vector<double> TimeSeriesStore::Ring::Unroll() const {
+  std::vector<double> out;
+  out.reserve(size);
+  const size_t capacity = values.size();
+  if (capacity == 0) return out;
+  // Oldest sample sits at `next` once the ring has wrapped, else at 0.
+  const size_t start = size == capacity ? next : 0;
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(values[(start + i) % capacity]);
+  }
+  return out;
+}
+
+double TimeSeriesStore::Ring::TailSum(size_t n) const {
+  n = std::min(n, size);
+  const size_t capacity = values.size();
+  double sum = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    sum += values[(next + capacity - i) % capacity];
+  }
+  return sum;
+}
+
+double TimeSeriesStore::Ring::TailMax(size_t n) const {
+  n = std::min(n, size);
+  const size_t capacity = values.size();
+  double best = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    best = std::max(best, values[(next + capacity - i) % capacity]);
+  }
+  return best;
+}
+
+double TimeSeriesStore::Ring::Last(double fallback) const {
+  if (size == 0) return fallback;
+  const size_t capacity = values.size();
+  return values[(next + capacity - 1) % capacity];
+}
+
+void TimeSeriesStore::Append(const std::string& name, SeriesKind kind,
+                             double raw, bool flush_coarse) {
+  Series& series = series_[name];
+  series.kind = kind;
+
+  double sample = raw;
+  if (kind == SeriesKind::kCounter) {
+    // Delta-encode: the ring stores events-per-interval, not the cumulative
+    // count, so windows sum cheaply and a ring wrap loses only old history.
+    sample = series.has_last_cumulative
+                 ? std::max(0.0, raw - series.last_cumulative)
+                 : 0.0;
+    series.last_cumulative = raw;
+    series.has_last_cumulative = true;
+  }
+  series.fine.Push(sample, options_.fine_capacity);
+
+  switch (kind) {
+    case SeriesKind::kCounter:
+      series.accumulator += sample;
+      break;
+    case SeriesKind::kGauge:
+      series.accumulator = sample;
+      break;
+    case SeriesKind::kMax:
+      series.accumulator =
+          series.accumulated == 0 ? sample
+                                  : std::max(series.accumulator, sample);
+      break;
+  }
+  ++series.accumulated;
+
+  if (flush_coarse) {
+    series.coarse.Push(series.accumulator, options_.coarse_capacity);
+    series.accumulator = 0;
+    series.accumulated = 0;
+  }
+}
+
+void TimeSeriesStore::Ingest(const MetricsSnapshot& snapshot,
+                             double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  last_ingest_seconds_ = now_seconds;
+  const bool flush_coarse =
+      options_.downsample_factor > 0 &&
+      ticks_ % options_.downsample_factor == 0;
+
+  for (const auto& [name, value] : snapshot.counters) {
+    Append(name, SeriesKind::kCounter, static_cast<double>(value),
+           flush_coarse);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Append(name, SeriesKind::kGauge, value, flush_coarse);
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    Append(name + ".count", SeriesKind::kCounter,
+           static_cast<double>(hist.count), flush_coarse);
+    Append(name + ".p50", SeriesKind::kMax, hist.p50, flush_coarse);
+    Append(name + ".p95", SeriesKind::kMax, hist.p95, flush_coarse);
+    Append(name + ".p99", SeriesKind::kMax, hist.p99, flush_coarse);
+  }
+}
+
+std::vector<std::string> TimeSeriesStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, series] : series_) names.push_back(name);
+  return names;
+}
+
+std::optional<SeriesWindow> TimeSeriesStore::Query(const std::string& name,
+                                                   bool coarse) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return std::nullopt;
+  SeriesWindow window;
+  window.kind = it->second.kind;
+  window.interval_seconds =
+      coarse ? options_.interval_seconds *
+                   static_cast<double>(options_.downsample_factor)
+             : options_.interval_seconds;
+  window.end_seconds = last_ingest_seconds_;
+  window.values = (coarse ? it->second.coarse : it->second.fine).Unroll();
+  return window;
+}
+
+double TimeSeriesStore::AggregateOver(const std::string& name,
+                                      double window_seconds,
+                                      bool use_max) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return 0;
+  const Series& series = it->second;
+  const double fine_interval = options_.interval_seconds;
+  const double fine_span =
+      fine_interval * static_cast<double>(series.fine.size);
+  if (window_seconds <= fine_span || series.coarse.size == 0) {
+    const size_t n = static_cast<size_t>(
+        std::ceil(window_seconds / std::max(1e-9, fine_interval)));
+    return use_max ? series.fine.TailMax(n) : series.fine.TailSum(n);
+  }
+  const double coarse_interval =
+      fine_interval * static_cast<double>(options_.downsample_factor);
+  const size_t n = static_cast<size_t>(
+      std::ceil(window_seconds / std::max(1e-9, coarse_interval)));
+  return use_max ? series.coarse.TailMax(n) : series.coarse.TailSum(n);
+}
+
+double TimeSeriesStore::SumOver(const std::string& name,
+                                double window_seconds) const {
+  return AggregateOver(name, window_seconds, /*use_max=*/false);
+}
+
+double TimeSeriesStore::MaxOver(const std::string& name,
+                                double window_seconds) const {
+  return AggregateOver(name, window_seconds, /*use_max=*/true);
+}
+
+double TimeSeriesStore::LastValue(const std::string& name,
+                                  double fallback) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return fallback;
+  return it->second.fine.Last(fallback);
+}
+
+uint64_t TimeSeriesStore::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+double TimeSeriesStore::last_ingest_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_ingest_seconds_;
+}
+
+size_t TimeSeriesStore::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return series_.size();
+}
+
+std::string AsciiSparkline(const std::vector<double>& values, size_t width) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty() || width == 0) return "";
+
+  // Rescale to `width` cells by max-pooling each chunk: a spike must stay
+  // visible even when 900 samples collapse into 60 columns.
+  std::vector<double> cells;
+  if (values.size() <= width) {
+    cells = values;
+  } else {
+    cells.resize(width, 0);
+    for (size_t c = 0; c < width; ++c) {
+      const size_t lo = c * values.size() / width;
+      const size_t hi = std::max(lo + 1, (c + 1) * values.size() / width);
+      double best = values[lo];
+      for (size_t i = lo; i < hi && i < values.size(); ++i) {
+        best = std::max(best, values[i]);
+      }
+      cells[c] = best;
+    }
+  }
+
+  double lo = cells[0], hi = cells[0];
+  for (double v : cells) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi - lo;
+  std::string out;
+  out.reserve(cells.size() * 3);
+  for (double v : cells) {
+    const int level =
+        span <= 0 ? 0
+                  : static_cast<int>(std::min(7.0, (v - lo) / span * 7.999));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace health
+}  // namespace tegra

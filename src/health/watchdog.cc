@@ -1,0 +1,117 @@
+#include "health/watchdog.h"
+
+#include <vector>
+
+#include "prof/profiler.h"
+#include "trace/log.h"
+
+namespace tegra {
+namespace health {
+
+Watchdog::Watchdog(HeartbeatRegistry* registry, MetricsRegistry* metrics,
+                   WatchdogOptions options)
+    : registry_(registry), options_(options) {
+  if (metrics != nullptr) {
+    stalls_counter_ = metrics->GetCounter("health.stalls_total");
+    stalled_gauge_ = metrics->GetGauge("health.stalled");
+  }
+}
+
+void Watchdog::Check(uint64_t now_us) {
+  struct Candidate {
+    std::string name;
+    std::string label;
+    int tid = 0;
+    double stuck_seconds = 0;
+  };
+  std::vector<Candidate> fresh;  // new episodes, not yet reported
+  bool any_stalled = false;
+
+  registry_->ForEach([&](Heartbeat& hb) {
+    uint64_t marker = 0;        // episode identity: report each value once
+    double stuck_seconds = 0;
+    if (hb.kind_ == ThreadKind::kWorker) {
+      if (options_.stall_threshold_seconds <= 0) return;
+      const uint64_t busy_since =
+          hb.busy_since_us_.load(std::memory_order_acquire);
+      if (busy_since == 0 || busy_since > now_us) return;  // idle
+      stuck_seconds = static_cast<double>(now_us - busy_since) / 1e6;
+      if (stuck_seconds < options_.stall_threshold_seconds) return;
+      marker = busy_since;
+    } else {
+      if (options_.loop_threshold_seconds <= 0) return;
+      const uint64_t last_beat =
+          hb.last_beat_us_.load(std::memory_order_relaxed);
+      if (last_beat == 0 || last_beat > now_us) return;
+      stuck_seconds = static_cast<double>(now_us - last_beat) / 1e6;
+      if (stuck_seconds < options_.loop_threshold_seconds) return;
+      marker = last_beat;
+    }
+    any_stalled = true;
+    if (hb.reported_marker_.load(std::memory_order_relaxed) == marker) {
+      return;  // this episode already reported
+    }
+    hb.reported_marker_.store(marker, std::memory_order_relaxed);
+    Candidate c;
+    c.name = hb.name_;
+    const char* label = hb.label_.load(std::memory_order_relaxed);
+    c.label = label == nullptr ? "" : label;
+    c.tid = hb.tid_;
+    c.stuck_seconds = stuck_seconds;
+    fresh.push_back(std::move(c));
+  });
+
+  // Captures and logging happen outside ForEach: a directed-signal capture
+  // can take up to capture_timeout_ms and must not pin the registry mutex.
+  for (Candidate& c : fresh) {
+    StallRecord record;
+    record.thread_name = c.name;
+    record.label = c.label;
+    record.stuck_seconds = c.stuck_seconds;
+    record.detected_at_us = now_us;
+    if (options_.capture_stack && c.tid > 0) {
+      auto stack =
+          prof::CaptureThreadStack(c.tid, options_.capture_timeout_ms);
+      if (stack.ok()) {
+        record.folded_stack = std::move(stack).value();
+      } else {
+        record.folded_stack = "<capture failed: " +
+                              stack.status().ToString() + ">";
+      }
+    }
+    trace::LogError("watchdog: thread stalled",
+                    {{"thread", record.thread_name},
+                     {"label", record.label},
+                     {"tid", c.tid},
+                     {"stuck_seconds", record.stuck_seconds},
+                     {"stack", record.folded_stack}});
+    if (stalls_counter_ != nullptr) stalls_counter_->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stalls_total_;
+    last_stall_ = std::move(record);
+  }
+
+  if (stalled_gauge_ != nullptr) {
+    stalled_gauge_->Set(any_stalled ? 1 : 0);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  any_stalled_ = any_stalled;
+}
+
+bool Watchdog::stalled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return any_stalled_;
+}
+
+uint64_t Watchdog::stalls_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stalls_total_;
+}
+
+std::optional<StallRecord> Watchdog::last_stall() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_stall_;
+}
+
+}  // namespace health
+}  // namespace tegra

@@ -364,6 +364,9 @@ void HttpServer::EventLoop() {
     }
 
     const int n = poller_->Wait(&events, kTickMs);
+    // Wait is bounded by kTickMs, so the beat proves the loop is turning
+    // even on an idle server; silence beyond a few ticks means wedged.
+    if (options_.loop_heartbeat) options_.loop_heartbeat();
     if (n < 0 && errno != EINTR) {
       trace::LogError("data-plane poller failed",
                       {{"errno", std::strerror(errno)}});

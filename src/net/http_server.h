@@ -116,6 +116,12 @@ struct HttpServerOptions {
   HttpParserLimits limits;
   /// Event backend; kEpoll degrades to poll off Linux.
   PollerBackend backend = PollerBackend::kEpoll;
+  /// Invoked once per event-loop iteration (the poller wakes at least every
+  /// timer tick, so this fires at a bounded cadence even when idle). The
+  /// daemon installs a health::Heartbeat::Beat here so a wedged loop is
+  /// distinguishable from an idle one; a function hook because tegra_net
+  /// sits below tegra_health.
+  std::function<void()> loop_heartbeat;
 };
 
 /// \brief Point-in-time counters for /statusz-style reporting (gauges are

@@ -118,12 +118,63 @@ void PcAndFpFromContext(void* ucontext, uintptr_t* pc, uintptr_t* fp) {
 #endif
 }
 
-void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
-  if (!g_armed.load(std::memory_order_relaxed)) return;
-  g_samples_total.fetch_add(1, std::memory_order_relaxed);
+// Targeted single-thread capture (CaptureThreadStack). The requesting thread
+// stores the target tid + a generation, sends a directed SIGPROF, and spins
+// on g_capture_done reaching that generation; the handler (running *on* the
+// target thread) walks the stack into g_capture_sample and acknowledges.
+// g_control_mu serializes requests, so there is at most one in flight.
+std::atomic<int> g_capture_target_tid{0};
+std::atomic<uint32_t> g_capture_gen{0};   // generation of the pending request
+std::atomic<uint32_t> g_capture_done{0};  // last generation completed
+Sample g_capture_sample;                  // written by handler, then done
 
+// Walks the frame chain into `s`: [fp] = caller's fp, [fp+8] = return
+// address. Every dereference is bounds-checked against this thread's stack
+// and the chain must grow strictly toward the stack base, so a corrupt or
+// foreign fp terminates the walk instead of faulting. Async-signal-safe.
+void WalkFrameChain(const ThreadSlot* slot, uintptr_t pc, uintptr_t fp,
+                    Sample* s) {
+  uint32_t depth = 0;
+  s->pcs[depth++] = pc;
+  uintptr_t frame = fp;
+  while (depth < kMaxDepth) {
+    if (frame < slot->stack_lo ||
+        frame + 2 * sizeof(uintptr_t) > slot->stack_hi) {
+      break;
+    }
+    if ((frame & (sizeof(uintptr_t) - 1)) != 0) break;
+    const uintptr_t* fr = reinterpret_cast<const uintptr_t*>(frame);
+    const uintptr_t ret = fr[1];
+    const uintptr_t next = fr[0];
+    if (ret == 0) break;
+    s->pcs[depth++] = ret;
+    if (next <= frame) break;  // must move toward the stack base
+    frame = next;
+  }
+  s->depth = depth;
+}
+
+void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
   uintptr_t pc = 0, fp = 0;
   PcAndFpFromContext(ucontext, &pc, &fp);
+
+  // A directed capture aimed at this thread takes priority over sampling:
+  // consume it whether the signal came from tgkill or the interval timer.
+  const int target = g_capture_target_tid.load(std::memory_order_acquire);
+  if (target != 0) {
+    ThreadSlot* slot = t_slot;
+    if (slot != nullptr && slot->ready.load(std::memory_order_relaxed) &&
+        slot->tid.load(std::memory_order_relaxed) == target) {
+      if (pc != 0) WalkFrameChain(slot, pc, fp, &g_capture_sample);
+      g_capture_target_tid.store(0, std::memory_order_relaxed);
+      g_capture_done.store(g_capture_gen.load(std::memory_order_relaxed),
+                           std::memory_order_release);
+      return;
+    }
+  }
+
+  if (!g_armed.load(std::memory_order_relaxed)) return;
+  g_samples_total.fetch_add(1, std::memory_order_relaxed);
   if (pc == 0) return;
 
   ThreadSlot* slot = t_slot;
@@ -146,28 +197,7 @@ void SigprofHandler(int /*signo*/, siginfo_t* /*info*/, void* ucontext) {
 
   Sample& s =
       slot->ring.load(std::memory_order_relaxed)[head % kRingEntries];
-  uint32_t depth = 0;
-  s.pcs[depth++] = pc;
-  // Walk the frame chain: [fp] = caller's fp, [fp+8] = return address.
-  // Every dereference is bounds-checked against this thread's stack and the
-  // chain must grow strictly toward the stack base, so a corrupt or foreign
-  // fp terminates the walk instead of faulting.
-  uintptr_t frame = fp;
-  while (depth < kMaxDepth) {
-    if (frame < slot->stack_lo ||
-        frame + 2 * sizeof(uintptr_t) > slot->stack_hi) {
-      break;
-    }
-    if ((frame & (sizeof(uintptr_t) - 1)) != 0) break;
-    const uintptr_t* fr = reinterpret_cast<const uintptr_t*>(frame);
-    const uintptr_t ret = fr[1];
-    const uintptr_t next = fr[0];
-    if (ret == 0) break;
-    s.pcs[depth++] = ret;
-    if (next <= frame) break;  // must move toward the stack base
-    frame = next;
-  }
-  s.depth = depth;
+  WalkFrameChain(slot, pc, fp, &s);
   slot->head.store(head + 1, std::memory_order_release);
 }
 
@@ -182,6 +212,21 @@ timer_t g_timer;             // valid while g_timer_valid
 bool g_timer_valid = false;
 bool g_itimer_active = false;
 bool g_handler_installed = false;
+
+// Installs the SIGPROF handler once. Caller holds g_control_mu.
+Status InstallHandlerLocked() {
+  if (g_handler_installed) return Status::OK();
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_sigaction = &SigprofHandler;
+  sa.sa_flags = SA_SIGINFO | SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, nullptr) != 0) {
+    return Status::Internal("profiler: sigaction(SIGPROF) failed");
+  }
+  g_handler_installed = true;
+  return Status::OK();
+}
 
 Status ArmTimer(int hz) {
   const long interval_ns = static_cast<long>(1e9 / hz);
@@ -369,6 +414,66 @@ std::vector<RegisteredThread> RegisteredThreads() {
   return out;
 }
 
+Result<std::string> CaptureThreadStack(int tid, int timeout_ms) {
+  if (tid <= 0) return Status::InvalidArgument("profiler: bad tid");
+  // Serializes against Start/Stop (handler install) and other targeted
+  // captures: at most one request is in flight at a time.
+  std::lock_guard<std::mutex> lock(g_control_mu);
+  TEGRA_RETURN_NOT_OK(InstallHandlerLocked());
+
+  bool registered = false;
+  for (ThreadSlot& slot : g_slots) {
+    if (slot.tid.load(std::memory_order_acquire) == tid &&
+        slot.ready.load(std::memory_order_acquire)) {
+      registered = true;
+      break;
+    }
+  }
+  if (!registered) {
+    return Status::NotFound("profiler: tid " + std::to_string(tid) +
+                            " is not a registered thread");
+  }
+
+  const uint32_t gen =
+      g_capture_gen.fetch_add(1, std::memory_order_relaxed) + 1;
+  g_capture_sample.depth = 0;
+  g_capture_target_tid.store(tid, std::memory_order_release);
+  if (::syscall(SYS_tgkill, ::getpid(), tid, SIGPROF) != 0) {
+    g_capture_target_tid.store(0, std::memory_order_relaxed);
+    return Status::Internal("profiler: tgkill(" + std::to_string(tid) +
+                            ", SIGPROF) failed");
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(std::max(1, timeout_ms));
+  while (g_capture_done.load(std::memory_order_acquire) != gen) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      // Leave no dangling target: a late handler run must not scribble into
+      // g_capture_sample while a future request is using it.
+      g_capture_target_tid.store(0, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(
+          "profiler: thread " + std::to_string(tid) +
+          " did not take SIGPROF within " + std::to_string(timeout_ms) +
+          "ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Folded output is root-first; the walk stored leaf-first.
+  const uint32_t depth =
+      std::min<uint32_t>(g_capture_sample.depth, kMaxDepth);
+  if (depth == 0) {
+    return Status::Internal("profiler: targeted capture yielded no frames");
+  }
+  std::unordered_map<uintptr_t, std::string> cache;
+  std::string line;
+  for (uint32_t i = depth; i-- > 0;) {
+    if (!line.empty()) line += ';';
+    line += SymbolizePc(g_capture_sample.pcs[i], &cache);
+  }
+  return line;
+}
+
 std::string Profile::ToFolded() const {
   // Highest-count stacks first so `head` on the output shows the hot spots.
   std::vector<std::pair<uint64_t, const std::string*>> order;
@@ -400,18 +505,7 @@ Status CpuProfiler::Start(int hz) {
   std::lock_guard<std::mutex> lock(g_control_mu);
   if (g_armed.load(std::memory_order_relaxed)) return Status::OK();
 
-  if (!g_handler_installed) {
-    struct sigaction sa;
-    std::memset(&sa, 0, sizeof(sa));
-    sa.sa_sigaction = &SigprofHandler;
-    sa.sa_flags = SA_SIGINFO | SA_RESTART;
-    sigemptyset(&sa.sa_mask);
-    if (sigaction(SIGPROF, &sa, nullptr) != 0) {
-      return Status::Internal("profiler: sigaction(SIGPROF) failed");
-    }
-    g_handler_installed = true;
-  }
-
+  TEGRA_RETURN_NOT_OK(InstallHandlerLocked());
   TEGRA_RETURN_NOT_OK(ArmTimer(hz));
   g_hz.store(hz, std::memory_order_relaxed);
   g_armed.store(true, std::memory_order_release);

@@ -50,6 +50,20 @@ void EnsureThreadRegistered(const std::string& name);
 /// \brief All currently registered threads (for per-thread CPU telemetry).
 std::vector<RegisteredThread> RegisteredThreads();
 
+/// \brief Captures the current call stack of one *registered* thread and
+/// returns it folded root-first ("root;caller;...;leaf").
+///
+/// The CPU-time SIGPROF timer never fires on a blocked thread, so this sends
+/// a *directed* SIGPROF (tgkill) at `tid`; the regular handler notices the
+/// pending targeted capture, walks that thread's frame chain into a dedicated
+/// buffer and acknowledges. Works whether or not the sampler is running, and
+/// on threads that are blocked (sleeping, stuck on a lock, in a syscall) —
+/// exactly the threads a watchdog needs to see. Fails with NotFound if `tid`
+/// never registered (no stack bounds to validate the walk against) and
+/// DeadlineExceeded if the thread doesn't take the signal within
+/// `timeout_ms` (e.g. it blocks SIGPROF or has exited).
+Result<std::string> CaptureThreadStack(int tid, int timeout_ms = 500);
+
 /// \brief An aggregated CPU profile over one capture window.
 struct Profile {
   /// Collapsed stacks: "root;caller;...;leaf" -> sample count.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <utility>
+#include <vector>
 
 #include "common/build_info.h"
 #include "common/string_util.h"
@@ -53,6 +55,8 @@ std::string NavLinks() {
   return "<p><a href=\"/statusz\">statusz</a> | "
          "<a href=\"/metrics\">metrics</a> | "
          "<a href=\"/varz\">varz</a> | "
+         "<a href=\"/timeseriesz\">timeseriesz</a> | "
+         "<a href=\"/alertz\">alertz</a> | "
          "<a href=\"/tracez\">tracez</a> | "
          "<a href=\"/slowlogz\">slowlogz</a> | "
          "<a href=\"/pprof/profile?seconds=2\">pprof</a> | "
@@ -78,6 +82,37 @@ std::string FormatUptime(double seconds) {
   if (s >= 60) out << (s % 3600) / 60 << "m ";
   out << s % 60 << "s";
   return out.str();
+}
+
+/// Comma-joined names of the alerts in `state`.
+std::string AlertNames(const std::vector<health::AlertStatus>& alerts,
+                       health::AlertState state) {
+  std::string out;
+  for (const health::AlertStatus& alert : alerts) {
+    if (alert.state != state) continue;
+    if (!out.empty()) out += ", ";
+    out += alert.name;
+  }
+  return out;
+}
+
+JsonValue AlertToJson(const health::AlertStatus& alert) {
+  JsonValue a = JsonValue::Object();
+  a.Set("name", JsonValue::Str(alert.name));
+  a.Set("state", JsonValue::Str(health::AlertStateName(alert.state)));
+  a.Set("since_seconds", JsonValue::Number(alert.since_seconds));
+  a.Set("value", JsonValue::Number(alert.value));
+  a.Set("detail", JsonValue::Str(alert.detail));
+  return a;
+}
+
+JsonValue StallToJson(const health::StallRecord& stall) {
+  JsonValue s = JsonValue::Object();
+  s.Set("thread", JsonValue::Str(stall.thread_name));
+  s.Set("label", JsonValue::Str(stall.label));
+  s.Set("stuck_seconds", JsonValue::Number(stall.stuck_seconds));
+  s.Set("stack", JsonValue::Str(stall.folded_stack));
+  return s;
 }
 
 }  // namespace
@@ -193,6 +228,13 @@ void AdminPages::RefreshTraceGauges(MetricsRegistry* registry) {
       ->Set(static_cast<double>(tracer_->ring_capacity()));
 }
 
+void AdminPages::RefreshHealthGauges(MetricsRegistry* registry) {
+  if (health_ == nullptr || registry == nullptr) return;
+  const double staleness = health_->staleness_seconds();
+  registry->GetGauge("health.recorder_staleness_seconds")
+      ->Set(std::isfinite(staleness) ? staleness : -1.0);
+}
+
 void AdminPages::RegisterAll(HttpAdminServer* server) {
   server->Handle("/", [this](const HttpRequest& r) { return Index(r); });
   server->Handle("/metrics",
@@ -208,6 +250,9 @@ void AdminPages::RegisterAll(HttpAdminServer* server) {
   server->Handle("/varz", [this](const HttpRequest& r) { return Varz(r); });
   server->Handle("/pprof/profile",
                  [this](const HttpRequest& r) { return PprofProfile(r); });
+  server->Handle("/timeseriesz",
+                 [this](const HttpRequest& r) { return Timeseriesz(r); });
+  server->Handle("/alertz", [this](const HttpRequest& r) { return Alertz(r); });
 }
 
 HttpResponse AdminPages::Index(const HttpRequest&) {
@@ -230,6 +275,7 @@ HttpResponse AdminPages::Metrics(const HttpRequest& request) {
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
   RefreshCorpusGauges(registry);
   RefreshTraceGauges(registry);
+  RefreshHealthGauges(registry);
   // Content negotiation: a Prometheus >=2.43 scraper (or a human with
   // ?format=openmetrics) gets OpenMetrics with histogram exemplars; the
   // default stays the classic 0.0.4 text format so existing scrapers and
@@ -253,8 +299,19 @@ HttpResponse AdminPages::Metrics(const HttpRequest& request) {
 }
 
 HttpResponse AdminPages::Healthz(const HttpRequest&) {
-  // Liveness only: if this handler runs, the process is alive. Readiness is
-  // /readyz's job.
+  // Liveness, with one sharpening: a process whose worker threads are
+  // wedged is *not* alive in any useful sense, even though this handler
+  // (on the admin thread) still runs. The watchdog verdict makes the
+  // orchestrator restart a stuck process instead of routing around it
+  // forever. Readiness is still /readyz's job.
+  if (health_ != nullptr && health_->watchdog()->stalled()) {
+    return HttpResponse::Text(
+        503, "stalled=true\nstalls_total=" +
+                 std::to_string(health_->watchdog()->stalls_total()) + "\n");
+  }
+  if (health_ != nullptr) {
+    return HttpResponse::Text(200, "ok\nstalled=false\n");
+  }
   return HttpResponse::Text(200, "ok\n");
 }
 
@@ -302,8 +359,22 @@ AdminPages::Readiness AdminPages::CheckReadiness() {
 
 HttpResponse AdminPages::Readyz(const HttpRequest&) {
   const Readiness readiness = CheckReadiness();
-  if (readiness.ready) return HttpResponse::Text(200, "ok\n");
-  return HttpResponse::Text(503, "not ready: " + readiness.reason + "\n");
+  if (!readiness.ready) {
+    return HttpResponse::Text(503, "not ready: " + readiness.reason + "\n");
+  }
+  // Degraded-but-ready: firing SLO alerts do not flip readiness (that would
+  // drain the very capacity needed to recover), but the annotation lets a
+  // human or rollout tool distinguish "green" from "serving while burning
+  // error budget".
+  if (health_ != nullptr && health_->slo()->firing() > 0) {
+    return HttpResponse::Text(
+        200, "ok\ndegraded: " + std::to_string(health_->slo()->firing()) +
+                 " alert(s) firing: " +
+                 AlertNames(health_->slo()->Snapshot(),
+                            health::AlertState::kFiring) +
+                 "\n");
+  }
+  return HttpResponse::Text(200, "ok\n");
 }
 
 HttpResponse AdminPages::Statusz(const HttpRequest&) {
@@ -480,6 +551,107 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
     body += "</table>\n";
   }
 
+  if (health_ != nullptr) {
+    const health::Watchdog* watchdog = health_->watchdog();
+    body += "<h2>health</h2>\n<table>\n";
+    RowNum(&body, "recorder_interval_seconds", health_->interval_seconds(), 1);
+    RowCount(&body, "recorder_ticks", health_->store()->ticks());
+    const double staleness = health_->staleness_seconds();
+    Row(&body, "recorder_staleness",
+        std::isfinite(staleness) ? FormatDouble(staleness, 1) + "s"
+                                 : "never ticked");
+    RowCount(&body, "series", health_->store()->series_count());
+    const size_t firing = health_->slo()->firing();
+    if (firing > 0) {
+      body += "<tr><th>alerts_firing</th><td class=\"warn\"><b>" +
+              std::to_string(firing) + "</b> (" +
+              HtmlEscape(AlertNames(health_->slo()->Snapshot(),
+                                    health::AlertState::kFiring)) +
+              " — <a href=\"/alertz\">alertz</a>)</td></tr>\n";
+    } else {
+      Row(&body, "alerts_firing", "0");
+    }
+    RowCount(&body, "alerts_pending", health_->slo()->pending());
+    Row(&body, "stalled now", watchdog->stalled() ? "YES" : "no");
+    RowCount(&body, "stalls_total", watchdog->stalls_total());
+    body += "</table>\n";
+
+    // The at-a-glance picture: request rate, tail latency, quality, queue.
+    body += "<table>\n<tr><th>series (fine tier)</th><th>last</th>"
+            "<th>window</th></tr>\n";
+    for (const char* name :
+         {"service.requests_total", "service.total_seconds.p99",
+          "extract.sp_score.p50", "service.queue_depth",
+          "health.alerts_firing"}) {
+      const std::optional<health::SeriesWindow> window =
+          health_->store()->Query(name, /*coarse=*/false);
+      if (!window.has_value() || window->values.empty()) continue;
+      body += "<tr><td><a href=\"/timeseriesz?metric=" + std::string(name) +
+              "\">" + std::string(name) + "</a></td><td>" +
+              FormatDouble(window->values.back(), 3) + "</td><td>" +
+              HtmlEscape(health::AsciiSparkline(window->values, 60)) +
+              "</td></tr>\n";
+    }
+    body += "</table>\n";
+
+    const std::vector<health::HeartbeatSnapshot> beats =
+        health_->heartbeats()->Snapshot();
+    if (!beats.empty()) {
+      const uint64_t now_us = health::Heartbeat::NowMicros();
+      body += "<table>\n<tr><th>heartbeat</th><th>kind</th><th>state</th>"
+              "</tr>\n";
+      for (const health::HeartbeatSnapshot& beat : beats) {
+        std::string state;
+        if (beat.kind == health::ThreadKind::kWorker) {
+          if (beat.busy_since_us == 0) {
+            state = "idle";
+          } else {
+            state = "busy";
+            if (beat.label != nullptr) {
+              state += " (" + std::string(beat.label) + ")";
+            }
+            state += " for " +
+                     FormatDouble(static_cast<double>(
+                                      now_us - beat.busy_since_us) /
+                                      1e6,
+                                  1) +
+                     "s";
+          }
+        } else {
+          state = "last beat " +
+                  FormatDouble(beat.last_beat_us == 0
+                                   ? 0.0
+                                   : static_cast<double>(
+                                         now_us - beat.last_beat_us) /
+                                         1e6,
+                               1) +
+                  "s ago";
+        }
+        body += "<tr><td>" + HtmlEscape(beat.name) + "</td><td>" +
+                (beat.kind == health::ThreadKind::kWorker ? "worker"
+                                                          : "loop") +
+                "</td><td>" + HtmlEscape(state) + "</td></tr>\n";
+      }
+      body += "</table>\n";
+    }
+
+    const std::optional<health::StallRecord> stall = watchdog->last_stall();
+    if (stall.has_value()) {
+      body += "<p class=\"warn\">last stall: <b>" +
+              HtmlEscape(stall->thread_name) + "</b>" +
+              (stall->label.empty()
+                   ? std::string()
+                   : " doing " + HtmlEscape(stall->label)) +
+              ", stuck " + FormatDouble(stall->stuck_seconds, 1) +
+              "s</p>\n";
+      if (!stall->folded_stack.empty()) {
+        std::string frames = stall->folded_stack;
+        std::replace(frames.begin(), frames.end(), ';', '\n');
+        body += "<pre>" + HtmlEscape(frames) + "</pre>\n";
+      }
+    }
+  }
+
   body += kPageFoot;
   return HttpResponse::Html(std::move(body));
 }
@@ -548,6 +720,7 @@ HttpResponse AdminPages::Varz(const HttpRequest&) {
   registry->GetGauge("process.uptime_seconds")->Set(ProcessUptimeSeconds());
   RefreshCorpusGauges(registry);
   RefreshTraceGauges(registry);
+  RefreshHealthGauges(registry);
   return HttpResponse::Json(registry->Snapshot().ToJson());
 }
 
@@ -575,6 +748,174 @@ HttpResponse AdminPages::PprofProfile(const HttpRequest& request) {
   // Folded-stack format ("frame;frame;frame count"), the lingua franca of
   // flamegraph tooling: flamegraph.pl, inferno, speedscope all ingest it.
   return HttpResponse::Text(200, profile.value().ToFolded());
+}
+
+HttpResponse AdminPages::Timeseriesz(const HttpRequest& request) {
+  if (health_ == nullptr) {
+    return HttpResponse::Text(503, "health monitor not attached\n");
+  }
+  const health::TimeSeriesStore* store = health_->store();
+  const bool coarse = request.Param("tier") == "coarse";
+  const bool json = request.Param("format") == "json";
+  const std::string metric = request.Param("metric");
+
+  if (!metric.empty()) {
+    const std::optional<health::SeriesWindow> window =
+        store->Query(metric, coarse);
+    if (!window.has_value()) {
+      return HttpResponse::Text(404, "unknown series: " + metric + "\n");
+    }
+    if (json) {
+      JsonValue out = JsonValue::Object();
+      out.Set("ok", JsonValue::Bool(true));
+      out.Set("metric", JsonValue::Str(metric));
+      out.Set("kind",
+              JsonValue::Str(health::SeriesKindName(window->kind)));
+      out.Set("tier", JsonValue::Str(coarse ? "coarse" : "fine"));
+      out.Set("interval_seconds",
+              JsonValue::Number(window->interval_seconds));
+      out.Set("end_seconds", JsonValue::Number(window->end_seconds));
+      JsonValue values = JsonValue::Array();
+      for (const double v : window->values) {
+        values.Append(JsonValue::Number(v));
+      }
+      out.Set("values", std::move(values));
+      return HttpResponse::Json(out.Dump());
+    }
+    std::string body = PageHead("tegra /timeseriesz — " + metric);
+    body += NavLinks();
+    body += "<table>\n";
+    Row(&body, "metric", metric);
+    Row(&body, "kind", health::SeriesKindName(window->kind));
+    Row(&body, "tier", coarse ? "coarse" : "fine");
+    RowNum(&body, "interval_seconds", window->interval_seconds, 1);
+    RowCount(&body, "samples", window->values.size());
+    if (!window->values.empty()) {
+      RowNum(&body, "last", window->values.back());
+    }
+    body += "</table>\n<pre>" +
+            HtmlEscape(health::AsciiSparkline(window->values, 120)) +
+            "</pre>\n";
+    body += "<p><a href=\"/timeseriesz?metric=" + metric +
+            (coarse ? "" : "&tier=coarse") + "\">" +
+            (coarse ? "fine tier" : "coarse tier") +
+            "</a> | <a href=\"/timeseriesz?metric=" + metric +
+            (coarse ? "&tier=coarse" : "") +
+            "&format=json\">json</a></p>\n";
+    body += kPageFoot;
+    return HttpResponse::Html(std::move(body));
+  }
+
+  const std::vector<std::string> names = store->Names();
+  if (json) {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("ticks", JsonValue::Number(static_cast<double>(store->ticks())));
+    JsonValue arr = JsonValue::Array();
+    for (const std::string& name : names) arr.Append(JsonValue::Str(name));
+    out.Set("series", std::move(arr));
+    return HttpResponse::Json(out.Dump());
+  }
+  std::string body = PageHead("tegra /timeseriesz");
+  body += NavLinks();
+  body += "<p>" + std::to_string(names.size()) + " series, " +
+          std::to_string(store->ticks()) + " recorder ticks, interval " +
+          FormatDouble(store->interval_seconds(), 1) +
+          "s — <a href=\"/timeseriesz?format=json\">json</a></p>\n";
+  body += "<table>\n<tr><th>series</th><th>kind</th><th>last</th>"
+          "<th>fine window (oldest→newest)</th></tr>\n";
+  for (const std::string& name : names) {
+    const std::optional<health::SeriesWindow> window =
+        store->Query(name, /*coarse=*/false);
+    if (!window.has_value()) continue;
+    body += "<tr><td><a href=\"/timeseriesz?metric=" + HtmlEscape(name) +
+            "\">" + HtmlEscape(name) + "</a></td><td>" +
+            health::SeriesKindName(window->kind) + "</td><td>" +
+            (window->values.empty()
+                 ? "-"
+                 : FormatDouble(window->values.back(), 3)) +
+            "</td><td>" +
+            HtmlEscape(health::AsciiSparkline(window->values, 60)) +
+            "</td></tr>\n";
+  }
+  body += "</table>\n";
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
+}
+
+HttpResponse AdminPages::Alertz(const HttpRequest& request) {
+  if (health_ == nullptr) {
+    return HttpResponse::Text(503, "health monitor not attached\n");
+  }
+  const std::vector<health::AlertStatus> alerts = health_->slo()->Snapshot();
+  const health::Watchdog* watchdog = health_->watchdog();
+  const std::optional<health::StallRecord> stall = watchdog->last_stall();
+
+  if (request.Param("format") == "json") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    out.Set("firing",
+            JsonValue::Number(static_cast<double>(health_->slo()->firing())));
+    out.Set("pending",
+            JsonValue::Number(static_cast<double>(health_->slo()->pending())));
+    JsonValue arr = JsonValue::Array();
+    for (const health::AlertStatus& alert : alerts) {
+      arr.Append(AlertToJson(alert));
+    }
+    out.Set("alerts", std::move(arr));
+    JsonValue wd = JsonValue::Object();
+    wd.Set("stalled", JsonValue::Bool(watchdog->stalled()));
+    wd.Set("stalls_total",
+           JsonValue::Number(static_cast<double>(watchdog->stalls_total())));
+    if (stall.has_value()) wd.Set("last_stall", StallToJson(*stall));
+    out.Set("watchdog", std::move(wd));
+    return HttpResponse::Json(out.Dump());
+  }
+
+  std::string body = PageHead("tegra /alertz");
+  body += NavLinks();
+  body += "<p>" + std::to_string(health_->slo()->firing()) + " firing, " +
+          std::to_string(health_->slo()->pending()) +
+          " pending — <a href=\"/alertz?format=json\">json</a></p>\n";
+  body += "<h2>SLO alerts</h2>\n<table>\n"
+          "<tr><th>alert</th><th>state</th><th>value</th><th>detail</th>"
+          "</tr>\n";
+  for (const health::AlertStatus& alert : alerts) {
+    const bool hot = alert.state == health::AlertState::kFiring;
+    body += "<tr><td>" + HtmlEscape(alert.name) + "</td><td" +
+            (hot ? " class=\"warn\"><b>" : ">") +
+            health::AlertStateName(alert.state) + (hot ? "</b>" : "") +
+            "</td><td>" + FormatDouble(alert.value, 3) + "</td><td>" +
+            HtmlEscape(alert.detail) + "</td></tr>\n";
+  }
+  body += "</table>\n";
+
+  body += "<h2>watchdog</h2>\n<table>\n";
+  Row(&body, "stalled now",
+      watchdog->stalled() ? "YES (a heartbeat is overdue)" : "no");
+  RowCount(&body, "stalls_total", watchdog->stalls_total());
+  RowNum(&body, "stall_threshold_seconds",
+         watchdog->options().stall_threshold_seconds, 1);
+  RowNum(&body, "loop_threshold_seconds",
+         watchdog->options().loop_threshold_seconds, 1);
+  RowCount(&body, "heartbeats", health_->heartbeats()->active());
+  body += "</table>\n";
+  if (stall.has_value()) {
+    body += "<h2>last stall</h2>\n<table>\n";
+    Row(&body, "thread", stall->thread_name);
+    if (!stall->label.empty()) Row(&body, "doing", stall->label);
+    RowNum(&body, "stuck_seconds", stall->stuck_seconds, 1);
+    body += "</table>\n";
+    if (!stall->folded_stack.empty()) {
+      // Folded "root;...;leaf" rendered one frame per line, leaf last —
+      // read it like a backtrace of where the thread was wedged.
+      std::string frames = stall->folded_stack;
+      std::replace(frames.begin(), frames.end(), ';', '\n');
+      body += "<pre>" + HtmlEscape(frames) + "</pre>\n";
+    }
+  }
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
 }
 
 }  // namespace serve

@@ -16,7 +16,15 @@
 //              extraction-quality picture at a glance
 //   /tracez    Chrome trace_event JSON of the span ring (open in Perfetto)
 //   /slowlogz  the N slowest requests with span trees (HTML; ?format=json)
-//   /varz      raw JSON metrics snapshot (self-identifying via "build")
+//   /varz      raw JSON metrics snapshot (self-identifying via "build";
+//              includes process.uptime_seconds and, when the health monitor
+//              is attached, health.recorder_staleness_seconds)
+//   /timeseriesz  in-process time series from the health recorder:
+//              ?metric=NAME[&tier=fine|coarse][&format=json] answers one
+//              window; without ?metric= an HTML index of every series with
+//              sparklines (json lists names)
+//   /alertz    SLO burn-rate alerts (firing/pending/inactive) plus the last
+//              watchdog stall; ?format=json for machines
 //   /pprof/profile  on-demand CPU profile from the always-on SIGPROF
 //              sampler: blocks for ?seconds=N (default 2, clamped to
 //              [0.1, 30]) and answers folded stacks ("a;b;c N" per line),
@@ -33,6 +41,7 @@
 #include <string>
 #include <string_view>
 
+#include "health/monitor.h"
 #include "net/http_server.h"
 #include "service/extraction_service.h"
 #include "service/http_admin.h"
@@ -80,6 +89,8 @@ class AdminPages {
   HttpResponse Slowlogz(const HttpRequest& request);
   HttpResponse Varz(const HttpRequest& request);
   HttpResponse PprofProfile(const HttpRequest& request);
+  HttpResponse Timeseriesz(const HttpRequest& request);
+  HttpResponse Alertz(const HttpRequest& request);
 
   /// Test hook: substitute the queue-depth probe consulted by /readyz (the
   /// default reads service->QueueDepth()), so saturation is testable
@@ -92,6 +103,12 @@ class AdminPages {
   void set_data_plane(const net::HttpServer* data_plane) {
     data_plane_ = data_plane;
   }
+
+  /// Attaches the health monitor (borrowed; may be null). Enables
+  /// /timeseriesz and /alertz, the /statusz health section, the watchdog
+  /// verdict on /healthz (503 during an active stall), the degraded
+  /// annotation on /readyz, and recorder staleness on /varz.
+  void set_health(health::HealthMonitor* health) { health_ = health; }
 
  private:
   struct Readiness {
@@ -109,10 +126,16 @@ class AdminPages {
   /// alert on span loss without polling /statusz HTML.
   void RefreshTraceGauges(MetricsRegistry* registry);
 
+  /// Stamps health.recorder_staleness_seconds on `registry` at scrape time
+  /// (-1 before the recorder's first tick), so a scraper can alert on a
+  /// wedged recorder — the watcher is itself watched.
+  void RefreshHealthGauges(MetricsRegistry* registry);
+
   ExtractionService* service_;          // Not owned; may be null.
   trace::Tracer* tracer_;               // Not owned; may be null.
   const store::CorpusManager* corpus_;  // Not owned; may be null.
   const net::HttpServer* data_plane_ = nullptr;  // Not owned; may be null.
+  health::HealthMonitor* health_ = nullptr;      // Not owned; may be null.
   AdminPagesOptions options_;
   std::function<size_t()> queue_depth_fn_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/hash.h"
@@ -174,21 +175,31 @@ ExtractionResponse ExtractionService::SubmitAndWait(ExtractionRequest request) {
 void ExtractionService::WorkerLoop(int worker_index) {
   // Full-stack CPU samples for extraction workers: these threads are where
   // the corpus-statistics hot path (Fig 9) actually burns cycles.
-  prof::EnsureThreadRegistered("svc-worker" + std::to_string(worker_index));
+  const std::string name = "svc-worker" + std::to_string(worker_index);
+  prof::EnsureThreadRegistered(name);
+  // Liveness stamp for the health watchdog: busy around each request, so a
+  // wedged extraction is detectable (and its stack capturable — same prof
+  // registration as above) while an idle worker never alarms.
+  health::Heartbeat* heartbeat =
+      options_.heartbeats == nullptr
+          ? nullptr
+          : options_.heartbeats->Register(name, health::ThreadKind::kWorker);
   while (true) {
     PendingRequest pending;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
-        if (shutdown_) return;
+        if (shutdown_) break;
         continue;
       }
       pending = std::move(queue_.front());
       queue_.pop_front();
     }
+    health::ScopedWork work(heartbeat, "extract");
     Process(std::move(pending));
   }
+  if (heartbeat != nullptr) options_.heartbeats->Release(heartbeat);
 }
 
 void ExtractionService::Process(PendingRequest pending) {
@@ -253,6 +264,14 @@ void ExtractionService::Process(PendingRequest pending) {
         std::to_string(queue_seconds) + "s in queue");
     finish("deadline_exceeded");
     return;
+  }
+
+  // Watchdog drill: park this worker mid-request so the stall detector has
+  // something real to find (busy heartbeat + a capturable stack ending
+  // here). Control-plane only; see ExtractionRequest::debug_sleep_ms.
+  if (pending.request.debug_sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        pending.request.debug_sleep_ms));
   }
 
   // Pin the current engine generation for the whole request: a corpus

@@ -44,6 +44,7 @@
 
 #include "common/status.h"
 #include "core/tegra.h"
+#include "health/heartbeat.h"
 #include "service/extractor_source.h"
 #include "service/lru_cache.h"
 #include "service/metrics.h"
@@ -70,6 +71,11 @@ struct ServiceOptions {
   /// Requests retained by the slow-request log, slowest first (0 disables).
   /// Each retained request keeps its full span tree when tracing is on.
   size_t slowlog_capacity = 8;
+  /// When set (not owned; must outlive the service), every worker registers
+  /// a kWorker heartbeat ("svc-worker<i>") and brackets each request with
+  /// BeginWork/EndWork, so the health watchdog can detect a wedged
+  /// extraction and capture its stack.
+  health::HeartbeatRegistry* heartbeats = nullptr;
 };
 
 /// \brief One extraction request.
@@ -88,6 +94,11 @@ struct ExtractionRequest {
   /// Installed as the thread-local prof request id while the request runs,
   /// so histogram exemplars and wide events can name it. 0 = anonymous.
   uint64_t request_id = 0;
+  /// Fault injection for watchdog drills: the worker sleeps this long
+  /// *inside* Process before extracting, simulating a wedged request. Only
+  /// reachable through the daemon's control plane ({"cmd":"inject_stall"}),
+  /// never via the data plane.
+  double debug_sleep_ms = 0;
 };
 
 /// \brief One extraction response.

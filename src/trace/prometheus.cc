@@ -39,14 +39,31 @@ std::string PrometheusName(const std::string& name,
   return out;
 }
 
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string BuildInfoPrometheusText(const std::string& prefix) {
   const BuildInfo& info = GetBuildInfo();
   const std::string pname = PrometheusName("build_info", prefix);
   std::ostringstream out;
   out << "# TYPE " << pname << " gauge\n";
-  out << pname << "{git_sha=\"" << info.git_sha << "\",build_type=\""
-      << info.build_type << "\",trace=\"" << info.trace << "\",compiler=\""
-      << info.compiler << "\"} 1\n";
+  // Compiler version strings are free-form (quotes and backslashes do
+  // appear in vendor banners); escape every label value.
+  out << pname << "{git_sha=\"" << EscapeLabelValue(info.git_sha)
+      << "\",build_type=\"" << EscapeLabelValue(info.build_type)
+      << "\",trace=\"" << EscapeLabelValue(info.trace) << "\",compiler=\""
+      << EscapeLabelValue(info.compiler) << "\"} 1\n";
   return out.str();
 }
 

@@ -29,6 +29,13 @@ namespace trace {
 std::string PrometheusName(const std::string& name,
                            const std::string& prefix = "tegra_");
 
+/// \brief Escapes a label *value* per the Prometheus/OpenMetrics text
+/// formats: backslash -> \\, double quote -> \", newline -> \n. Label
+/// values are the only place arbitrary strings enter the exposition (build
+/// info, exemplar labels), and an unescaped quote there corrupts every
+/// sample after it.
+std::string EscapeLabelValue(const std::string& value);
+
 /// \brief The process "info metric": a constant-1 gauge whose labels carry
 /// the build identity, e.g.
 ///   tegra_build_info{git_sha="abc",build_type="Release",trace="on"} 1

@@ -284,6 +284,42 @@ TEST(PrometheusTest, RendersCountersGaugesHistograms) {
             std::string::npos);
 }
 
+TEST(PrometheusTest, EscapesLabelValues) {
+  // The three characters the text formats require escaping — anything else
+  // passes through byte-for-byte (label values are free-form UTF-8).
+  EXPECT_EQ(EscapeLabelValue("plain-value_1.2"), "plain-value_1.2");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeLabelValue("all\\three\"at\nonce"),
+            "all\\\\three\\\"at\\nonce");
+  EXPECT_EQ(EscapeLabelValue(""), "");
+}
+
+TEST(PrometheusTest, BuildInfoExpositionIsWellFormed) {
+  // Compiler banners carry quotes/backslashes on some toolchains; whatever
+  // this build's strings are, the rendered line must keep exactly one
+  // balanced quote pair per label and no raw newlines inside the braces.
+  const std::string text = BuildInfoPrometheusText();
+  const size_t open = text.find('{');
+  const size_t close = text.find('}');
+  ASSERT_NE(open, std::string::npos) << text;
+  ASSERT_NE(close, std::string::npos) << text;
+  const std::string labels = text.substr(open + 1, close - open - 1);
+  EXPECT_EQ(labels.find('\n'), std::string::npos) << text;
+  size_t unescaped_quotes = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == '"' && (i == 0 || labels[i - 1] != '\\')) {
+      ++unescaped_quotes;
+    }
+  }
+  // 4 labels (git_sha, build_type, trace, compiler), 2 quotes each.
+  EXPECT_EQ(unescaped_quotes, 8u) << text;
+  EXPECT_NE(text.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(text.find("compiler=\""), std::string::npos);
+  EXPECT_NE(text.find("} 1\n"), std::string::npos);
+}
+
 TEST(PrometheusTest, BucketsAreCumulative) {
   MetricsRegistry registry;
   Histogram* h = registry.GetHistogram("lat");

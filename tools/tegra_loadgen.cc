@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +58,10 @@ options:
                      no profile)
   --profile-out PATH where to write the folded stacks
                      (default BENCH_profile.folded)
+  --series-out PATH  also write a per-second client-side time series across
+                     the whole sweep (sent/completed/errors/p50/p99 per
+                     second, JSON) — the client's view to line up against
+                     the server's /timeseriesz (default: off)
   --help             this text
 )",
              stderr);
@@ -75,6 +80,8 @@ struct LoadgenOptions {
   int admin_port = -1;
   double profile_seconds = 0;
   std::string profile_out = "BENCH_profile.folded";
+  /// Per-second client-side series destination; empty = disabled.
+  std::string series_out;
 };
 
 bool ParseQpsList(const char* list, std::vector<double>* out) {
@@ -143,6 +150,9 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
     } else if (arg == "--profile-out") {
       if (!(v = need_value(i))) return false;
       opts->profile_out = v;
+    } else if (arg == "--series-out") {
+      if (!(v = need_value(i))) return false;
+      opts->series_out = v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -204,7 +214,38 @@ double Percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[std::min(idx, sorted->size() - 1)];
 }
 
-StepResult RunStep(const LoadgenOptions& opts, double qps) {
+/// One second of client-side observations, bucketed by *completion* time
+/// relative to the sweep's start (--series-out).
+struct SecondBucket {
+  uint64_t sent = 0;  ///< arrivals scheduled into this second
+  uint64_t completed = 0;
+  uint64_t http_503 = 0;
+  uint64_t transport_errors = 0;
+  std::vector<double> latencies_ms;
+};
+
+using SecondSeries = std::map<uint32_t, SecondBucket>;
+
+void MergeSeries(SecondSeries* into, const SecondSeries& from) {
+  for (const auto& [second, bucket] : from) {
+    SecondBucket& dst = (*into)[second];
+    dst.sent += bucket.sent;
+    dst.completed += bucket.completed;
+    dst.http_503 += bucket.http_503;
+    dst.transport_errors += bucket.transport_errors;
+    dst.latencies_ms.insert(dst.latencies_ms.end(),
+                            bucket.latencies_ms.begin(),
+                            bucket.latencies_ms.end());
+  }
+}
+
+uint32_t SecondOf(Clock::time_point t0, Clock::time_point t) {
+  const double s = std::chrono::duration<double>(t - t0).count();
+  return s <= 0 ? 0 : static_cast<uint32_t>(s);
+}
+
+StepResult RunStep(const LoadgenOptions& opts, double qps,
+                   Clock::time_point series_t0, SecondSeries* series) {
   const uint64_t total =
       static_cast<uint64_t>(qps * opts.duration_s + 0.5);
   std::atomic<uint64_t> next_arrival{0};
@@ -215,6 +256,7 @@ StepResult RunStep(const LoadgenOptions& opts, double qps) {
   struct WorkerResult {
     uint64_t sent = 0, h2xx = 0, h4xx = 0, h503 = 0, hother = 0, errors = 0;
     std::vector<double> latencies_ms;
+    SecondSeries series;
   };
   std::vector<WorkerResult> per_worker(opts.connections);
   std::vector<std::thread> workers;
@@ -230,19 +272,32 @@ StepResult RunStep(const LoadgenOptions& opts, double qps) {
         std::this_thread::sleep_until(arrival);
         const std::string body = RequestBody(opts, k);
         auto response = client.Post("/v1/extract", body);
+        const Clock::time_point done = Clock::now();
         // Latency from the *scheduled* arrival: client-side queueing counts.
-        const double ms = std::chrono::duration<double, std::milli>(
-                              Clock::now() - arrival)
-                              .count();
+        const double ms =
+            std::chrono::duration<double, std::milli>(done - arrival).count();
         ++result.sent;
+        SecondBucket* bucket =
+            series == nullptr
+                ? nullptr
+                : &result.series[SecondOf(series_t0, done)];
+        if (bucket != nullptr) {
+          ++result.series[SecondOf(series_t0, arrival)].sent;
+        }
         if (!response.ok()) {
           ++result.errors;
+          if (bucket != nullptr) ++bucket->transport_errors;
           continue;
         }
         result.latencies_ms.push_back(ms);
+        if (bucket != nullptr) {
+          ++bucket->completed;
+          bucket->latencies_ms.push_back(ms);
+        }
         const int status = response.value().status;
         if (status == 503) {
           ++result.h503;
+          if (bucket != nullptr) ++bucket->http_503;
         } else if (status >= 200 && status < 300) {
           ++result.h2xx;
         } else if (status >= 400 && status < 500) {
@@ -269,9 +324,40 @@ StepResult RunStep(const LoadgenOptions& opts, double qps) {
     step.latencies_ms.insert(step.latencies_ms.end(),
                              result.latencies_ms.begin(),
                              result.latencies_ms.end());
+    if (series != nullptr) MergeSeries(series, result.series);
   }
   std::sort(step.latencies_ms.begin(), step.latencies_ms.end());
   return step;
+}
+
+/// The client's per-second view of the sweep, for lining up against the
+/// server's /timeseriesz: same wall window, both at 1s resolution.
+std::string SeriesJson(const SecondSeries& series) {
+  std::string out = "{\n  \"bench\": \"dataplane_series\",\n";
+  out += "  \"interval_seconds\": 1,\n";
+  out += "  \"seconds\": [\n";
+  bool first = true;
+  for (const auto& [second, bucket] : series) {
+    std::vector<double> sorted = bucket.latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"t\": %u, \"sent\": %llu, \"completed\": %llu, "
+        "\"http_503\": %llu, \"transport_errors\": %llu, "
+        "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"max_ms\": %.3f}",
+        second, static_cast<unsigned long long>(bucket.sent),
+        static_cast<unsigned long long>(bucket.completed),
+        static_cast<unsigned long long>(bucket.http_503),
+        static_cast<unsigned long long>(bucket.transport_errors),
+        Percentile(&sorted, 0.50), Percentile(&sorted, 0.99),
+        sorted.empty() ? 0.0 : sorted.back());
+    if (!first) out += ",\n";
+    first = false;
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
 }
 
 void AppendStepJson(std::string* out, const StepResult& step) {
@@ -347,8 +433,12 @@ int main(int argc, char** argv) {
   json += "  \"steps\": [\n";
 
   bool any_ok = false;
+  SecondSeries series;
+  SecondSeries* series_sink = opts.series_out.empty() ? nullptr : &series;
+  const Clock::time_point series_t0 = Clock::now();
   for (size_t i = 0; i < opts.qps_steps.size(); ++i) {
-    const StepResult step = RunStep(opts, opts.qps_steps[i]);
+    const StepResult step =
+        RunStep(opts, opts.qps_steps[i], series_t0, series_sink);
     std::vector<double> sorted = step.latencies_ms;
     std::fprintf(stderr,
                  "  qps %7.1f: sent %llu  2xx %llu  503 %llu  err %llu  "
@@ -373,6 +463,19 @@ int main(int argc, char** argv) {
   std::fwrite(json.data(), 1, json.size(), f);
   std::fclose(f);
   std::fprintf(stderr, "tegra_loadgen: wrote %s\n", opts.out_path.c_str());
+
+  if (series_sink != nullptr) {
+    const std::string series_json = SeriesJson(series);
+    std::FILE* sf = std::fopen(opts.series_out.c_str(), "wb");
+    if (sf == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.series_out.c_str());
+    } else {
+      std::fwrite(series_json.data(), 1, series_json.size(), sf);
+      std::fclose(sf);
+      std::fprintf(stderr, "tegra_loadgen: wrote %s (%zu seconds)\n",
+                   opts.series_out.c_str(), series.size());
+    }
+  }
 
   if (profile_fetch.joinable()) {
     profile_fetch.join();

@@ -33,11 +33,19 @@
 //                               always-on SIGPROF sampler (inline "body", or
 //                               {"file":"path"}); same data as
 //                               GET /pprof/profile on the admin plane
+//   {"cmd": "inject_stall", "ms": N}
+//                            -> watchdog drill: submit one probe request
+//                               whose worker sleeps N ms (default 2000)
+//                               mid-extraction, so the health watchdog can
+//                               be exercised end-to-end (stack capture
+//                               included). Control plane only — the HTTP
+//                               data plane cannot reach this
 //   {"cmd": "quit"}          -> drain in-flight work and exit
 //
 // With --admin-port the same telemetry is served over HTTP (zPages:
-// /metrics /healthz /readyz /statusz /tracez /slowlogz /varz), so Prometheus
-// scrapers, load balancers and browsers reach it without the pipe. When the
+// /metrics /healthz /readyz /statusz /tracez /slowlogz /varz /timeseriesz
+// /alertz), so Prometheus scrapers, load balancers and browsers reach it
+// without the pipe. When the
 // admin plane starts, one NDJSON event line
 //   {"event":"admin_ready","port":N}
 // is emitted on stdout before any responses — with `--admin-port 0` (bind an
@@ -75,9 +83,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -87,6 +97,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "corpus/column_index.h"
+#include "health/monitor.h"
 #include "prof/profiler.h"
 #include "prof/runtime_stats.h"
 #include "prof/wide_event.h"
@@ -167,6 +178,19 @@ options:
                           kept regardless)
   --access-log-slow-ms D  requests at or above D ms total latency are always
                           kept (default 100)
+  --health-interval-ms D  health recorder cadence: every D ms the metrics
+                          registry is snapshotted into in-process time
+                          series (/timeseriesz), SLO burn rates re-evaluated
+                          (/alertz) and the stall watchdog run. 0 disables
+                          the recorder thread entirely (default 1000)
+  --stall-threshold-ms D  a worker request (extraction, corpus reload)
+                          running longer than D ms is a stall: the watchdog
+                          captures the stuck thread's stack, logs it and
+                          increments health.stalls_total (default 30000)
+  --slo-config PATH       JSON SLO definitions replacing the built-in rules;
+                          {"slos":[{"name":...,"kind":"error_ratio"|
+                          "gauge_above"|"gauge_below",...}]} (see
+                          docs/OBSERVABILITY.md)
   --help                  this text
 )",
              stderr);
@@ -192,6 +216,11 @@ struct ServeCliOptions {
   std::string access_log_path;
   double access_log_sample = 1.0;
   double access_log_slow_ms = 100.0;
+  /// Health recorder cadence; 0 disables the recorder thread.
+  int health_interval_ms = 1000;
+  int stall_threshold_ms = 30000;
+  /// JSON SLO definitions; empty selects SloEngine::DefaultSpecs().
+  std::string slo_config_path;
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -297,6 +326,23 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
     } else if (arg == "--access-log-slow-ms") {
       if (!(v = need_value(i))) return false;
       opts->access_log_slow_ms = std::atof(v);
+    } else if (arg == "--health-interval-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->health_interval_ms = std::atoi(v);
+      if (opts->health_interval_ms < 0) {
+        std::fprintf(stderr, "bad --health-interval-ms: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--stall-threshold-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->stall_threshold_ms = std::atoi(v);
+      if (opts->stall_threshold_ms <= 0) {
+        std::fprintf(stderr, "bad --stall-threshold-ms: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--slo-config") {
+      if (!(v = need_value(i))) return false;
+      opts->slo_config_path = v;
     } else if (arg == "--log-format") {
       if (!(v = need_value(i))) return false;
       tegra::trace::Logger::Global().SetFormat(
@@ -346,6 +392,68 @@ tegra::Result<tegra::ColumnIndex> BuildSyntheticCorpus(
   tegra::trace::LogInfo("building synthetic corpus",
                         {{"profile", parts[0]}, {"tables", tables}});
   return tegra::synth::BuildBackgroundIndex(profile, tables, seed);
+}
+
+/// Parses a --slo-config file: {"slos":[{...}, ...]}. Each entry mirrors
+/// health::SloSpec; an error-ratio rule without explicit windows gets the
+/// canonical fast (5m/1h @ 14.4x) + slow (30m/6h @ 6x) pairs. The parse
+/// lives in the tool because tegra_health sits below the JSON helpers.
+tegra::Result<std::vector<tegra::health::SloSpec>> LoadSloConfig(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return tegra::Status::NotFound("cannot open --slo-config " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = tegra::serve::ParseJson(buffer.str());
+  if (!parsed.ok()) return parsed.status();
+  std::vector<tegra::health::SloSpec> specs;
+  for (const JsonValue& item : (*parsed)["slos"].AsArray()) {
+    tegra::health::SloSpec spec;
+    spec.name = item["name"].AsString();
+    if (spec.name.empty()) {
+      return tegra::Status::InvalidArgument("slo entry without \"name\"");
+    }
+    const std::string kind = item["kind"].AsString();
+    if (kind.empty() || kind == "error_ratio") {
+      spec.kind = tegra::health::SloSpec::Kind::kErrorRatio;
+    } else if (kind == "gauge_above") {
+      spec.kind = tegra::health::SloSpec::Kind::kGaugeAbove;
+    } else if (kind == "gauge_below") {
+      spec.kind = tegra::health::SloSpec::Kind::kGaugeBelow;
+    } else {
+      return tegra::Status::InvalidArgument("unknown slo kind: " + kind);
+    }
+    spec.description = item["description"].AsString();
+    for (const JsonValue& series : item["bad_series"].AsArray()) {
+      spec.bad_series.push_back(series.AsString());
+    }
+    spec.total_series = item["total_series"].AsString();
+    spec.objective = item["objective"].AsNumber(spec.objective);
+    for (const JsonValue& w : item["windows"].AsArray()) {
+      tegra::health::BurnWindow window;
+      window.short_seconds = w["short_seconds"].AsNumber(window.short_seconds);
+      window.long_seconds = w["long_seconds"].AsNumber(window.long_seconds);
+      window.burn_threshold =
+          w["burn_threshold"].AsNumber(window.burn_threshold);
+      spec.windows.push_back(window);
+    }
+    if (spec.kind == tegra::health::SloSpec::Kind::kErrorRatio &&
+        spec.windows.empty()) {
+      spec.windows.push_back({300, 3600, 14.4});
+      spec.windows.push_back({1800, 21600, 6.0});
+    }
+    spec.series = item["series"].AsString();
+    spec.threshold = item["threshold"].AsNumber(0);
+    spec.for_seconds = item["for_seconds"].AsNumber(0);
+    spec.keep_seconds = item["keep_seconds"].AsNumber(spec.keep_seconds);
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return tegra::Status::InvalidArgument("no \"slos\" entries in " + path);
+  }
+  return specs;
 }
 
 JsonValue ResponseToJson(const JsonValue& id, const ExtractionResponse& resp) {
@@ -583,7 +691,63 @@ int main(int argc, char** argv) {
   engine_config.stats.co_cache_capacity = opts.co_cache_capacity;
   engine_config.stats.metrics = &registry;
   tegra::serve::ReloadableEngine engine(manager.get(), engine_config);
+
+  // Health subsystem: recorder (metrics -> time series), SLO burn-rate
+  // engine, stall watchdog. Constructed before the service so workers can
+  // register heartbeats in its registry; Start()ed only after every observed
+  // subsystem is up, and Stop()ped first in the drain sequence so no check
+  // runs against half-dead threads. The gauge-refresh hook dereferences a
+  // pointer filled in right after the service exists.
+  std::vector<tegra::health::SloSpec> slo_specs;
+  if (!opts.slo_config_path.empty()) {
+    auto loaded = LoadSloConfig(opts.slo_config_path);
+    if (!loaded.ok()) {
+      tegra::trace::LogError("bad --slo-config",
+                             {{"path", opts.slo_config_path},
+                              {"status", loaded.status().ToString()}});
+      return 1;
+    }
+    slo_specs = std::move(loaded.value());
+  } else {
+    slo_specs = tegra::health::SloEngine::DefaultSpecs();
+    for (tegra::health::SloSpec& spec : slo_specs) {
+      // The built-in saturation rule assumes the default queue bound;
+      // rescale it to 75% of whatever --queue-depth actually is.
+      if (spec.name == "queue_saturation") {
+        spec.threshold =
+            0.75 * static_cast<double>(opts.service.max_queue_depth);
+      }
+    }
+  }
+  tegra::health::HealthOptions health_options;
+  health_options.interval_seconds = opts.health_interval_ms / 1e3;
+  health_options.watchdog.stall_threshold_seconds =
+      opts.stall_threshold_ms / 1e3;
+  health_options.slos = std::move(slo_specs);
+  tegra::serve::ExtractionService* service_ptr = nullptr;
+  health_options.refresh_gauges = [&service_ptr] {
+    if (service_ptr != nullptr) service_ptr->metrics();
+  };
+  tegra::health::HealthMonitor health(&registry, std::move(health_options));
+
+  // Per-extraction ThreadPool workers stamp busy/idle through the task
+  // hooks; the thread-local slot registers on first task and releases at
+  // thread exit (pools are created per extraction call).
+  tegra::ThreadPool::SetTaskHooks(
+      [&health](size_t) {
+        tegra::health::Heartbeat* heartbeat =
+            health.heartbeats()->PoolThreadHeartbeat();
+        if (heartbeat != nullptr) heartbeat->BeginWork("pool-task");
+      },
+      [&health](size_t) {
+        tegra::health::Heartbeat* heartbeat =
+            health.heartbeats()->PoolThreadHeartbeat();
+        if (heartbeat != nullptr) heartbeat->EndWork();
+      });
+
+  opts.service.heartbeats = health.heartbeats();
   tegra::serve::ExtractionService service(&engine, opts.service, &registry);
+  service_ptr = &service;
   tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
 
   // The signal thread: every handled signal is blocked in every thread (see
@@ -594,7 +758,15 @@ int main(int argc, char** argv) {
   std::atomic<bool> signal_thread_quit{false};
   const int shutdown_write_fd = shutdown_pipe[1];
   std::thread signal_thread(
-      [&manager, &signal_thread_quit, sighup_reload, shutdown_write_fd] {
+      [&manager, &health, &signal_thread_quit, sighup_reload,
+       shutdown_write_fd] {
+        // This thread doubles as the reloader, and a reload can wedge on
+        // a bad NFS mount or a giant index: stamp a worker heartbeat
+        // around each Reload so the watchdog notices. SIGPROF is not in
+        // the sigwait set, so the stack capture reaches this thread too.
+        tegra::prof::EnsureThreadRegistered("reloader");
+        tegra::health::Heartbeat* heartbeat = health.heartbeats()->Register(
+            "reloader", tegra::health::ThreadKind::kWorker);
         const sigset_t handled = HandledSignalSet();
         while (true) {
           int sig = 0;
@@ -616,6 +788,7 @@ int main(int argc, char** argv) {
           }
           tegra::trace::LogInfo("SIGHUP: reloading corpus",
                                 {{"path", manager->path()}});
+          tegra::health::ScopedWork work(heartbeat, "corpus_reload");
           const tegra::Status status = manager->Reload();
           if (status.ok()) {
             tegra::trace::LogInfo("corpus reloaded",
@@ -627,6 +800,7 @@ int main(int argc, char** argv) {
                 {{"status", status.ToString()}});
           }
         }
+        if (heartbeat != nullptr) health.heartbeats()->Release(heartbeat);
       });
 
   // Optional HTTP data plane (POST /v1/extract over the tegra::net event
@@ -638,6 +812,24 @@ int main(int argc, char** argv) {
   plane_options.server.bind_address = opts.data_bind;
   plane_options.server.max_connections = opts.max_connections;
   plane_options.server.io_timeout_ms = opts.io_timeout_ms;
+  // Loop-liveness beat, fired every event-loop iteration (the poller wakes
+  // at least every timer tick). The slot registers from the loop thread on
+  // its first beat — Register records the calling tid for stack capture —
+  // and releases itself at thread exit.
+  plane_options.server.loop_heartbeat = [&health] {
+    struct LoopSlot {
+      tegra::health::HeartbeatRegistry* registry;
+      tegra::health::Heartbeat* heartbeat;
+      ~LoopSlot() {
+        if (heartbeat != nullptr) registry->Release(heartbeat);
+      }
+    };
+    static thread_local LoopSlot slot{
+        health.heartbeats(),
+        health.heartbeats()->Register("net-loop",
+                                      tegra::health::ThreadKind::kLoop)};
+    if (slot.heartbeat != nullptr) slot.heartbeat->Beat();
+  };
   tegra::serve::DataPlane plane(&service, plane_options, &registry);
   if (access_log.enabled()) plane.set_wide_events(&access_log);
 
@@ -652,6 +844,7 @@ int main(int argc, char** argv) {
                                          : opts.build_spec);
   tegra::serve::AdminPages pages(&service, &tracer, manager.get(),
                                  pages_options);
+  pages.set_health(&health);
   if (opts.data_port >= 0) {
     // /readyz reports data-plane saturation; /statusz gains its stats table.
     pages.set_data_plane(&plane.server());
@@ -699,6 +892,11 @@ int main(int argc, char** argv) {
          {"io_timeout_ms", plane_options.server.io_timeout_ms}});
   }
 
+  // Every observed subsystem is up; start recording. With
+  // --health-interval-ms 0 this is a no-op (zPages then show an idle,
+  // never-ticked recorder).
+  health.Start();
+
   tegra::trace::LogInfo(
       "tegra_serve ready",
       {{"workers", service.options().num_workers},
@@ -709,6 +907,7 @@ int main(int argc, char** argv) {
        {"admin", opts.admin_port >= 0 ? "on" : "off"},
        {"data_plane", opts.data_port >= 0 ? "on" : "off"},
        {"profile_hz", opts.profile_hz},
+       {"health_interval_ms", opts.health_interval_ms},
        {"access_log",
         opts.access_log_path.empty() ? "off" : opts.access_log_path}});
 
@@ -768,6 +967,30 @@ int main(int argc, char** argv) {
         return true;
       }
       EmitBody(request, "folded", profile.value().ToFolded(), bad_requests);
+      return true;
+    }
+    if (cmd == "inject_stall") {
+      // Watchdog drill: one probe request whose worker sleeps mid-Process,
+      // producing a genuine stall (busy heartbeat, capturable stack). The
+      // future is deliberately dropped — the probe completes on its own and
+      // the control loop must not block for the sleep. debug_sleep_ms is
+      // only settable here; the HTTP data plane never populates it.
+      Flush(&inflight, 0);
+      double sleep_ms = request["ms"].AsNumber(2000.0);
+      sleep_ms = std::min(120000.0, std::max(1.0, sleep_ms));
+      ExtractionRequest probe;
+      probe.lines = {"stall probe alpha 1", "stall probe beta 2"};
+      probe.num_columns = 0;
+      probe.bypass_cache = true;
+      probe.debug_sleep_ms = sleep_ms;
+      (void)service.Submit(std::move(probe));
+      tegra::trace::LogWarn("inject_stall: stall probe submitted",
+                            {{"sleep_ms", sleep_ms}});
+      JsonValue out = JsonValue::Object();
+      if (request.Has("id")) out.Set("id", request["id"]);
+      out.Set("ok", JsonValue::Bool(true));
+      out.Set("sleep_ms", JsonValue::Number(sleep_ms));
+      Emit(out.Dump());
       return true;
     }
     if (cmd == "corpus_reload") {
@@ -892,9 +1115,13 @@ int main(int argc, char** argv) {
   // half-dead server. Only after every request that could emit evidence has
   // finished do the telemetry threads stop and the buffered sinks flush —
   // a SIGTERM never loses buffered access-log lines or log records.
+  // The health recorder goes first: no watchdog check may run while the
+  // planes and workers it observes are mid-teardown.
+  health.Stop();
   plane.Stop();
   admin.Stop();
   service.Shutdown();
+  tegra::ThreadPool::SetTaskHooks({}, {});
   runtime_stats.Stop();
   tegra::prof::CpuProfiler::Global().Stop();
   access_log.Flush();
