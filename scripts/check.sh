@@ -10,12 +10,14 @@
 #                       full suite must still pass, proving nothing depends
 #                       on tracing being compiled in
 #   3. tsan           — TEGRA_SANITIZE=thread; runs the `service`, `trace`,
-#                       `store`, `net` and `prof` ctest labels plus the
-#                       metrics/stress tests, the suites with real
+#                       `store`, `net`, `prof` and `qos` ctest labels plus
+#                       the metrics/stress tests, the suites with real
 #                       cross-thread traffic (store_test races readers
 #                       against corpus hot swaps; the net suite runs the
 #                       event loop against concurrent clients; the prof
-#                       suite fires SIGPROF into a live thread pool)
+#                       suite fires SIGPROF into a live thread pool; the
+#                       qos suite hammers the controller and tenant
+#                       buckets from concurrent admission threads)
 #
 # Usage:
 #   scripts/check.sh            # all three configurations
@@ -65,11 +67,13 @@ if [[ "$ONLY" == "all" || "$ONLY" == "tsan" ]]; then
   # net label drives the event-loop HTTP server with concurrent clients
   # and foreign-thread completions; stress_test and metrics_test hammer
   # the histogram CAS paths; the prof label delivers SIGPROF into busy
-  # worker threads while captures drain the sample rings.
+  # worker threads while captures drain the sample rings; the qos label
+  # covers the degradation controller (health tick vs request threads)
+  # and the tenant bucket map under concurrent admission checks.
   configure_and_build tsan -DTEGRA_SANITIZE=thread -DTEGRA_TRACE=ON
-  echo "=== [tsan] test (service/trace/store/net/prof labels, metrics/stress) ==="
+  echo "=== [tsan] test (service/trace/store/net/prof/qos labels, metrics/stress) ==="
   (cd "$ROOT/build-check-tsan" &&
-    run ctest --output-on-failure --timeout 600 -L 'service|trace|store|net|prof' &&
+    run ctest --output-on-failure --timeout 600 -L 'service|trace|store|net|prof|qos' &&
     run ctest --output-on-failure --timeout 600 -R 'metrics_test|stress_test')
   echo "=== [tsan] OK ==="
 fi

@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Overload smoke drill: boot tegra_serve with the qos ladder armed, push the
+# data plane to 2x its measured capacity with tegra_loadgen's overload mode,
+# and require
+#   (a) p99 latency under 2 s and >= 99% non-503 availability at 2x — the
+#       ladder absorbs the overload by degrading quality, not by shedding,
+#   (b) at least one response actually served from a degraded rung (the
+#       per-rung columns in BENCH_overload.json are non-trivial),
+#   (c) the controller's own account agrees: /qosz reports escalations > 0,
+#   (d) a clean daemon shutdown via {"cmd":"quit"} (exit code 0).
+# The per-rung latency / SP-score columns land in BENCH_overload.json next
+# to the build dir so CI can archive them.
+#
+# Usage: scripts/overload_smoke.sh [build-dir]
+
+set -euo pipefail
+
+BUILD="${1:-build}"
+BENCH="$BUILD/BENCH_overload.json"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkfifo "$WORK/stdin"
+# Two workers and a queue deep enough to hold every in-flight client (so
+# nothing 503s) but shallow enough that the queue-fraction signal fires
+# well before it fills. Aggressive controller timings keep the drill short.
+"$BUILD/tools/tegra_serve" --build-corpus web:300:1 --port 0 --workers 2 \
+  --admin-port 0 --queue-depth 64 --health-interval-ms 100 \
+  --qos on --qos-target-queue-fraction 0.1 \
+  --qos-escalate-hold-ms 200 --qos-recover-hold-ms 500 \
+  < "$WORK/stdin" > "$WORK/stdout.ndjson" 2> "$WORK/stderr.log" &
+SERVE_PID=$!
+# Hold the fifo's write end open so the daemon's stdin never sees EOF
+# before we send quit.
+exec 9> "$WORK/stdin"
+
+read_port() {
+  python3 -c '
+import json, sys
+try:
+    for line in open(sys.argv[1]):
+        obj = json.loads(line)
+        if obj.get("event") == sys.argv[2]:
+            print(obj["port"])
+            break
+except (FileNotFoundError, ValueError):
+    pass
+' "$WORK/stdout.ndjson" "$1"
+}
+PORT=""
+ADMIN_PORT=""
+for _ in $(seq 1 150); do
+  PORT=$(read_port data_ready)
+  ADMIN_PORT=$(read_port admin_ready)
+  [[ -n "$PORT" && -n "$ADMIN_PORT" ]] && break
+  sleep 0.2
+done
+if [[ -z "$PORT" || -z "$ADMIN_PORT" ]]; then
+  echo "FAIL: no ready events from tegra_serve" >&2
+  cat "$WORK/stderr.log" >&2
+  exit 1
+fi
+echo "data plane up on port $PORT, admin on $ADMIN_PORT"
+
+# 2x overload with a two-tenant mix; the loadgen itself enforces the p99
+# and availability bars (exit 3 on violation). 16-line bodies with
+# bypass_cache make every request do real extraction work (a warm cache or
+# HTTP-bound tiny bodies would hide the ladder), and the probe runs at
+# worker-count concurrency so it measures full-quality capacity without
+# tripping the ladder itself.
+"$BUILD/tools/tegra_loadgen" --port "$PORT" --overload-factor 2 \
+  --probe-s 3 --probe-connections 2 --duration-s 8 --connections 32 \
+  --lines 16 --bypass-cache --tenant-mix "alpha:3,beta:1" \
+  --assert-p99-ms 2000 --assert-availability 0.99 --out "$BENCH"
+
+# The per-rung columns must show the ladder actually engaged.
+python3 -c '
+import json, sys
+bench = json.load(open(sys.argv[1]))
+assert bench["bench"] == "overload", "wrong bench shape"
+step = bench["steps"][-1]
+assert step["http_2xx"] > 0, "no successful extractions at 2x overload"
+degraded = sum(r["count"] for r in step["rungs"] if r["rung"] > 0)
+assert degraded > 0, "2x overload never reached a degraded rung"
+tenants = {t["tenant"]: t for t in step.get("tenants", [])}
+assert set(tenants) == {"alpha", "beta"}, "tenant mix missing: %r" % tenants
+for rung in step["rungs"]:
+    print("  rung %d: %6d requests  p99 %8.2fms  mean_sp %.4f"
+          % (rung["rung"], rung["count"], rung["p99_ms"], rung["mean_sp"]))
+print("overload OK: %.1f qps capacity, %d degraded responses, "
+      "availability %.4f, p99 %.1fms"
+      % (bench["capacity_qps"], degraded, step["availability"],
+         step["p99_ms"]))
+' "$BENCH"
+
+# The controller saw the same episode from the inside.
+python3 -c '
+import json, sys, urllib.request
+url = "http://127.0.0.1:%s/qosz?format=json" % sys.argv[1]
+with urllib.request.urlopen(url, timeout=5) as r:
+    qosz = json.loads(r.read().decode())
+ladder = qosz["ladder"]
+assert ladder["escalations"] > 0, "controller recorded no escalations"
+assert ladder["degraded_seconds"] > 0, "no time accounted at rung > 0"
+print("qosz OK: %d escalations, %d recoveries, %.1fs degraded, rung now %d"
+      % (ladder["escalations"], ladder["recoveries"],
+         ladder["degraded_seconds"], ladder["rung"]))
+' "$ADMIN_PORT"
+
+# Clean shutdown: quit drains in-flight work and must exit 0.
+echo '{"cmd":"quit"}' >&9
+exec 9>&-
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "clean shutdown OK"

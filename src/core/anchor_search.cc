@@ -14,6 +14,14 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// Combines the global candidate width cap with the (optional, tighter)
+/// SLGR DP cap; either may be 0 = unbounded.
+uint32_t LineCap(uint32_t base_cap, uint32_t slgr_cap) {
+  if (slgr_cap == 0) return base_cap;
+  if (base_cap == 0) return slgr_cap;
+  return std::min(base_cap, slgr_cap);
+}
+
 /// Per-line width caps for segmenting into m columns.
 std::vector<uint32_t> LineWidths(const ListContext& ctx, int m,
                                  uint32_t base_cap) {
@@ -35,13 +43,14 @@ struct NodeState {
 
 double AnchorDistanceOf(const ListContext& ctx, size_t anchor,
                         const Bounds& anchor_bounds, DistanceCache* dist,
-                        uint32_t base_cap) {
+                        uint32_t base_cap, uint32_t slgr_cap) {
   const int m = NumColumns(anchor_bounds);
+  const uint32_t line_cap = LineCap(base_cap, slgr_cap);
   auto anchor_cells = ctx.CellsFor(anchor, anchor_bounds);
   double total = 0;
   for (size_t j = 0; j < ctx.num_lines(); ++j) {
     if (j == anchor) continue;
-    const uint32_t width = ctx.EffectiveWidth(j, m, base_cap);
+    const uint32_t width = ctx.EffectiveWidth(j, m, line_cap);
     SlgrResult r = SegmentLineGivenRecord(ctx, j, anchor_cells, dist, width);
     total += ctx.LineWeight(anchor, j) * r.cost;
   }
@@ -50,8 +59,10 @@ double AnchorDistanceOf(const ListContext& ctx, size_t anchor,
 
 std::vector<Bounds> InduceTable(const ListContext& ctx, size_t anchor,
                                 const Bounds& anchor_bounds,
-                                DistanceCache* dist, uint32_t base_cap) {
+                                DistanceCache* dist, uint32_t base_cap,
+                                uint32_t slgr_cap) {
   const int m = NumColumns(anchor_bounds);
+  const uint32_t line_cap = LineCap(base_cap, slgr_cap);
   auto anchor_cells = ctx.CellsFor(anchor, anchor_bounds);
   std::vector<Bounds> out(ctx.num_lines());
   for (size_t j = 0; j < ctx.num_lines(); ++j) {
@@ -59,7 +70,7 @@ std::vector<Bounds> InduceTable(const ListContext& ctx, size_t anchor,
       out[j] = anchor_bounds;
       continue;
     }
-    const uint32_t width = ctx.EffectiveWidth(j, m, base_cap);
+    const uint32_t width = ctx.EffectiveWidth(j, m, line_cap);
     out[j] = SegmentLineGivenRecord(ctx, j, anchor_cells, dist, width).bounds;
   }
   return out;
@@ -68,7 +79,9 @@ std::vector<Bounds> InduceTable(const ListContext& ctx, size_t anchor,
 AnchorSearchResult MinimizeAnchorDistanceExhaustive(const ListContext& ctx,
                                                     size_t anchor, int m,
                                                     DistanceCache* dist,
-                                                    uint32_t base_cap) {
+                                                    uint32_t base_cap,
+                                                    uint32_t slgr_cap,
+                                                    size_t max_nodes) {
   const uint32_t len = ctx.line_length(anchor);
   const uint32_t width = ctx.EffectiveWidth(anchor, m, base_cap);
 
@@ -85,12 +98,16 @@ AnchorSearchResult MinimizeAnchorDistanceExhaustive(const ListContext& ctx,
   }
 
   for (const Bounds& bounds : candidates) {
-    const double ad = AnchorDistanceOf(ctx, anchor, bounds, dist, base_cap);
+    const double ad =
+        AnchorDistanceOf(ctx, anchor, bounds, dist, base_cap, slgr_cap);
     ++best.nodes_expanded;
     if (ad < best.anchor_distance) {
       best.anchor_distance = ad;
       best.anchor_bounds = bounds;
     }
+    // Budget rung: stop scoring candidates once the budget is spent (the
+    // best-so-far segmentation is still valid, just not proven optimal).
+    if (max_nodes > 0 && best.nodes_expanded >= max_nodes) break;
   }
   return best;
 }
@@ -98,21 +115,23 @@ AnchorSearchResult MinimizeAnchorDistanceExhaustive(const ListContext& ctx,
 AnchorSearchResult MinimizeAnchorDistanceAStar(const ListContext& ctx,
                                                size_t anchor, int m,
                                                DistanceCache* dist,
-                                               uint32_t base_cap) {
+                                               uint32_t base_cap,
+                                               uint32_t slgr_cap,
+                                               size_t max_nodes) {
   // A pinned anchor admits a single segmentation; score it directly.
   const auto& fixed = ctx.fixed_bounds(anchor);
   if (fixed.has_value()) {
     AnchorSearchResult result;
     result.anchor_bounds = *fixed;
     result.anchor_distance =
-        AnchorDistanceOf(ctx, anchor, *fixed, dist, base_cap);
+        AnchorDistanceOf(ctx, anchor, *fixed, dist, base_cap, slgr_cap);
     result.nodes_expanded = 1;
     return result;
   }
 
   const uint32_t len = ctx.line_length(anchor);
   const uint32_t anchor_width = ctx.EffectiveWidth(anchor, m, base_cap);
-  const auto line_widths = LineWidths(ctx, m, base_cap);
+  const auto line_widths = LineWidths(ctx, m, LineCap(base_cap, slgr_cap));
 
   const AnchorHeuristic heuristic(ctx, anchor, m, anchor_width, line_widths,
                                   dist);
@@ -190,6 +209,7 @@ AnchorSearchResult MinimizeAnchorDistanceAStar(const ListContext& ctx,
   result.anchor_distance = kInf;
   const size_t target = node_id(m, len);
   double upper_bound = kInf;  // Best complete solution seen so far.
+  Bounds incumbent;           // The segmentation achieving upper_bound.
 
   while (!open.empty()) {
     const auto [f, node, sidx] = open.top();
@@ -199,6 +219,16 @@ AnchorSearchResult MinimizeAnchorDistanceAStar(const ListContext& ctx,
     if (node == target) {
       result.anchor_distance = popped.g;
       result.anchor_bounds = popped.prefix;
+      break;
+    }
+    // Anytime cutoff (qos degradation rungs): once the node budget is spent,
+    // return the best complete segmentation generated so far instead of
+    // proving optimality. Until one exists the search must continue — the
+    // result has to be a valid m-column segmentation.
+    if (max_nodes > 0 && result.nodes_expanded >= max_nodes &&
+        upper_bound < kInf) {
+      result.anchor_distance = upper_bound;
+      result.anchor_bounds = incumbent;
       break;
     }
     if (f > upper_bound + kEps) continue;  // Cannot beat a known solution.
@@ -255,7 +285,10 @@ AnchorSearchResult MinimizeAnchorDistanceAStar(const ListContext& ctx,
 
       const double f2 = g2 + heuristic.Get(p2, w2);
       if (f2 > upper_bound + kEps) continue;
-      if (at_target) upper_bound = std::min(upper_bound, g2);
+      if (at_target && g2 < upper_bound) {
+        upper_bound = g2;
+        incumbent = next_state.prefix;
+      }
 
       // Dominance pruning against sibling states at this node.
       auto& siblings = states[next];

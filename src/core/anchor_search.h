@@ -40,30 +40,47 @@ struct AnchorSearchResult {
 ///   0 = unbounded). Effective per-line caps are derived via
 ///   ListContext::EffectiveWidth. Candidate substrings must be registered
 ///   (ListContext::EnsureWidth) for every line beforehand.
+/// \param slgr_cap optional tighter width cap for the *non-anchor* lines'
+///   SLGR alignment DP (0 = same as base_cap). Lowering it shrinks every
+///   per-line DP row without touching the anchor's own candidate space;
+///   feasibility is preserved because EffectiveWidth never caps below
+///   ceil(|l|/m). Used by the qos degradation ladder.
+/// \param max_nodes node-expansion budget (0 = unbounded). When the budget
+///   is exhausted the search turns anytime: it returns the best *complete*
+///   segmentation found so far, continuing only until the first complete
+///   solution exists. The result may then be suboptimal but is always a
+///   valid segmentation.
 AnchorSearchResult MinimizeAnchorDistanceAStar(const ListContext& ctx,
                                                size_t anchor, int m,
                                                DistanceCache* dist,
-                                               uint32_t base_cap);
+                                               uint32_t base_cap,
+                                               uint32_t slgr_cap = 0,
+                                               size_t max_nodes = 0);
 
-/// \brief Exhaustive minimization over all anchor segmentations.
+/// \brief Exhaustive minimization over all anchor segmentations. `max_nodes`
+/// caps the number of candidate segmentations scored (0 = all); at least one
+/// candidate is always scored so the result stays valid.
 AnchorSearchResult MinimizeAnchorDistanceExhaustive(const ListContext& ctx,
                                                     size_t anchor, int m,
                                                     DistanceCache* dist,
-                                                    uint32_t base_cap);
+                                                    uint32_t base_cap,
+                                                    uint32_t slgr_cap = 0,
+                                                    size_t max_nodes = 0);
 
 /// \brief Re-derives the induced table R(t_i*) for a solved anchor: aligns
 /// every line against the anchor segmentation (fixed lines keep their
 /// bounds). Returns one Bounds per line; entry `anchor` is `anchor_bounds`.
 std::vector<Bounds> InduceTable(const ListContext& ctx, size_t anchor,
                                 const Bounds& anchor_bounds,
-                                DistanceCache* dist, uint32_t base_cap);
+                                DistanceCache* dist, uint32_t base_cap,
+                                uint32_t slgr_cap = 0);
 
 /// \brief The weighted anchor distance of a *given* anchor segmentation
 /// (sum over lines of weight * SLGR cost). Used by both implementations and
 /// by tests.
 double AnchorDistanceOf(const ListContext& ctx, size_t anchor,
                         const Bounds& anchor_bounds, DistanceCache* dist,
-                        uint32_t base_cap);
+                        uint32_t base_cap, uint32_t slgr_cap = 0);
 
 }  // namespace tegra
 

@@ -17,7 +17,7 @@ double RecordDistance(const std::vector<const CellInfo*>& a,
 
 double SumOfPairsDistance(const ListContext& ctx,
                           const std::vector<Bounds>& table_bounds,
-                          DistanceCache* dist) {
+                          DistanceCache* dist, size_t max_pairs) {
   assert(table_bounds.size() == ctx.num_lines());
   const size_t n = ctx.num_lines();
   std::vector<std::vector<const CellInfo*>> records;
@@ -25,12 +25,26 @@ double SumOfPairsDistance(const ListContext& ctx,
   for (size_t i = 0; i < n; ++i) {
     records.push_back(ctx.CellsFor(i, table_bounds[i]));
   }
+  const size_t num_pairs = n * (n - 1) / 2;
+  // Deterministic stride sample: score every k-th pair in (i, j) order and
+  // rescale, keeping the value comparable with the exact SP.
+  const size_t stride =
+      (max_pairs > 0 && num_pairs > max_pairs)
+          ? (num_pairs + max_pairs - 1) / max_pairs
+          : 1;
   double total = 0;
+  size_t pair_index = 0;
+  size_t scored = 0;
   for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
+    for (size_t j = i + 1; j < n; ++j, ++pair_index) {
+      if (pair_index % stride != 0) continue;
       total += ctx.PairWeight(i, j) *
                RecordDistance(records[i], records[j], dist);
+      ++scored;
     }
+  }
+  if (stride > 1 && scored > 0) {
+    total *= static_cast<double>(num_pairs) / static_cast<double>(scored);
   }
   return total;
 }

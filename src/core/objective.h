@@ -21,9 +21,15 @@ double RecordDistance(const std::vector<const CellInfo*>& a,
 /// \brief SP_m(T): sum over all record pairs of record distance
 /// (Equation 2/5), with supervised pair weights w_ij applied when the
 /// context carries examples (§4).
+///
+/// \param max_pairs evaluation budget (0 = exact, all n(n-1)/2 pairs). When
+///   the pair count exceeds the budget, a deterministic stride sample of at
+///   most `max_pairs` pairs is scored and the total is rescaled to the full
+///   pair count, so sampled SP values stay comparable with exact ones. Used
+///   by the qos degradation ladder to bound O(n^2) scoring under overload.
 double SumOfPairsDistance(const ListContext& ctx,
                           const std::vector<Bounds>& table_bounds,
-                          DistanceCache* dist);
+                          DistanceCache* dist, size_t max_pairs = 0);
 
 /// \brief The per-column objective SP_m(T) / m used to pick the column count
 /// in the unsupervised setting (Definition 3).

@@ -87,9 +87,13 @@ TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
     const size_t anchor = anchors[idx];
     results[idx] =
         options_.use_astar
-            ? MinimizeAnchorDistanceAStar(*ctx, anchor, m, cache, base_cap)
+            ? MinimizeAnchorDistanceAStar(*ctx, anchor, m, cache, base_cap,
+                                          options_.slgr_width_cap,
+                                          options_.max_anchor_nodes)
             : MinimizeAnchorDistanceExhaustive(*ctx, anchor, m, cache,
-                                               base_cap);
+                                               base_cap,
+                                               options_.slgr_width_cap,
+                                               options_.max_anchor_nodes);
   };
 
   {
@@ -134,8 +138,10 @@ TegraExtractor::RunOutcome TegraExtractor::RunGivenColumns(
     // non-anchor line; SP evaluation re-walks the aligned pairs.
     TEGRA_TRACE_SPAN("slgr_dp", "extract", "extract.phase.slgr_dp");
     outcome.bounds = InduceTable(*ctx, outcome.anchor_line, best.anchor_bounds,
-                                 shared_cache, base_cap);
-    outcome.sp = SumOfPairsDistance(*ctx, outcome.bounds, shared_cache);
+                                 shared_cache, base_cap,
+                                 options_.slgr_width_cap);
+    outcome.sp = SumOfPairsDistance(*ctx, outcome.bounds, shared_cache,
+                                    options_.max_sp_pairs);
   }
   return outcome;
 }

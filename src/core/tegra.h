@@ -17,6 +17,8 @@
 #ifndef TEGRA_CORE_TEGRA_H_
 #define TEGRA_CORE_TEGRA_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -67,6 +69,24 @@ struct TegraOptions {
   /// lower is better) exceeds this is counted in
   /// `extract.low_confidence_total`. Negative disables the counter.
   double low_confidence_threshold = 0.5;
+
+  /// Per-anchor search budget in expanded nodes (A*) or scored candidate
+  /// segmentations (exhaustive); 0 = unbounded (the paper's setting). With a
+  /// budget the anchor search turns anytime: it returns the best complete
+  /// segmentation found within the budget. Driven by the qos degradation
+  /// ladder under overload.
+  size_t max_anchor_nodes = 0;
+
+  /// Tighter width cap (in tokens) for the *non-anchor* lines' SLGR
+  /// alignment DP rows; 0 = use max_cell_tokens. Shrinks every per-line DP
+  /// without changing the anchor's candidate space; feasibility is preserved
+  /// (EffectiveWidth never caps below ceil(|l|/m)). A qos ladder knob.
+  uint32_t slgr_width_cap = 0;
+
+  /// Budget for SP objective evaluation: score at most this many record
+  /// pairs (deterministic stride sample, rescaled); 0 = exact. A qos ladder
+  /// knob bounding the O(n^2) table-scoring cost.
+  size_t max_sp_pairs = 0;
 
   /// Tokenization of raw input lines.
   TokenizerOptions tokenizer;

@@ -204,10 +204,21 @@ Result<ClientResponse> HttpClient::Get(const std::string& target) {
 Result<ClientResponse> HttpClient::Post(const std::string& target,
                                         const std::string& body,
                                         const std::string& content_type) {
-  return RoundTrip("POST " + target + " HTTP/1.1\r\nHost: " + host_ +
-                   "\r\nContent-Type: " + content_type +
-                   "\r\nContent-Length: " + std::to_string(body.size()) +
-                   "\r\n\r\n" + body);
+  return PostWithHeaders(target, body, {}, content_type);
+}
+
+Result<ClientResponse> HttpClient::PostWithHeaders(
+    const std::string& target, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>& extra_headers,
+    const std::string& content_type) {
+  std::string request = "POST " + target + " HTTP/1.1\r\nHost: " + host_ +
+                        "\r\nContent-Type: " + content_type +
+                        "\r\nContent-Length: " + std::to_string(body.size());
+  for (const auto& [key, value] : extra_headers) {
+    request += "\r\n" + key + ": " + value;
+  }
+  request += "\r\n\r\n" + body;
+  return RoundTrip(request);
 }
 
 }  // namespace net

@@ -19,6 +19,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 
@@ -58,6 +60,13 @@ class HttpClient {
                               const std::string& body,
                               const std::string& content_type =
                                   "application/json");
+
+  /// POST with caller-supplied extra request headers (e.g. X-Tegra-Tenant).
+  /// Header names/values are sent verbatim; callers must not include CR/LF.
+  Result<ClientResponse> PostWithHeaders(
+      const std::string& target, const std::string& body,
+      const std::vector<std::pair<std::string, std::string>>& extra_headers,
+      const std::string& content_type = "application/json");
 
   /// Sends a raw, caller-framed request blob and reads one response.
   /// Exposed so tests can send deliberately malformed or partial requests.

@@ -447,8 +447,11 @@ void HttpServer::AcceptReady() {
       stat_shed_total_.fetch_add(1, std::memory_order_relaxed);
       if (shed_total_ != nullptr) shed_total_->Increment();
       HttpResponse shed = HttpResponse::Text(503, "connection limit reached\n");
-      shed.extra_headers.emplace_back(
-          "Retry-After", std::to_string(options_.retry_after_seconds));
+      const int retry_after = options_.retry_after_fn
+                                  ? options_.retry_after_fn()
+                                  : options_.retry_after_seconds;
+      shed.extra_headers.emplace_back("Retry-After",
+                                      std::to_string(retry_after));
       BestEffortSend(fd, SerializeResponse(shed, /*keep_alive=*/false));
       ::close(fd);
       continue;

@@ -112,6 +112,11 @@ struct HttpServerOptions {
   int drain_timeout_ms = 5000;
   /// Value of the Retry-After header on 503 shed responses, seconds.
   int retry_after_seconds = 1;
+  /// When set, consulted per shed for a live Retry-After hint (the data
+  /// plane wires the service's queue-drain estimate here) instead of the
+  /// constant above. Must be cheap and thread-safe: it runs on the event
+  /// loop thread.
+  std::function<int()> retry_after_fn;
   /// Per-request framing limits (head/headers/body).
   HttpParserLimits limits;
   /// Event backend; kEpoll degrades to poll off Linux.

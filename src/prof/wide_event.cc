@@ -64,7 +64,10 @@ std::string WideEvent::ToJson() const {
       << ",\"queue_ms\":" << Num(queue_seconds * 1000.0)
       << ",\"extract_ms\":" << Num(extract_seconds * 1000.0)
       << ",\"total_ms\":" << Num(total_seconds * 1000.0)
-      << ",\"sp_score\":" << Num(sp_score) << ",\"bytes_in\":" << bytes_in
+      << ",\"sp_score\":" << Num(sp_score)
+      << ",\"quality_level\":" << quality_level
+      << ",\"tenant\":\"" << Escape(tenant)
+      << "\",\"bytes_in\":" << bytes_in
       << ",\"bytes_out\":" << bytes_out << "}";
   return out.str();
 }

@@ -39,6 +39,9 @@ struct WideEvent {
   double extract_seconds = 0;
   double total_seconds = 0;
   double sp_score = 0;           ///< per-pair SP objective (quality proxy)
+  int quality_level = 0;         ///< qos degradation rung (0 = full pipeline;
+                                 ///< a batch reports its worst item's rung)
+  std::string tenant;            ///< X-Tegra-Tenant header ("" = none sent)
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
 

@@ -1,0 +1,113 @@
+#include "qos/degradation.h"
+
+#include <algorithm>
+
+namespace tegra {
+namespace qos {
+
+DegradationController::DegradationController(const DegradationOptions& options,
+                                             MetricsRegistry* registry)
+    : options_(options) {
+  if (registry != nullptr) {
+    rung_gauge_ = registry->GetGauge("qos.rung");
+    pressure_gauge_ = registry->GetGauge("qos.pressure");
+    escalations_total_ = registry->GetCounter("qos.escalations_total");
+    recoveries_total_ = registry->GetCounter("qos.recoveries_total");
+  }
+}
+
+double DegradationController::Pressure(const QosSignals& s) const {
+  double pressure = 0;
+  if (options_.target_queue_fraction > 0) {
+    pressure = std::max(pressure,
+                        s.queue_fraction / options_.target_queue_fraction);
+  }
+  if (options_.target_p99_seconds > 0) {
+    pressure =
+        std::max(pressure, s.p99_seconds / options_.target_p99_seconds);
+  }
+  if (s.deadline_seconds > 0 && options_.deadline_fraction > 0) {
+    const double queue_budget =
+        s.deadline_seconds * options_.deadline_fraction;
+    pressure = std::max(pressure, s.queue_p99_seconds / queue_budget);
+  }
+  return pressure;
+}
+
+int DegradationController::Evaluate(const QosSignals& signals,
+                                    double now_seconds) {
+  const double pressure = Pressure(signals);
+  std::lock_guard<std::mutex> lock(mu_);
+  int rung = rung_.load(std::memory_order_relaxed);
+
+  // Time-at-rung accounting before any transition.
+  if (last_eval_ >= 0 && now_seconds > last_eval_ && rung > 0) {
+    degraded_seconds_ += now_seconds - last_eval_;
+  }
+  last_eval_ = now_seconds;
+  last_pressure_ = pressure;
+  last_signals_ = signals;
+
+  const int max_rung = ClampRung(options_.max_rung);
+  if (pressure >= options_.escalate_pressure) {
+    low_since_ = -1;
+    if (high_since_ < 0) high_since_ = now_seconds;
+    if (now_seconds - high_since_ >= options_.escalate_hold_seconds &&
+        rung < max_rung) {
+      ++rung;
+      ++escalations_;
+      if (escalations_total_ != nullptr) escalations_total_->Increment();
+      rung_since_ = now_seconds;
+      // Restart the hold so each further rung requires its own sustained
+      // window rather than cascading to the floor in one tick.
+      high_since_ = now_seconds;
+    }
+  } else if (pressure <= options_.recover_pressure) {
+    high_since_ = -1;
+    if (low_since_ < 0) low_since_ = now_seconds;
+    if (now_seconds - low_since_ >= options_.recover_hold_seconds &&
+        rung > 0) {
+      --rung;
+      ++recoveries_;
+      if (recoveries_total_ != nullptr) recoveries_total_->Increment();
+      rung_since_ = now_seconds;
+      low_since_ = now_seconds;
+    }
+  } else {
+    // Dead band: hold the current rung and reset both hold timers.
+    high_since_ = -1;
+    low_since_ = -1;
+  }
+
+  rung_.store(rung, std::memory_order_relaxed);
+  if (rung_gauge_ != nullptr) rung_gauge_->Set(rung);
+  if (pressure_gauge_ != nullptr) pressure_gauge_->Set(pressure);
+  return rung;
+}
+
+int DegradationController::EvaluateFromStore(
+    const health::TimeSeriesStore& store, double queue_fraction,
+    double deadline_seconds, double now_seconds) {
+  QosSignals s;
+  s.queue_fraction = queue_fraction;
+  s.p99_seconds = store.LastValue("service.total_seconds.p99", 0);
+  s.queue_p99_seconds = store.LastValue("service.queue_seconds.p99", 0);
+  s.deadline_seconds = deadline_seconds;
+  return Evaluate(s, now_seconds);
+}
+
+DegradationController::Snapshot DegradationController::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.rung = rung_.load(std::memory_order_relaxed);
+  snap.pressure = last_pressure_;
+  snap.rung_since_seconds = rung_since_;
+  snap.escalations = escalations_;
+  snap.recoveries = recoveries_;
+  snap.degraded_seconds = degraded_seconds_;
+  snap.last_signals = last_signals_;
+  return snap;
+}
+
+}  // namespace qos
+}  // namespace tegra

@@ -1,0 +1,112 @@
+#include "qos/rung_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/objective.h"
+#include "core/segmentation.h"
+
+namespace tegra {
+namespace qos {
+
+namespace {
+
+/// Pair-sampling budget for scoring rung-4 (baseline) output. Matches the
+/// rung-3 SP budget so baseline scores stay as cheap as the rung they ride.
+constexpr size_t kBaselineScorePairs = 128;
+
+}  // namespace
+
+RungEngine::RungEngine(const CorpusStats* stats, const TegraOptions& base)
+    : stats_(stats), base_(base) {
+  for (int rung = 0; rung < kNumRungs - 1; ++rung) {
+    tiers_[rung] =
+        std::make_unique<TegraExtractor>(stats, OptionsForRung(base, rung));
+  }
+  // The baseline rides the syntactic-only distance (rung-3 configuration).
+  const TegraOptions floor = OptionsForRung(base, kNumRungs - 1);
+  baseline_options_.distance = floor.distance;
+  baseline_options_.max_cell_tokens = floor.max_cell_tokens;
+  baseline_options_.tokenizer = floor.tokenizer;
+  baseline_ = std::make_unique<ListExtract>(stats, baseline_options_);
+  score_distance_ = std::make_unique<CellDistance>(stats, floor.distance);
+}
+
+const TegraExtractor* RungEngine::extractor(int rung) const {
+  const int clamped = ClampRung(rung);
+  return tiers_[std::min(clamped, kNumRungs - 2)].get();
+}
+
+Result<ExtractionResult> RungEngine::Extract(
+    int rung, const std::vector<std::string>& lines, int num_columns) const {
+  const int clamped = ClampRung(rung);
+  if (clamped == kNumRungs - 1) return ExtractBaseline(lines, num_columns);
+  const TegraExtractor* engine = tiers_[clamped].get();
+  return num_columns > 0 ? engine->ExtractWithColumns(lines, num_columns)
+                         : engine->Extract(lines);
+}
+
+Result<ExtractionResult> RungEngine::ExtractBaseline(
+    const std::vector<std::string>& lines, int num_columns) const {
+  Result<BaselineResult> base_result = Status::OK();
+  if (num_columns > 0) {
+    // fixed_columns is a construction-time option; per-request column pins
+    // get a throwaway segmenter (construction is cheap — no corpus work).
+    ListExtractOptions opts = baseline_options_;
+    opts.fixed_columns = num_columns;
+    base_result = ListExtract(stats_, opts).Extract(lines);
+  } else {
+    base_result = baseline_->Extract(lines);
+  }
+  if (!base_result.ok()) return base_result.status();
+
+  ExtractionResult out;
+  out.table = std::move(base_result->table);
+  out.num_columns = base_result->num_columns;
+  out.seconds = base_result->seconds;
+  // Mark quality fields unknown; ScoreBaseline fills them when the table
+  // maps cleanly back onto token boundaries.
+  out.sp = -1;
+  out.per_column_objective = -1;
+  out.per_pair_objective = -1;
+  ScoreBaseline(lines, &out);
+  return out;
+}
+
+bool RungEngine::ScoreBaseline(const std::vector<std::string>& lines,
+                               ExtractionResult* result) const {
+  const Table& table = result->table;
+  if (table.NumRows() != lines.size() || table.NumRows() == 0) return false;
+
+  Tokenizer tokenizer(base_.tokenizer);
+  std::vector<std::vector<std::string>> token_lines;
+  token_lines.reserve(lines.size());
+  for (const std::string& line : lines) {
+    token_lines.push_back(tokenizer.Tokenize(line));
+  }
+  ListContext ctx(std::move(token_lines), nullptr);
+
+  std::vector<Bounds> bounds(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Result<Bounds> row_bounds =
+        CellsToBounds(ctx.tokens(i), table.Row(i), tokenizer);
+    if (!row_bounds.ok()) return false;
+    bounds[i] = std::move(row_bounds).value();
+    uint32_t max_width = 0;
+    for (size_t k = 0; k + 1 < bounds[i].size(); ++k) {
+      max_width = std::max(max_width, bounds[i][k + 1] - bounds[i][k]);
+    }
+    ctx.EnsureWidth(i, max_width);
+  }
+
+  DistanceCache cache(score_distance_.get());
+  result->sp = SumOfPairsDistance(ctx, bounds, &cache, kBaselineScorePairs);
+  result->per_column_objective =
+      PerColumnObjective(result->sp, result->num_columns);
+  result->per_pair_objective =
+      PerPairObjective(result->sp, ctx.num_lines(), result->num_columns);
+  return true;
+}
+
+}  // namespace qos
+}  // namespace tegra

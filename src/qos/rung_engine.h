@@ -1,0 +1,74 @@
+// RungEngine: one extractor per degradation rung over a shared corpus.
+//
+// The TegraExtractor is immutable (its CellDistance bakes in alpha at
+// construction), so per-request rung overrides cannot be applied to a single
+// engine. Instead the RungEngine prebuilds one TegraExtractor per Tegra rung
+// (0-3) plus one ListExtract baseline (rung 4), all sharing the same
+// CorpusStats, and dispatches Extract calls by rung. The serving layer
+// builds one RungEngine per corpus generation alongside the regular engine.
+//
+// Rung-4 results are adapted into an ExtractionResult and quality-scored
+// with the same per-pair SP objective as the Tegra rungs (syntactic-only
+// distance, sampled pairs) so the observed SP cost of every rung lands in
+// the same histogram and bench columns. When the baseline table cannot be
+// mapped back onto token boundaries the score is left at -1 (unknown).
+
+#ifndef TEGRA_QOS_RUNG_ENGINE_H_
+#define TEGRA_QOS_RUNG_ENGINE_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/listextract.h"
+#include "core/tegra.h"
+#include "qos/rungs.h"
+
+namespace tegra {
+namespace qos {
+
+class RungEngine {
+ public:
+  /// Builds the per-rung extractors over `stats` (may be null: corpus-free
+  /// syntactic extraction, same as TegraExtractor). `base` is the rung-0
+  /// configuration; rung 0 shares it bit-for-bit.
+  RungEngine(const CorpusStats* stats, const TegraOptions& base);
+
+  RungEngine(const RungEngine&) = delete;
+  RungEngine& operator=(const RungEngine&) = delete;
+
+  /// Extracts at `rung` (clamped). num_columns 0 = unsupervised sweep.
+  Result<ExtractionResult> Extract(int rung,
+                                   const std::vector<std::string>& lines,
+                                   int num_columns) const;
+
+  /// The Tegra extractor serving `rung` (rung 4 maps to the rung-3 engine,
+  /// used for requests the baseline cannot handle).
+  const TegraExtractor* extractor(int rung) const;
+
+  const TegraOptions& base_options() const { return base_; }
+
+ private:
+  Result<ExtractionResult> ExtractBaseline(
+      const std::vector<std::string>& lines, int num_columns) const;
+
+  /// Scores a baseline table with the sampled syntactic SP objective;
+  /// returns false when the table cannot be mapped back to bounds.
+  bool ScoreBaseline(const std::vector<std::string>& lines,
+                     ExtractionResult* result) const;
+
+  const CorpusStats* stats_;
+  TegraOptions base_;
+  /// Tegra engines for rungs 0..3 (kNumRungs - 1 tiers).
+  std::array<std::unique_ptr<TegraExtractor>, kNumRungs - 1> tiers_;
+  ListExtractOptions baseline_options_;
+  std::unique_ptr<ListExtract> baseline_;
+  /// Syntactic-only distance for scoring rung-4 output.
+  std::unique_ptr<CellDistance> score_distance_;
+};
+
+}  // namespace qos
+}  // namespace tegra
+
+#endif  // TEGRA_QOS_RUNG_ENGINE_H_

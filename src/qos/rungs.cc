@@ -1,0 +1,70 @@
+#include "qos/rungs.h"
+
+#include <algorithm>
+
+namespace tegra {
+namespace qos {
+
+const char* RungName(int rung) {
+  switch (rung) {
+    case 0:
+      return "full";
+    case 1:
+      return "anchor_budget";
+    case 2:
+      return "dp_cap";
+    case 3:
+      return "syntactic";
+    case 4:
+      return "baseline";
+    default:
+      return "invalid";
+  }
+}
+
+int ClampRung(int rung) {
+  return std::max(0, std::min(rung, kNumRungs - 1));
+}
+
+TegraOptions OptionsForRung(const TegraOptions& base, int rung) {
+  TegraOptions opts = base;
+  switch (ClampRung(rung)) {
+    case 0:
+      break;
+    case 1:
+      // Shrink the anchor-candidate budget: one (most typical) anchor per
+      // sweep step and per final run, with an anytime node budget so a
+      // pathological anchor cannot hold a worker hostage.
+      opts.sweep_anchor_sample = 1;
+      opts.final_anchor_sample = 1;
+      opts.max_anchor_nodes = 4096;
+      break;
+    case 2:
+      // Everything rung 1 does, plus capped SLGR DP rows and sampled SP
+      // scoring: the two quadratic costs are now bounded.
+      opts.sweep_anchor_sample = 1;
+      opts.final_anchor_sample = 1;
+      opts.max_anchor_nodes = 2048;
+      opts.slgr_width_cap = 4;
+      opts.max_sp_pairs = 256;
+      break;
+    case 3:
+    case 4:
+      // Rung 2 caps plus syntactic-only distance (alpha = 1.0): no corpus
+      // co-occurrence lookups at all. Table 6 shows this configuration
+      // already dominates on enterprise-style lists.
+      opts.sweep_anchor_sample = 1;
+      opts.final_anchor_sample = 1;
+      opts.max_anchor_nodes = 1024;
+      opts.slgr_width_cap = 4;
+      opts.max_sp_pairs = 128;
+      opts.distance.alpha = 1.0;
+      break;
+    default:
+      break;
+  }
+  return opts;
+}
+
+}  // namespace qos
+}  // namespace tegra

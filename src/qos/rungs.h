@@ -1,0 +1,48 @@
+// The qos degradation ladder: a fixed sequence of extraction configurations
+// ordered from full quality to cheapest-available, each realized as a
+// concrete TegraOptions override (rungs 1-3) or as the ListExtract baseline
+// (rung 4). The ladder is grounded in the paper's own results:
+//
+//   rung 0  full pipeline — the paper's configuration, untouched
+//   rung 1  shrunken anchor-candidate budget — fewer anchors per column
+//           sweep plus an anytime node budget on the per-anchor A* search
+//   rung 2  capped SLGR DP table size — tighter per-line alignment rows and
+//           sampled SP scoring bound the quadratic costs
+//   rung 3  syntactic-only distance — alpha = 1.0 skips all corpus
+//           co-occurrence lookups (Table 6: syntactic-only already dominates
+//           on enterprise data, so this rung is cheap AND often harmless)
+//   rung 4  ListExtract baseline — linear-time delimiter/representative
+//           segmentation, always available
+//
+// OptionsForRung(base, 0) returns `base` unchanged, so rung 0 is bit-
+// identical to the undegraded pipeline by construction.
+
+#ifndef TEGRA_QOS_RUNGS_H_
+#define TEGRA_QOS_RUNGS_H_
+
+#include "core/tegra.h"
+
+namespace tegra {
+namespace qos {
+
+/// Number of rungs on the ladder (0 = full quality .. kNumRungs-1 = floor).
+inline constexpr int kNumRungs = 5;
+
+/// Short stable name for a rung ("full", "anchor_budget", "dp_cap",
+/// "syntactic", "baseline"); "invalid" outside [0, kNumRungs).
+const char* RungName(int rung);
+
+/// Clamps `rung` into [0, kNumRungs).
+int ClampRung(int rung);
+
+/// \brief The TegraOptions override realizing `rung` on top of `base`.
+/// Rung 0 returns `base` unchanged. Rung 4 (baseline) has no Tegra
+/// configuration; callers switch to ListExtract instead — this function
+/// returns the rung-3 options for it (used when a rung-4 request carries
+/// pinned examples the baseline cannot honor).
+TegraOptions OptionsForRung(const TegraOptions& base, int rung);
+
+}  // namespace qos
+}  // namespace tegra
+
+#endif  // TEGRA_QOS_RUNGS_H_

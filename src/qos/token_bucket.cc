@@ -1,0 +1,102 @@
+#include "qos/token_bucket.h"
+
+#include <algorithm>
+
+namespace tegra {
+namespace qos {
+
+void TokenBucket::Refill(double now_seconds) {
+  if (last_refill_ < 0) {
+    last_refill_ = now_seconds;
+    return;
+  }
+  if (now_seconds <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now_seconds - last_refill_));
+  last_refill_ = now_seconds;
+}
+
+bool TokenBucket::TryAcquire(double now_seconds, double tokens) {
+  Refill(now_seconds);
+  if (tokens_ + 1e-9 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::RetryAfterSeconds(double now_seconds,
+                                      double tokens) const {
+  TokenBucket copy = *this;
+  copy.Refill(now_seconds);
+  if (copy.tokens_ + 1e-9 >= tokens) return 0;
+  if (rate_ <= 0) return 0;
+  return (tokens - copy.tokens_) / rate_;
+}
+
+double TokenBucket::tokens(double now_seconds) const {
+  TokenBucket copy = *this;
+  copy.Refill(now_seconds);
+  return copy.tokens_;
+}
+
+TenantQuotas::TenantQuotas(const QuotaOptions& options,
+                           MetricsRegistry* registry)
+    : options_(options),
+      burst_(options.burst > 0 ? options.burst
+                               : std::max(options.rate, 1.0)) {
+  if (registry != nullptr) {
+    admitted_total_ = registry->GetCounter("qos.quota_admitted_total");
+    rejected_total_ = registry->GetCounter("qos.quota_rejected_total");
+    tenants_gauge_ = registry->GetGauge("qos.tenants");
+  }
+}
+
+TenantQuotas::Decision TenantQuotas::Check(const std::string& tenant,
+                                           double now_seconds,
+                                           double tokens) {
+  Decision decision;
+  if (!enabled()) return decision;
+
+  const std::string& key = tenant.empty() ? kAnonymousTenant : tenant;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(key);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(key, Entry{TokenBucket(options_.rate, burst_), 0, 0})
+             .first;
+    if (tenants_gauge_ != nullptr) {
+      tenants_gauge_->Set(static_cast<double>(tenants_.size()));
+    }
+  }
+  Entry& entry = it->second;
+  if (entry.bucket.TryAcquire(now_seconds, tokens)) {
+    ++entry.admitted;
+    if (admitted_total_ != nullptr) admitted_total_->Increment();
+  } else {
+    ++entry.rejected;
+    if (rejected_total_ != nullptr) rejected_total_->Increment();
+    decision.allowed = false;
+    decision.retry_after_seconds =
+        entry.bucket.RetryAfterSeconds(now_seconds, tokens);
+  }
+  return decision;
+}
+
+std::vector<TenantQuotas::TenantState> TenantQuotas::Snapshot(
+    double now_seconds) const {
+  std::vector<TenantState> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(tenants_.size());
+  for (const auto& [tenant, entry] : tenants_) {
+    TenantState state;
+    state.tenant = tenant;
+    state.tokens = entry.bucket.tokens(now_seconds);
+    state.rate = entry.bucket.rate();
+    state.burst = entry.bucket.burst();
+    state.admitted = entry.admitted;
+    state.rejected = entry.rejected;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+}  // namespace qos
+}  // namespace tegra

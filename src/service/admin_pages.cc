@@ -1,6 +1,7 @@
 #include "service/admin_pages.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <optional>
@@ -57,6 +58,7 @@ std::string NavLinks() {
          "<a href=\"/varz\">varz</a> | "
          "<a href=\"/timeseriesz\">timeseriesz</a> | "
          "<a href=\"/alertz\">alertz</a> | "
+         "<a href=\"/qosz\">qosz</a> | "
          "<a href=\"/tracez\">tracez</a> | "
          "<a href=\"/slowlogz\">slowlogz</a> | "
          "<a href=\"/pprof/profile?seconds=2\">pprof</a> | "
@@ -253,6 +255,7 @@ void AdminPages::RegisterAll(HttpAdminServer* server) {
   server->Handle("/timeseriesz",
                  [this](const HttpRequest& r) { return Timeseriesz(r); });
   server->Handle("/alertz", [this](const HttpRequest& r) { return Alertz(r); });
+  server->Handle("/qosz", [this](const HttpRequest& r) { return Qosz(r); });
 }
 
 HttpResponse AdminPages::Index(const HttpRequest&) {
@@ -512,6 +515,31 @@ HttpResponse AdminPages::Statusz(const HttpRequest&) {
     RowCount(&body, "write_timeouts_total", stats.write_timeouts_total);
     RowCount(&body, "handler_timeouts_total", stats.handler_timeouts_total);
     body += "</table>\n";
+  }
+
+  if (degradation_ != nullptr) {
+    const qos::DegradationController::Snapshot qs = degradation_->snapshot();
+    body += "<h2>qos</h2>\n<table>\n";
+    if (qs.rung > 0) {
+      body += "<tr><th>rung</th><td class=\"warn\"><b>" +
+              std::to_string(qs.rung) + " (" + qos::RungName(qs.rung) +
+              ")</b> — quality degraded</td></tr>\n";
+    } else {
+      Row(&body, "rung", "0 (full pipeline)");
+    }
+    RowNum(&body, "pressure", qs.pressure);
+    RowCount(&body, "escalations_total", qs.escalations);
+    RowCount(&body, "recoveries_total", qs.recoveries);
+    RowNum(&body, "degraded_seconds", qs.degraded_seconds, 1);
+    if (quotas_ != nullptr && quotas_->enabled()) {
+      Row(&body, "tenant_quota",
+          FormatDouble(quotas_->options().rate, 1) + " req/s, burst " +
+              FormatDouble(quotas_->options().burst, 1));
+    } else {
+      Row(&body, "tenant_quota", "disabled");
+    }
+    body += "</table>\n<p><a href=\"/qosz\">qosz</a> has the full ladder "
+            "and per-tenant buckets</p>\n";
   }
 
   if (tracer_ != nullptr) {
@@ -914,6 +942,145 @@ HttpResponse AdminPages::Alertz(const HttpRequest& request) {
       body += "<pre>" + HtmlEscape(frames) + "</pre>\n";
     }
   }
+  body += kPageFoot;
+  return HttpResponse::Html(std::move(body));
+}
+
+HttpResponse AdminPages::Qosz(const HttpRequest& request) {
+  if (degradation_ == nullptr && quotas_ == nullptr) {
+    return HttpResponse::Text(503, "qos not attached\n");
+  }
+  // Same monotonic clock the data plane charges the buckets on.
+  const double now_seconds =
+      std::chrono::duration<double>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+
+  if (request.Param("format") == "json") {
+    JsonValue out = JsonValue::Object();
+    out.Set("ok", JsonValue::Bool(true));
+    if (degradation_ != nullptr) {
+      const qos::DegradationController::Snapshot qs =
+          degradation_->snapshot();
+      JsonValue ladder = JsonValue::Object();
+      ladder.Set("rung", JsonValue::Number(qs.rung));
+      ladder.Set("rung_name", JsonValue::Str(qos::RungName(qs.rung)));
+      ladder.Set("max_rung",
+                 JsonValue::Number(degradation_->options().max_rung));
+      ladder.Set("pressure", JsonValue::Number(qs.pressure));
+      ladder.Set("escalations",
+                 JsonValue::Number(static_cast<double>(qs.escalations)));
+      ladder.Set("recoveries",
+                 JsonValue::Number(static_cast<double>(qs.recoveries)));
+      ladder.Set("degraded_seconds", JsonValue::Number(qs.degraded_seconds));
+      JsonValue signals = JsonValue::Object();
+      signals.Set("queue_fraction",
+                  JsonValue::Number(qs.last_signals.queue_fraction));
+      signals.Set("p99_seconds",
+                  JsonValue::Number(qs.last_signals.p99_seconds));
+      signals.Set("queue_p99_seconds",
+                  JsonValue::Number(qs.last_signals.queue_p99_seconds));
+      signals.Set("deadline_seconds",
+                  JsonValue::Number(qs.last_signals.deadline_seconds));
+      ladder.Set("signals", std::move(signals));
+      out.Set("ladder", std::move(ladder));
+    }
+    if (quotas_ != nullptr) {
+      JsonValue tenants = JsonValue::Array();
+      for (const qos::TenantQuotas::TenantState& state :
+           quotas_->Snapshot(now_seconds)) {
+        JsonValue t = JsonValue::Object();
+        t.Set("tenant", JsonValue::Str(state.tenant));
+        t.Set("tokens", JsonValue::Number(state.tokens));
+        t.Set("rate", JsonValue::Number(state.rate));
+        t.Set("burst", JsonValue::Number(state.burst));
+        t.Set("admitted", JsonValue::Number(static_cast<double>(
+                              state.admitted)));
+        t.Set("rejected", JsonValue::Number(static_cast<double>(
+                              state.rejected)));
+        tenants.Append(std::move(t));
+      }
+      JsonValue quota = JsonValue::Object();
+      quota.Set("enabled", JsonValue::Bool(quotas_->enabled()));
+      quota.Set("rate", JsonValue::Number(quotas_->options().rate));
+      quota.Set("burst", JsonValue::Number(quotas_->options().burst));
+      quota.Set("tenants", std::move(tenants));
+      out.Set("quotas", std::move(quota));
+    }
+    return HttpResponse::Json(out.Dump());
+  }
+
+  std::string body = PageHead("tegra /qosz");
+  body += NavLinks();
+  body += "<p><a href=\"/qosz?format=json\">json</a></p>\n";
+
+  if (degradation_ != nullptr) {
+    const qos::DegradationController::Snapshot qs = degradation_->snapshot();
+    const qos::DegradationOptions& opts = degradation_->options();
+    body += "<h2>degradation ladder</h2>\n<table>\n";
+    Row(&body, "rung",
+        std::to_string(qs.rung) + " (" + qos::RungName(qs.rung) + ")");
+    RowNum(&body, "pressure", qs.pressure);
+    RowNum(&body, "escalate_at (held " +
+                      FormatDouble(opts.escalate_hold_seconds, 1) + "s)",
+           opts.escalate_pressure, 2);
+    RowNum(&body, "recover_at (held " +
+                      FormatDouble(opts.recover_hold_seconds, 1) + "s)",
+           opts.recover_pressure, 2);
+    RowCount(&body, "escalations_total", qs.escalations);
+    RowCount(&body, "recoveries_total", qs.recoveries);
+    RowNum(&body, "degraded_seconds", qs.degraded_seconds, 1);
+    RowNum(&body, "signal queue_fraction", qs.last_signals.queue_fraction);
+    RowNum(&body, "signal p99_seconds", qs.last_signals.p99_seconds);
+    RowNum(&body, "signal queue_p99_seconds",
+           qs.last_signals.queue_p99_seconds);
+    body += "</table>\n";
+
+    // The full ladder, current rung highlighted: what each step trades away.
+    static const char* kRungWhat[] = {
+        "exact pipeline (A* anchor search, exact SP, semantic+syntactic)",
+        "anchor candidates sampled; per-anchor node budget",
+        "+ capped SLGR DP width, sampled SP scoring",
+        "+ syntactic-only distance (no corpus lookups)",
+        "ListExtract baseline (linear-time, no alignment search)"};
+    body += "<table>\n<tr><th>rung</th><th>name</th><th>what degrades</th>"
+            "</tr>\n";
+    for (int rung = 0; rung < qos::kNumRungs; ++rung) {
+      const bool current = rung == qs.rung;
+      body += "<tr><td>" + std::string(current ? "<b>" : "") +
+              std::to_string(rung) + (current ? " ←</b>" : "") + "</td><td>" +
+              qos::RungName(rung) + "</td><td>" + kRungWhat[rung] +
+              "</td></tr>\n";
+    }
+    body += "</table>\n";
+  }
+
+  if (quotas_ != nullptr) {
+    body += "<h2>tenant quotas</h2>\n";
+    if (!quotas_->enabled()) {
+      body += "<p>disabled (start with --quota-rate to enable)</p>\n";
+    } else {
+      body += "<p>" + FormatDouble(quotas_->options().rate, 1) +
+              " req/s per tenant, burst " +
+              FormatDouble(quotas_->options().burst, 1) + "</p>\n";
+      body += "<table>\n<tr><th>tenant</th><th>tokens</th><th>admitted</th>"
+              "<th>rejected</th></tr>\n";
+      for (const qos::TenantQuotas::TenantState& state :
+           quotas_->Snapshot(now_seconds)) {
+        body += "<tr><td>" + HtmlEscape(state.tenant) + "</td><td>" +
+                FormatDouble(state.tokens, 1) + " / " +
+                FormatDouble(state.burst, 1) + "</td><td>" +
+                std::to_string(state.admitted) + "</td><td>" +
+                (state.rejected > 0
+                     ? "<b class=\"warn\">" + std::to_string(state.rejected) +
+                           "</b>"
+                     : std::to_string(state.rejected)) +
+                "</td></tr>\n";
+      }
+      body += "</table>\n";
+    }
+  }
+
   body += kPageFoot;
   return HttpResponse::Html(std::move(body));
 }

@@ -25,6 +25,9 @@
 //              sparklines (json lists names)
 //   /alertz    SLO burn-rate alerts (firing/pending/inactive) plus the last
 //              watchdog stall; ?format=json for machines
+//   /qosz      degradation-ladder state (current rung, pressure, transition
+//              counters, per-rung option overrides) and per-tenant quota
+//              buckets; ?format=json for machines
 //   /pprof/profile  on-demand CPU profile from the always-on SIGPROF
 //              sampler: blocks for ?seconds=N (default 2, clamped to
 //              [0.1, 30]) and answers folded stacks ("a;b;c N" per line),
@@ -43,6 +46,8 @@
 
 #include "health/monitor.h"
 #include "net/http_server.h"
+#include "qos/degradation.h"
+#include "qos/token_bucket.h"
 #include "service/extraction_service.h"
 #include "service/http_admin.h"
 #include "service/serve_json.h"
@@ -91,6 +96,7 @@ class AdminPages {
   HttpResponse PprofProfile(const HttpRequest& request);
   HttpResponse Timeseriesz(const HttpRequest& request);
   HttpResponse Alertz(const HttpRequest& request);
+  HttpResponse Qosz(const HttpRequest& request);
 
   /// Test hook: substitute the queue-depth probe consulted by /readyz (the
   /// default reads service->QueueDepth()), so saturation is testable
@@ -109,6 +115,15 @@ class AdminPages {
   /// verdict on /healthz (503 during an active stall), the degraded
   /// annotation on /readyz, and recorder staleness on /varz.
   void set_health(health::HealthMonitor* health) { health_ = health; }
+
+  /// Attaches the qos subsystem (either pointer may be null). Enables
+  /// /qosz (ladder state, rung table, per-tenant buckets; ?format=json)
+  /// and the qos section on /statusz.
+  void set_qos(const qos::DegradationController* degradation,
+               const qos::TenantQuotas* quotas) {
+    degradation_ = degradation;
+    quotas_ = quotas;
+  }
 
  private:
   struct Readiness {
@@ -136,6 +151,8 @@ class AdminPages {
   const store::CorpusManager* corpus_;  // Not owned; may be null.
   const net::HttpServer* data_plane_ = nullptr;  // Not owned; may be null.
   health::HealthMonitor* health_ = nullptr;      // Not owned; may be null.
+  const qos::DegradationController* degradation_ = nullptr;  // Not owned.
+  const qos::TenantQuotas* quotas_ = nullptr;                // Not owned.
   AdminPagesOptions options_;
   std::function<size_t()> queue_depth_fn_;
 };

@@ -1,6 +1,8 @@
 #include "service/data_plane.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -11,14 +13,36 @@ namespace serve {
 
 namespace {
 
+/// Monotonic seconds for the quota buckets (they only ever see deltas).
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Turns a backoff estimate (queue drain time, bucket refill time) into a
+/// Retry-After value: clamped to [1, 30] seconds, plus a deterministic
+/// per-request jitter of 0-2s so a fleet of rejected clients does not
+/// retry in lockstep at the same instant.
+int RetryAfterHint(double backoff_seconds, uint64_t request_id) {
+  double base = std::ceil(backoff_seconds);
+  if (base < 1) base = 1;
+  if (base > 30) base = 30;
+  const int jitter = static_cast<int>(request_id % 3);
+  const int hint = static_cast<int>(base) + jitter;
+  return hint > 30 ? 30 : hint;
+}
+
 /// Renders `payload` with the HTTP status derived from the extraction
 /// outcome; 503s carry Retry-After so clients and proxies back off politely.
-net::HttpResponse JsonWithStatus(const Status& status, JsonValue payload) {
+net::HttpResponse JsonWithStatus(const Status& status, JsonValue payload,
+                                 int retry_after_seconds) {
   net::HttpResponse response =
       net::HttpResponse::JsonStatus(HttpStatusForExtraction(status),
                                     payload.Dump() + "\n");
   if (response.status == 503) {
-    response.extra_headers.emplace_back("Retry-After", "1");
+    response.extra_headers.emplace_back(
+        "Retry-After", std::to_string(retry_after_seconds));
   }
   return response;
 }
@@ -30,6 +54,24 @@ net::HttpResponse BadRequest(const std::string& message) {
   err.Set("code", JsonValue::Str("InvalidArgument"));
   err.Set("error", JsonValue::Str(message));
   return net::HttpResponse::JsonStatus(400, err.Dump() + "\n");
+}
+
+/// The 429 a tenant over its quota receives; mirrors the NDJSON error shape
+/// with a distinct code so clients can tell "you are over quota" (back off
+/// per-tenant) from "the service is overloaded" (back off globally).
+net::HttpResponse QuotaRejected(const std::string& tenant,
+                                int retry_after_seconds) {
+  JsonValue err = JsonValue::Object();
+  err.Set("ok", JsonValue::Bool(false));
+  err.Set("code", JsonValue::Str("ResourceExhausted"));
+  err.Set("error", JsonValue::Str("tenant \"" + tenant +
+                                  "\" is over its request quota"));
+  err.Set("retry_after_s", JsonValue::Number(retry_after_seconds));
+  net::HttpResponse response =
+      net::HttpResponse::JsonStatus(429, err.Dump() + "\n");
+  response.extra_headers.emplace_back("Retry-After",
+                                      std::to_string(retry_after_seconds));
+  return response;
 }
 
 /// Human-readable outcome label for the wide-event access log.
@@ -57,6 +99,8 @@ struct BatchState {
   size_t remaining = 0;
   net::ResponseCallback done;
   prof::WideEventLog* wide = nullptr;  // Not owned; may be null.
+  ExtractionService* service = nullptr;  // Not owned; Retry-After source.
+  std::string tenant;
   uint64_t request_id = 0;
   uint64_t bytes_in = 0;
 };
@@ -79,7 +123,12 @@ void FinishBatch(BatchState* state) {
   net::HttpResponse response = net::HttpResponse::JsonStatus(
       all_unavailable ? 503 : 200, out.Dump() + "\n");
   if (response.status == 503) {
-    response.extra_headers.emplace_back("Retry-After", "1");
+    const double drain = state->service != nullptr
+                             ? state->service->EstimatedDrainSeconds()
+                             : 0;
+    response.extra_headers.emplace_back(
+        "Retry-After",
+        std::to_string(RetryAfterHint(drain, state->request_id)));
   }
 
   // One wide event per HTTP exchange: the batch aggregates to the shape of
@@ -111,8 +160,10 @@ void FinishBatch(BatchState* state) {
         event.sp_score = std::max(event.sp_score,
                                   r.result->per_pair_objective);
       }
+      event.quality_level = std::max(event.quality_level, r.quality_level);
       if (!r.ok()) any_failed = true;
     }
+    event.tenant = state->tenant;
     event.outcome =
         all_unavailable ? "rejected" : (any_failed ? "partial" : "ok");
     state->wide->Record(event);
@@ -150,6 +201,7 @@ JsonValue ExtractionResponseToJson(const JsonValue* id,
     out.Set("ok", JsonValue::Bool(false));
     out.Set("code", JsonValue::Str(StatusCodeToString(resp.status.code())));
     out.Set("error", JsonValue::Str(resp.status.message()));
+    out.Set("quality_level", JsonValue::Number(resp.quality_level));
     out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
     out.Set("total_ms", JsonValue::Number(resp.total_seconds * 1e3));
     return out;
@@ -167,6 +219,7 @@ JsonValue ExtractionResponseToJson(const JsonValue* id,
   out.Set("sp", JsonValue::Number(result.sp));
   out.Set("per_column_objective",
           JsonValue::Number(result.per_column_objective));
+  out.Set("quality_level", JsonValue::Number(resp.quality_level));
   out.Set("cache_hit", JsonValue::Bool(resp.cache_hit));
   out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
   out.Set("extract_ms", JsonValue::Number(resp.extract_seconds * 1e3));
@@ -174,16 +227,35 @@ JsonValue ExtractionResponseToJson(const JsonValue* id,
   return out;
 }
 
+namespace {
+
+/// Wires the connection-shed Retry-After hint to the service's queue-drain
+/// estimate (unless the caller installed their own hook).
+DataPlaneOptions WithDrainRetryAfter(DataPlaneOptions options,
+                                     ExtractionService* service) {
+  if (service != nullptr && !options.server.retry_after_fn) {
+    options.server.retry_after_fn = [service] {
+      return RetryAfterHint(service->EstimatedDrainSeconds(),
+                            /*request_id=*/0);
+    };
+  }
+  return options;
+}
+
+}  // namespace
+
 DataPlane::DataPlane(ExtractionService* service, DataPlaneOptions options,
                      MetricsRegistry* registry)
     : service_(service),
-      options_(std::move(options)),
+      options_(WithDrainRetryAfter(std::move(options), service)),
       server_(options_.server, registry) {
   if (registry != nullptr) {
     extract_total_ = registry->GetCounter("dataplane.extract_total");
     batch_total_ = registry->GetCounter("dataplane.batch_total");
     batch_items_total_ = registry->GetCounter("dataplane.batch_items_total");
     rejected_total_ = registry->GetCounter("dataplane.rejected_total");
+    quota_rejected_total_ =
+        registry->GetCounter("dataplane.quota_rejected_total");
   }
   server_.set_handler([this](const net::HttpRequest& request,
                              net::ResponseCallback done) {
@@ -247,6 +319,35 @@ void DataPlane::RecordBadRequest(const net::HttpRequest& request,
   wide_events_->Record(event);
 }
 
+bool DataPlane::CheckQuota(const net::HttpRequest& request,
+                           const std::string& tenant, double tokens,
+                           net::ResponseCallback* done) {
+  if (options_.quotas == nullptr || !options_.quotas->enabled()) return true;
+  const qos::TenantQuotas::Decision decision =
+      options_.quotas->Check(tenant, NowSeconds(), tokens);
+  if (decision.allowed) return true;
+  if (quota_rejected_total_ != nullptr) quota_rejected_total_->Increment();
+  const std::string bucket =
+      tenant.empty() ? qos::kAnonymousTenant : tenant;
+  const int retry_after =
+      RetryAfterHint(decision.retry_after_seconds, request.request_id);
+  net::HttpResponse response = QuotaRejected(bucket, retry_after);
+  if (wide_events_ != nullptr && wide_events_->enabled()) {
+    prof::WideEvent event;
+    event.request_id = request.request_id;
+    event.endpoint = request.path;
+    event.outcome = "quota_rejected";
+    event.http_status = response.status;
+    event.items = static_cast<int>(tokens);
+    event.tenant = tenant;
+    event.bytes_in = request.body.size();
+    event.bytes_out = response.body.size();
+    wide_events_->Record(event);
+  }
+  (*done)(std::move(response));
+  return false;
+}
+
 void DataPlane::HandleExtract(const net::HttpRequest& request,
                               net::ResponseCallback done) {
   auto parsed = ParseJson(request.body);
@@ -258,6 +359,7 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
     return;
   }
   const JsonValue& body = *parsed;
+  const std::string tenant = request.Header("x-tegra-tenant");
 
   // Batch body: {"requests": [ ... ]}.
   if (body.Has("requests")) {
@@ -300,6 +402,13 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
       requests[i].request_id = request.request_id;
       state->ids.push_back(items[i]["id"]);
     }
+    // Quota after shape validation (a malformed batch costs no tokens),
+    // before admission: one token per item, so batches cannot out-compete
+    // single-request tenants.
+    if (!CheckQuota(request, tenant, static_cast<double>(items.size()),
+                    &done)) {
+      return;
+    }
     if (batch_items_total_ != nullptr) {
       batch_items_total_->Increment(items.size());
     }
@@ -307,6 +416,8 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
     state->remaining = items.size();
     state->done = std::move(done);
     state->wide = wide_events_;
+    state->service = service_;
+    state->tenant = tenant;
     state->request_id = request.request_id;
     state->bytes_in = request.body.size();
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -336,19 +447,29 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
     return;
   }
   extraction.request_id = request.request_id;
+  if (!CheckQuota(request, tenant, 1, &done)) return;
   // The id must survive until the worker completes; capture by value.
   auto id = std::make_shared<JsonValue>(body["id"]);
   Counter* rejected = rejected_total_;
   prof::WideEventLog* wide = wide_events_;
+  ExtractionService* service = service_;
   const uint64_t bytes_in = request.body.size();
   service_->SubmitWithCallback(
       std::move(extraction),
-      [id, rejected, wide, bytes_in,
+      [id, rejected, wide, service, tenant, bytes_in,
        done = std::move(done)](ExtractionResponse response) {
         if (!response.ok() && rejected != nullptr) rejected->Increment();
         const JsonValue* id_ptr = id->is_null() ? nullptr : id.get();
+        // The drain estimate is read at completion (not admission), so the
+        // hint reflects the queue the retry will actually face.
+        int retry_after = 1;
+        if (response.status.code() == StatusCode::kUnavailable) {
+          retry_after = RetryAfterHint(service->EstimatedDrainSeconds(),
+                                       response.request_id);
+        }
         net::HttpResponse http = JsonWithStatus(
-            response.status, ExtractionResponseToJson(id_ptr, response));
+            response.status, ExtractionResponseToJson(id_ptr, response),
+            retry_after);
         if (wide != nullptr && wide->enabled()) {
           prof::WideEvent event;
           event.request_id = response.request_id;
@@ -364,6 +485,8 @@ void DataPlane::HandleExtract(const net::HttpRequest& request,
           if (response.result != nullptr) {
             event.sp_score = response.result->per_pair_objective;
           }
+          event.quality_level = response.quality_level;
+          event.tenant = tenant;
           event.bytes_in = bytes_in;
           event.bytes_out = http.body.size();
           wide->Record(event);

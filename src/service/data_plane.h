@@ -49,6 +49,7 @@
 #include "common/status.h"
 #include "net/http_server.h"
 #include "prof/wide_event.h"
+#include "qos/token_bucket.h"
 #include "service/extraction_service.h"
 #include "service/metrics.h"
 #include "service/serve_json.h"
@@ -64,6 +65,11 @@ struct DataPlaneOptions {
   /// Upper bound on items in one batch body; larger batches are rejected
   /// with 400 before any item is admitted.
   size_t max_batch_items = 64;
+  /// Per-tenant admission quotas (not owned; must outlive the plane). Null
+  /// or disabled = admit everything. A request is charged one token (a batch
+  /// one token per item) against its X-Tegra-Tenant bucket; exhaustion
+  /// answers 429 with a Retry-After derived from the bucket's refill time.
+  qos::TenantQuotas* quotas = nullptr;
 };
 
 /// \brief Maps an extraction Status to the HTTP status POST /v1/extract
@@ -122,6 +128,12 @@ class DataPlane {
   void RecordBadRequest(const net::HttpRequest& request,
                         const net::HttpResponse& response);
 
+  /// Charges `tokens` against `tenant`'s quota bucket. Returns true when
+  /// admitted; otherwise answers the exchange with 429 + Retry-After
+  /// (consuming `done`) and returns false.
+  bool CheckQuota(const net::HttpRequest& request, const std::string& tenant,
+                  double tokens, net::ResponseCallback* done);
+
   ExtractionService* service_;  // Not owned.
   DataPlaneOptions options_;
   net::HttpServer server_;
@@ -131,6 +143,7 @@ class DataPlane {
   Counter* batch_total_ = nullptr;
   Counter* batch_items_total_ = nullptr;
   Counter* rejected_total_ = nullptr;
+  Counter* quota_rejected_total_ = nullptr;
 };
 
 }  // namespace serve

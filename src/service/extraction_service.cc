@@ -69,12 +69,17 @@ ExtractionService::ExtractionService(const ExtractorSource* source,
       failed_total_(registry_->GetCounter("service.failed_total")),
       cache_hits_(registry_->GetCounter("service.result_cache_hits")),
       cache_misses_(registry_->GetCounter("service.result_cache_misses")),
+      degraded_total_(registry_->GetCounter("qos.degraded_total")),
       queue_latency_(registry_->GetHistogram("service.queue_seconds")),
       extract_latency_(registry_->GetHistogram("service.extract_seconds")),
       total_latency_(registry_->GetHistogram("service.total_seconds")),
       result_cache_(options_.result_cache_capacity,
                     std::max<size_t>(1, options_.result_cache_shards)),
       slowlog_(options_.slowlog_capacity) {
+  for (int rung = 0; rung < qos::kNumRungs; ++rung) {
+    rung_requests_[rung] = registry_->GetCounter(
+        "qos.rung" + std::to_string(rung) + "_requests_total");
+  }
   const int workers = std::max(1, options_.num_workers);
   workers_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; ++i) {
@@ -247,6 +252,7 @@ void ExtractionService::Process(PendingRequest pending) {
       if (response.result != nullptr) {
         record.sp_score = response.result->per_pair_objective;
       }
+      record.quality_level = response.quality_level;
       record.cache_hit = response.cache_hit;
       record.outcome = outcome;
       record.spans = trace_ctx.Events();
@@ -286,15 +292,30 @@ void ExtractionService::Process(PendingRequest pending) {
   }
   response.corpus_generation = engine.generation;
 
+  // Quality selection happens at dequeue time (not Submit), so a request
+  // that waited through a pressure spike executes at whatever rung the
+  // controller holds *now*. Without per-rung engines the rung is forced to
+  // 0 — the full pipeline is the only thing we can run.
+  int rung = 0;
+  if (options_.degradation != nullptr && engine.rungs != nullptr) {
+    rung = qos::ClampRung(options_.degradation->rung());
+  }
+  response.quality_level = rung;
+  rung_requests_[rung]->Increment();
+  if (rung > 0) degraded_total_->Increment();
+
   const ExtractionRequest& request = pending.request;
   const bool use_cache =
       !request.bypass_cache && result_cache_.capacity() > 0;
   // The generation is part of the cache identity: results computed against
-  // a previous corpus generation can never be served after a reload.
+  // a previous corpus generation can never be served after a reload. The
+  // rung is too: a degraded result must never satisfy a later full-quality
+  // request (or vice versa).
   const uint64_t key =
-      use_cache ? HashCombine(RequestCacheKey(request.lines,
-                                              request.num_columns),
-                              engine.generation)
+      use_cache ? HashCombine(HashCombine(RequestCacheKey(request.lines,
+                                                          request.num_columns),
+                                          engine.generation),
+                              static_cast<uint64_t>(rung))
                 : 0;
 
   if (use_cache) {
@@ -314,7 +335,9 @@ void ExtractionService::Process(PendingRequest pending) {
 
   trace::Span execute_span(&tracer, "execute", "serve");
   Result<ExtractionResult> result =
-      request.num_columns > 0
+      rung > 0 ? engine.rungs->Extract(rung, request.lines,
+                                       request.num_columns)
+      : request.num_columns > 0
           ? engine.extractor->ExtractWithColumns(request.lines,
                                                  request.num_columns)
           : engine.extractor->Extract(request.lines);
@@ -339,6 +362,18 @@ void ExtractionService::Process(PendingRequest pending) {
 size_t ExtractionService::QueueDepth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+double ExtractionService::EstimatedDrainSeconds() const {
+  // Little's-law style estimate: queued work divided by service rate. Mean
+  // extraction time comes from the live histogram; before any request has
+  // completed assume a nominal 50ms so overload hints are never zero.
+  const HistogramSnapshot extract = extract_latency_->Snapshot();
+  const double mean_seconds =
+      extract.count > 0 ? extract.Mean() : 0.05;
+  const double workers =
+      static_cast<double>(std::max(1, options_.num_workers));
+  return static_cast<double>(QueueDepth()) * mean_seconds / workers;
 }
 
 bool ExtractionService::shutting_down() const {

@@ -45,6 +45,7 @@
 #include "common/status.h"
 #include "core/tegra.h"
 #include "health/heartbeat.h"
+#include "qos/degradation.h"
 #include "service/extractor_source.h"
 #include "service/lru_cache.h"
 #include "service/metrics.h"
@@ -76,6 +77,12 @@ struct ServiceOptions {
   /// BeginWork/EndWork, so the health watchdog can detect a wedged
   /// extraction and capture its stack.
   health::HeartbeatRegistry* heartbeats = nullptr;
+  /// When set (not owned; must outlive the service), workers consult the
+  /// qos degradation controller at dequeue time and execute each request at
+  /// the current rung via the engine's per-rung extractors (EngineRef::rungs;
+  /// requests fall back to the full pipeline when the engine carries none).
+  /// Null = qos off: behavior is identical to the reject-at-queue service.
+  qos::DegradationController* degradation = nullptr;
 };
 
 /// \brief One extraction request.
@@ -121,6 +128,10 @@ struct ExtractionResponse {
   /// Corpus generation the request executed against (0 before an engine was
   /// acquired).
   uint64_t corpus_generation = 0;
+  /// Degradation rung the request executed at (qos::RungName). 0 = full
+  /// pipeline — always 0 when qos is off or the request never reached a
+  /// worker.
+  int quality_level = 0;
 
   bool ok() const { return status.ok(); }
 };
@@ -198,6 +209,12 @@ class ExtractionService {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// Estimated time (seconds) for the current queue to drain: queued
+  /// requests times mean extraction time over the worker pool. The data
+  /// plane turns this into Retry-After hints on 503s. Falls back to a small
+  /// constant before any extraction has completed.
+  double EstimatedDrainSeconds() const;
+
  private:
   struct PendingRequest {
     ExtractionRequest request;
@@ -234,6 +251,8 @@ class ExtractionService {
   Counter* failed_total_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* degraded_total_;
+  Counter* rung_requests_[qos::kNumRungs];
   Histogram* queue_latency_;
   Histogram* extract_latency_;
   Histogram* total_latency_;

@@ -28,6 +28,10 @@ void ReloadableEngine::Rebuild(std::shared_ptr<const CorpusView> corpus,
       std::make_unique<CorpusStats>(engine->corpus.get(), config_.stats);
   engine->extractor =
       std::make_unique<TegraExtractor>(engine->stats.get(), config_.tegra);
+  if (config_.build_qos_rungs) {
+    engine->rungs =
+        std::make_unique<qos::RungEngine>(engine->stats.get(), config_.tegra);
+  }
   engine->generation = generation;
   std::lock_guard<std::mutex> lock(mu_);
   engine_ = std::move(engine);  // Prior generation retires when unpinned.
@@ -40,10 +44,16 @@ EngineRef ReloadableEngine::Acquire() const {
     engine = engine_;
   }
   if (engine == nullptr) return {};
-  // Aliasing shared_ptr: exposes the extractor, owns the whole bundle.
-  return {std::shared_ptr<const TegraExtractor>(engine,
-                                                engine->extractor.get()),
-          engine->generation};
+  // Aliasing shared_ptrs: expose extractor/rungs, own the whole bundle.
+  EngineRef ref;
+  ref.extractor = std::shared_ptr<const TegraExtractor>(
+      engine, engine->extractor.get());
+  ref.generation = engine->generation;
+  if (engine->rungs != nullptr) {
+    ref.rungs =
+        std::shared_ptr<const qos::RungEngine>(engine, engine->rungs.get());
+  }
+  return ref;
 }
 
 }  // namespace serve

@@ -30,6 +30,7 @@
 
 #include "core/tegra.h"
 #include "corpus/corpus_stats.h"
+#include "qos/rung_engine.h"
 #include "store/corpus_manager.h"
 
 namespace tegra {
@@ -40,6 +41,10 @@ namespace serve {
 struct EngineRef {
   std::shared_ptr<const TegraExtractor> extractor;
   uint64_t generation = 0;
+  /// Per-rung degraded engines over the same corpus generation, or null
+  /// when the source was built without qos support. Pins the same bundle
+  /// as `extractor`.
+  std::shared_ptr<const qos::RungEngine> rungs;
 
   explicit operator bool() const { return extractor != nullptr; }
 };
@@ -61,10 +66,17 @@ class FixedExtractorSource : public ExtractorSource {
   explicit FixedExtractorSource(const TegraExtractor* extractor)
       : extractor_(extractor, [](const TegraExtractor*) {}) {}
 
-  EngineRef Acquire() const override { return {extractor_, 1}; }
+  /// Attaches borrowed per-rung engines (tests); must outlive this source.
+  void set_rungs(const qos::RungEngine* rungs) {
+    rungs_ = std::shared_ptr<const qos::RungEngine>(
+        rungs, [](const qos::RungEngine*) {});
+  }
+
+  EngineRef Acquire() const override { return {extractor_, 1, rungs_}; }
 
  private:
   std::shared_ptr<const TegraExtractor> extractor_;
+  std::shared_ptr<const qos::RungEngine> rungs_;
 };
 
 /// \brief Engine-construction knobs applied to every generation built by a
@@ -73,6 +85,9 @@ class FixedExtractorSource : public ExtractorSource {
 struct ReloadableEngineConfig {
   TegraOptions tegra;
   CorpusStatsOptions stats;
+  /// Also build the qos per-rung engines for each generation (the
+  /// degradation ladder needs them; off keeps reloads as cheap as today).
+  bool build_qos_rungs = false;
 };
 
 /// \brief Hot-reloadable engine over a store::CorpusManager.
@@ -99,6 +114,7 @@ class ReloadableEngine : public ExtractorSource {
     std::shared_ptr<const CorpusView> corpus;
     std::unique_ptr<CorpusStats> stats;
     std::unique_ptr<TegraExtractor> extractor;
+    std::unique_ptr<qos::RungEngine> rungs;  // null unless build_qos_rungs
     uint64_t generation = 0;
   };
 

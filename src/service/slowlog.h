@@ -34,6 +34,8 @@ struct SlowRequestRecord {
   /// quality proxy; lower is better). Negative when no result was produced
   /// (failure / deadline exceeded).
   double sp_score = -1;
+  /// Degradation rung the request executed at (0 = full pipeline).
+  int quality_level = 0;
   bool cache_hit = false;
   /// "ok", "failed", "deadline_exceeded".
   std::string outcome;

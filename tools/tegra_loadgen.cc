@@ -17,8 +17,18 @@
 // Each sweep step reports offered vs achieved QPS, HTTP status breakdown
 // and p50/p90/p99/max latency, on stderr as it runs and as one JSON
 // document at the end (BENCH_dataplane.json by convention).
+//
+// Overload mode (--overload-factor) first measures the server's capacity
+// with a short closed-loop probe, then offers factor × capacity for each
+// listed factor — so "2" always means 2× whatever THIS machine sustains,
+// not a hard-coded QPS. Responses are scanned for "quality_level" and
+// "sp" so the report shows, per degradation rung, how much latency was
+// bought and what SP-score it cost (BENCH_overload.json by convention).
+// --tenant-mix spreads requests across X-Tegra-Tenant identities to
+// exercise per-tenant quotas; 429s are tracked separately from 503s.
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -49,6 +59,11 @@ options:
   --connections N    concurrent client connections / worker threads
                      (default 16)
   --batch N          items per batch body; 0 = single bodies (default 0)
+  --lines N          rows per request body (default 3). Extraction cost
+                     grows superlinearly with rows, so larger bodies make
+                     the server extraction-bound rather than HTTP-bound —
+                     required for the overload drill to exercise the
+                     degradation ladder
   --bypass-cache     set "bypass_cache":true so every request extracts
   --timeout-ms D     client socket timeout (default 10000)
   --out PATH         JSON results file (default BENCH_dataplane.json)
@@ -62,6 +77,27 @@ options:
                      the whole sweep (sent/completed/errors/p50/p99 per
                      second, JSON) — the client's view to line up against
                      the server's /timeseriesz (default: off)
+
+overload mode (replaces --qps with capacity-relative steps):
+  --overload-factor LIST  comma-separated multiples of measured capacity
+                     (e.g. 0.5,1,2). A closed-loop probe first measures
+                     what the server sustains; each step then offers
+                     factor × capacity. Writes the "overload" bench shape
+                     with per-rung latency / SP-score columns
+                     (use --out BENCH_overload.json by convention)
+  --probe-s D        closed-loop capacity-probe duration (default 3)
+  --probe-connections N  connections for the capacity probe (default:
+                     --connections). Keep this near the server's worker
+                     count so the probe saturates the workers WITHOUT
+                     building a queue — a probe that itself trips the
+                     ladder would measure degraded capacity and overshoot
+  --tenant-mix SPEC  weighted X-Tegra-Tenant header mix, e.g. "a:3,b:1"
+                     sends 3 of every 4 requests as tenant a (default:
+                     no tenant header)
+  --assert-p99-ms X  exit 3 if any overload step's p99 exceeds X ms
+  --assert-availability F  exit 3 if any overload step's non-503
+                     availability drops below F (e.g. 0.99); quota 429s
+                     do not count against availability
   --help             this text
 )",
              stderr);
@@ -74,6 +110,7 @@ struct LoadgenOptions {
   double duration_s = 5;
   int connections = 16;
   int batch = 0;
+  int lines = 3;
   bool bypass_cache = false;
   int timeout_ms = 10000;
   std::string out_path = "BENCH_dataplane.json";
@@ -82,7 +119,36 @@ struct LoadgenOptions {
   std::string profile_out = "BENCH_profile.folded";
   /// Per-second client-side series destination; empty = disabled.
   std::string series_out;
+  /// Overload mode: multiples of measured capacity; empty = classic sweep.
+  std::vector<double> overload_factors;
+  double probe_s = 3;
+  int probe_connections = 0;  ///< 0 = same as connections.
+  /// Weight-expanded tenant table ("a:3,b:1" → a,a,a,b); empty = no header.
+  std::vector<std::string> tenant_table;
+  double assert_p99_ms = 0;        ///< 0 = no assertion.
+  double assert_availability = 0;  ///< 0 = no assertion.
 };
+
+/// "a:3,b:1" → ["a","a","a","b"]; weight defaults to 1.
+bool ParseTenantMix(const char* spec, std::vector<std::string>* table) {
+  table->clear();
+  const char* p = spec;
+  while (*p != '\0') {
+    std::string name;
+    while (*p != '\0' && *p != ':' && *p != ',') name += *p++;
+    long weight = 1;
+    if (*p == ':') {
+      char* end = nullptr;
+      weight = std::strtol(p + 1, &end, 10);
+      if (end == p + 1 || weight <= 0 || weight > 1000) return false;
+      p = end;
+    }
+    if (name.empty()) return false;
+    for (long i = 0; i < weight; ++i) table->push_back(name);
+    if (*p == ',') ++p;
+  }
+  return !table->empty();
+}
 
 bool ParseQpsList(const char* list, std::vector<double>* out) {
   out->clear();
@@ -133,6 +199,13 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
     } else if (arg == "--batch") {
       if (!(v = need_value(i))) return false;
       opts->batch = std::atoi(v);
+    } else if (arg == "--lines") {
+      if (!(v = need_value(i))) return false;
+      opts->lines = std::atoi(v);
+      if (opts->lines <= 0) {
+        std::fprintf(stderr, "bad --lines: %s\n", v);
+        return false;
+      }
     } else if (arg == "--bypass-cache") {
       opts->bypass_cache = true;
     } else if (arg == "--timeout-ms") {
@@ -153,6 +226,30 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
     } else if (arg == "--series-out") {
       if (!(v = need_value(i))) return false;
       opts->series_out = v;
+    } else if (arg == "--overload-factor") {
+      if (!(v = need_value(i))) return false;
+      if (!ParseQpsList(v, &opts->overload_factors)) {
+        std::fprintf(stderr, "bad --overload-factor list: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--probe-s") {
+      if (!(v = need_value(i))) return false;
+      opts->probe_s = std::atof(v);
+    } else if (arg == "--probe-connections") {
+      if (!(v = need_value(i))) return false;
+      opts->probe_connections = std::atoi(v);
+    } else if (arg == "--tenant-mix") {
+      if (!(v = need_value(i))) return false;
+      if (!ParseTenantMix(v, &opts->tenant_table)) {
+        std::fprintf(stderr, "bad --tenant-mix spec: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--assert-p99-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->assert_p99_ms = std::atof(v);
+    } else if (arg == "--assert-availability") {
+      if (!(v = need_value(i))) return false;
+      opts->assert_availability = std::atof(v);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return false;
@@ -171,18 +268,34 @@ bool ParseArgs(int argc, char** argv, LoadgenOptions* opts) {
     std::fprintf(stderr, "--profile-seconds requires --admin-port\n");
     return false;
   }
+  if (!opts->overload_factors.empty() && opts->probe_s <= 0) {
+    std::fprintf(stderr, "--probe-s must be positive\n");
+    return false;
+  }
   return true;
 }
 
-/// One request body. The lines are a small city/state/population list the
-/// synthetic web corpus aligns well, so "ok":true responses dominate and a
-/// 5xx means genuine overload, not a content problem. The arrival index is
-/// echoed as "id" to keep bodies distinct on the wire.
+/// One request body: --lines rows cycled from a small city/state/population
+/// list the synthetic web corpus aligns well, so "ok":true responses
+/// dominate and a 5xx means genuine overload, not a content problem. The
+/// arrival index is echoed as "id" to keep bodies distinct on the wire.
 std::string RequestBody(const LoadgenOptions& opts, uint64_t arrival) {
-  std::string single = "{\"id\":" + std::to_string(arrival) +
-                       ",\"lines\":[\"Boston Massachusetts 645,966\","
-                       "\"Worcester Massachusetts 182,544\","
-                       "\"Springfield Massachusetts 153,060\"]";
+  static const char* const kCityLines[] = {
+      "Boston Massachusetts 645,966",    "Worcester Massachusetts 182,544",
+      "Springfield Massachusetts 153,060", "Providence Rhode Island 178,042",
+      "Hartford Connecticut 124,775",    "Bridgeport Connecticut 144,229",
+      "New Haven Connecticut 129,779",   "Stamford Connecticut 122,643",
+  };
+  constexpr int kNumCityLines =
+      static_cast<int>(sizeof(kCityLines) / sizeof(kCityLines[0]));
+  std::string single = "{\"id\":" + std::to_string(arrival) + ",\"lines\":[";
+  for (int i = 0; i < opts.lines; ++i) {
+    if (i > 0) single += ",";
+    single += "\"";
+    single += kCityLines[i % kNumCityLines];
+    single += "\"";
+  }
+  single += "]";
   if (opts.bypass_cache) single += ",\"bypass_cache\":true";
   single += "}";
   if (opts.batch <= 0) return single;
@@ -195,6 +308,18 @@ std::string RequestBody(const LoadgenOptions& opts, uint64_t arrival) {
   return body;
 }
 
+/// Generous upper bound on degradation-ladder depth; rungs past the
+/// server's actual ladder simply stay empty in the report.
+constexpr int kMaxRungs = 8;
+
+/// What one degradation rung cost and bought, within one sweep step.
+struct RungStats {
+  uint64_t count = 0;
+  double sp_sum = 0;
+  uint64_t sp_count = 0;
+  std::vector<double> latencies_ms;
+};
+
 /// Everything measured in one sweep step, merged across workers.
 struct StepResult {
   double offered_qps = 0;
@@ -202,11 +327,37 @@ struct StepResult {
   uint64_t sent = 0;
   uint64_t http_2xx = 0;
   uint64_t http_4xx = 0;
+  uint64_t http_429 = 0;  ///< Quota rejections; subset of neither 4xx nor 503.
   uint64_t http_503 = 0;
   uint64_t http_other = 0;
   uint64_t transport_errors = 0;
   std::vector<double> latencies_ms;  ///< From scheduled arrival, completed only.
+  RungStats rungs[kMaxRungs];
+  /// tenant → {sent, 2xx, 429} when --tenant-mix is on.
+  std::map<std::string, std::array<uint64_t, 3>> tenants;
+
+  /// Non-503 fraction: quota 429s are policy, not failure, so only shed
+  /// load (503) and transport errors count against availability.
+  double Availability() const {
+    return sent == 0 ? 1.0
+                     : 1.0 - static_cast<double>(http_503 + transport_errors) /
+                                 static_cast<double>(sent);
+  }
 };
+
+/// Pulls the number following `"key":` out of a JSON body. No general JSON
+/// parser: the data plane emits flat numeric fields, so a scan suffices.
+/// Returns false when the key is absent.
+bool ScanJsonNumber(const std::string& body, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t pos = body.find(needle);
+  if (pos == std::string::npos) return false;
+  char* end = nullptr;
+  const double value = std::strtod(body.c_str() + pos + needle.size(), &end);
+  if (end == body.c_str() + pos + needle.size()) return false;
+  *out = value;
+  return true;
+}
 
 double Percentile(std::vector<double>* sorted, double p) {
   if (sorted->empty()) return 0;
@@ -254,9 +405,12 @@ StepResult RunStep(const LoadgenOptions& opts, double qps,
       static_cast<int64_t>(1e9 / qps));
 
   struct WorkerResult {
-    uint64_t sent = 0, h2xx = 0, h4xx = 0, h503 = 0, hother = 0, errors = 0;
+    uint64_t sent = 0, h2xx = 0, h4xx = 0, h429 = 0, h503 = 0, hother = 0,
+             errors = 0;
     std::vector<double> latencies_ms;
     SecondSeries series;
+    RungStats rungs[kMaxRungs];
+    std::map<std::string, std::array<uint64_t, 3>> tenants;
   };
   std::vector<WorkerResult> per_worker(opts.connections);
   std::vector<std::thread> workers;
@@ -271,7 +425,15 @@ StepResult RunStep(const LoadgenOptions& opts, double qps,
         const Clock::time_point arrival = t0 + interval * k;
         std::this_thread::sleep_until(arrival);
         const std::string body = RequestBody(opts, k);
-        auto response = client.Post("/v1/extract", body);
+        const std::string* tenant =
+            opts.tenant_table.empty()
+                ? nullptr
+                : &opts.tenant_table[k % opts.tenant_table.size()];
+        auto response =
+            tenant == nullptr
+                ? client.Post("/v1/extract", body)
+                : client.PostWithHeaders("/v1/extract", body,
+                                         {{"X-Tegra-Tenant", *tenant}});
         const Clock::time_point done = Clock::now();
         // Latency from the *scheduled* arrival: client-side queueing counts.
         const double ms =
@@ -295,11 +457,33 @@ StepResult RunStep(const LoadgenOptions& opts, double qps,
           bucket->latencies_ms.push_back(ms);
         }
         const int status = response.value().status;
+        std::array<uint64_t, 3>* tenant_row =
+            tenant == nullptr ? nullptr : &result.tenants[*tenant];
+        if (tenant_row != nullptr) ++(*tenant_row)[0];
         if (status == 503) {
           ++result.h503;
           if (bucket != nullptr) ++bucket->http_503;
+        } else if (status == 429) {
+          ++result.h429;
+          if (tenant_row != nullptr) ++(*tenant_row)[2];
         } else if (status >= 200 && status < 300) {
           ++result.h2xx;
+          if (tenant_row != nullptr) ++(*tenant_row)[1];
+          // Rung/SP accounting: which degradation rung served this request
+          // and what alignment quality it produced.
+          double rung_value = 0;
+          ScanJsonNumber(response.value().body, "quality_level", &rung_value);
+          const int rung = rung_value < 0                    ? 0
+                           : rung_value >= kMaxRungs - 1e-9 ? kMaxRungs - 1
+                               : static_cast<int>(rung_value);
+          RungStats& rung_stats = result.rungs[rung];
+          ++rung_stats.count;
+          rung_stats.latencies_ms.push_back(ms);
+          double sp = 0;
+          if (ScanJsonNumber(response.value().body, "sp", &sp)) {
+            rung_stats.sp_sum += sp;
+            ++rung_stats.sp_count;
+          }
         } else if (status >= 400 && status < 500) {
           ++result.h4xx;
         } else {
@@ -318,12 +502,27 @@ StepResult RunStep(const LoadgenOptions& opts, double qps,
     step.sent += result.sent;
     step.http_2xx += result.h2xx;
     step.http_4xx += result.h4xx;
+    step.http_429 += result.h429;
     step.http_503 += result.h503;
     step.http_other += result.hother;
     step.transport_errors += result.errors;
     step.latencies_ms.insert(step.latencies_ms.end(),
                              result.latencies_ms.begin(),
                              result.latencies_ms.end());
+    for (int rung = 0; rung < kMaxRungs; ++rung) {
+      const RungStats& from = result.rungs[rung];
+      RungStats& into = step.rungs[rung];
+      into.count += from.count;
+      into.sp_sum += from.sp_sum;
+      into.sp_count += from.sp_count;
+      into.latencies_ms.insert(into.latencies_ms.end(),
+                               from.latencies_ms.begin(),
+                               from.latencies_ms.end());
+    }
+    for (const auto& [tenant, counts] : result.tenants) {
+      std::array<uint64_t, 3>& into = step.tenants[tenant];
+      for (size_t i = 0; i < counts.size(); ++i) into[i] += counts[i];
+    }
     if (series != nullptr) MergeSeries(series, result.series);
   }
   std::sort(step.latencies_ms.begin(), step.latencies_ms.end());
@@ -384,6 +583,111 @@ void AppendStepJson(std::string* out, const StepResult& step) {
   *out += buf;
 }
 
+/// Closed-loop capacity probe: every connection sends back-to-back requests
+/// for --probe-s seconds; successful completions / elapsed is the estimate.
+/// Closed loop is the right shape here — it self-paces to whatever the
+/// server sustains instead of guessing a rate. No tenant headers: the probe
+/// must not charge anyone's quota.
+double MeasureCapacity(const LoadgenOptions& opts) {
+  std::atomic<uint64_t> completed{0};
+  // Ids disjoint from sweep arrivals so probe bodies never collide.
+  std::atomic<uint64_t> next_id{uint64_t{1} << 40};
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(opts.probe_s));
+  const int probe_connections = opts.probe_connections > 0
+                                    ? opts.probe_connections
+                                    : opts.connections;
+  std::vector<std::thread> workers;
+  workers.reserve(probe_connections);
+  for (int w = 0; w < probe_connections; ++w) {
+    workers.emplace_back([&] {
+      tegra::net::HttpClient client(opts.host, opts.port, opts.timeout_ms);
+      while (Clock::now() < deadline) {
+        const std::string body = RequestBody(opts, next_id.fetch_add(1));
+        auto response = client.Post("/v1/extract", body);
+        if (response.ok() && response.value().status >= 200 &&
+            response.value().status < 300) {
+          completed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return elapsed > 0 ? static_cast<double>(completed.load()) / elapsed : 0;
+}
+
+/// The overload-mode step record: everything the classic record has, plus
+/// availability and the per-rung latency / SP-score breakdown that shows
+/// what each degradation rung bought and cost.
+void AppendOverloadStepJson(std::string* out, const StepResult& step,
+                            double factor) {
+  std::vector<double> sorted = step.latencies_ms;  // Already sorted.
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    {\"overload_factor\": %.2f, \"offered_qps\": %.1f, "
+      "\"achieved_qps\": %.1f, \"duration_s\": %.2f, \"sent\": %llu, "
+      "\"http_2xx\": %llu, \"http_4xx\": %llu, \"http_429\": %llu, "
+      "\"http_503\": %llu, \"http_other\": %llu, "
+      "\"transport_errors\": %llu, \"availability\": %.4f, "
+      "\"p50_ms\": %.3f, \"p90_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"max_ms\": %.3f,\n     \"rungs\": [",
+      factor, step.offered_qps,
+      step.elapsed_s > 0 ? step.sent / step.elapsed_s : 0.0, step.elapsed_s,
+      static_cast<unsigned long long>(step.sent),
+      static_cast<unsigned long long>(step.http_2xx),
+      static_cast<unsigned long long>(step.http_4xx),
+      static_cast<unsigned long long>(step.http_429),
+      static_cast<unsigned long long>(step.http_503),
+      static_cast<unsigned long long>(step.http_other),
+      static_cast<unsigned long long>(step.transport_errors),
+      step.Availability(), Percentile(&sorted, 0.50),
+      Percentile(&sorted, 0.90), Percentile(&sorted, 0.99),
+      sorted.empty() ? 0.0 : sorted.back());
+  *out += buf;
+  bool first = true;
+  for (int rung = 0; rung < kMaxRungs; ++rung) {
+    const RungStats& stats = step.rungs[rung];
+    if (stats.count == 0) continue;
+    std::vector<double> rung_sorted = stats.latencies_ms;
+    std::sort(rung_sorted.begin(), rung_sorted.end());
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"rung\": %d, \"count\": %llu, \"p50_ms\": %.3f, "
+                  "\"p99_ms\": %.3f, \"mean_sp\": %.4f}",
+                  first ? "" : ", ", rung,
+                  static_cast<unsigned long long>(stats.count),
+                  Percentile(&rung_sorted, 0.50),
+                  Percentile(&rung_sorted, 0.99),
+                  stats.sp_count > 0
+                      ? stats.sp_sum / static_cast<double>(stats.sp_count)
+                      : 0.0);
+    first = false;
+    *out += buf;
+  }
+  *out += "]";
+  if (!step.tenants.empty()) {
+    *out += ",\n     \"tenants\": [";
+    first = true;
+    for (const auto& [tenant, counts] : step.tenants) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"tenant\": \"%s\", \"sent\": %llu, "
+                    "\"http_2xx\": %llu, \"http_429\": %llu}",
+                    first ? "" : ", ", tenant.c_str(),
+                    static_cast<unsigned long long>(counts[0]),
+                    static_cast<unsigned long long>(counts[1]),
+                    static_cast<unsigned long long>(counts[2]));
+      first = false;
+      *out += buf;
+    }
+    *out += "]";
+  }
+  *out += "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,6 +702,27 @@ int main(int argc, char** argv) {
                "%.0fs/step%s\n",
                opts.host.c_str(), opts.port, opts.connections,
                opts.duration_s, opts.batch > 0 ? " (batch bodies)" : "");
+
+  // Overload mode: turn capacity-relative factors into absolute QPS steps.
+  const bool overload_mode = !opts.overload_factors.empty();
+  double capacity_qps = 0;
+  if (overload_mode) {
+    std::fprintf(stderr,
+                 "tegra_loadgen: closed-loop capacity probe (%.1fs)...\n",
+                 opts.probe_s);
+    capacity_qps = MeasureCapacity(opts);
+    std::fprintf(stderr, "  capacity ~ %.1f qps\n", capacity_qps);
+    if (capacity_qps <= 0) {
+      std::fprintf(stderr,
+                   "tegra_loadgen: capacity probe saw no successful "
+                   "responses; is the server up?\n");
+      return 1;
+    }
+    opts.qps_steps.clear();
+    for (const double factor : opts.overload_factors) {
+      opts.qps_steps.push_back(std::max(1.0, factor * capacity_qps));
+    }
+  }
 
   // Concurrent profile capture: the admin plane blocks the GET for the
   // capture window, so the fetch runs on its own thread while the sweep
@@ -426,13 +751,21 @@ int main(int argc, char** argv) {
     });
   }
 
-  std::string json = "{\n  \"bench\": \"dataplane\",\n";
+  std::string json = overload_mode ? "{\n  \"bench\": \"overload\",\n"
+                                   : "{\n  \"bench\": \"dataplane\",\n";
   json += "  \"target\": \"POST /v1/extract\",\n";
   json += "  \"connections\": " + std::to_string(opts.connections) + ",\n";
   json += "  \"batch\": " + std::to_string(opts.batch) + ",\n";
+  if (overload_mode) {
+    char cap[64];
+    std::snprintf(cap, sizeof(cap), "  \"capacity_qps\": %.1f,\n",
+                  capacity_qps);
+    json += cap;
+  }
   json += "  \"steps\": [\n";
 
   bool any_ok = false;
+  std::vector<std::string> assert_failures;
   SecondSeries series;
   SecondSeries* series_sink = opts.series_out.empty() ? nullptr : &series;
   const Clock::time_point series_t0 = Clock::now();
@@ -440,18 +773,40 @@ int main(int argc, char** argv) {
     const StepResult step =
         RunStep(opts, opts.qps_steps[i], series_t0, series_sink);
     std::vector<double> sorted = step.latencies_ms;
+    const double p99_ms = Percentile(&sorted, 0.99);
     std::fprintf(stderr,
-                 "  qps %7.1f: sent %llu  2xx %llu  503 %llu  err %llu  "
-                 "p50 %.2fms  p99 %.2fms\n",
+                 "  qps %7.1f: sent %llu  2xx %llu  429 %llu  503 %llu  "
+                 "err %llu  p50 %.2fms  p99 %.2fms  avail %.4f\n",
                  step.offered_qps,
                  static_cast<unsigned long long>(step.sent),
                  static_cast<unsigned long long>(step.http_2xx),
+                 static_cast<unsigned long long>(step.http_429),
                  static_cast<unsigned long long>(step.http_503),
                  static_cast<unsigned long long>(step.transport_errors),
-                 Percentile(&sorted, 0.50), Percentile(&sorted, 0.99));
+                 Percentile(&sorted, 0.50), p99_ms, step.Availability());
     if (step.http_2xx > 0) any_ok = true;
     if (i > 0) json += ",\n";
-    AppendStepJson(&json, step);
+    if (overload_mode) {
+      AppendOverloadStepJson(&json, step, opts.overload_factors[i]);
+      char why[160];
+      if (opts.assert_p99_ms > 0 && p99_ms > opts.assert_p99_ms) {
+        std::snprintf(why, sizeof(why),
+                      "factor %.2f: p99 %.1fms exceeds --assert-p99-ms %.1f",
+                      opts.overload_factors[i], p99_ms, opts.assert_p99_ms);
+        assert_failures.emplace_back(why);
+      }
+      if (opts.assert_availability > 0 &&
+          step.Availability() < opts.assert_availability) {
+        std::snprintf(
+            why, sizeof(why),
+            "factor %.2f: availability %.4f below --assert-availability %.4f",
+            opts.overload_factors[i], step.Availability(),
+            opts.assert_availability);
+        assert_failures.emplace_back(why);
+      }
+    } else {
+      AppendStepJson(&json, step);
+    }
   }
   json += "\n  ]\n}\n";
 
@@ -494,6 +849,16 @@ int main(int argc, char** argv) {
                      opts.profile_out.c_str(), profile_body.size());
       }
     }
+  }
+
+  // Assertion failures (overload smoke) outrank everything: the files are
+  // written either way so the artifacts survive for debugging, but CI sees
+  // a distinct exit code.
+  if (!assert_failures.empty()) {
+    for (const std::string& why : assert_failures) {
+      std::fprintf(stderr, "tegra_loadgen: ASSERT FAILED: %s\n", why.c_str());
+    }
+    return 3;
   }
 
   // Exit status reflects whether the sweep saw any successful extraction,

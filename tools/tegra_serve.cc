@@ -79,6 +79,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -103,6 +104,8 @@
 #include "prof/wide_event.h"
 #include "corpus/corpus_io.h"
 #include "corpus/corpus_stats.h"
+#include "qos/degradation.h"
+#include "qos/token_bucket.h"
 #include "service/admin_pages.h"
 #include "service/data_plane.h"
 #include "service/extraction_service.h"
@@ -191,6 +194,33 @@ options:
                           {"slos":[{"name":...,"kind":"error_ratio"|
                           "gauge_above"|"gauge_below",...}]} (see
                           docs/OBSERVABILITY.md)
+  --qos on|off            adaptive degradation ladder: under overload the
+                          service trades extraction quality for latency one
+                          rung at a time (anchor budget -> DP cap ->
+                          syntactic-only -> ListExtract baseline) instead of
+                          shedding, and recovers with hysteresis. Every
+                          response carries its "quality_level". Off behaves
+                          exactly like the reject-at-queue service
+                          (default off)
+  --qos-max-rung N        deepest rung the ladder may reach, 1..4 (default 4)
+  --qos-target-p99-ms D   served p99 that maps to pressure 1.0 — the latency
+                          SLO the ladder defends (default 2000)
+  --qos-target-queue-fraction X
+                          queue fill fraction mapping to pressure 1.0
+                          (default 0.5 — engage well before the 503 cliff)
+  --qos-escalate-hold-ms D  pressure must hold >= 1.0 this long before each
+                          escalation (default 1000)
+  --qos-recover-hold-ms D pressure must hold <= 0.5 this long before each
+                          recovery (default 5000)
+  --qos-degraded-budget-s D  the qos_degraded SLO alert fires after the
+                          ladder has been above rung 0 for D consecutive
+                          seconds (default 300)
+  --quota-rate X          per-tenant token-bucket refill in requests/second,
+                          keyed on the X-Tegra-Tenant header (requests
+                          without the header share one anonymous bucket); a
+                          drained bucket answers 429 + Retry-After. 0
+                          disables quotas (default 0)
+  --quota-burst X         per-tenant bucket capacity (default max(rate, 1))
   --help                  this text
 )",
              stderr);
@@ -221,6 +251,14 @@ struct ServeCliOptions {
   int stall_threshold_ms = 30000;
   /// JSON SLO definitions; empty selects SloEngine::DefaultSpecs().
   std::string slo_config_path;
+  /// Adaptive quality/latency trade-off under overload; off = today's
+  /// reject-at-queue behavior, bit-identical results.
+  bool qos_enabled = false;
+  tegra::qos::DegradationOptions qos;
+  /// The qos_degraded SLO alert's for_seconds budget.
+  double qos_degraded_budget_s = 300;
+  /// Per-tenant admission quotas (rate <= 0 disables).
+  tegra::qos::QuotaOptions quota;
   tegra::TegraOptions tegra;
   tegra::serve::ServiceOptions service;
 };
@@ -343,6 +381,64 @@ bool ParseArgs(int argc, char** argv, ServeCliOptions* opts) {
     } else if (arg == "--slo-config") {
       if (!(v = need_value(i))) return false;
       opts->slo_config_path = v;
+    } else if (arg == "--qos") {
+      if (!(v = need_value(i))) return false;
+      opts->qos_enabled = std::string(v) == "on";
+      if (!opts->qos_enabled && std::string(v) != "off") {
+        std::fprintf(stderr, "bad --qos (want on|off): %s\n", v);
+        return false;
+      }
+    } else if (arg == "--qos-max-rung") {
+      if (!(v = need_value(i))) return false;
+      opts->qos.max_rung = std::atoi(v);
+      if (opts->qos.max_rung < 1 ||
+          opts->qos.max_rung > tegra::qos::kNumRungs - 1) {
+        std::fprintf(stderr, "bad --qos-max-rung (want 1..%d): %s\n",
+                     tegra::qos::kNumRungs - 1, v);
+        return false;
+      }
+    } else if (arg == "--qos-target-p99-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->qos.target_p99_seconds = std::atof(v) / 1e3;
+      if (opts->qos.target_p99_seconds <= 0) {
+        std::fprintf(stderr, "bad --qos-target-p99-ms: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--qos-target-queue-fraction") {
+      if (!(v = need_value(i))) return false;
+      opts->qos.target_queue_fraction = std::atof(v);
+      if (opts->qos.target_queue_fraction <= 0 ||
+          opts->qos.target_queue_fraction > 1) {
+        std::fprintf(stderr, "bad --qos-target-queue-fraction: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--qos-escalate-hold-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->qos.escalate_hold_seconds = std::atof(v) / 1e3;
+      if (opts->qos.escalate_hold_seconds < 0) {
+        std::fprintf(stderr, "bad --qos-escalate-hold-ms: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--qos-recover-hold-ms") {
+      if (!(v = need_value(i))) return false;
+      opts->qos.recover_hold_seconds = std::atof(v) / 1e3;
+      if (opts->qos.recover_hold_seconds < 0) {
+        std::fprintf(stderr, "bad --qos-recover-hold-ms: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--qos-degraded-budget-s") {
+      if (!(v = need_value(i))) return false;
+      opts->qos_degraded_budget_s = std::atof(v);
+      if (opts->qos_degraded_budget_s <= 0) {
+        std::fprintf(stderr, "bad --qos-degraded-budget-s: %s\n", v);
+        return false;
+      }
+    } else if (arg == "--quota-rate") {
+      if (!(v = need_value(i))) return false;
+      opts->quota.rate = std::atof(v);
+    } else if (arg == "--quota-burst") {
+      if (!(v = need_value(i))) return false;
+      opts->quota.burst = std::atof(v);
     } else if (arg == "--log-format") {
       if (!(v = need_value(i))) return false;
       tegra::trace::Logger::Global().SetFormat(
@@ -481,6 +577,7 @@ JsonValue ResponseToJson(const JsonValue& id, const ExtractionResponse& resp) {
   out.Set("sp", JsonValue::Number(result.sp));
   out.Set("per_column_objective",
           JsonValue::Number(result.per_column_objective));
+  out.Set("quality_level", JsonValue::Number(resp.quality_level));
   out.Set("cache_hit", JsonValue::Bool(resp.cache_hit));
   out.Set("queue_ms", JsonValue::Number(resp.queue_seconds * 1e3));
   out.Set("extract_ms", JsonValue::Number(resp.extract_seconds * 1e3));
@@ -690,7 +787,17 @@ int main(int argc, char** argv) {
   engine_config.tegra = opts.tegra;
   engine_config.stats.co_cache_capacity = opts.co_cache_capacity;
   engine_config.stats.metrics = &registry;
+  // With qos on, every corpus generation also carries the per-rung degraded
+  // engines (sampled anchors, capped DP, syntactic-only, ListExtract).
+  engine_config.build_qos_rungs = opts.qos_enabled;
   tegra::serve::ReloadableEngine engine(manager.get(), engine_config);
+
+  // qos subsystem: the degradation controller is driven from the health
+  // tick (EvaluateFromStore below); the tenant quota buckets are charged by
+  // the data plane per request. Both outlive the service, which only
+  // borrows pointers.
+  tegra::qos::DegradationController degradation(opts.qos, &registry);
+  tegra::qos::TenantQuotas quotas(opts.quota, &registry);
 
   // Health subsystem: recorder (metrics -> time series), SLO burn-rate
   // engine, stall watchdog. Constructed before the service so workers can
@@ -719,16 +826,49 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (opts.qos_enabled) {
+    // Degradation is the intended overload response, but *sustained*
+    // degradation means capacity, not load, is the problem — page on it.
+    tegra::health::SloSpec spec;
+    spec.name = "qos_degraded";
+    spec.kind = tegra::health::SloSpec::Kind::kGaugeAbove;
+    spec.description = "degradation ladder above rung 0 beyond budget";
+    spec.series = "qos.rung";
+    spec.threshold = 0.5;
+    spec.for_seconds = opts.qos_degraded_budget_s;
+    slo_specs.push_back(std::move(spec));
+  }
   tegra::health::HealthOptions health_options;
   health_options.interval_seconds = opts.health_interval_ms / 1e3;
   health_options.watchdog.stall_threshold_seconds =
       opts.stall_threshold_ms / 1e3;
   health_options.slos = std::move(slo_specs);
   tegra::serve::ExtractionService* service_ptr = nullptr;
-  health_options.refresh_gauges = [&service_ptr] {
+  tegra::health::HealthMonitor* health_ptr = nullptr;
+  const bool qos_enabled = opts.qos_enabled;
+  health_options.refresh_gauges = [&service_ptr, &health_ptr, &degradation,
+                                   qos_enabled] {
     if (service_ptr != nullptr) service_ptr->metrics();
+    // One qos control step per health tick: queue depth sampled live, the
+    // latency signals read from the previous tick's time-series ingest.
+    if (qos_enabled && service_ptr != nullptr && health_ptr != nullptr) {
+      const tegra::serve::ServiceOptions& sopts = service_ptr->options();
+      const double queue_fraction =
+          sopts.max_queue_depth == 0
+              ? 0.0
+              : static_cast<double>(service_ptr->QueueDepth()) /
+                    static_cast<double>(sopts.max_queue_depth);
+      const double now_seconds =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count();
+      degradation.EvaluateFromStore(*health_ptr->store(), queue_fraction,
+                                    sopts.default_deadline_seconds,
+                                    now_seconds);
+    }
   };
   tegra::health::HealthMonitor health(&registry, std::move(health_options));
+  health_ptr = &health;
 
   // Per-extraction ThreadPool workers stamp busy/idle through the task
   // hooks; the thread-local slot registers on first task and releases at
@@ -746,6 +886,7 @@ int main(int argc, char** argv) {
       });
 
   opts.service.heartbeats = health.heartbeats();
+  if (opts.qos_enabled) opts.service.degradation = &degradation;
   tegra::serve::ExtractionService service(&engine, opts.service, &registry);
   service_ptr = &service;
   tegra::Counter* bad_requests = registry.GetCounter("serve.bad_request");
@@ -812,6 +953,7 @@ int main(int argc, char** argv) {
   plane_options.server.bind_address = opts.data_bind;
   plane_options.server.max_connections = opts.max_connections;
   plane_options.server.io_timeout_ms = opts.io_timeout_ms;
+  plane_options.quotas = &quotas;
   // Loop-liveness beat, fired every event-loop iteration (the poller wakes
   // at least every timer tick). The slot registers from the loop thread on
   // its first beat — Register records the calling tid for stack capture —
@@ -845,6 +987,10 @@ int main(int argc, char** argv) {
   tegra::serve::AdminPages pages(&service, &tracer, manager.get(),
                                  pages_options);
   pages.set_health(&health);
+  if (opts.qos_enabled || quotas.enabled()) {
+    pages.set_qos(opts.qos_enabled ? &degradation : nullptr,
+                  quotas.enabled() ? &quotas : nullptr);
+  }
   if (opts.data_port >= 0) {
     // /readyz reports data-plane saturation; /statusz gains its stats table.
     pages.set_data_plane(&plane.server());
@@ -908,6 +1054,8 @@ int main(int argc, char** argv) {
        {"data_plane", opts.data_port >= 0 ? "on" : "off"},
        {"profile_hz", opts.profile_hz},
        {"health_interval_ms", opts.health_interval_ms},
+       {"qos", opts.qos_enabled ? "on" : "off"},
+       {"quota_rate", opts.quota.rate},
        {"access_log",
         opts.access_log_path.empty() ? "off" : opts.access_log_path}});
 
